@@ -1,0 +1,121 @@
+// Root-level benchmarks: one per table and figure of the paper's
+// evaluation (§VI). Each regenerates its experiment (in Quick mode, so a
+// full `go test -bench=.` stays tractable) and reports the headline
+// numbers as custom metrics. Run `go run ./cmd/experiments all` for the
+// full-scale paper-style output.
+package repro_test
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func quietCfg() experiments.Config {
+	return experiments.Config{Quick: true, Out: io.Discard}
+}
+
+// runExperiment executes a registered experiment once per iteration.
+func runExperiment(b *testing.B, name string) {
+	cfg := quietCfg()
+	run := experiments.Registry[name]
+	if run == nil {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1L1iCapacity regenerates Figure 1 (static data).
+func BenchmarkFig1L1iCapacity(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig3InputSensitivity regenerates Figure 3: BOLT's sensitivity
+// to the training input, with OCOLOS tracking the best profile.
+func BenchmarkFig3InputSensitivity(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig5Throughput regenerates Figure 5, the headline comparison,
+// and reports the mean speedups as metrics.
+func BenchmarkFig5Throughput(b *testing.B) {
+	cfg := quietCfg()
+	b.ResetTimer()
+	var meanOco, meanBolt float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig5Rows(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var so, sb float64
+		for _, r := range rows {
+			so += r.OCOLOS
+			sb += r.BoltOr
+		}
+		meanOco = so / float64(len(rows))
+		meanBolt = sb / float64(len(rows))
+	}
+	b.ReportMetric(meanOco, "mean-ocolos-speedup")
+	b.ReportMetric(meanBolt, "mean-bolt-speedup")
+}
+
+// BenchmarkFig6ProfileDuration regenerates Figure 6 (speedup vs profiling
+// duration).
+func BenchmarkFig6ProfileDuration(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7Timeline regenerates Figure 7 (throughput before/during/
+// after code replacement, with tail latency).
+func BenchmarkFig7Timeline(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8Microarch regenerates Figure 8 (front-end events per
+// kilo-instruction across sqldb inputs).
+func BenchmarkFig8Microarch(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9TopDown regenerates Figure 9 (TopDown features classify
+// which workloads benefit) and reports the classifier accuracy.
+func BenchmarkFig9TopDown(b *testing.B) {
+	cfg := quietCfg()
+	b.ResetTimer()
+	var acc float64
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig9Points(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		correct := 0
+		for _, p := range pts {
+			// The controller's simple gate: front-end bound => benefit.
+			if (p.FrontEnd > 0.25) == (p.Speedup > 1.05) {
+				correct++
+			}
+		}
+		acc = float64(correct) / float64(len(pts))
+	}
+	b.ReportMetric(acc, "classifier-accuracy")
+}
+
+// BenchmarkFig10BAM regenerates Figure 10 (BAM on a from-scratch compiler
+// build).
+func BenchmarkFig10BAM(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkTableICharacterization regenerates Table I.
+func BenchmarkTableICharacterization(b *testing.B) { runExperiment(b, "tab1") }
+
+// BenchmarkTableIIFixedCosts regenerates Table II.
+func BenchmarkTableIIFixedCosts(b *testing.B) { runExperiment(b, "tab2") }
+
+// BenchmarkAblations regenerates the §IV-B design-choice ablations.
+func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablate") }
+
+// BenchmarkDBIComparison quantifies §I's DBI-vs-OCOLOS cost argument.
+func BenchmarkDBIComparison(b *testing.B) { runExperiment(b, "dbi") }
+
+// BenchmarkRecoveryAnalysis regenerates the §VI-C3 a·s/b recovery-time
+// analysis.
+func BenchmarkRecoveryAnalysis(b *testing.B) { runExperiment(b, "recover") }
+
+// BenchmarkStaggeredRollout regenerates the §IV-D staggered-replacement
+// comparison across a load-balanced tier.
+func BenchmarkStaggeredRollout(b *testing.B) { runExperiment(b, "stagger") }

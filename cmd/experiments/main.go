@@ -1,0 +1,59 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-quick] all
+//	experiments [-quick] fig5 tab1 ...
+//
+// Each experiment prints paper-style rows; see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shorter measurement windows and fewer threads")
+	csvDir := flag.String("csv", "", "also write plot-ready CSVs (fig5, fig9) into this directory")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: experiments [-quick] all | %s\n",
+			strings.Join(experiments.Names(), " | "))
+	}
+	flag.Parse()
+
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var names []string
+	if len(args) == 1 && args[0] == "all" {
+		names = experiments.Names()
+	} else {
+		names = args
+	}
+
+	cfg := experiments.Config{Quick: *quick, Out: os.Stdout, CSVDir: *csvDir}
+	for _, name := range names {
+		run, ok := experiments.Registry[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; have: %s\n",
+				name, strings.Join(experiments.Names(), " "))
+			os.Exit(2)
+		}
+		fmt.Printf("=== %s ===\n", name)
+		start := time.Now()
+		if err := run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s done in %.1fs ===\n\n", name, time.Since(start).Seconds())
+	}
+}

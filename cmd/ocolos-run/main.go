@@ -1,0 +1,99 @@
+// Command ocolos-run launches a benchmark workload in the simulated
+// machine and optimizes it online with OCOLOS, printing throughput before
+// and after each replacement round — the end-to-end tool the paper's
+// Figure 4a describes.
+//
+// Usage:
+//
+//	ocolos-run -workload sqldb -input read_only [-threads 8]
+//	           [-profile-ms 5] [-rounds 1] [-revert]
+//
+// With -rounds > 1, continuous optimization (§IV-C) re-profiles the
+// optimized process and replaces C_i with C_{i+1}, garbage-collecting the
+// dead version. -revert restores C0 at the end (§VI-C4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bolt"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/proc"
+	"repro/internal/workloads/wl"
+)
+
+func main() {
+	workload := flag.String("workload", "sqldb", "sqldb | docdb | kvcache | rtlsim")
+	input := flag.String("input", "read_only", "workload input mix")
+	threads := flag.Int("threads", 0, "worker threads (0 = workload default)")
+	profileMS := flag.Float64("profile-ms", 5, "LBR profiling duration per round (simulated ms)")
+	rounds := flag.Int("rounds", 1, "optimization rounds (>1 = continuous optimization)")
+	revert := flag.Bool("revert", false, "revert to C0 after the last round")
+	tramp := flag.Bool("trampolines", false, "redirect ALL invocations via C0 entry trampolines (§IV-B)")
+	parallel := flag.Bool("parallel-patch", false, "model parallelized pointer patching (§IV-D)")
+	flag.Parse()
+
+	if err := run(*workload, *input, *threads, *profileMS, *rounds, *revert, *tramp, *parallel); err != nil {
+		fmt.Fprintln(os.Stderr, "ocolos-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, input string, threads int, profileMS float64, rounds int, revert, tramp, parallel bool) error {
+	w, err := experiments.Workload(workload, false)
+	if err != nil {
+		return err
+	}
+	if threads <= 0 {
+		threads = w.Threads
+	}
+	d, err := w.NewDriver(input, threads)
+	if err != nil {
+		return err
+	}
+	p, err := proc.Load(w.Binary, proc.Options{Threads: threads, Handler: d})
+	if err != nil {
+		return err
+	}
+	opts := core.Options{Trampolines: tramp, ParallelPatch: parallel}
+	if rounds > 1 {
+		opts.Bolt = bolt.Options{AllowReBolt: true}
+	}
+	ctl, err := core.New(p, w.Binary, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%s %s: %d threads, %s\n", workload, input, threads, w.Binary)
+	p.RunFor(0.003)
+	base := wl.Measure(p, d, 0.004)
+	fmt.Printf("original steady state: %.0f req/s\n", base)
+
+	for r := 1; r <= rounds; r++ {
+		rs, bs, err := ctl.RunOnce(profileMS / 1e3)
+		if err != nil {
+			return err
+		}
+		p.RunFor(0.003)
+		t := wl.Measure(p, d, 0.004)
+		fmt.Printf("round %d: C%d live — %.0f req/s (%.2fx)\n", r, ctl.Version(), t, t/base)
+		fmt.Printf("  perf2bolt %.1f ms host, bolt %.1f ms host, pause %.2f ms simulated\n",
+			bs.Perf2BoltSeconds*1e3, bs.BoltSeconds*1e3, rs.PauseSeconds*1e3)
+		fmt.Printf("  injected %d KiB, %d call sites + %d vtable slots patched, %d funcs on stack, GC freed %d KiB\n",
+			rs.BytesInjected/1024, rs.CallSitesPatched, rs.VTableSlotsPatched,
+			rs.FuncsOnStack, rs.BytesFreed/1024)
+	}
+
+	if revert {
+		if _, err := ctl.Revert(); err != nil {
+			return err
+		}
+		p.RunFor(0.003)
+		t := wl.Measure(p, d, 0.004)
+		fmt.Printf("reverted to C0: %.0f req/s (%.2fx)\n", t, t/base)
+	}
+	return p.Fault()
+}

@@ -1,0 +1,63 @@
+// Command perf-record is the `perf record -b` analog: it runs a benchmark
+// workload under LBR sampling and writes the raw profile to disk, for
+// later consumption by `bolt -perf` — the same record-then-optimize
+// pipeline the paper's offline baselines use.
+//
+// Usage:
+//
+//	perf-record -workload sqldb -input read_only -o read_only.perf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/perf"
+	"repro/internal/proc"
+)
+
+func main() {
+	workload := flag.String("workload", "sqldb", "sqldb | docdb | kvcache | rtlsim | compilersim")
+	input := flag.String("input", "read_only", "input mix to drive")
+	threads := flag.Int("threads", 0, "worker threads (0 = workload default)")
+	durMS := flag.Float64("duration-ms", 5, "recording duration (simulated ms)")
+	periodK := flag.Float64("period", 50_000, "sampling period in cycles")
+	out := flag.String("o", "perf.data", "output profile path")
+	flag.Parse()
+
+	if err := run(*workload, *input, *threads, *durMS, *periodK, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "perf-record:", err)
+		os.Exit(1)
+	}
+}
+
+func run(workload, input string, threads int, durMS, period float64, out string) error {
+	w, err := experiments.Workload(workload, false)
+	if err != nil {
+		return err
+	}
+	if threads <= 0 {
+		threads = w.Threads
+	}
+	d, err := w.NewDriver(input, threads)
+	if err != nil {
+		return err
+	}
+	p, err := proc.Load(w.Binary, proc.Options{Threads: threads, Handler: d})
+	if err != nil {
+		return err
+	}
+	p.RunFor(0.002) // warm up before attaching, like profiling a live server
+	raw := perf.Record(p, durMS/1e3, perf.RecorderOptions{PeriodCycles: period})
+	if err := p.Fault(); err != nil {
+		return err
+	}
+	if err := raw.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("recorded %d samples (%d branch records) over %.2f simulated ms -> %s\n",
+		len(raw.Samples), raw.Branches(), raw.Seconds*1e3, out)
+	return nil
+}

@@ -1,0 +1,86 @@
+// Bambuild: accelerate a parallel batch build with BAM (§V-A).
+//
+// A from-scratch "compiler build" runs 96 translation units over 8 build
+// slots. BAM intercepts the compiler's exec calls: the first few
+// invocations run under perf, then perf2bolt + the BOLT-style optimizer
+// run in a background process, and every later invocation transparently
+// uses the optimized compiler — no stop-the-world, no changes to the
+// build system.
+//
+// Run with: go run ./examples/bambuild
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bam"
+	"repro/internal/obj"
+	"repro/internal/perf"
+	"repro/internal/proc"
+	"repro/internal/workloads/compilersim"
+)
+
+func main() {
+	w, err := compilersim.Build(compilersim.Full())
+	if err != nil {
+		log.Fatal(err)
+	}
+	const (
+		njobs = 96
+		slots = 8
+	)
+
+	tu := 0
+	run := func(bin *obj.Binary, profile bool) (bam.JobResult, error) {
+		input := fmt.Sprintf("tu:%d", tu)
+		tu++
+		d, err := w.NewDriver(input, 1)
+		if err != nil {
+			return bam.JobResult{}, err
+		}
+		p, err := proc.Load(bin, proc.Options{Threads: 1, Handler: d})
+		if err != nil {
+			return bam.JobResult{}, err
+		}
+		var rec *perf.Recorder
+		if profile {
+			rec = perf.Attach(p, perf.RecorderOptions{PeriodCycles: 20_000})
+		}
+		p.RunUntilHalt(0)
+		if err := p.Fault(); err != nil {
+			return bam.JobResult{}, err
+		}
+		jr := bam.JobResult{Seconds: p.Seconds()}
+		if rec != nil {
+			jr.Raw = rec.Stop()
+		}
+		return jr, nil
+	}
+
+	// Baseline build: no BAM.
+	base, err := bam.RunBaseline(w.Binary, slots, njobs, run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("original build: %d TUs, -j%d: %.3f simulated ms\n",
+		njobs, slots, base.MakespanSeconds*1e3)
+
+	// BAM: profile the first 4 compiler executions.
+	tu = 0
+	one, _ := run(w.Binary, false)
+	tu = 0
+	res, err := bam.Run(bam.Config{
+		Target:          w.Binary,
+		ProfileRuns:     4,
+		Slots:           slots,
+		PipelineSeconds: 4 * one.Seconds, // background perf2bolt+BOLT
+	}, njobs, run)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("BAM build:      %.3f simulated ms (%.2fx)\n",
+		res.MakespanSeconds*1e3, base.MakespanSeconds/res.MakespanSeconds)
+	fmt.Printf("  %d invocations profiled, optimized binary ready at %.3f ms, used by %d/%d invocations\n",
+		res.JobsProfiled, res.SwitchSeconds*1e3, res.JobsOptimized, res.JobsTotal)
+}

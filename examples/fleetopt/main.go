@@ -1,0 +1,87 @@
+// Fleetopt: OCOLOS as the actuator of a fleet-wide profiling system.
+//
+// §V of the paper notes that data centers already run continuous fleet
+// profilers (Google-Wide Profiling); OCOLOS slots in behind them. This
+// example manages four services, scans their TopDown counters (the
+// DMon-style first stage), optimizes only the ones the Figure 9 criterion
+// selects, and reports per-service and fleet-wide results — including the
+// memory-bound service the gate correctly refuses to touch.
+//
+// Run with: go run ./examples/fleetopt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/workloads/docdb"
+	"repro/internal/workloads/kvcache"
+	"repro/internal/workloads/sqldb"
+)
+
+func main() {
+	db, err := sqldb.Build(sqldb.Full())
+	if err != nil {
+		log.Fatal(err)
+	}
+	doc, err := docdb.Build(docdb.Full())
+	if err != nil {
+		log.Fatal(err)
+	}
+	kv, err := kvcache.Build(kvcache.Full())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var services []*fleet.Service
+	for _, s := range []struct {
+		name, input string
+		build       func() (*fleet.Service, error)
+	}{
+		{"sqldb/read_only", "", func() (*fleet.Service, error) {
+			return fleet.NewService("sqldb/read_only", db, "read_only", 4, core.Options{})
+		}},
+		{"docdb/read_update", "", func() (*fleet.Service, error) {
+			return fleet.NewService("docdb/read_update", doc, "read_update", 4, core.Options{})
+		}},
+		{"docdb/scan95", "", func() (*fleet.Service, error) {
+			return fleet.NewService("docdb/scan95", doc, "scan95_insert5", 4, core.Options{})
+		}},
+		{"kvcache/get90", "", func() (*fleet.Service, error) {
+			return fleet.NewService("kvcache/get90", kv, "set10_get90", 4, core.Options{})
+		}},
+	} {
+		svc, err := s.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		services = append(services, svc)
+	}
+
+	m := &fleet.Manager{Services: services}
+	for _, s := range m.Services {
+		s.Proc.RunFor(0.002) // services have been up for a while
+	}
+
+	fmt.Println("fleet scan (TopDown first stage):")
+	scan := m.Scan(0.002)
+	for _, r := range scan {
+		verdict := "skip"
+		if r.Optimize {
+			verdict = "OPTIMIZE"
+		}
+		fmt.Printf("  %-20s FE %5.1f%%  retiring %5.1f%%  -> %s\n",
+			r.Service.Name, r.TopDown.FrontEnd*100, r.TopDown.Retiring*100, verdict)
+	}
+
+	speedups, err := m.OptimizeCandidates(scan, 0.004, 0.002, 0.003, 1.02)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after one optimization wave (services below 1.02x are reverted):")
+	for _, s := range m.Services {
+		fmt.Printf("  %-20s %.2fx\n", s.Name, speedups[s.Name])
+	}
+}

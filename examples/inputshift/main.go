@@ -1,0 +1,84 @@
+// Inputshift: continuous optimization across a workload phase change.
+//
+// The paper's §IV-C motivates continuous optimization with input shifts
+// (program phases, working-hours vs at-home traffic). This example serves
+// sqldb with a read-only mix and optimizes for it (C1); then the load
+// generator switches to a write-heavy mix — C1's layout is now trained on
+// the wrong input — and OCOLOS re-profiles the *running optimized*
+// process and replaces C1 with C2, garbage-collecting the dead C1 code.
+// This exercises the paths the real system could not evaluate because
+// BOLT refuses re-bolted binaries (our optimizer implements the paper's
+// planned extension behind AllowReBolt).
+//
+// Run with: go run ./examples/inputshift
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bolt"
+	"repro/internal/core"
+	"repro/internal/proc"
+	"repro/internal/workloads/sqldb"
+	"repro/internal/workloads/wl"
+)
+
+func main() {
+	w, err := sqldb.Build(sqldb.Full())
+	if err != nil {
+		log.Fatal(err)
+	}
+	driver, err := w.NewDriver("read_only", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := proc.Load(w.Binary, proc.Options{Threads: 4, Handler: driver})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl, err := core.New(p, w.Binary, core.Options{
+		Bolt: bolt.Options{AllowReBolt: true}, // enable C_i → C_{i+1}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: read-only traffic, optimize for it.
+	p.RunFor(0.003)
+	readBase := wl.Measure(p, driver, 0.003)
+	if _, _, err := ctl.RunOnce(0.004); err != nil {
+		log.Fatal(err)
+	}
+	p.RunFor(0.003)
+	readOpt := wl.Measure(p, driver, 0.003)
+	fmt.Printf("read_only:  %9.0f -> %9.0f req/s (%.2fx) with C1\n",
+		readBase, readOpt, readOpt/readBase)
+
+	// Phase 2: traffic shifts to write_only. C1 is trained on the wrong
+	// input now. Swap the generator on the live driver: same process,
+	// new request mix.
+	wd, err := w.NewDriver("write_only", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	driver.SetGenerator(wd.Generator())
+	p.RunFor(0.003)
+	writeOnC1 := wl.Measure(p, driver, 0.003)
+	fmt.Printf("write_only: %9.0f req/s on C1 (layout trained for reads)\n", writeOnC1)
+
+	// Re-profile the running process (profiles now reflect writes) and
+	// replace C1 with C2. The dead C1 region is garbage-collected.
+	rs, _, err := ctl.RunOnce(0.004)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.RunFor(0.003)
+	writeOnC2 := wl.Measure(p, driver, 0.003)
+	if err := p.Fault(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("write_only: %9.0f req/s on C2 (%.2fx vs C1; %d stack-live funcs copied, %d KiB GC'd)\n",
+		writeOnC2, writeOnC2/writeOnC1, rs.StackFuncsCopied, rs.BytesFreed/1024)
+	fmt.Printf("code versions: now running C%d; C0 intact, C1 collected\n", ctl.Version())
+}

@@ -1,0 +1,68 @@
+// Quickstart: optimize a running database server online with OCOLOS.
+//
+// This example builds the sqldb workload (a MySQL-like server compiled to
+// the simulated ISA), serves a read-only mix, then attaches the OCOLOS
+// controller: profile the live process with LBR sampling, run the
+// BOLT-style optimizer in the background, pause, inject the optimized
+// code, patch the code pointers, resume — and measure the speedup.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/proc"
+	"repro/internal/workloads/sqldb"
+	"repro/internal/workloads/wl"
+)
+
+func main() {
+	// 1. Build the server binary (with the -fno-jump-tables analog OCOLOS
+	// requires) and start it with a Sysbench-style load generator.
+	w, err := sqldb.Build(sqldb.Full())
+	if err != nil {
+		log.Fatal(err)
+	}
+	driver, err := w.NewDriver("read_only", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, err := proc.Load(w.Binary, proc.Options{Threads: 4, Handler: driver})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("serving:", w.Binary)
+
+	// 2. Attach OCOLOS. The function-pointer-creation hook (the
+	// wrapFuncPtrCreation analog) is installed immediately.
+	ctl, err := core.New(p, w.Binary, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Measure the original steady state.
+	p.RunFor(0.003) // simulated seconds of warm-up
+	before := wl.Measure(p, driver, 0.004)
+	fmt.Printf("original:  %10.0f requests/s\n", before)
+
+	// 4. One OCOLOS round: profile 5 simulated ms, optimize, replace.
+	rs, bs, err := ctl.RunOnce(0.005)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replaced:  injected %d KiB at C1, patched %d call sites + %d vtable slots\n",
+		rs.BytesInjected/1024, rs.CallSitesPatched, rs.VTableSlotsPatched)
+	fmt.Printf("           pause %.2f ms (simulated), pipeline %.0f+%.0f ms (host perf2bolt+bolt)\n",
+		rs.PauseSeconds*1e3, bs.Perf2BoltSeconds*1e3, bs.BoltSeconds*1e3)
+
+	// 5. Measure the optimized steady state.
+	p.RunFor(0.003)
+	after := wl.Measure(p, driver, 0.004)
+	if err := p.Fault(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("optimized: %10.0f requests/s  (%.2fx)\n", after, after/before)
+}

@@ -1,0 +1,75 @@
+// Topdown: decide which services are worth optimizing before touching
+// them (§V "Profiling", §VI-C4 / Figure 9).
+//
+// OCOLOS's first stage measures TopDown counters on the live process: a
+// workload with high front-end-latency share and low retiring share will
+// benefit from code layout optimization; a memory-bound one will not.
+// This example measures every workload/input pair's TopDown breakdown on
+// the original binary and prints the controller's go/no-go call.
+//
+// Run with: go run ./examples/topdown
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/perf"
+	"repro/internal/proc"
+	"repro/internal/workloads/docdb"
+	"repro/internal/workloads/kvcache"
+	"repro/internal/workloads/rtlsim"
+	"repro/internal/workloads/sqldb"
+	"repro/internal/workloads/wl"
+)
+
+func main() {
+	workloads := []*wl.Workload{}
+	if w, err := sqldb.Build(sqldb.Full()); err == nil {
+		workloads = append(workloads, w)
+	} else {
+		log.Fatal(err)
+	}
+	if w, err := docdb.Build(docdb.Full()); err == nil {
+		workloads = append(workloads, w)
+	} else {
+		log.Fatal(err)
+	}
+	if w, err := kvcache.Build(kvcache.Full()); err == nil {
+		workloads = append(workloads, w)
+	} else {
+		log.Fatal(err)
+	}
+	if w, err := rtlsim.Build(rtlsim.Full()); err == nil {
+		workloads = append(workloads, w)
+	} else {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-9s %-17s %9s %9s %9s %9s   %s\n",
+		"bench", "input", "retire%", "FE%", "badspec%", "BE%", "verdict")
+	for _, w := range workloads {
+		for _, input := range w.Inputs {
+			d, err := w.NewDriver(input, 4)
+			if err != nil {
+				log.Fatal(err)
+			}
+			p, err := proc.Load(w.Binary, proc.Options{Threads: 4, Handler: d})
+			if err != nil {
+				log.Fatal(err)
+			}
+			p.RunFor(0.002)
+			td := perf.MeasureTopDown(p, 0.003).TopDown()
+			if err := p.Fault(); err != nil {
+				log.Fatal(err)
+			}
+			verdict := "skip (not front-end bound)"
+			if td.FrontEnd > 0.25 && td.Retiring < 0.5 {
+				verdict = "OPTIMIZE"
+			}
+			fmt.Printf("%-9s %-17s %8.1f%% %8.1f%% %8.1f%% %8.1f%%   %s\n",
+				w.Name, input, td.Retiring*100, td.FrontEnd*100,
+				td.BadSpec*100, td.BackEnd*100, verdict)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+// Package asm provides the program intermediate representation, the
+// assembler that lowers it, and the fragment linker that encodes laid-out
+// code into an obj.Binary.
+//
+// Two producers share the fragment linker:
+//
+//   - the compiler path (build DSL → Program IR → fragments), which lays
+//     functions out in source order, and
+//   - the BOLT-style optimizer, which decodes an existing binary back into
+//     fragments, reorders blocks and functions, splits hot/cold code, and
+//     re-links hot fragments at a new base while pinning untouched
+//     functions at their original addresses.
+package asm
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Ref names one instruction inside a fragment: the target of a branch or a
+// jump-table entry. Cross-fragment refs are allowed (hot→cold split parts
+// of one function branch to each other).
+type Ref struct {
+	Frag  string // fragment name
+	Index int    // instruction index within the fragment
+}
+
+// FInst is one instruction plus its unresolved symbolic operands. Exactly
+// one of Target/Callee/JT is meaningful, depending on the opcode:
+//
+//	JMP, JCC       → Target
+//	CALL, FPTR     → Callee (function name)
+//	JTBL           → JT (jump-table name)
+//
+// All other opcodes are taken verbatim (their Imm is already final).
+type FInst struct {
+	I      isa.Inst
+	Target *Ref
+	Callee string
+	JT     string
+}
+
+// JTable is a jump table owned by a fragment: entries are instruction
+// references, encoded as absolute addresses in .rodata at link time.
+type JTable struct {
+	Name    string
+	Entries []Ref
+}
+
+// Fragment is a contiguous run of instructions to be placed at a single
+// address: a whole function, or the hot or cold part of a split function.
+type Fragment struct {
+	Name   string
+	Insts  []FInst
+	JTs    []JTable
+	Blocks []int // instruction indexes that start basic blocks (Blocks[0]==0)
+}
+
+// Size returns the fragment's encoded size in bytes.
+func (f *Fragment) Size() uint64 { return uint64(len(f.Insts)) * isa.InstBytes }
+
+// BlockSpans converts the block-start index list into byte spans for the
+// symbol table.
+func (f *Fragment) BlockSpans() []struct{ Off, Size uint32 } {
+	spans := make([]struct{ Off, Size uint32 }, 0, len(f.Blocks))
+	for i, start := range f.Blocks {
+		end := len(f.Insts)
+		if i+1 < len(f.Blocks) {
+			end = f.Blocks[i+1]
+		}
+		spans = append(spans, struct{ Off, Size uint32 }{
+			Off:  uint32(start * isa.InstBytes),
+			Size: uint32((end - start) * isa.InstBytes),
+		})
+	}
+	return spans
+}
+
+// Validate checks internal consistency: refs resolvable later, block list
+// sane, operand kinds matching opcodes.
+func (f *Fragment) Validate() error {
+	if len(f.Blocks) == 0 || f.Blocks[0] != 0 {
+		return fmt.Errorf("asm: fragment %s: block list must start at 0", f.Name)
+	}
+	prev := -1
+	for _, b := range f.Blocks {
+		if b <= prev || b >= len(f.Insts) {
+			return fmt.Errorf("asm: fragment %s: bad block start %d", f.Name, b)
+		}
+		prev = b
+	}
+	for i, fi := range f.Insts {
+		switch fi.I.Op {
+		case isa.JMP, isa.JCC:
+			if fi.Target == nil {
+				return fmt.Errorf("asm: fragment %s inst %d: %s without target", f.Name, i, fi.I.Op)
+			}
+		case isa.CALL, isa.FPTR:
+			if fi.Callee == "" {
+				return fmt.Errorf("asm: fragment %s inst %d: %s without callee", f.Name, i, fi.I.Op)
+			}
+		case isa.JTBL:
+			if fi.JT == "" {
+				return fmt.Errorf("asm: fragment %s inst %d: jtbl without table", f.Name, i)
+			}
+		}
+	}
+	return nil
+}

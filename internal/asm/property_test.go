@@ -1,0 +1,106 @@
+package asm_test
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/progtest"
+)
+
+// TestAssembleInvariantsProperty assembles random programs and checks the
+// structural invariants every layout must satisfy: functions are aligned
+// and non-overlapping, every PC-relative operand lands on an instruction
+// boundary inside the same function (branches) or on a function entry
+// (calls), and FPTR immediates are function entries.
+func TestAssembleInvariantsProperty(t *testing.T) {
+	for seed := int64(100); seed < 106; seed++ {
+		prog, _, err := progtest.Generate(progtest.Options{
+			Funcs: 9, MainIters: 10, Seed: seed, JumpTables: seed%2 == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin, err := asm.Assemble(prog, asm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bin.Validate(); err != nil {
+			t.Fatal(err)
+		}
+
+		var prevEnd uint64
+		for _, fn := range bin.Funcs {
+			if fn.Addr%asm.FuncAlign != 0 {
+				t.Errorf("seed %d: %s not aligned", seed, fn.Name)
+			}
+			if fn.Addr < prevEnd {
+				t.Errorf("seed %d: %s overlaps previous function", seed, fn.Name)
+			}
+			prevEnd = fn.Addr + fn.Size
+
+			raw, err := bin.Bytes(fn.Addr, int(fn.Size))
+			if err != nil {
+				t.Fatal(err)
+			}
+			insts, err := isa.DecodeAll(raw)
+			if err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, fn.Name, err)
+			}
+			for i, in := range insts {
+				pc := fn.Addr + uint64(i)*isa.InstBytes
+				switch in.Op {
+				case isa.JMP, isa.JCC:
+					tgt := uint64(int64(pc) + isa.InstBytes + in.Imm)
+					if tgt < fn.Addr || tgt >= fn.Addr+fn.Size || (tgt-fn.Addr)%isa.InstBytes != 0 {
+						t.Errorf("seed %d: %s+%#x: branch target %#x outside function", seed, fn.Name, pc-fn.Addr, tgt)
+					}
+				case isa.CALL:
+					tgt := uint64(int64(pc) + isa.InstBytes + in.Imm)
+					if bin.FuncAt(tgt) == nil {
+						t.Errorf("seed %d: %s: call target %#x is not a function entry", seed, fn.Name, tgt)
+					}
+				case isa.FPTR:
+					if bin.FuncAt(uint64(in.Imm)) == nil {
+						t.Errorf("seed %d: %s: FPTR %#x is not a function entry", seed, fn.Name, uint64(in.Imm))
+					}
+				case isa.JTBL:
+					found := false
+					for _, jt := range bin.JumpTables {
+						if jt.Addr == uint64(in.Imm) {
+							found = true
+						}
+					}
+					if !found {
+						t.Errorf("seed %d: %s: JTBL table %#x unknown", seed, fn.Name, uint64(in.Imm))
+					}
+				}
+			}
+
+			// Block spans tile the function exactly.
+			var covered uint64
+			for _, b := range fn.Blocks {
+				covered += uint64(b.Size)
+			}
+			if covered != fn.Size {
+				t.Errorf("seed %d: %s: blocks cover %d of %d bytes", seed, fn.Name, covered, fn.Size)
+			}
+		}
+
+		// Jump-table entries land on instruction boundaries inside their
+		// owner function.
+		for _, jt := range bin.JumpTables {
+			owner := bin.FuncByName(jt.Owner)
+			if owner == nil {
+				t.Fatalf("seed %d: jump table %s has unknown owner", seed, jt.Name)
+			}
+			for _, tgt := range jt.Targets {
+				if tgt < owner.Addr || tgt >= owner.Addr+owner.Size || (tgt-owner.Addr)%isa.InstBytes != 0 {
+					t.Errorf("seed %d: jump table %s target %#x outside %s", seed, jt.Name, tgt, jt.Owner)
+				}
+			}
+		}
+		_ = obj.SecText
+	}
+}

@@ -1,0 +1,163 @@
+// Package bam implements Batch Accelerator Mode (§V-A): accelerating
+// batch workloads made of many short-lived invocations of one binary —
+// the paper's motivating case is a from-scratch Clang build under
+// `LD_PRELOAD=bam.so make -j`.
+//
+// BAM intercepts exec calls of the target binary. Early invocations run
+// with perf profiling enabled; once a configurable number of profiles has
+// been collected, perf2bolt + BOLT run in a background process, and every
+// later exec transparently uses the optimized binary. There is no
+// stop-the-world: switching binaries costs nothing because it happens at
+// exec boundaries.
+//
+// The build itself is modeled as a pool of parallel job slots (make -j):
+// each job is one invocation whose duration is the simulated run time of
+// its process, so profiling overhead, the late availability of the
+// optimized binary, and the optimized binary's speedup all show up in the
+// build makespan exactly as in Figure 10.
+package bam
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bolt"
+	"repro/internal/obj"
+	"repro/internal/perf"
+)
+
+// JobResult is what running one invocation yields.
+type JobResult struct {
+	Seconds float64 // simulated duration of the invocation
+	Raw     *perf.RawProfile
+}
+
+// RunJob executes one invocation of the given binary; when profile is
+// true the run is under `perf record -b` (the exec arguments BAM rewrote)
+// and must return the raw LBR profile.
+type RunJob func(bin *obj.Binary, profile bool) (JobResult, error)
+
+// Config tunes BAM.
+type Config struct {
+	Target *obj.Binary // the binary to optimize
+
+	// ProfileRuns is how many initial invocations to profile before
+	// running BOLT (the paper sweeps this on Figure 10's x-axis).
+	ProfileRuns int
+
+	// Slots is the build parallelism (make -j N).
+	Slots int
+
+	// PipelineSeconds is the simulated wall time of the background
+	// perf2bolt + BOLT pipeline; the optimized binary becomes available
+	// this long after the last profiled invocation finishes. It runs in a
+	// background process and does not occupy a build slot.
+	PipelineSeconds float64
+
+	Bolt bolt.Options
+}
+
+// Result reports one batch run.
+type Result struct {
+	MakespanSeconds float64
+	JobsTotal       int
+	JobsProfiled    int
+	JobsOptimized   int     // invocations that used the BOLTed binary
+	SwitchSeconds   float64 // when the optimized binary became available (-1 if never)
+	Optimized       *obj.Binary
+	HostBoltSeconds float64 // host time spent in perf2bolt+BOLT
+}
+
+// Run executes njobs invocations across the slot pool with BAM attached.
+func Run(cfg Config, njobs int, run RunJob) (*Result, error) {
+	if cfg.Slots <= 0 {
+		cfg.Slots = 1
+	}
+	if cfg.ProfileRuns < 0 {
+		cfg.ProfileRuns = 0
+	}
+	res := &Result{JobsTotal: njobs, SwitchSeconds: -1}
+
+	slotFree := make([]float64, cfg.Slots)
+	var agg perf.RawProfile
+	profiledDone := 0
+	profiledStarted := 0
+	var lastProfiledEnd float64
+	var optimized *obj.Binary
+	switchAt := -1.0
+
+	for j := 0; j < njobs; j++ {
+		// Next invocation starts on the earliest-free slot.
+		slot := 0
+		for i := 1; i < cfg.Slots; i++ {
+			if slotFree[i] < slotFree[slot] {
+				slot = i
+			}
+		}
+		start := slotFree[slot]
+
+		// BAM's exec interception decides which binary and whether to
+		// rewrite the exec into a profiled run.
+		bin := cfg.Target
+		profile := false
+		switch {
+		case optimized != nil && start >= switchAt:
+			bin = optimized
+			res.JobsOptimized++
+		case profiledStarted < cfg.ProfileRuns:
+			profile = true
+			profiledStarted++
+		}
+
+		jr, err := run(bin, profile)
+		if err != nil {
+			return nil, fmt.Errorf("bam: job %d: %w", j, err)
+		}
+		end := start + jr.Seconds
+		slotFree[slot] = end
+
+		if profile {
+			if jr.Raw == nil {
+				return nil, fmt.Errorf("bam: job %d was profiled but returned no profile", j)
+			}
+			agg.Samples = append(agg.Samples, jr.Raw.Samples...)
+			agg.Seconds += jr.Raw.Seconds
+			profiledDone++
+			if end > lastProfiledEnd {
+				lastProfiledEnd = end
+			}
+			if profiledDone == cfg.ProfileRuns {
+				// Quota reached: run the pipeline in the background.
+				t0 := time.Now()
+				prof, err := bolt.ConvertProfile(&agg, cfg.Target)
+				if err != nil {
+					return nil, err
+				}
+				ores, err := bolt.Optimize(cfg.Target, prof, cfg.Bolt)
+				if err != nil {
+					return nil, err
+				}
+				res.HostBoltSeconds = time.Since(t0).Seconds()
+				optimized = ores.Binary
+				switchAt = lastProfiledEnd + cfg.PipelineSeconds
+				res.Optimized = optimized
+				res.SwitchSeconds = switchAt
+			}
+		}
+	}
+
+	for _, t := range slotFree {
+		if t > res.MakespanSeconds {
+			res.MakespanSeconds = t
+		}
+	}
+	res.JobsProfiled = profiledDone
+	return res, nil
+}
+
+// RunBaseline executes the build without BAM: every invocation uses bin,
+// none is profiled. Used for the "original" and "ideal" lines of
+// Figure 10 (for ideal, pass a pre-optimized binary).
+func RunBaseline(bin *obj.Binary, slots, njobs int, run RunJob) (*Result, error) {
+	return Run(Config{Target: bin, ProfileRuns: 0, Slots: slots}, njobs, run)
+}

@@ -1,0 +1,146 @@
+package bam
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/obj"
+	"repro/internal/perf"
+	"repro/internal/proc"
+	"repro/internal/progtest"
+)
+
+// jobBinary builds the "compiler" binary invoked by every build job.
+func jobBinary(t *testing.T) *obj.Binary {
+	t.Helper()
+	// Big enough that the hot path does not trivially fit in the L1i —
+	// otherwise layout optimization has nothing to win.
+	prog, _, err := progtest.Generate(progtest.Options{Funcs: 60, MainIters: 3000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := asm.Assemble(prog, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+// makeRunner returns a RunJob that loads a fresh process per invocation.
+func makeRunner(t *testing.T) RunJob {
+	t.Helper()
+	return func(bin *obj.Binary, profile bool) (JobResult, error) {
+		pr, err := proc.Load(bin, proc.Options{})
+		if err != nil {
+			return JobResult{}, err
+		}
+		var rec *perf.Recorder
+		if profile {
+			rec = perf.Attach(pr, perf.RecorderOptions{PeriodCycles: 4000})
+		}
+		pr.RunUntilHalt(0)
+		if err := pr.Fault(); err != nil {
+			return JobResult{}, err
+		}
+		jr := JobResult{Seconds: pr.Seconds()}
+		if rec != nil {
+			jr.Raw = rec.Stop()
+		}
+		return jr, nil
+	}
+}
+
+func TestBAMSwitchesToOptimizedBinary(t *testing.T) {
+	bin := jobBinary(t)
+	run := makeRunner(t)
+	res, err := Run(Config{
+		Target:          bin,
+		ProfileRuns:     3,
+		Slots:           4,
+		PipelineSeconds: 0.0005,
+	}, 40, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsProfiled != 3 {
+		t.Errorf("profiled %d jobs, want 3", res.JobsProfiled)
+	}
+	if res.Optimized == nil || !res.Optimized.Bolted {
+		t.Fatal("no optimized binary produced")
+	}
+	if res.JobsOptimized == 0 {
+		t.Error("no job used the optimized binary")
+	}
+	if res.SwitchSeconds < 0 || res.SwitchSeconds > res.MakespanSeconds {
+		t.Errorf("switch at %g outside build [0, %g]", res.SwitchSeconds, res.MakespanSeconds)
+	}
+	if res.MakespanSeconds <= 0 {
+		t.Error("zero makespan")
+	}
+}
+
+func TestBAMOptimizedJobsAreFaster(t *testing.T) {
+	bin := jobBinary(t)
+	run := makeRunner(t)
+
+	orig, err := run(bin, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Target: bin, ProfileRuns: 2, Slots: 1, PipelineSeconds: 0}, 6, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := run(res.Optimized, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Seconds >= orig.Seconds {
+		t.Errorf("optimized invocation (%.6fs) not faster than original (%.6fs)", opt.Seconds, orig.Seconds)
+	}
+	// A profiled run is slower than a plain one (perf overhead).
+	prof, err := run(bin, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Seconds <= orig.Seconds {
+		t.Errorf("profiled invocation (%.6fs) not slower than plain (%.6fs)", prof.Seconds, orig.Seconds)
+	}
+}
+
+func TestBAMZeroProfileRunsNeverSwitches(t *testing.T) {
+	bin := jobBinary(t)
+	run := makeRunner(t)
+	res, err := Run(Config{Target: bin, ProfileRuns: 0, Slots: 2}, 6, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Optimized != nil || res.SwitchSeconds != -1 || res.JobsOptimized != 0 {
+		t.Error("BAM with ProfileRuns=0 must behave as the original build")
+	}
+}
+
+func TestBaselineMatchesSerialSum(t *testing.T) {
+	bin := jobBinary(t)
+	run := makeRunner(t)
+	one, err := run(bin, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunBaseline(bin, 1, 5, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := one.Seconds * 5
+	if diff := res.MakespanSeconds - want; diff > want*0.01 || diff < -want*0.01 {
+		t.Errorf("serial makespan %.6f, want ≈ %.6f", res.MakespanSeconds, want)
+	}
+	// Parallel build is ~K× faster.
+	res4, err := RunBaseline(bin, 5, 5, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res4.MakespanSeconds > one.Seconds*1.01 {
+		t.Errorf("fully parallel makespan %.6f, want ≈ %.6f", res4.MakespanSeconds, one.Seconds)
+	}
+}

@@ -1,0 +1,246 @@
+package bolt
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+// BB is a reconstructed basic block.
+type BB struct {
+	Index int
+	// Off is the block's unified byte offset: offsets in [0, Size) address
+	// the function's hot range; offsets >= Size address the exiled cold
+	// range of a previously split function (re-BOLT support).
+	Off   uint32
+	Addr  uint64 // original absolute address of the block start
+	Insts []isa.Inst
+
+	// Successors by block index; -1 = none.
+	CondTarget int   // JMP/JCC target
+	FallTo     int   // fallthrough successor
+	JTTargets  []int // JTBL targets
+
+	Count uint64 // execution count (attached from profile)
+}
+
+// Terminator returns the block's last instruction.
+func (b *BB) Terminator() isa.Inst {
+	return b.Insts[len(b.Insts)-1]
+}
+
+// CFG is the reconstructed control-flow graph of one function, the MIR
+// analog BOLT lifts machine code into. Split functions (hot + cold
+// ranges) are decoded as one unified instruction stream, which is what
+// lets this implementation re-optimize already-bolted binaries — the
+// capability §IV-C reports the real BOLT lacks.
+type CFG struct {
+	Fn     *obj.Func
+	Blocks []*BB
+	// HasJumpTable marks functions dispatching through JTBL; BOLT keeps
+	// their block layout intact (our simplification of BOLT's jump-table
+	// rewriting) but can still move the function.
+	HasJumpTable bool
+
+	offs []uint32 // sorted block start (unified) offsets
+}
+
+// UnifiedOff maps an absolute address inside the function to its unified
+// offset; ok is false when addr is outside the function.
+func UnifiedOff(fn *obj.Func, addr uint64) (uint64, bool) {
+	if addr >= fn.Addr && addr < fn.Addr+fn.Size {
+		return addr - fn.Addr, true
+	}
+	if fn.ColdSize > 0 && addr >= fn.ColdAddr && addr < fn.ColdAddr+fn.ColdSize {
+		return fn.Size + (addr - fn.ColdAddr), true
+	}
+	return 0, false
+}
+
+// BuildCFG disassembles the function from the binary image and
+// reconstructs basic blocks: leaders are the entry, branch targets, and
+// fallthrough points after control flow, exactly as a binary lifter finds
+// them.
+func BuildCFG(bin *obj.Binary, fn *obj.Func) (*CFG, error) {
+	raw, err := bin.Bytes(fn.Addr, int(fn.Size))
+	if err != nil {
+		return nil, fmt.Errorf("bolt: reading %s: %w", fn.Name, err)
+	}
+	insts, err := isa.DecodeAll(raw)
+	if err != nil {
+		return nil, fmt.Errorf("bolt: decoding %s: %w", fn.Name, err)
+	}
+	nHot := len(insts)
+	if nHot == 0 {
+		return nil, fmt.Errorf("bolt: function %s is empty", fn.Name)
+	}
+	if fn.ColdSize > 0 {
+		rawCold, err := bin.Bytes(fn.ColdAddr, int(fn.ColdSize))
+		if err != nil {
+			return nil, fmt.Errorf("bolt: reading %s cold part: %w", fn.Name, err)
+		}
+		coldInsts, err := isa.DecodeAll(rawCold)
+		if err != nil {
+			return nil, fmt.Errorf("bolt: decoding %s cold part: %w", fn.Name, err)
+		}
+		insts = append(insts, coldInsts...)
+	}
+	n := len(insts)
+
+	// pcOf maps instruction index to its original absolute address.
+	pcOf := func(i int) uint64 {
+		if i < nHot {
+			return fn.Addr + uint64(i)*isa.InstBytes
+		}
+		return fn.ColdAddr + uint64(i-nHot)*isa.InstBytes
+	}
+	// idxFor maps a branch target address to an instruction index.
+	idxFor := func(tgt uint64) (int, bool) {
+		off, ok := UnifiedOff(fn, tgt)
+		if !ok || off%isa.InstBytes != 0 {
+			return 0, false
+		}
+		return int(off) / isa.InstBytes, true
+	}
+
+	// Collect jump tables owned by this function.
+	var jts []*obj.JumpTable
+	for _, jt := range bin.JumpTables {
+		if jt.Owner == fn.Name {
+			jts = append(jts, jt)
+		}
+	}
+
+	// Leaders.
+	leader := make([]bool, n)
+	leader[0] = true
+	if nHot < n {
+		leader[nHot] = true // cold range start
+	}
+	branchTargetIdx := make([]int, n)
+	for i := range branchTargetIdx {
+		branchTargetIdx[i] = -1
+	}
+	for i, in := range insts {
+		switch in.Op {
+		case isa.JMP, isa.JCC:
+			tgt := uint64(int64(pcOf(i)) + isa.InstBytes + in.Imm)
+			ti, ok := idxFor(tgt)
+			if !ok {
+				return nil, fmt.Errorf("bolt: %s: branch at %#x leaves function", fn.Name, pcOf(i))
+			}
+			leader[ti] = true
+			branchTargetIdx[i] = ti
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case isa.RET, isa.HALT, isa.JTBL:
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+	}
+	for _, jt := range jts {
+		for _, tgt := range jt.Targets {
+			ti, ok := idxFor(tgt)
+			if !ok {
+				return nil, fmt.Errorf("bolt: %s: jump table target %#x outside function", fn.Name, tgt)
+			}
+			leader[ti] = true
+		}
+	}
+
+	// Blocks.
+	cfg := &CFG{Fn: fn, HasJumpTable: len(jts) > 0}
+	idxOf := make([]int, n) // inst index → block index
+	for i := 0; i < n; {
+		start := i
+		for i++; i < n && !leader[i]; i++ {
+		}
+		b := &BB{
+			Index:      len(cfg.Blocks),
+			Off:        uint32(start * isa.InstBytes),
+			Addr:       pcOf(start),
+			Insts:      insts[start:i],
+			CondTarget: -1,
+			FallTo:     -1,
+		}
+		for j := start; j < i; j++ {
+			idxOf[j] = b.Index
+		}
+		cfg.Blocks = append(cfg.Blocks, b)
+		cfg.offs = append(cfg.offs, b.Off)
+	}
+
+	// Successors. Physical fallthrough exists only within one range, so a
+	// block ending at the hot/cold boundary must terminate (guaranteed by
+	// how fragments are emitted); we still guard against it.
+	hotColdBoundary := -1
+	if nHot < n {
+		hotColdBoundary = idxOf[nHot]
+	}
+	for bi, b := range cfg.Blocks {
+		lastIdx := int(b.Off)/isa.InstBytes + len(b.Insts) - 1
+		term := b.Terminator()
+		fallOK := bi+1 < len(cfg.Blocks) && bi+1 != hotColdBoundary
+		switch term.Op {
+		case isa.JMP:
+			b.CondTarget = idxOf[branchTargetIdx[lastIdx]]
+		case isa.JCC:
+			b.CondTarget = idxOf[branchTargetIdx[lastIdx]]
+			if !fallOK {
+				return nil, fmt.Errorf("bolt: %s: conditional branch falls off a code range", fn.Name)
+			}
+			b.FallTo = bi + 1
+		case isa.RET, isa.HALT:
+		case isa.JTBL:
+			seen := make(map[int]bool)
+			for _, jt := range jts {
+				if uint64(term.Imm) != jt.Addr {
+					continue
+				}
+				for _, tgt := range jt.Targets {
+					ti, _ := idxFor(tgt)
+					bidx := idxOf[ti]
+					if !seen[bidx] {
+						seen[bidx] = true
+						b.JTTargets = append(b.JTTargets, bidx)
+					}
+				}
+			}
+		default:
+			if !fallOK {
+				return nil, fmt.Errorf("bolt: %s: code range ends without terminator", fn.Name)
+			}
+			b.FallTo = bi + 1
+		}
+	}
+	return cfg, nil
+}
+
+// BlockAt maps a unified byte offset to its block index, or -1.
+func (c *CFG) BlockAt(off uint64) int {
+	i := sort.Search(len(c.offs), func(i int) bool { return uint64(c.offs[i]) > off })
+	if i == 0 {
+		return -1
+	}
+	b := c.Blocks[i-1]
+	if off >= uint64(b.Off)+uint64(len(b.Insts))*isa.InstBytes {
+		return -1
+	}
+	return i - 1
+}
+
+// AttachProfile copies block counts from a function profile.
+func (c *CFG) AttachProfile(fp *FuncProfile) {
+	if fp == nil {
+		return
+	}
+	for bi, cnt := range fp.BlockCount {
+		if bi >= 0 && bi < len(c.Blocks) {
+			c.Blocks[bi].Count += cnt
+		}
+	}
+}

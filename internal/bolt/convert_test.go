@@ -1,0 +1,163 @@
+package bolt
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/build"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/perf"
+)
+
+// convBinary builds a two-function binary with known instruction
+// addresses for hand-crafted LBR records:
+//
+//	f: b0 [cmp, jcc→b2]  b1 [addi, (fall)]  b2 [call g, ret]
+//	g: [muli, ret]
+func convBinary(t *testing.T) *obj.Binary {
+	t.Helper()
+	p := build.NewProgram("conv")
+	p.SetNoJumpTables(true)
+
+	f := p.Func("f")
+	f.Prologue(0) // inst 0: enter
+	f.CmpI(isa.R0, 5)
+	f.If(isa.EQ, func() { // jcc at inst 2 (negated NE → else=join)
+		f.AddI(isa.R0, isa.R0, 1)
+	}, nil)
+	f.Call("g")
+	f.EpilogueRet()
+
+	g := p.Func("g")
+	g.Prologue(0)
+	g.MulI(isa.R0, isa.R0, 3)
+	g.EpilogueRet()
+
+	m := p.Func("main")
+	m.Prologue(0)
+	m.Call("f")
+	m.Halt()
+	p.SetEntry("main")
+
+	bin, err := p.Assemble(asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin
+}
+
+// TestConvertProfileAttribution crafts LBR samples and checks perf2bolt's
+// edge, call, and fallthrough accounting against them.
+func TestConvertProfileAttribution(t *testing.T) {
+	bin := convBinary(t)
+	f := bin.FuncByName("f")
+	g := bin.FuncByName("g")
+
+	// Locate f's call-to-g instruction by decoding.
+	raw, _ := bin.Bytes(f.Addr, int(f.Size))
+	insts, _ := isa.DecodeAll(raw)
+	callIdx := -1
+	for i, in := range insts {
+		if in.Op == isa.CALL {
+			callIdx = i
+		}
+	}
+	if callIdx < 0 {
+		t.Fatal("no call in f")
+	}
+	callPC := f.Addr + uint64(callIdx)*isa.InstBytes
+
+	// One LBR sample: call f→g taken, then g returns (ret → back into f).
+	// Between the call's landing (g entry) and g's ret, execution fell
+	// through g's body.
+	gRetPC := g.Addr + g.Size - isa.InstBytes
+	prof, err := ConvertProfile(&perf.RawProfile{Samples: []perf.Sample{{
+		Records: []cpu.BranchRecord{
+			{From: callPC, To: g.Addr},           // call edge
+			{From: gRetPC, To: callPC + 16},      // return
+			{From: callPC + 16, To: callPC + 16}, // stand-in next branch
+		},
+	}}}, bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fp := prof.Funcs[f.Addr]
+	if fp == nil {
+		t.Fatal("f not profiled")
+	}
+	if fp.Calls[g.Addr] != 1 {
+		t.Errorf("call count f→g = %d, want 1", fp.Calls[g.Addr])
+	}
+	gp := prof.Funcs[g.Addr]
+	if gp == nil {
+		t.Fatal("g not profiled")
+	}
+	// Entry block of g credited by the call, and the fallthrough walk from
+	// g's entry to its ret touched its block(s).
+	if gp.BlockCount[0] < 2 {
+		t.Errorf("g entry block count = %d, want >= 2 (call + fallthrough walk)", gp.BlockCount[0])
+	}
+}
+
+// TestConvertProfileIntraFunctionEdge: a taken JCC inside one function
+// produces a block edge.
+func TestConvertProfileIntraFunctionEdge(t *testing.T) {
+	bin := convBinary(t)
+	f := bin.FuncByName("f")
+	raw, _ := bin.Bytes(f.Addr, int(f.Size))
+	insts, _ := isa.DecodeAll(raw)
+	jccIdx := -1
+	for i, in := range insts {
+		if in.Op == isa.JCC {
+			jccIdx = i
+		}
+	}
+	if jccIdx < 0 {
+		t.Fatal("no jcc in f")
+	}
+	jccPC := f.Addr + uint64(jccIdx)*isa.InstBytes
+	target := uint64(int64(jccPC) + isa.InstBytes + insts[jccIdx].Imm)
+
+	prof, err := ConvertProfile(&perf.RawProfile{Samples: []perf.Sample{{
+		Records: []cpu.BranchRecord{{From: jccPC, To: target}},
+	}}}, bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp := prof.Funcs[f.Addr]
+	if fp == nil {
+		t.Fatal("f not profiled")
+	}
+	cfg, err := BuildCFG(bin, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromB := cfg.BlockAt(jccPC - f.Addr)
+	toB := cfg.BlockAt(target - f.Addr)
+	if fp.Edge[[2]int{fromB, toB}] != 1 {
+		t.Errorf("edge (%d,%d) count = %d, want 1; edges: %v", fromB, toB, fp.Edge[[2]int{fromB, toB}], fp.Edge)
+	}
+}
+
+// TestConvertProfileIgnoresUnknownCode: records outside any function are
+// skipped without error.
+func TestConvertProfileIgnoresUnknownCode(t *testing.T) {
+	bin := convBinary(t)
+	prof, err := ConvertProfile(&perf.RawProfile{Samples: []perf.Sample{{
+		Records: []cpu.BranchRecord{
+			{From: 0xDEAD0000, To: 0xDEAD0040},
+		},
+	}}}, bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Funcs) != 0 {
+		t.Errorf("unknown code attributed: %v", prof.Funcs)
+	}
+	if prof.TotalBranches != 1 {
+		t.Errorf("TotalBranches = %d", prof.TotalBranches)
+	}
+}

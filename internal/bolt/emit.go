@@ -1,0 +1,220 @@
+package bolt
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+// blockPos locates a CFG block in the emitted layout.
+type blockPos struct {
+	frag  string
+	index int // index of the block's first instruction in the fragment
+}
+
+// emitFunc lowers one function with the chosen hot/cold block layout into
+// fragments with symbolic operands, performing the branch fixups the new
+// adjacency requires:
+//
+//   - a JMP whose target became the next block is deleted
+//   - a JCC whose taken target became the next block is inverted, making
+//     the hot edge a fallthrough (the taken-branch reduction of Figure 2)
+//   - a block whose fallthrough moved away gains a JMP
+//
+// Calls and FPTRs are rewritten to symbolic callee names so the linker
+// re-resolves them to the final function addresses; jump tables become
+// symbolic block references.
+func emitFunc(cfg *CFG, hotOrder, coldOrder []int, bin *obj.Binary, peephole bool) (*asm.Fragment, *asm.Fragment, error) {
+	fn := cfg.Fn
+	if len(hotOrder) == 0 || hotOrder[0] != 0 {
+		return nil, nil, fmt.Errorf("bolt: %s: layout must start with the entry block", fn.Name)
+	}
+
+	hotName := fn.Name
+	coldName := fn.Name + asm.ColdSuffix
+	layouts := [2][]int{hotOrder, coldOrder}
+	names := [2]string{hotName, coldName}
+
+	// Pass 1: per-block emitted instruction counts given adjacency.
+	nextOf := make(map[int]int) // block → physically next block (-1 none)
+	fragOf := make(map[int]int) // block → 0 hot / 1 cold
+	for li, order := range layouts {
+		for i, b := range order {
+			fragOf[b] = li
+			if i+1 < len(order) {
+				nextOf[b] = order[i+1]
+			} else {
+				nextOf[b] = -1
+			}
+		}
+	}
+
+	type plan struct {
+		count   int  // emitted instructions
+		dropJmp bool // trailing JMP removed
+		invert  bool // trailing JCC inverted (branch to FallTo instead)
+		addJmp  int  // block to JMP to after body (-1 none)
+	}
+	plans := make(map[int]*plan)
+	for _, order := range layouts {
+		for _, bi := range order {
+			b := cfg.Blocks[bi]
+			n := len(b.Insts)
+			if peephole {
+				// Peephole: alignment/padding NOPs are deleted from
+				// relocated code (§II-C's "small peephole optimizations").
+				n = 0
+				for _, in := range b.Insts {
+					if in.Op != isa.NOP {
+						n++
+					}
+				}
+			}
+			p := &plan{count: n, addJmp: -1}
+			next := nextOf[bi]
+			switch term := b.Terminator(); term.Op {
+			case isa.JMP:
+				if b.CondTarget == next {
+					p.dropJmp = true
+					p.count--
+				}
+			case isa.JCC:
+				if b.FallTo < 0 {
+					return nil, nil, fmt.Errorf("bolt: %s: JCC without fallthrough", fn.Name)
+				}
+				switch {
+				case b.FallTo == next:
+					// keep as-is
+				case b.CondTarget == next:
+					p.invert = true
+				default:
+					p.addJmp = b.FallTo
+					p.count++
+				}
+			case isa.RET, isa.HALT, isa.JTBL:
+				// no fixup
+			default:
+				if b.FallTo >= 0 && b.FallTo != next {
+					p.addJmp = b.FallTo
+					p.count++
+				}
+			}
+			plans[bi] = p
+		}
+	}
+
+	// Pass 2: block start indexes.
+	pos := make(map[int]blockPos)
+	for li, order := range layouts {
+		idx := 0
+		for _, bi := range order {
+			pos[bi] = blockPos{frag: names[li], index: idx}
+			idx += plans[bi].count
+		}
+	}
+	ref := func(bi int) *asm.Ref {
+		p := pos[bi]
+		return &asm.Ref{Frag: p.frag, Index: p.index}
+	}
+
+	// Pass 3: emit.
+	frags := [2]*asm.Fragment{}
+	for li, order := range layouts {
+		if li == 1 && len(order) == 0 {
+			continue
+		}
+		frag := &asm.Fragment{Name: names[li]}
+		for _, bi := range order {
+			b := cfg.Blocks[bi]
+			p := plans[bi]
+			if p.count > 0 {
+				frag.Blocks = append(frag.Blocks, len(frag.Insts))
+			}
+			nInsts := len(b.Insts)
+			if p.dropJmp {
+				nInsts--
+			}
+			for j := 0; j < nInsts; j++ {
+				in := b.Insts[j]
+				if peephole && in.Op == isa.NOP {
+					continue
+				}
+				origPC := b.Addr + uint64(j)*isa.InstBytes
+				fi := asm.FInst{I: in}
+				isLast := j == len(b.Insts)-1
+				switch in.Op {
+				case isa.JMP:
+					if !isLast {
+						return nil, nil, fmt.Errorf("bolt: %s: JMP mid-block", fn.Name)
+					}
+					fi.Target = ref(b.CondTarget)
+				case isa.JCC:
+					if !isLast {
+						return nil, nil, fmt.Errorf("bolt: %s: JCC mid-block", fn.Name)
+					}
+					if p.invert {
+						fi.I.Cond = in.Cond.Negate()
+						fi.Target = ref(b.FallTo)
+					} else {
+						fi.Target = ref(b.CondTarget)
+					}
+				case isa.CALL:
+					calleeAddr := uint64(int64(origPC) + isa.InstBytes + in.Imm)
+					callee := bin.FuncAt(calleeAddr)
+					if callee == nil {
+						return nil, nil, fmt.Errorf("bolt: %s: call at %#x targets non-entry %#x", fn.Name, origPC, calleeAddr)
+					}
+					fi.Callee = callee.Name
+				case isa.FPTR:
+					callee := bin.FuncAt(uint64(in.Imm))
+					if callee == nil {
+						return nil, nil, fmt.Errorf("bolt: %s: FPTR at %#x targets non-entry %#x", fn.Name, origPC, uint64(in.Imm))
+					}
+					fi.Callee = callee.Name
+				case isa.JTBL:
+					jt := jumpTableAt(bin, uint64(in.Imm))
+					if jt == nil {
+						return nil, nil, fmt.Errorf("bolt: %s: unknown jump table %#x", fn.Name, uint64(in.Imm))
+					}
+					fi.JT = jt.Name
+				}
+				frag.Insts = append(frag.Insts, fi)
+			}
+			if p.addJmp >= 0 {
+				frag.Insts = append(frag.Insts, asm.FInst{I: isa.Inst{Op: isa.JMP}, Target: ref(p.addJmp)})
+			}
+		}
+		frags[li] = frag
+	}
+
+	// Attach the function's jump tables to the hot fragment with re-derived
+	// block references.
+	for _, jt := range bin.JumpTables {
+		if jt.Owner != fn.Name {
+			continue
+		}
+		t := asm.JTable{Name: jt.Name}
+		for _, tgt := range jt.Targets {
+			bi := cfg.BlockAt(tgt - fn.Addr)
+			if bi < 0 {
+				return nil, nil, fmt.Errorf("bolt: %s: jump table %s target %#x unmapped", fn.Name, jt.Name, tgt)
+			}
+			r := ref(bi)
+			t.Entries = append(t.Entries, *r)
+		}
+		frags[0].JTs = append(frags[0].JTs, t)
+	}
+
+	return frags[0], frags[1], nil
+}
+
+func jumpTableAt(bin *obj.Binary, addr uint64) *obj.JumpTable {
+	for _, jt := range bin.JumpTables {
+		if jt.Addr == addr {
+			return jt
+		}
+	}
+	return nil
+}

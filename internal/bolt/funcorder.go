@@ -1,0 +1,233 @@
+package bolt
+
+import "sort"
+
+// FuncOrderAlgo selects the function-layout algorithm.
+type FuncOrderAlgo string
+
+// Supported algorithms (§II-C).
+const (
+	OrderC3   FuncOrderAlgo = "c3"   // call-chain clustering, callers before callees
+	OrderPH   FuncOrderAlgo = "ph"   // classic Pettis-Hansen closest-is-best
+	OrderNone FuncOrderAlgo = "none" // keep original relative order
+)
+
+// callGraph is the profile-weighted call graph over hot functions.
+type callGraph struct {
+	nodes  []uint64 // entries, deterministic order
+	weight map[uint64]uint64
+	calls  map[[2]uint64]uint64 // (caller, callee) → count
+	sizeOf map[uint64]uint64
+}
+
+func buildCallGraph(prof *Profile, hot map[uint64]bool, sizeOf map[uint64]uint64) *callGraph {
+	g := &callGraph{
+		weight: make(map[uint64]uint64),
+		calls:  make(map[[2]uint64]uint64),
+		sizeOf: sizeOf,
+	}
+	for entry := range hot {
+		g.nodes = append(g.nodes, entry)
+		if fp := prof.Funcs[entry]; fp != nil {
+			g.weight[entry] = fp.Weight()
+			for callee, cnt := range fp.Calls {
+				if hot[callee] {
+					g.calls[[2]uint64{entry, callee}] += cnt
+				}
+			}
+		}
+	}
+	sort.Slice(g.nodes, func(i, j int) bool { return g.nodes[i] < g.nodes[j] })
+	return g
+}
+
+// OrderFunctions returns the hot-function layout order (entry addresses)
+// for the chosen algorithm.
+func OrderFunctions(prof *Profile, hot map[uint64]bool, sizeOf map[uint64]uint64, algo FuncOrderAlgo) []uint64 {
+	g := buildCallGraph(prof, hot, sizeOf)
+	switch algo {
+	case OrderC3:
+		return g.c3()
+	case OrderPH:
+		return g.pettisHansen()
+	default:
+		return g.nodes
+	}
+}
+
+// c3 implements Call-Chain Clustering (Ottoni & Maher, CGO'17): visit
+// functions by decreasing hotness and append each one's cluster after the
+// cluster of its hottest caller, so callers precede callees and the call
+// target lands close after the call site.
+func (g *callGraph) c3() []uint64 {
+	const maxClusterBytes = 1 << 20 // do not grow clusters past 1 MiB
+
+	// Hottest caller of each function.
+	hottestCaller := make(map[uint64]uint64)
+	callerWeight := make(map[uint64]uint64)
+	for k, w := range g.calls {
+		caller, callee := k[0], k[1]
+		if caller == callee {
+			continue
+		}
+		if w > callerWeight[callee] || (w == callerWeight[callee] && caller < hottestCaller[callee]) {
+			callerWeight[callee] = w
+			hottestCaller[callee] = caller
+		}
+	}
+
+	cluster := make(map[uint64]int)
+	clusters := make([][]uint64, 0, len(g.nodes))
+	sizes := make([]uint64, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		cluster[n] = len(clusters)
+		clusters = append(clusters, []uint64{n})
+		sizes = append(sizes, g.sizeOf[n])
+	}
+
+	// Visit by decreasing weight (ties by address for determinism).
+	order := append([]uint64(nil), g.nodes...)
+	sort.SliceStable(order, func(i, j int) bool {
+		wi, wj := g.weight[order[i]], g.weight[order[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+
+	for _, f := range order {
+		caller, ok := hottestCaller[f]
+		if !ok {
+			continue
+		}
+		cf, cc := cluster[f], cluster[caller]
+		if cf == cc {
+			continue
+		}
+		if sizes[cc]+sizes[cf] > maxClusterBytes {
+			continue
+		}
+		// Append f's cluster to the caller's cluster.
+		for _, m := range clusters[cf] {
+			cluster[m] = cc
+		}
+		clusters[cc] = append(clusters[cc], clusters[cf]...)
+		sizes[cc] += sizes[cf]
+		clusters[cf] = nil
+	}
+
+	// Sort clusters by density (weight per byte) descending.
+	type cl struct {
+		blocks  []uint64
+		density float64
+		first   uint64
+	}
+	var out []cl
+	for _, c := range clusters {
+		if len(c) == 0 {
+			continue
+		}
+		var w, sz uint64
+		for _, m := range c {
+			w += g.weight[m]
+			sz += g.sizeOf[m]
+		}
+		if sz == 0 {
+			sz = 1
+		}
+		out = append(out, cl{blocks: c, density: float64(w) / float64(sz), first: c[0]})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].density != out[j].density {
+			return out[i].density > out[j].density
+		}
+		return out[i].first < out[j].first
+	})
+
+	var result []uint64
+	for _, c := range out {
+		result = append(result, c.blocks...)
+	}
+	return result
+}
+
+// pettisHansen implements the classic PH function placement: treat call
+// weights as undirected affinities and repeatedly merge the two clusters
+// joined by the heaviest remaining affinity, without the caller/callee
+// distinction C3 adds.
+func (g *callGraph) pettisHansen() []uint64 {
+	aff := make(map[[2]uint64]uint64)
+	for k, w := range g.calls {
+		a, b := k[0], k[1]
+		if a == b {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		aff[[2]uint64{a, b}] += w
+	}
+	type edge struct {
+		a, b uint64
+		w    uint64
+	}
+	edges := make([]edge, 0, len(aff))
+	for k, w := range aff {
+		edges = append(edges, edge{k[0], k[1], w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		if edges[i].a != edges[j].a {
+			return edges[i].a < edges[j].a
+		}
+		return edges[i].b < edges[j].b
+	})
+
+	cluster := make(map[uint64]int)
+	clusters := make([][]uint64, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		cluster[n] = len(clusters)
+		clusters = append(clusters, []uint64{n})
+	}
+	for _, e := range edges {
+		ca, cb := cluster[e.a], cluster[e.b]
+		if ca == cb {
+			continue
+		}
+		for _, m := range clusters[cb] {
+			cluster[m] = ca
+		}
+		clusters[ca] = append(clusters[ca], clusters[cb]...)
+		clusters[cb] = nil
+	}
+
+	type cl struct {
+		blocks []uint64
+		w      uint64
+		first  uint64
+	}
+	var out []cl
+	for _, c := range clusters {
+		if len(c) == 0 {
+			continue
+		}
+		var w uint64
+		for _, m := range c {
+			w += g.weight[m]
+		}
+		out = append(out, cl{blocks: c, w: w, first: c[0]})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].w != out[j].w {
+			return out[i].w > out[j].w
+		}
+		return out[i].first < out[j].first
+	})
+	var result []uint64
+	for _, c := range out {
+		result = append(result, c.blocks...)
+	}
+	return result
+}

@@ -1,0 +1,88 @@
+package bolt
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/obj"
+	"repro/internal/perf"
+	"repro/internal/proc"
+	"repro/internal/progtest"
+)
+
+// TestOptimizeSemanticsProperty is the semantic-equivalence property test:
+// for random programs (random call DAGs, data-dependent branches, virtual
+// calls, function pointers, optional jump tables), the BOLTed binary must
+// compute exactly the checksum the original computes.
+func TestOptimizeSemanticsProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test in -short mode")
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			prog, outAddr, err := progtest.Generate(progtest.Options{
+				Funcs:      10,
+				MainIters:  4000,
+				Seed:       seed,
+				JumpTables: seed%2 == 0,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			bin, err := asm.Assemble(prog, asm.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			want := runBinary(t, bin, outAddr)
+
+			// Profile a separate instance.
+			pr, err := proc.Load(bin, proc.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw := perf.Record(pr, 0.002, perf.RecorderOptions{PeriodCycles: 4000})
+			prof, err := ConvertProfile(raw, bin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(prof.Funcs) == 0 {
+				t.Skip("no profile collected (program too short)")
+			}
+
+			res, err := Optimize(bin, prof, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := res.Binary.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if got := runBinary(t, res.Binary, outAddr); got != want {
+				t.Errorf("seed %d: bolted checksum %d != original %d", seed, got, want)
+			}
+
+			// And again with every ablation toggled, PH ordering.
+			res2, err := Optimize(bin, prof, Options{FuncOrder: OrderPH, NoSplit: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := runBinary(t, res2.Binary, outAddr); got != want {
+				t.Errorf("seed %d: PH/no-split checksum %d != original %d", seed, got, want)
+			}
+		})
+	}
+}
+
+func runBinary(t *testing.T, bin *obj.Binary, outAddr uint64) uint64 {
+	t.Helper()
+	pr, err := proc.Load(bin, proc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.RunUntilHalt(0)
+	if err := pr.Fault(); err != nil {
+		t.Fatalf("%s faulted: %v", bin.Name, err)
+	}
+	return pr.Mem.ReadWord(outAddr)
+}

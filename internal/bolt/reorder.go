@@ -1,0 +1,130 @@
+package bolt
+
+import "sort"
+
+// ReorderBlocks computes a new block order for a profiled function using
+// bottom-up chain merging (the Pettis-Hansen / ExtTSP family, §II-B):
+// process CFG edges hottest-first, gluing the chain ending in the edge's
+// source to the chain starting with its destination, so hot successors
+// become fallthroughs. The entry block's chain is placed first; remaining
+// chains follow by descending heat; completely cold blocks sink to the
+// end (where SplitBlocks can exile them).
+func ReorderBlocks(cfg *CFG, fp *FuncProfile) []int {
+	n := len(cfg.Blocks)
+	if n <= 2 || fp == nil || len(fp.Edge) == 0 {
+		return identityOrder(n)
+	}
+
+	type edge struct {
+		from, to int
+		w        uint64
+	}
+	edges := make([]edge, 0, len(fp.Edge))
+	for k, w := range fp.Edge {
+		if k[0] == k[1] || w == 0 {
+			continue
+		}
+		if k[0] < 0 || k[0] >= n || k[1] < 0 || k[1] >= n {
+			continue
+		}
+		edges = append(edges, edge{k[0], k[1], w})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].w != edges[j].w {
+			return edges[i].w > edges[j].w
+		}
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		return edges[i].to < edges[j].to
+	})
+
+	// Chains as linked structures.
+	chainOf := make([]int, n) // block → chain id
+	head := make([]int, n)    // chain id → first block
+	tail := make([]int, n)    // chain id → last block
+	next := make([]int, n)    // block → next block in its chain
+	for i := 0; i < n; i++ {
+		chainOf[i], head[i], tail[i] = i, i, i
+		next[i] = -1
+	}
+
+	for _, e := range edges {
+		ca, cb := chainOf[e.from], chainOf[e.to]
+		if ca == cb || tail[ca] != e.from || head[cb] != e.to {
+			continue
+		}
+		// Entry block must stay a chain head.
+		if e.to == 0 {
+			continue
+		}
+		next[e.from] = e.to
+		tail[ca] = tail[cb]
+		for b := e.to; b != -1; b = next[b] {
+			chainOf[b] = ca
+		}
+	}
+
+	// Gather chains with their heat.
+	type chain struct {
+		id     int
+		blocks []int
+		heat   uint64
+	}
+	var chains []chain
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		c := chainOf[i]
+		if seen[c] {
+			continue
+		}
+		seen[c] = true
+		var blocks []int
+		var heat uint64
+		for b := head[c]; b != -1; b = next[b] {
+			blocks = append(blocks, b)
+			heat += cfg.Blocks[b].Count
+		}
+		chains = append(chains, chain{id: c, blocks: blocks, heat: heat})
+	}
+
+	entryChain := chainOf[0]
+	sort.SliceStable(chains, func(i, j int) bool {
+		if (chains[i].id == entryChain) != (chains[j].id == entryChain) {
+			return chains[i].id == entryChain
+		}
+		return chains[i].heat > chains[j].heat
+	})
+
+	order := make([]int, 0, n)
+	for _, c := range chains {
+		order = append(order, c.blocks...)
+	}
+	return order
+}
+
+func identityOrder(n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	return order
+}
+
+// SplitBlocks partitions an order into hot and cold parts: blocks with a
+// zero execution count (other than the entry) are exiled, implementing
+// BOLT's hot/cold function splitting (§II-D). Returns (hot, cold) in
+// layout order; cold is empty when nothing can be split.
+func SplitBlocks(cfg *CFG, order []int) (hot, cold []int) {
+	for _, bi := range order {
+		if bi != 0 && cfg.Blocks[bi].Count == 0 {
+			cold = append(cold, bi)
+		} else {
+			hot = append(hot, bi)
+		}
+	}
+	if len(cold) == 0 {
+		return order, nil
+	}
+	return hot, cold
+}

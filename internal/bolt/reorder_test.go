@@ -1,0 +1,162 @@
+package bolt
+
+import (
+	"sort"
+	"testing"
+)
+
+// chainCFG builds a synthetic CFG shape for reorder tests: blocks only
+// need counts and successor links.
+func chainCFG(n int) *CFG {
+	cfg := &CFG{Blocks: make([]*BB, n)}
+	for i := 0; i < n; i++ {
+		cfg.Blocks[i] = &BB{Index: i, CondTarget: -1, FallTo: -1}
+	}
+	return cfg
+}
+
+func profWithEdges(edges map[[2]int]uint64, counts map[int]uint64) *FuncProfile {
+	fp := newFuncProfile(0)
+	fp.Edge = edges
+	fp.BlockCount = counts
+	return fp
+}
+
+func isPermutation(t *testing.T, order []int, n int) {
+	t.Helper()
+	if len(order) != n {
+		t.Fatalf("order has %d blocks, want %d", len(order), n)
+	}
+	seen := append([]int(nil), order...)
+	sort.Ints(seen)
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("order %v is not a permutation of 0..%d", order, n-1)
+		}
+	}
+}
+
+func TestReorderBlocksChainsHotPath(t *testing.T) {
+	// 0 → (hot) 2 → (hot) 4, with 1 and 3 cold fallthroughs.
+	cfg := chainCFG(5)
+	fp := profWithEdges(map[[2]int]uint64{
+		{0, 2}: 1000,
+		{2, 4}: 900,
+		{0, 1}: 5,
+		{2, 3}: 4,
+	}, map[int]uint64{0: 1000, 2: 1000, 4: 900, 1: 5, 3: 4})
+	cfg.AttachProfile(fp)
+	order := ReorderBlocks(cfg, fp)
+	isPermutation(t, order, 5)
+	if order[0] != 0 {
+		t.Fatalf("entry block not first: %v", order)
+	}
+	// The hot chain 0,2,4 must be contiguous in that order.
+	pos := map[int]int{}
+	for i, b := range order {
+		pos[b] = i
+	}
+	if pos[2] != pos[0]+1 || pos[4] != pos[2]+1 {
+		t.Errorf("hot chain not contiguous: %v", order)
+	}
+}
+
+func TestReorderBlocksEntryStaysFirst(t *testing.T) {
+	// A heavy back edge into the entry must not splice block 0 mid-chain.
+	cfg := chainCFG(3)
+	fp := profWithEdges(map[[2]int]uint64{
+		{2, 0}: 5000, // loop back edge
+		{0, 1}: 100,
+		{1, 2}: 100,
+	}, map[int]uint64{0: 5000, 1: 100, 2: 100})
+	cfg.AttachProfile(fp)
+	order := ReorderBlocks(cfg, fp)
+	isPermutation(t, order, 3)
+	if order[0] != 0 {
+		t.Errorf("entry displaced: %v", order)
+	}
+}
+
+func TestReorderBlocksNoProfileIdentity(t *testing.T) {
+	cfg := chainCFG(4)
+	order := ReorderBlocks(cfg, nil)
+	for i, b := range order {
+		if b != i {
+			t.Fatalf("nil profile should give identity: %v", order)
+		}
+	}
+}
+
+func TestSplitBlocksExilesColdKeepsEntry(t *testing.T) {
+	cfg := chainCFG(5)
+	cfg.Blocks[1].Count = 0
+	cfg.Blocks[3].Count = 0
+	cfg.Blocks[0].Count = 0 // entry cold too — must stay hot anyway
+	cfg.Blocks[2].Count = 10
+	cfg.Blocks[4].Count = 10
+	hot, cold := SplitBlocks(cfg, []int{0, 2, 4, 1, 3})
+	if len(hot) != 3 || hot[0] != 0 {
+		t.Errorf("hot = %v", hot)
+	}
+	if len(cold) != 2 {
+		t.Errorf("cold = %v", cold)
+	}
+	// Nothing cold → no split.
+	for _, b := range cfg.Blocks {
+		b.Count = 1
+	}
+	hot, cold = SplitBlocks(cfg, identityOrder(5))
+	if len(cold) != 0 || len(hot) != 5 {
+		t.Error("all-hot function should not split")
+	}
+}
+
+func TestOrderFunctionsDeterministic(t *testing.T) {
+	prof := &Profile{Funcs: map[uint64]*FuncProfile{}}
+	hot := map[uint64]bool{}
+	sizes := map[uint64]uint64{}
+	for i := uint64(0); i < 20; i++ {
+		entry := 0x400000 + i*0x100
+		fp := newFuncProfile(entry)
+		fp.Records = 100 - i
+		fp.BlockCount[0] = 100 - i
+		if i > 0 {
+			fp.Calls[0x400000+(i-1)*0x100] = i // call the previous one
+		}
+		prof.Funcs[entry] = fp
+		hot[entry] = true
+		sizes[entry] = 0x100
+	}
+	for _, algo := range []FuncOrderAlgo{OrderC3, OrderPH, OrderNone} {
+		a := OrderFunctions(prof, hot, sizes, algo)
+		b := OrderFunctions(prof, hot, sizes, algo)
+		if len(a) != 20 || len(b) != 20 {
+			t.Fatalf("%s: wrong length", algo)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: non-deterministic order", algo)
+			}
+		}
+	}
+}
+
+func TestC3PutsHotCallerBeforeCallee(t *testing.T) {
+	prof := &Profile{Funcs: map[uint64]*FuncProfile{}}
+	caller, callee := uint64(0x402000), uint64(0x401000) // callee earlier in memory
+	fpCaller := newFuncProfile(caller)
+	fpCaller.Records = 100
+	fpCaller.BlockCount[0] = 100
+	fpCaller.Calls[callee] = 500
+	fpCallee := newFuncProfile(callee)
+	fpCallee.Records = 90
+	fpCallee.BlockCount[0] = 90
+	prof.Funcs[caller] = fpCaller
+	prof.Funcs[callee] = fpCallee
+	hot := map[uint64]bool{caller: true, callee: true}
+	sizes := map[uint64]uint64{caller: 64, callee: 64}
+	order := OrderFunctions(prof, hot, sizes, OrderC3)
+	if len(order) != 2 || order[0] != caller || order[1] != callee {
+		t.Errorf("C3 order = %#x, want caller %#x before callee %#x", order, caller, callee)
+	}
+}

@@ -1,0 +1,329 @@
+// Package core implements OCOLOS itself: online profile-guided code layout
+// optimization of a running process (§IV, §V of the paper).
+//
+// A Controller attaches to a live simulated process and, per optimization
+// round: samples LBR profiles with perf (step 1), runs perf2bolt + the
+// BOLT-style optimizer in the background to produce an optimized binary
+// (step 2), then pauses the target (step 3), injects the new code C_{i+1}
+// at a fresh address range (step 4), updates code pointers — v-table
+// slots, direct calls in stack-live C0 functions, return addresses and
+// thread PCs — (step 5), and resumes (step 6).
+//
+// Design principles from §IV are honored literally:
+//
+//  1. C0 instruction addresses are never moved; C0 bytes are only patched
+//     in place (direct-call immediates).
+//  2. C1 runs in the common case: v-tables and stack-live C0 call sites
+//     steer execution into the optimized code.
+//  3. Fixed costs only: the function-pointer-creation hook (the
+//     wrapFuncPtrCreation analog, §IV-C2) is the one standing
+//     instrumentation, and it enforces the invariant that function
+//     pointers always refer to C0, which is what makes continuous
+//     optimization (C_i → C_{i+1} with dead-code GC) safe.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bolt"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/perf"
+	"repro/internal/proc"
+)
+
+// Region layout for injected code versions. Each version's new text goes
+// at textBase(v); stack-live copies made while replacing version v-1 go
+// into a dedicated, generously spaced copies area: each copied function
+// instance gets its own fixed-width window so that the hot and cold spans
+// of one instance shift by a single delta (keeping every PC-relative
+// branch valid) without ever colliding with later versions' regions.
+const (
+	versionStride    = 0x1000_0000
+	firstTextBase    = 0x2000_0000
+	roOffset         = 0x0C00_0000 // per-version jump-table area
+	copiesAreaBase   = 0x1000_0000_0000
+	copiesAreaStride = 0x0010_0000_0000 // per version
+	copyWindow       = 0x1000_0000      // per copied instance
+)
+
+// PauseModel converts replacement work into simulated stop-the-world time
+// (§VI-C2): a few MiB of scattered single-threaded writes.
+type PauseModel struct {
+	BaseSeconds          float64
+	SecondsPerMiB        float64
+	SecondsPerCallSite   float64
+	SecondsPerVTableSlot float64
+	SecondsPerFrame      float64
+}
+
+func (m *PauseModel) defaults() {
+	if m.BaseSeconds == 0 {
+		m.BaseSeconds = 2e-3
+	}
+	if m.SecondsPerMiB == 0 {
+		m.SecondsPerMiB = 0.022
+	}
+	if m.SecondsPerCallSite == 0 {
+		m.SecondsPerCallSite = 8e-6
+	}
+	if m.SecondsPerVTableSlot == 0 {
+		m.SecondsPerVTableSlot = 1.5e-6
+	}
+	if m.SecondsPerFrame == 0 {
+		m.SecondsPerFrame = 2e-5
+	}
+}
+
+// seconds computes the simulated pause for a replacement.
+func (m PauseModel) seconds(bytes uint64, sites, slots, frames int) float64 {
+	return m.BaseSeconds +
+		m.SecondsPerMiB*float64(bytes)/(1<<20) +
+		m.SecondsPerCallSite*float64(sites) +
+		m.SecondsPerVTableSlot*float64(slots) +
+		m.SecondsPerFrame*float64(frames)
+}
+
+// Options configures a controller.
+type Options struct {
+	Perf  perf.RecorderOptions
+	Bolt  bolt.Options // TextBase is managed per round by the controller
+	Pause PauseModel
+
+	// Ablation switches (§IV-B discussion).
+	NoPatchVTables    bool // leave v-tables pointing at C0
+	NoPatchStackCalls bool // do not patch direct calls in stack-live C0 funcs
+	PatchAllCalls     bool // patch direct calls in *all* C0 functions
+	NoFuncPtrHook     bool // skip wrapFuncPtrCreation (single-round only)
+
+	// Trampolines redirects *all* invocations of moved functions: the
+	// first instruction of each moved function's C0 body is overwritten
+	// with a jump to its optimized version (§IV-B's security/debugging
+	// mode — "via trampoline instructions at the start of C0 functions").
+	// Instruction addresses are still preserved; only future entries
+	// bounce. Trampolines are rewritten each round and removed when a
+	// function falls back to C0 (and on Revert).
+	Trampolines bool
+
+	// AllowJumpTables lifts the -fno-jump-tables requirement (§IV-D calls
+	// the restriction "not fundamental ... with a little extra support
+	// from BOLT"): the optimizer emits each version's jump tables into
+	// that version's own region and OCOLOS injects them alongside the
+	// code, so C0's tables are never touched and the new code reads its
+	// own relocated tables.
+	AllowJumpTables bool
+
+	// ParallelPatch models parallelized pointer patching (§IV-D: "if
+	// OCOLOS updated v-tables in parallel with patching direct calls that
+	// should reduce the end-to-end replacement time"): the scattered-write
+	// components of the pause are divided by the parallelism factor.
+	ParallelPatch bool
+
+	// ChargePause adds the modeled stop-the-world time to the target's
+	// cores so throughput/latency measurements include it (default on;
+	// tests that only check semantics can disable it).
+	NoChargePause bool
+}
+
+// patchParallelism is the modeled fan-out of ParallelPatch.
+const patchParallelism = 4
+
+// callSite is a pre-parsed direct call in C0 (§IV: OCOLOS parses the
+// original binary offline to shorten the stop-the-world window).
+type callSite struct {
+	addr   uint64 // address of the CALL instruction
+	callee string
+}
+
+// Controller drives online optimization of one process.
+type Controller struct {
+	p    *proc.Process
+	orig *obj.Binary
+	opts Options
+
+	res       resolver
+	version   int                   // current optimized version; 0 = none
+	curBin    *obj.Binary           // binary of the current version
+	c0Entry   map[string]uint64     // name → C0 entry
+	curOf     map[string]uint64     // name → preferred entry right now
+	callSites map[string][]callSite // C0 call sites by function
+	patched   map[uint64]string     // patched C0 site → callee name
+	fptrMap   map[uint64]uint64     // optimized entry → C0 entry
+	tramps    map[string]bool       // functions with a live C0 trampoline
+	jtables   map[uint64][]uint64   // live relocated jump tables by address
+
+	// Reports accumulates one entry per replacement round.
+	Reports []ReplaceStats
+}
+
+// New attaches a controller to a running process. The binary must be the
+// one the process was loaded from and must have been compiled with the
+// -fno-jump-tables analog (§IV-D); the function-pointer hook is installed
+// immediately so the C0 invariant holds for every pointer the program
+// ever creates.
+func New(p *proc.Process, orig *obj.Binary, opts Options) (*Controller, error) {
+	if !orig.NoJumpTables && !opts.AllowJumpTables {
+		return nil, fmt.Errorf("core: target binary %s has jump tables; OCOLOS requires -fno-jump-tables (§IV-D) unless AllowJumpTables is set", orig.Name)
+	}
+	if orig.Bolted {
+		return nil, fmt.Errorf("core: target binary %s is already bolted", orig.Name)
+	}
+	opts.Pause.defaults()
+	c := &Controller{
+		p:         p,
+		orig:      orig,
+		opts:      opts,
+		c0Entry:   make(map[string]uint64, len(orig.Funcs)),
+		curOf:     make(map[string]uint64, len(orig.Funcs)),
+		callSites: make(map[string][]callSite, len(orig.Funcs)),
+		patched:   make(map[uint64]string),
+		fptrMap:   make(map[uint64]uint64),
+		tramps:    make(map[string]bool),
+		jtables:   make(map[uint64][]uint64),
+	}
+	for _, f := range orig.Funcs {
+		c.c0Entry[f.Name] = f.Addr
+		c.curOf[f.Name] = f.Addr
+		c.res.add(f.Addr, f.Addr+f.Size, f.Name, f.Addr, 0)
+	}
+	c.res.sort()
+	if err := c.parseCallSites(); err != nil {
+		return nil, err
+	}
+	if !opts.NoFuncPtrHook {
+		c.p.SetFuncPtrHook(func(v uint64) uint64 {
+			if c0, ok := c.fptrMap[v]; ok {
+				return c0
+			}
+			return v
+		})
+	}
+	return c, nil
+}
+
+// parseCallSites decodes every C0 function, verifies it is unwindable,
+// and records its direct calls.
+func (c *Controller) parseCallSites() error {
+	for _, f := range c.orig.Funcs {
+		raw, err := c.orig.Bytes(f.Addr, int(f.Size))
+		if err != nil {
+			return err
+		}
+		insts, err := isa.DecodeAll(raw)
+		if err != nil {
+			return fmt.Errorf("core: decoding %s: %w", f.Name, err)
+		}
+		// Unwindability ABI: every function must establish a frame first
+		// (the -fno-omit-frame-pointer analog); OCOLOS's stack crawling
+		// depends on it the way the real system depends on libunwind
+		// having usable unwind info.
+		if len(insts) == 0 || insts[0].Op != isa.ENTER {
+			return fmt.Errorf("core: function %s does not start with ENTER; target must keep frame pointers", f.Name)
+		}
+		for i, in := range insts {
+			if in.Op != isa.CALL {
+				continue
+			}
+			pc := f.Addr + uint64(i)*isa.InstBytes
+			tgt := uint64(int64(pc) + isa.InstBytes + in.Imm)
+			callee := c.orig.FuncAt(tgt)
+			if callee == nil {
+				return fmt.Errorf("core: %s: call at %#x targets non-entry %#x", f.Name, pc, tgt)
+			}
+			c.callSites[f.Name] = append(c.callSites[f.Name], callSite{addr: pc, callee: callee.Name})
+		}
+	}
+	return nil
+}
+
+// Version returns the current optimized code version (0 before the first
+// replacement).
+func (c *Controller) Version() int { return c.version }
+
+// CurrentBinary returns the binary of the running optimized version (nil
+// before the first replacement).
+func (c *Controller) CurrentBinary() *obj.Binary { return c.curBin }
+
+// textBase returns the injection base for version v ≥ 1.
+func textBase(v int) uint64 { return firstTextBase + uint64(v-1)*versionStride }
+
+// copiesArea returns the base of the copies area for version v.
+func copiesArea(v int) uint64 { return copiesAreaBase + uint64(v)*copiesAreaStride }
+
+// ShouldOptimize is the first profiling stage (§V, following DMon's
+// TopDown methodology): a cheap counter measurement deciding whether the
+// target suffers enough front-end stalls for code layout optimization to
+// pay off. It returns the decision and the measured breakdown; Figure 9
+// shows the same two features separating winners from losers.
+func (c *Controller) ShouldOptimize(seconds float64) (bool, cpu.TopDown) {
+	td := perf.MeasureTopDown(c.p, seconds).TopDown()
+	return td.FrontEnd > 0.25 && td.Retiring < 0.5, td
+}
+
+// Profile records LBR samples from the running process for the given
+// simulated duration (step 1 of Figure 4a).
+func (c *Controller) Profile(seconds float64) *perf.RawProfile {
+	return perf.Record(c.p, seconds, c.opts.Perf)
+}
+
+// BuildStats reports the background pipeline costs (Table II).
+type BuildStats struct {
+	Perf2BoltSeconds float64 // host time of profile conversion
+	BoltSeconds      float64 // host time of the optimizer
+	Result           *bolt.Result
+}
+
+// BuildOptimized converts the raw profile and runs the optimizer against
+// the *currently running* code version (step 2). For rounds ≥ 2 this
+// requires Options.Bolt.AllowReBolt, reproducing the real BOLT's refusal
+// and this implementation's extension past it (§IV-C).
+func (c *Controller) BuildOptimized(raw *perf.RawProfile) (*BuildStats, error) {
+	input := c.orig
+	if c.curBin != nil {
+		input = c.curBin
+	}
+	t0 := time.Now()
+	prof, err := bolt.ConvertProfile(raw, input)
+	if err != nil {
+		return nil, err
+	}
+	t1 := time.Now()
+	bo := c.opts.Bolt
+	bo.TextBase = textBase(c.version + 1)
+	// Functions that fall cold this round are pinned back at C0: their
+	// current homes (if in C_i) are garbage-collected during replacement.
+	bo.PinBase = c.c0Entry
+	if c.opts.AllowJumpTables {
+		// Each version's jump tables live inside its own region (and are
+		// collected with it); C0's tables are never overwritten.
+		bo.ROBase = textBase(c.version+1) + roOffset
+	}
+	res, err := bolt.Optimize(input, prof, bo)
+	if err != nil {
+		return nil, err
+	}
+	t2 := time.Now()
+	return &BuildStats{
+		Perf2BoltSeconds: t1.Sub(t0).Seconds(),
+		BoltSeconds:      t2.Sub(t1).Seconds(),
+		Result:           res,
+	}, nil
+}
+
+// RunOnce performs a complete optimization round: profile for the given
+// simulated duration, build the optimized binary, and replace the code of
+// the running process. It returns the round's statistics.
+func (c *Controller) RunOnce(profileSeconds float64) (*ReplaceStats, *BuildStats, error) {
+	raw := c.Profile(profileSeconds)
+	build, err := c.BuildOptimized(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	rs, err := c.Replace(build.Result.Binary)
+	if err != nil {
+		return nil, build, err
+	}
+	return rs, build, nil
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/bolt"
+	"repro/internal/obj"
+	"repro/internal/perf"
+	"repro/internal/proc"
+	"repro/internal/progtest"
+)
+
+func genJTProgram(t *testing.T, seed int64, iters int64) (*obj.Binary, uint64) {
+	t.Helper()
+	prog, outAddr, err := progtest.Generate(progtest.Options{
+		Funcs: 12, MainIters: iters, Seed: seed, JumpTables: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := asm.Assemble(prog, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bin.JumpTables) == 0 {
+		t.Skip("seed produced no jump tables")
+	}
+	return bin, outAddr
+}
+
+// TestJumpTableSupport exercises the §IV-D extension: a binary compiled
+// WITH jump tables is optimized online; each version's tables are
+// relocated into its own region and injected with the code, C0's tables
+// stay untouched, and semantics are preserved across continuous rounds.
+func TestJumpTableSupport(t *testing.T) {
+	bin, outAddr := genJTProgram(t, 92, 150000)
+	want := plainRun(t, bin, outAddr)
+
+	pr, c := newController(t, bin, Options{
+		AllowJumpTables: true,
+		Bolt:            bolt.Options{AllowReBolt: true},
+	})
+	pr.RunFor(0.0002)
+	for round := 0; round < 3; round++ {
+		if pr.Halted() {
+			t.Fatalf("ended before round %d", round)
+		}
+		rs, bs, err := c.RunOnce(0.0004)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		_ = rs
+		// The optimized binary's tables live inside the version region.
+		if ro := bs.Result.Binary.Section(obj.SecROData); ro != nil {
+			base := textBase(c.Version())
+			if ro.Addr < base || ro.Addr >= base+versionStride {
+				t.Errorf("round %d: rodata at %#x outside version region [%#x,%#x)",
+					round, ro.Addr, base, base+versionStride)
+			}
+		}
+		pr.RunFor(0.0004)
+		if err := pr.Fault(); err != nil {
+			t.Fatalf("fault after round %d: %v", round, err)
+		}
+	}
+
+	// C0's original jump tables are untouched.
+	for _, jt := range bin.JumpTables {
+		for i, wantTgt := range jt.Targets {
+			if got := pr.Mem.ReadWord(jt.Addr + uint64(i)*8); got != wantTgt {
+				t.Errorf("C0 jump table %s entry %d clobbered: %#x != %#x",
+					jt.Name, i, got, wantTgt)
+			}
+		}
+	}
+
+	pr.RunUntilHalt(0)
+	if err := pr.Fault(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pr.Mem.ReadWord(outAddr); got != want {
+		t.Errorf("checksum %d != %d", got, want)
+	}
+}
+
+// TestJumpTableBinaryStillRejectedByDefault: without the opt-in the
+// paper's §IV-D requirement stands.
+func TestJumpTableBinaryStillRejectedByDefault(t *testing.T) {
+	bin, _ := genJTProgram(t, 93, 1000)
+	pr, err := procLoad(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(pr, bin, Options{}); err == nil {
+		t.Error("jump-table binary accepted without AllowJumpTables")
+	}
+	if _, err := New(pr, bin, Options{AllowJumpTables: true}); err != nil {
+		t.Errorf("AllowJumpTables rejected: %v", err)
+	}
+}
+
+// TestJumpTableSteering: execution moves into the optimized region, i.e.
+// the relocated tables actually get used.
+func TestJumpTableSteering(t *testing.T) {
+	bin, _ := genJTProgram(t, 94, 1<<30)
+	pr, c := newController(t, bin, Options{AllowJumpTables: true})
+	pr.RunFor(0.0003)
+	if _, _, err := c.RunOnce(0.0005); err != nil {
+		t.Fatal(err)
+	}
+	pr.RunFor(0.0003)
+	raw := perf.Record(pr, 0.0005, perf.RecorderOptions{PeriodCycles: 2000})
+	var inOpt, total int
+	for _, s := range raw.Samples {
+		for _, r := range s.Records {
+			total++
+			if r.From >= firstTextBase {
+				inOpt++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no samples")
+	}
+	if frac := float64(inOpt) / float64(total); frac < 0.4 {
+		t.Errorf("only %.1f%% of branches in optimized code", frac*100)
+	}
+	if err := pr.Fault(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKitchenSink: jump tables + trampolines + parallel patching +
+// continuous rounds + multithreading, all at once.
+func TestKitchenSink(t *testing.T) {
+	if testing.Short() {
+		t.Skip("kitchen sink in -short mode")
+	}
+	bin, outAddr := genJTProgram(t, 98, 120000)
+	want := plainRun(t, bin, outAddr)
+
+	pr, err := proc.Load(bin, proc.Options{Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(pr, bin, Options{
+		AllowJumpTables: true,
+		Trampolines:     true,
+		ParallelPatch:   true,
+		Bolt:            bolt.Options{AllowReBolt: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.RunFor(0.0002)
+	for round := 0; round < 3; round++ {
+		if pr.Halted() {
+			t.Fatalf("ended before round %d", round)
+		}
+		if _, _, err := c.RunOnce(0.0004); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		pr.RunFor(0.0003)
+		if err := pr.Fault(); err != nil {
+			t.Fatalf("fault after round %d: %v", round, err)
+		}
+	}
+	if _, err := c.Revert(); err != nil {
+		t.Fatal(err)
+	}
+	pr.RunUntilHalt(0)
+	if err := pr.Fault(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pr.Mem.ReadWord(outAddr); got != want {
+		t.Errorf("checksum %d != %d", got, want)
+	}
+}

@@ -1,0 +1,504 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/ptrace"
+	"repro/internal/unwind"
+)
+
+// ReplaceStats reports one replacement round (Tables I and II inputs).
+type ReplaceStats struct {
+	Version            int
+	BytesInjected      uint64
+	BytesCopied        uint64 // stack-live b_{i,i+1} copies
+	BytesFreed         uint64 // dead code GC'd
+	VTableSlotsPatched int
+	CallSitesPatched   int
+	TrampolinesWritten int
+	FuncsOnStack       int
+	StackFuncsCopied   int
+	RetAddrsUpdated    int
+	ThreadPCsUpdated   int
+	PauseSeconds       float64 // simulated stop-the-world time
+	HostSeconds        float64 // wall time of the controller's work
+}
+
+// Replace injects the optimized binary's code into the paused target and
+// redirects code pointers to it (steps 3-6 of Figure 4a). It is also the
+// continuous-optimization path: when an optimized version is already
+// running, stack-live functions of the outgoing version are copied
+// (b_{i,i+1}, §IV-C1), return addresses and thread PCs are rewritten, and
+// the dead version is garbage-collected.
+func (c *Controller) Replace(nb *obj.Binary) (*ReplaceStats, error) {
+	return c.replace(nb)
+}
+
+// Revert restores execution to C0 (§VI-C4: "we can always revert to C0
+// code"): all patched pointers go back to original addresses and every
+// optimized region becomes dead and is collected. Stack-live optimized
+// functions are copied so in-flight invocations drain safely.
+func (c *Controller) Revert() (*ReplaceStats, error) {
+	return c.replace(nil)
+}
+
+func (c *Controller) replace(nb *obj.Binary) (*ReplaceStats, error) {
+	start := time.Now()
+	newVersion := c.version + 1
+	stats := &ReplaceStats{Version: newVersion}
+
+	if newVersion > 1 {
+		if c.opts.NoFuncPtrHook {
+			return nil, fmt.Errorf("core: continuous optimization requires the function-pointer hook (§IV-C2)")
+		}
+		if c.opts.NoPatchVTables {
+			return nil, fmt.Errorf("core: continuous optimization requires v-table patching")
+		}
+	}
+
+	inputBin := c.orig
+	if c.curBin != nil {
+		inputBin = c.curBin
+	}
+
+	// New preferred entry per function: the optimized location when the
+	// round moved it, the C0 location otherwise (functions that fell cold
+	// fall back to C0 — which always exists, design principle #1).
+	newCur := make(map[string]uint64, len(c.c0Entry))
+	for name, e := range c.c0Entry {
+		newCur[name] = e
+	}
+	if nb != nil {
+		for oldE, newE := range nb.AddrMap {
+			f := inputBin.FuncAt(oldE)
+			if f == nil {
+				return nil, fmt.Errorf("core: AddrMap key %#x is not a function entry of %s", oldE, inputBin.Name)
+			}
+			newCur[f.Name] = newE
+			c.fptrMap[newE] = c.c0Entry[f.Name]
+		}
+	}
+
+	tr := ptrace.Attach(c.p)
+	defer tr.Detach()
+
+	// Inject the new code (bulk copy through the in-process agent, §V).
+	// With AllowJumpTables, the version's relocated jump tables ride along
+	// and are registered so stack-live copies can relocate them again.
+	sections := []string{obj.SecText, obj.SecColdText}
+	if c.opts.AllowJumpTables {
+		sections = append(sections, obj.SecROData)
+		if nb != nil {
+			for _, jt := range nb.JumpTables {
+				c.jtables[jt.Addr] = append([]uint64(nil), jt.Targets...)
+			}
+		}
+	}
+	if nb != nil {
+		for _, secName := range sections {
+			if sec := nb.Section(secName); sec != nil {
+				if err := tr.AgentWrite(sec.Addr, sec.Data); err != nil {
+					return nil, err
+				}
+				stats.BytesInjected += uint64(len(sec.Data))
+			}
+		}
+	}
+
+	// Crawl all stacks (libunwind analog).
+	stacks, err := unwind.AllStacks(tr)
+	if err != nil {
+		return nil, err
+	}
+
+	// The frame-pointer chain misses one return address when a thread is
+	// paused between a CALL and the callee's ENTER (PC exactly at a
+	// function entry) or between LEAVE and RET (frame already popped). In
+	// both states the hidden return address sits at [SP]; synthesize a
+	// frame for it so liveness classification and relocation see it.
+	for tid := range stacks {
+		regs, err := tr.GetRegs(tid)
+		if err != nil {
+			return nil, err
+		}
+		var instBuf [isa.InstBytes]byte
+		if err := tr.ReadMem(regs.PC, instBuf[:]); err != nil {
+			return nil, err
+		}
+		in, derr := isa.Decode(instBuf[:])
+		atEntry := false
+		if s, ok := c.res.at(regs.PC); ok && regs.PC == s.entry {
+			atEntry = true
+		}
+		if atEntry || (derr == nil && in.Op == isa.RET) {
+			sp := regs.GPR[isa.SP]
+			ra, err := tr.PeekData(sp)
+			if err != nil {
+				return nil, err
+			}
+			if _, ok := c.res.at(ra); ok {
+				stacks[tid] = append(stacks[tid], unwind.Frame{PC: ra, RetSlot: sp})
+			}
+		}
+	}
+
+	liveC0 := make(map[string]bool)
+	liveOldEntry := make(map[uint64]bool) // live instance entries, outgoing version
+	for _, frames := range stacks {
+		for _, fr := range frames {
+			s, ok := c.res.at(fr.PC)
+			if !ok {
+				return nil, fmt.Errorf("core: stack address %#x in unknown code", fr.PC)
+			}
+			if s.version == 0 {
+				liveC0[s.name] = true
+			} else {
+				liveOldEntry[s.entry] = true
+			}
+		}
+	}
+	stats.FuncsOnStack = len(liveC0) + len(liveOldEntry)
+
+	// Copy stack-live function instances of the outgoing version so their
+	// frames stay executable after GC (the b_{i,i+1} mechanism, §IV-C1).
+	// Each instance gets its own copy window; all of its spans (hot plus
+	// exiled cold) shift by one per-instance delta, so every PC-relative
+	// branch inside it — including hot→cold — stays valid. Direct calls
+	// are retargeted to the new preferred entries.
+	type copied struct {
+		oldLo, oldHi uint64
+		delta        int64
+		name         string
+		entry        uint64
+	}
+	var copies []copied
+	if c.version >= 1 && len(liveOldEntry) > 0 {
+		entries := make([]uint64, 0, len(liveOldEntry))
+		for e := range liveOldEntry {
+			entries = append(entries, e)
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i] < entries[j] })
+		for k, entry := range entries {
+			var spans []span
+			for _, s := range c.res.versionSpans(c.version) {
+				if s.entry == entry {
+					spans = append(spans, s)
+				}
+			}
+			if len(spans) == 0 {
+				return nil, fmt.Errorf("core: live instance %#x has no spans", entry)
+			}
+			minLo, maxHi := spans[0].lo, spans[0].hi
+			for _, s := range spans {
+				if s.lo < minLo {
+					minLo = s.lo
+				}
+				if s.hi > maxHi {
+					maxHi = s.hi
+				}
+			}
+			if maxHi-minLo > copyWindow {
+				return nil, fmt.Errorf("core: instance %#x spans %#x bytes, exceeds copy window", entry, maxHi-minLo)
+			}
+			winBase := copiesArea(newVersion) + uint64(k)*copyWindow
+			delta := int64(winBase) - int64(minLo)
+			// Jump tables the instance references are relocated into the
+			// upper half of its copy window (their old homes are about to
+			// be garbage-collected with the outgoing version).
+			tableCursor := winBase + copyWindow/2
+			for _, s := range spans {
+				buf := make([]byte, s.hi-s.lo)
+				if err := tr.ReadMem(s.lo, buf); err != nil {
+					return nil, err
+				}
+				if err := c.retargetCopy(tr, buf, s.lo, delta, newCur, spans, &tableCursor); err != nil {
+					return nil, err
+				}
+				if err := tr.AgentWrite(uint64(int64(s.lo)+delta), buf); err != nil {
+					return nil, err
+				}
+				stats.BytesCopied += uint64(len(buf))
+				copies = append(copies, copied{oldLo: s.lo, oldHi: s.hi, delta: delta, name: s.name, entry: s.entry})
+			}
+		}
+		stats.StackFuncsCopied = len(liveOldEntry)
+	}
+	relocate := func(addr uint64) (uint64, bool) {
+		for _, cp := range copies {
+			if addr >= cp.oldLo && addr < cp.oldHi {
+				return uint64(int64(addr) + cp.delta), true
+			}
+		}
+		return addr, false
+	}
+
+	// Rewrite return addresses and thread PCs that point into copied code.
+	for tid, frames := range stacks {
+		regs, err := tr.GetRegs(tid)
+		if err != nil {
+			return nil, err
+		}
+		if pc, ok := relocate(regs.PC); ok {
+			regs.PC = pc
+			if err := tr.SetRegs(tid, regs); err != nil {
+				return nil, err
+			}
+			stats.ThreadPCsUpdated++
+		}
+		for _, fr := range frames {
+			if fr.RetSlot == 0 {
+				continue
+			}
+			if ra, ok := relocate(fr.PC); ok {
+				if err := tr.PokeData(fr.RetSlot, ra); err != nil {
+					return nil, err
+				}
+				stats.RetAddrsUpdated++
+			}
+		}
+	}
+
+	// Patch v-table slots to the new preferred entries.
+	if !c.opts.NoPatchVTables {
+		for _, vt := range c.orig.VTables {
+			for i := range vt.Slots {
+				slotAddr := vt.Addr + uint64(i)*8
+				v, err := tr.PeekData(slotAddr)
+				if err != nil {
+					return nil, err
+				}
+				s, ok := c.res.at(v)
+				if !ok {
+					return nil, fmt.Errorf("core: vtable %s slot %d holds unknown code address %#x", vt.Name, i, v)
+				}
+				want := newCur[s.name]
+				if v != want {
+					if err := tr.PokeData(slotAddr, want); err != nil {
+						return nil, err
+					}
+					stats.VTableSlotsPatched++
+				}
+			}
+		}
+	}
+
+	// Patch direct calls in C0. Default: stack-live functions only (§IV-B
+	// found patching all functions does not help — they are cold — and
+	// slows replacement; PatchAllCalls reproduces that ablation).
+	// Previously patched sites are always re-patched so no reference to
+	// the outgoing version survives.
+	patchSet := make(map[string]bool)
+	switch {
+	case c.opts.PatchAllCalls:
+		for name := range c.callSites {
+			patchSet[name] = true
+		}
+	case !c.opts.NoPatchStackCalls || newVersion > 1:
+		for name := range liveC0 {
+			patchSet[name] = true
+		}
+	}
+	patchSite := func(site callSite) error {
+		want := newCur[site.callee]
+		imm := int64(want) - int64(site.addr+isa.InstBytes)
+		cur, err := tr.PeekData(site.addr + 8)
+		if err != nil {
+			return err
+		}
+		if int64(cur) == imm {
+			return nil
+		}
+		if err := tr.PokeData(site.addr+8, uint64(imm)); err != nil {
+			return err
+		}
+		stats.CallSitesPatched++
+		return nil
+	}
+	for name := range patchSet {
+		for _, site := range c.callSites[name] {
+			if err := patchSite(site); err != nil {
+				return nil, err
+			}
+			c.patched[site.addr] = site.callee
+		}
+	}
+	for addr, callee := range c.patched {
+		if err := patchSite(callSite{addr: addr, callee: callee}); err != nil {
+			return nil, err
+		}
+	}
+
+	// Trampoline mode: every moved function's C0 entry bounces to the new
+	// version; functions falling back to C0 get their original entry
+	// instruction restored. Done while still paused, so no thread ever
+	// observes a torn instruction.
+	if c.opts.Trampolines {
+		for name, c0 := range c.c0Entry {
+			target := newCur[name]
+			switch {
+			case target != c0:
+				jmp := isa.Inst{Op: isa.JMP, Imm: int64(target) - int64(c0+isa.InstBytes)}
+				var buf [isa.InstBytes]byte
+				jmp.Encode(buf[:])
+				if err := tr.AgentWrite(c0, buf[:]); err != nil {
+					return nil, err
+				}
+				c.tramps[name] = true
+				stats.TrampolinesWritten++
+			case c.tramps[name]:
+				orig, err := c.orig.Bytes(c0, isa.InstBytes)
+				if err != nil {
+					return nil, err
+				}
+				if err := tr.AgentWrite(c0, orig); err != nil {
+					return nil, err
+				}
+				delete(c.tramps, name)
+				stats.TrampolinesWritten++
+			}
+		}
+	}
+
+	// Garbage-collect the outgoing version (§IV-C): its code is now
+	// unreachable — v-tables, C0 calls, return addresses and PCs all point
+	// at C_{i+1}, copies, or C0, and function pointers were never allowed
+	// to reference it. The whole text region and copies area of the dead
+	// version are unmapped, returning the pages to the system.
+	if c.version >= 1 {
+		for _, s := range c.res.versionSpans(c.version) {
+			stats.BytesFreed += s.hi - s.lo
+		}
+		gcText := textBase(c.version)
+		gcCopies := copiesArea(c.version)
+		c.p.Mem.Unmap(gcText, versionStride)
+		c.p.Mem.Unmap(gcCopies, copiesAreaStride)
+		// Drop jump-table registrations that lived in the dead regions.
+		for addr := range c.jtables {
+			if (addr >= gcText && addr < gcText+versionStride) ||
+				(addr >= gcCopies && addr < gcCopies+copiesAreaStride) {
+				delete(c.jtables, addr)
+			}
+		}
+	}
+
+	// Rebuild the resolver: C0 + incoming version + copies.
+	var nr resolver
+	for _, s := range c.res.versionSpans(0) {
+		nr.spans = append(nr.spans, s)
+	}
+	if nb != nil {
+		for _, f := range nb.Funcs {
+			if !f.Optimized {
+				continue // pinned functions alias C0 spans
+			}
+			nr.add(f.Addr, f.Addr+f.Size, f.Name, f.Addr, newVersion)
+			if f.ColdSize > 0 {
+				nr.add(f.ColdAddr, f.ColdAddr+f.ColdSize, f.Name, f.Addr, newVersion)
+			}
+		}
+	}
+	for _, cp := range copies {
+		nr.add(uint64(int64(cp.oldLo)+cp.delta), uint64(int64(cp.oldHi)+cp.delta),
+			cp.name, uint64(int64(cp.entry)+cp.delta), newVersion)
+	}
+	nr.sort()
+	c.res = nr
+	c.curBin = nb
+	c.curOf = newCur
+	c.version = newVersion
+
+	// Charge the stop-the-world pause to the target. Parallel patching
+	// spreads the scattered pointer writes over several workers (§IV-D).
+	sites := stats.CallSitesPatched + stats.TrampolinesWritten
+	slots := stats.VTableSlotsPatched
+	frames := stats.RetAddrsUpdated + stats.ThreadPCsUpdated
+	if c.opts.ParallelPatch {
+		sites = (sites + patchParallelism - 1) / patchParallelism
+		slots = (slots + patchParallelism - 1) / patchParallelism
+		frames = (frames + patchParallelism - 1) / patchParallelism
+	}
+	stats.PauseSeconds = c.opts.Pause.seconds(
+		stats.BytesInjected+stats.BytesCopied, sites, slots, frames)
+	if !c.opts.NoChargePause {
+		for _, t := range c.p.Threads {
+			t.Core.AddStall(stats.PauseSeconds*c.p.Cfg.ClockHz, cpu.BucketBackEnd)
+		}
+	}
+	stats.HostSeconds = time.Since(start).Seconds()
+	c.Reports = append(c.Reports, *stats)
+	return stats, nil
+}
+
+// retargetCopy rewrites the position-dependent operands of a copied code
+// blob (read from oldBase, about to be written at oldBase+delta):
+//
+//   - direct-call immediates are re-aimed at the callee's new preferred
+//     entry (intra-function PC-relative branches need no fixup because
+//     every span of the instance moves by the same delta);
+//   - jump tables are relocated into the instance's copy window (their
+//     old homes are garbage-collected with the outgoing version), with
+//     every entry shifted by the instance delta.
+func (c *Controller) retargetCopy(tr *ptrace.Tracee, buf []byte, oldBase uint64, delta int64, newCur map[string]uint64, spans []span, tableCursor *uint64) error {
+	inSpans := func(addr uint64) bool {
+		for _, s := range spans {
+			if addr >= s.lo && addr < s.hi {
+				return true
+			}
+		}
+		return false
+	}
+	n := len(buf) / isa.InstBytes
+	for i := 0; i < n; i++ {
+		in, err := isa.Decode(buf[i*isa.InstBytes:])
+		if err != nil {
+			return fmt.Errorf("core: decoding copied code at %#x: %w", oldBase+uint64(i)*isa.InstBytes, err)
+		}
+		oldPC := oldBase + uint64(i)*isa.InstBytes
+		switch in.Op {
+		case isa.CALL:
+			tgt := uint64(int64(oldPC) + isa.InstBytes + in.Imm)
+			s, ok := c.res.at(tgt)
+			if !ok {
+				return fmt.Errorf("core: copied call at %#x targets unknown code %#x", oldPC, tgt)
+			}
+			want, ok := newCur[s.name]
+			if !ok {
+				return fmt.Errorf("core: no entry for function %s", s.name)
+			}
+			newPC := uint64(int64(oldPC) + delta)
+			in.Imm = int64(want) - int64(newPC+isa.InstBytes)
+			in.Encode(buf[i*isa.InstBytes:])
+		case isa.JTBL:
+			oldT := uint64(in.Imm)
+			entries, ok := c.jtables[oldT]
+			if !ok {
+				return fmt.Errorf("core: copied jump table %#x at %#x is not registered", oldT, oldPC)
+			}
+			shifted := make([]uint64, len(entries))
+			raw := make([]byte, len(entries)*8)
+			for j, e := range entries {
+				if !inSpans(e) {
+					return fmt.Errorf("core: jump table %#x entry %#x escapes the copied instance", oldT, e)
+				}
+				shifted[j] = uint64(int64(e) + delta)
+				for b := 0; b < 8; b++ {
+					raw[j*8+b] = byte(shifted[j] >> (8 * b))
+				}
+			}
+			newT := *tableCursor
+			*tableCursor += uint64(len(raw)+63) &^ 63
+			if err := tr.AgentWrite(newT, raw); err != nil {
+				return err
+			}
+			c.jtables[newT] = shifted
+			in.Imm = int64(newT)
+			in.Encode(buf[i*isa.InstBytes:])
+		}
+	}
+	return nil
+}

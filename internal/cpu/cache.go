@@ -1,0 +1,158 @@
+package cpu
+
+// cache is a set-associative cache model: tags only, true-LRU via access
+// stamps. Lookups return hit/miss and insert on miss (allocate-on-miss,
+// no writeback modeling — timing only).
+type cache struct {
+	sets     int
+	ways     int
+	shift    uint // log2(line or page size)
+	setMask  uint64
+	tags     []uint64 // sets*ways, 0 = invalid (tag stored +1)
+	stamps   []uint64
+	clock    uint64
+	accesses uint64
+	misses   uint64
+}
+
+// newCache builds a cache of capacity bytes with the given associativity
+// and granularity (line size for caches, page size for TLBs).
+func newCache(capacityBytes, ways, granuleBytes int) *cache {
+	lines := capacityBytes / granuleBytes
+	if lines < ways {
+		ways = lines
+	}
+	sets := lines / ways
+	if sets == 0 {
+		sets = 1
+	}
+	shift := uint(0)
+	for 1<<shift < granuleBytes {
+		shift++
+	}
+	return &cache{
+		sets:    sets,
+		ways:    ways,
+		shift:   shift,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, sets*ways),
+		stamps:  make([]uint64, sets*ways),
+	}
+}
+
+// newCacheEntries builds a cache with a fixed entry count (for TLBs/BTBs
+// sized in entries rather than bytes).
+func newCacheEntries(entries, ways, granuleBytes int) *cache {
+	return newCache(entries*granuleBytes, ways, granuleBytes)
+}
+
+// access looks addr up, inserting on miss. Returns true on hit.
+func (c *cache) access(addr uint64) bool {
+	c.clock++
+	c.accesses++
+	key := addr >> c.shift
+	set := int(key&c.setMask) * c.ways
+	tag := key + 1
+	var lruIdx int
+	var lruStamp uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		i := set + w
+		if c.tags[i] == tag {
+			c.stamps[i] = c.clock
+			return true
+		}
+		if c.stamps[i] < lruStamp {
+			lruStamp = c.stamps[i]
+			lruIdx = i
+		}
+	}
+	c.misses++
+	c.tags[lruIdx] = tag
+	c.stamps[lruIdx] = c.clock
+	return false
+}
+
+// probe reports whether addr is present without updating LRU or inserting.
+func (c *cache) probe(addr uint64) bool {
+	key := addr >> c.shift
+	set := int(key&c.setMask) * c.ways
+	tag := key + 1
+	for w := 0; w < c.ways; w++ {
+		if c.tags[set+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// btb is a branch target buffer: like cache but each entry also stores the
+// last observed target, enabling indirect-branch target prediction.
+type btb struct {
+	sets    int
+	ways    int
+	setMask uint64
+	tags    []uint64
+	targets []uint64
+	stamps  []uint64
+	clock   uint64
+}
+
+func newBTB(entries, ways int) *btb {
+	if entries < ways {
+		ways = entries
+	}
+	sets := entries / ways
+	if sets == 0 {
+		sets = 1
+	}
+	return &btb{
+		sets:    sets,
+		ways:    ways,
+		setMask: uint64(sets - 1),
+		tags:    make([]uint64, sets*ways),
+		targets: make([]uint64, sets*ways),
+		stamps:  make([]uint64, sets*ways),
+	}
+}
+
+// lookup returns (predicted target, present). Branch PCs are distinct per
+// 16-byte instruction, so the PC itself is the key.
+func (b *btb) lookup(pc uint64) (uint64, bool) {
+	key := pc >> 4
+	set := int(key&b.setMask) * b.ways
+	tag := key + 1
+	for w := 0; w < b.ways; w++ {
+		i := set + w
+		if b.tags[i] == tag {
+			b.clock++
+			b.stamps[i] = b.clock
+			return b.targets[i], true
+		}
+	}
+	return 0, false
+}
+
+// update records the actual target for pc, inserting if absent.
+func (b *btb) update(pc, target uint64) {
+	b.clock++
+	key := pc >> 4
+	set := int(key&b.setMask) * b.ways
+	tag := key + 1
+	var lruIdx int
+	var lruStamp uint64 = ^uint64(0)
+	for w := 0; w < b.ways; w++ {
+		i := set + w
+		if b.tags[i] == tag {
+			b.targets[i] = target
+			b.stamps[i] = b.clock
+			return
+		}
+		if b.stamps[i] < lruStamp {
+			lruStamp = b.stamps[i]
+			lruIdx = i
+		}
+	}
+	b.tags[lruIdx] = tag
+	b.targets[lruIdx] = target
+	b.stamps[lruIdx] = b.clock
+}

@@ -1,0 +1,101 @@
+// Package cpu models the timing-relevant microarchitecture of one core:
+// the front-end (L1i, iTLB hierarchy, branch direction predictor, BTB,
+// return address stack) plus a simple back-end (L1d, unified L2, shared
+// L3, a bandwidth-sensitive DRAM model) and Intel-TopDown-style cycle
+// accounting.
+//
+// The package is pure timing: it never executes instructions. The process
+// runtime (internal/proc) performs architectural execution and calls into
+// a Core with fetch/branch/memory events; the Core answers with cycle
+// costs and maintains the hardware counters (including the LBR ring that
+// internal/perf samples).
+//
+// Default parameters follow the paper's evaluation machine, a Broadwell
+// Xeon E5-2620v4 (§VI-A): 32 KiB 8-way L1i and L1d, 64-entry iTLB backed
+// by a 1536-entry L2 TLB, 256 KiB L2, 20 MiB shared L3, 2.1 GHz.
+package cpu
+
+// Config holds the microarchitectural parameters shared by all cores.
+type Config struct {
+	ClockHz float64 // simulated core frequency
+
+	LineBytes int // cache line size
+
+	L1iKiB  int
+	L1iWays int
+	L1dKiB  int
+	L1dWays int
+	L2KiB   int
+	L2Ways  int
+	L3KiB   int // shared
+	L3Ways  int
+
+	ITLBEntries  int // fully associative, per core
+	L2TLBEntries int
+	PageBytes    int
+
+	BTBEntries int // total entries
+	BTBWays    int
+	GshareBits int // direction predictor history/index bits
+	RASDepth   int
+	LBREntries int // last branch record ring size
+
+	IssueWidth float64 // retire slots per cycle
+
+	// Latencies/penalties in cycles.
+	L2Lat             float64 // L1 miss, L2 hit
+	L3Lat             float64 // L2 miss, L3 hit
+	MemLat            float64 // L3 miss, unloaded DRAM
+	L2TLBLat          float64 // iTLB miss, L2 TLB hit
+	PageWalkLat       float64 // L2 TLB miss
+	MispredictPenalty float64 // direction or indirect-target mispredict
+	BTBMissPenalty    float64 // taken branch absent from BTB: fetch bubble
+	TakenBubble       float64 // predicted-taken redirect bubble
+	DivLat            float64 // extra latency of DIV/MOD
+
+	// DRAM bandwidth model: see dram.go.
+	MemPeakPerCycle float64 // sustainable memory accesses per cycle per core
+	MemEMAAlpha     float64 // smoothing for the utilization estimate
+}
+
+// DefaultConfig returns the Broadwell-like configuration used throughout
+// the evaluation.
+func DefaultConfig() *Config {
+	return &Config{
+		ClockHz:   2.1e9,
+		LineBytes: 64,
+
+		L1iKiB: 32, L1iWays: 8,
+		L1dKiB: 32, L1dWays: 8,
+		L2KiB: 256, L2Ways: 8,
+		L3KiB: 20 * 1024, L3Ways: 16,
+
+		ITLBEntries:  64,
+		L2TLBEntries: 1536,
+		PageBytes:    4096,
+
+		BTBEntries: 4096,
+		BTBWays:    4,
+		GshareBits: 13,
+		RASDepth:   16,
+		LBREntries: 32,
+
+		IssueWidth: 4,
+
+		L2Lat:             12,
+		L3Lat:             40,
+		MemLat:            180,
+		L2TLBLat:          9,
+		PageWalkLat:       60,
+		MispredictPenalty: 16,
+		BTBMissPenalty:    9,
+		TakenBubble:       1,
+		DivLat:            20,
+
+		MemPeakPerCycle: 0.02,
+		MemEMAAlpha:     1.0 / 4096,
+	}
+}
+
+// SecondsPerCycle converts cycles to simulated seconds.
+func (c *Config) SecondsPerCycle() float64 { return 1 / c.ClockHz }

@@ -1,0 +1,281 @@
+package cpu
+
+// BranchKind classifies control transfers for prediction modeling.
+type BranchKind uint8
+
+const (
+	BrCond      BranchKind = iota // conditional branch (JCC)
+	BrJump                        // unconditional direct jump (JMP)
+	BrCall                        // direct call
+	BrCallInd                     // indirect call (CALLR)
+	BrRet                         // return
+	BrJumpTable                   // indirect jump through a table (JTBL)
+)
+
+// Shared holds structures shared by all cores of the simulated socket.
+type Shared struct {
+	l3 *cache
+}
+
+// NewShared builds the shared level of the hierarchy.
+func NewShared(cfg *Config) *Shared {
+	return &Shared{l3: newCache(cfg.L3KiB*1024, cfg.L3Ways, cfg.LineBytes)}
+}
+
+// Core models the timing of one hardware core. The process scheduler
+// creates one Core per simulated hardware context and reports
+// architectural events to it; the Core answers with cycle costs.
+type Core struct {
+	ID  int
+	cfg *Config
+
+	l1i   *cache
+	l1d   *cache
+	l2    *cache
+	itlb  *cache
+	l2tlb *cache
+	sh    *Shared
+	btb   *btb
+	dir   *gshare
+	ras   *ras
+	dram  *dramModel
+
+	// LBR facility. Recording is off until perf enables it.
+	lbr        *lbrRing
+	LBREnabled bool
+
+	Stats Stats
+
+	cycles        float64
+	lastFetchLine uint64 // +1 encoding; 0 = none
+	lastFetchPage uint64
+}
+
+// NewCore builds a core attached to the shared hierarchy.
+func NewCore(id int, cfg *Config, sh *Shared) *Core {
+	return &Core{
+		ID:    id,
+		cfg:   cfg,
+		l1i:   newCache(cfg.L1iKiB*1024, cfg.L1iWays, cfg.LineBytes),
+		l1d:   newCache(cfg.L1dKiB*1024, cfg.L1dWays, cfg.LineBytes),
+		l2:    newCache(cfg.L2KiB*1024, cfg.L2Ways, cfg.LineBytes),
+		itlb:  newCacheEntries(cfg.ITLBEntries, cfg.ITLBEntries, cfg.PageBytes),
+		l2tlb: newCacheEntries(cfg.L2TLBEntries, 8, cfg.PageBytes),
+		sh:    sh,
+		btb:   newBTB(cfg.BTBEntries, cfg.BTBWays),
+		dir:   newGshare(cfg.GshareBits),
+		ras:   newRAS(cfg.RASDepth),
+		dram:  newDRAM(cfg),
+		lbr:   newLBR(cfg.LBREntries),
+	}
+}
+
+// Config returns the core's configuration.
+func (c *Core) Config() *Config { return c.cfg }
+
+// Cycles returns the core's elapsed cycle count.
+func (c *Core) Cycles() float64 { return c.cycles }
+
+// Seconds returns the core's elapsed simulated time.
+func (c *Core) Seconds() float64 { return c.cycles / c.cfg.ClockHz }
+
+// LBRSnapshot returns the LBR ring oldest-first (what a perf PMI reads).
+func (c *Core) LBRSnapshot() []BranchRecord { return c.lbr.Snapshot() }
+
+// AddStall charges extra cycles to the given TopDown bucket; the process
+// layer uses it for perf sampling overhead and syscall costs.
+func (c *Core) AddStall(cycles float64, bucket Bucket) {
+	c.cycles += cycles
+	switch bucket {
+	case BucketFrontEnd:
+		c.Stats.FEStallCycles += cycles
+	case BucketBadSpec:
+		c.Stats.BadSpecCycles += cycles
+	case BucketBackEnd:
+		c.Stats.BEStallCycles += cycles
+	case BucketRetiring:
+		c.Stats.RetireCycles += cycles
+	}
+	c.Stats.Cycles = c.cycles
+}
+
+// Fetch charges the front-end cost of fetching the instruction at pc.
+// Sequential fetches within one cache line are free after the first; a new
+// line pays an L1i lookup and, on a new page, an iTLB lookup.
+func (c *Core) Fetch(pc uint64) {
+	line := pc>>6 + 1
+	if line == c.lastFetchLine {
+		return
+	}
+	c.lastFetchLine = line
+
+	var stall float64
+	page := pc>>12 + 1
+	if page != c.lastFetchPage {
+		c.lastFetchPage = page
+		if !c.itlb.access(pc) {
+			c.Stats.ITLBMisses++
+			if c.l2tlb.access(pc) {
+				stall += c.cfg.L2TLBLat
+			} else {
+				c.Stats.L2TLBMisses++
+				stall += c.cfg.PageWalkLat
+			}
+		}
+	}
+	if !c.l1i.access(pc) {
+		c.Stats.L1iMisses++
+		if c.l2.access(pc) {
+			stall += c.cfg.L2Lat
+		} else if c.sh.l3.access(pc) {
+			stall += c.cfg.L3Lat
+		} else {
+			stall += c.dram.latency(c.cfg.MemLat, c.cycles)
+			c.Stats.MemAccesses++
+		}
+	}
+	// Next-line instruction prefetch: sequential fetch streams hide the
+	// next line's miss, so compact code layouts fetch nearly for free
+	// while scattered hot chunks (whose next line is cold padding) waste
+	// the prefetch — the effect profile-guided layout exploits. The
+	// prefetcher is not magic: it can fully hide an L2-resident stream,
+	// but a longer-latency fill only gets as far as the L2 by the time
+	// the demand fetch arrives (a single next-line prefetcher cannot keep
+	// up with L3/DRAM latency at fetch bandwidth).
+	next := pc + uint64(c.cfg.LineBytes)
+	if !c.l1i.probe(next) {
+		if c.l2.probe(next) {
+			c.l1i.access(next) // stream from L2: fully hidden
+		} else {
+			c.l2.access(next) // long fill lands in L2, not L1i
+		}
+	}
+	if stall > 0 {
+		c.cycles += stall
+		c.Stats.FEStallCycles += stall
+		c.Stats.Cycles = c.cycles
+	}
+}
+
+// Retire charges the base retirement cost of one instruction.
+func (c *Core) Retire(isDiv bool) {
+	c.Stats.Instructions++
+	cost := 1 / c.cfg.IssueWidth
+	c.cycles += cost
+	c.Stats.RetireCycles += cost
+	if isDiv {
+		c.cycles += c.cfg.DivLat
+		c.Stats.BEStallCycles += c.cfg.DivLat
+	}
+	c.Stats.Cycles = c.cycles
+}
+
+// Branch models a control transfer: pc is the branch instruction, target
+// the actual destination, taken whether the transfer redirects fetch
+// (conditional fall-through is not taken). Calls also pass the return
+// address for RAS modeling.
+func (c *Core) Branch(pc, target uint64, taken bool, kind BranchKind, retAddr uint64) {
+	var stall float64
+	var misp bool
+
+	switch kind {
+	case BrCond:
+		c.Stats.CondBranches++
+		pred := c.dir.predict(pc)
+		c.dir.update(pc, taken)
+		if pred != taken {
+			misp = true
+		}
+		if taken {
+			stall += c.btbCost(pc, target)
+		}
+	case BrJump, BrCall:
+		// Static target: direction always known; BTB still needed to
+		// redirect fetch without a bubble.
+		stall += c.btbCost(pc, target)
+		if kind == BrCall {
+			c.ras.push(retAddr)
+		}
+	case BrCallInd, BrJumpTable:
+		predTarget, hit := c.btb.lookup(pc)
+		if !hit {
+			c.Stats.BTBMisses++
+			misp = true
+		} else if predTarget != target {
+			misp = true
+		} else {
+			stall += c.cfg.TakenBubble
+		}
+		c.btb.update(pc, target)
+		if kind == BrCallInd {
+			c.ras.push(retAddr)
+		}
+	case BrRet:
+		pred, ok := c.ras.pop()
+		if !ok || pred != target {
+			misp = true
+		} else {
+			stall += c.cfg.TakenBubble
+		}
+	}
+
+	if misp {
+		c.Stats.Mispredicts++
+		p := c.cfg.MispredictPenalty
+		c.cycles += p
+		c.Stats.BadSpecCycles += p
+	}
+	if taken {
+		c.Stats.TakenBranches++
+		c.lastFetchLine = 0 // fetch redirected: next fetch pays a lookup
+		if c.LBREnabled {
+			c.lbr.record(pc, target)
+		}
+	}
+	if stall > 0 {
+		c.cycles += stall
+		c.Stats.FEStallCycles += stall
+	}
+	c.Stats.Cycles = c.cycles
+}
+
+// btbCost returns the front-end bubble for a taken branch with a static
+// target: a small redirect bubble on BTB hit, a bigger one on miss.
+func (c *Core) btbCost(pc, target uint64) float64 {
+	predTarget, hit := c.btb.lookup(pc)
+	c.btb.update(pc, target)
+	if hit && predTarget == target {
+		return c.cfg.TakenBubble
+	}
+	c.Stats.BTBMisses++
+	return c.cfg.BTBMissPenalty
+}
+
+// Mem charges the back-end cost of a data access at addr.
+func (c *Core) Mem(addr uint64, store bool) {
+	if c.l1d.access(addr) {
+		return
+	}
+	c.Stats.L1dMisses++
+	var stall float64
+	if c.l2.access(addr) {
+		stall = c.cfg.L2Lat
+	} else if c.sh.l3.access(addr) {
+		stall = c.cfg.L3Lat
+	} else {
+		stall = c.dram.latency(c.cfg.MemLat, c.cycles)
+		c.Stats.MemAccesses++
+	}
+	// Stores retire without waiting; charge a fraction for store-buffer
+	// pressure. Loads stall the pipeline (no OoO hiding modeled beyond the
+	// issue width).
+	if store {
+		stall *= 0.3
+	}
+	c.cycles += stall
+	c.Stats.BEStallCycles += stall
+	c.Stats.Cycles = c.cycles
+}
+
+// DRAMUtilization exposes the bandwidth model state (for diagnostics).
+func (c *Core) DRAMUtilization() float64 { return c.dram.Utilization() }

@@ -1,0 +1,358 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+func newTestCore() *Core {
+	cfg := DefaultConfig()
+	return NewCore(0, cfg, NewShared(cfg))
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := newCache(32*1024, 8, 64)
+	if c.access(0x400000) {
+		t.Error("cold access should miss")
+	}
+	if !c.access(0x400000) || !c.access(0x400030) {
+		t.Error("same line should hit")
+	}
+	if c.access(0x400040) {
+		t.Error("next line should miss")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Tiny cache: 2 sets x 2 ways, 64B lines = 256 bytes.
+	c := newCache(256, 2, 64)
+	// All these map to set 0 (line addr multiples of 2*64).
+	a, b, d := uint64(0), uint64(256), uint64(512)
+	c.access(a)
+	c.access(b)
+	c.access(a) // a most recent
+	c.access(d) // evicts b
+	if !c.probe(a) {
+		t.Error("a should survive (MRU)")
+	}
+	if c.probe(b) {
+		t.Error("b should be evicted (LRU)")
+	}
+	if !c.probe(d) {
+		t.Error("d should be present")
+	}
+}
+
+func TestCacheCapacityThrash(t *testing.T) {
+	c := newCache(32*1024, 8, 64)
+	// Touch 64 KiB of lines twice: second pass still misses everywhere
+	// because the working set is 2x capacity (LRU thrash).
+	for pass := 0; pass < 2; pass++ {
+		for addr := uint64(0); addr < 64*1024; addr += 64 {
+			c.access(addr)
+		}
+	}
+	if c.misses < c.accesses*9/10 {
+		t.Errorf("thrash should miss nearly always: %d/%d", c.misses, c.accesses)
+	}
+	// A working set half the capacity hits on the second pass.
+	c2 := newCache(32*1024, 8, 64)
+	for addr := uint64(0); addr < 16*1024; addr += 64 {
+		c2.access(addr)
+	}
+	m1 := c2.misses
+	for addr := uint64(0); addr < 16*1024; addr += 64 {
+		c2.access(addr)
+	}
+	if c2.misses != m1 {
+		t.Errorf("fitting working set should fully hit on pass 2 (%d new misses)", c2.misses-m1)
+	}
+}
+
+func TestGshareLearnsBias(t *testing.T) {
+	g := newGshare(12)
+	pc := uint64(0x400040)
+	for i := 0; i < 100; i++ {
+		g.update(pc, true)
+	}
+	if !g.predict(pc) {
+		t.Error("always-taken branch should predict taken")
+	}
+}
+
+func TestGshareLearnsPattern(t *testing.T) {
+	g := newGshare(12)
+	pc := uint64(0x400080)
+	// Alternating T/N/T/N is history-predictable.
+	for i := 0; i < 4096; i++ {
+		g.update(pc, i%2 == 0)
+	}
+	correct := 0
+	for i := 0; i < 1000; i++ {
+		if g.predict(pc) == (i%2 == 0) {
+			correct++
+		}
+		g.update(pc, i%2 == 0)
+	}
+	if correct < 950 {
+		t.Errorf("alternating pattern predicted %d/1000", correct)
+	}
+}
+
+func TestRAS(t *testing.T) {
+	r := newRAS(4)
+	r.push(1)
+	r.push(2)
+	if v, ok := r.pop(); !ok || v != 2 {
+		t.Errorf("pop = %d,%v", v, ok)
+	}
+	if v, ok := r.pop(); !ok || v != 1 {
+		t.Errorf("pop = %d,%v", v, ok)
+	}
+	if _, ok := r.pop(); ok {
+		t.Error("underflow should report not-ok")
+	}
+	// Overflow wraps: deepest entries lost.
+	for i := 1; i <= 6; i++ {
+		r.push(uint64(i))
+	}
+	for want := 6; want >= 3; want-- {
+		if v, ok := r.pop(); !ok || v != uint64(want) {
+			t.Errorf("pop = %d,%v want %d", v, ok, want)
+		}
+	}
+	if _, ok := r.pop(); ok {
+		t.Error("entries beyond depth should be lost")
+	}
+}
+
+func TestBTB(t *testing.T) {
+	b := newBTB(16, 4)
+	if _, hit := b.lookup(0x400000); hit {
+		t.Error("cold BTB should miss")
+	}
+	b.update(0x400000, 0x500000)
+	if tgt, hit := b.lookup(0x400000); !hit || tgt != 0x500000 {
+		t.Errorf("lookup = %#x,%v", tgt, hit)
+	}
+	b.update(0x400000, 0x600000) // retarget
+	if tgt, _ := b.lookup(0x400000); tgt != 0x600000 {
+		t.Error("update should retarget")
+	}
+}
+
+func TestLBRRing(t *testing.T) {
+	l := newLBR(4)
+	for i := 1; i <= 6; i++ {
+		l.record(uint64(i), uint64(i*10))
+	}
+	snap := l.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len %d", len(snap))
+	}
+	// Oldest-first: 3,4,5,6.
+	for i, want := range []uint64{3, 4, 5, 6} {
+		if snap[i].From != want {
+			t.Errorf("snap[%d].From = %d, want %d", i, snap[i].From, want)
+		}
+	}
+}
+
+func TestFetchSequentialIsCheap(t *testing.T) {
+	c := newTestCore()
+	c.Fetch(0x400000)
+	after := c.Cycles()
+	c.Fetch(0x400010) // same 64B line
+	c.Fetch(0x400020)
+	if c.Cycles() != after {
+		t.Error("same-line fetches should be free")
+	}
+	// The cold next line was prefetched into the L2 only (a single
+	// next-line prefetcher cannot outrun DRAM latency), so fetching it
+	// costs an L2 hit — cheaper than the cold miss but not free.
+	c.Fetch(0x400040)
+	l2Cost := c.Cycles() - after
+	if l2Cost <= 0 || l2Cost > c.Config().L2Lat {
+		t.Errorf("prefetched-to-L2 next line cost %.1f, want (0,%v]", l2Cost, c.Config().L2Lat)
+	}
+	// Once the stream is L2-resident, the prefetcher hides it fully.
+	c.lastFetchLine = 0
+	c.Fetch(0x400040) // L1i hit now
+	c.Fetch(0x400080) // was streamed into L1i from L2
+	if c.Cycles() != after+l2Cost {
+		t.Error("L2-resident sequential stream should fetch for free")
+	}
+	c.Fetch(0x402000) // far line: genuine cold miss
+	if c.Cycles() <= after+l2Cost+c.Config().L2Lat {
+		t.Error("non-sequential cold fetch should cost more than an L2 hit")
+	}
+}
+
+func TestFetchHotLoopNoStalls(t *testing.T) {
+	c := newTestCore()
+	// Warm a small loop, then re-fetch: no front-end stalls.
+	for pass := 0; pass < 2; pass++ {
+		for pc := uint64(0x400000); pc < 0x400400; pc += 16 {
+			c.Fetch(pc)
+		}
+		c.lastFetchLine, c.lastFetchPage = 0, 0
+	}
+	before := c.Stats.FEStallCycles
+	c.lastFetchLine, c.lastFetchPage = 0, 0
+	for pc := uint64(0x400000); pc < 0x400400; pc += 16 {
+		c.Fetch(pc)
+	}
+	if c.Stats.FEStallCycles != before {
+		t.Error("warm loop fetch should not stall")
+	}
+}
+
+func TestBranchMispredictCharged(t *testing.T) {
+	c := newTestCore()
+	pc, tgt := uint64(0x400040), uint64(0x400400)
+	// Train taken (long enough for the global history to saturate so the
+	// same table index is reinforced).
+	for i := 0; i < 50; i++ {
+		c.Branch(pc, tgt, true, BrCond, 0)
+	}
+	base := c.Stats.Mispredicts
+	c.Branch(pc, pc+16, false, BrCond, 0) // surprise not-taken
+	if c.Stats.Mispredicts != base+1 {
+		t.Error("surprise direction should mispredict")
+	}
+}
+
+func TestCallRetRASPredicted(t *testing.T) {
+	c := newTestCore()
+	callPC, fn := uint64(0x400040), uint64(0x410000)
+	ret := callPC + 16
+	// Warm the BTB for the call.
+	c.Branch(callPC, fn, true, BrCall, ret)
+	c.Branch(fn+32, ret, true, BrRet, 0)
+	m := c.Stats.Mispredicts
+	c.Branch(callPC, fn, true, BrCall, ret)
+	c.Branch(fn+32, ret, true, BrRet, 0)
+	if c.Stats.Mispredicts != m {
+		t.Error("matched call/ret pair should not mispredict")
+	}
+	// A return with an empty RAS mispredicts.
+	c2 := newTestCore()
+	c2.Branch(fn, ret, true, BrRet, 0)
+	if c2.Stats.Mispredicts != 1 {
+		t.Error("RAS underflow should mispredict")
+	}
+}
+
+func TestIndirectTargetPrediction(t *testing.T) {
+	c := newTestCore()
+	pc := uint64(0x400040)
+	c.Branch(pc, 0x500000, true, BrCallInd, pc+16) // cold: mispredict
+	if c.Stats.Mispredicts != 1 {
+		t.Fatal("cold indirect should mispredict")
+	}
+	c.Branch(pc, 0x500000, true, BrCallInd, pc+16) // same target: hit
+	if c.Stats.Mispredicts != 1 {
+		t.Error("repeated indirect target should predict")
+	}
+	c.Branch(pc, 0x600000, true, BrCallInd, pc+16) // new target
+	if c.Stats.Mispredicts != 2 {
+		t.Error("changed indirect target should mispredict")
+	}
+}
+
+func TestLBROnlyWhenEnabled(t *testing.T) {
+	c := newTestCore()
+	c.Branch(0x400000, 0x400100, true, BrJump, 0)
+	if len(c.LBRSnapshot()) != 0 {
+		t.Error("LBR recorded while disabled")
+	}
+	c.LBREnabled = true
+	c.Branch(0x400100, 0x400200, true, BrJump, 0)
+	c.Branch(0x400200, 0x400210, false, BrCond, 0) // not taken: not recorded
+	snap := c.LBRSnapshot()
+	if len(snap) != 1 || snap[0].From != 0x400100 {
+		t.Errorf("LBR snapshot = %v", snap)
+	}
+}
+
+func TestMemHierarchyCosts(t *testing.T) {
+	c := newTestCore()
+	c.Mem(0x10000000, false) // cold: DRAM
+	cold := c.Stats.BEStallCycles
+	if cold < c.Config().MemLat {
+		t.Errorf("cold load cost %.0f < DRAM latency", cold)
+	}
+	c.Mem(0x10000000, false) // L1 hit: free
+	if c.Stats.BEStallCycles != cold {
+		t.Error("L1 hit should be free")
+	}
+}
+
+func TestDRAMContention(t *testing.T) {
+	cfg := DefaultConfig()
+	d := newDRAM(cfg)
+	// Sparse accesses: near base latency.
+	lat1 := d.latency(cfg.MemLat, 1e6)
+	if lat1 > cfg.MemLat*1.2 {
+		t.Errorf("idle DRAM latency %.0f", lat1)
+	}
+	// Hammer: one access per cycle >> peak → latency inflates.
+	d2 := newDRAM(cfg)
+	var last float64
+	for i := 0; i < 200000; i++ {
+		last = d2.latency(cfg.MemLat, float64(i))
+	}
+	if last < cfg.MemLat*2 {
+		t.Errorf("saturated DRAM latency %.0f should inflate well above base %.0f", last, cfg.MemLat)
+	}
+}
+
+func TestTopDownBucketsSum(t *testing.T) {
+	c := newTestCore()
+	for i := 0; i < 100; i++ {
+		c.Fetch(uint64(0x400000 + i*16))
+		c.Retire(false)
+	}
+	c.Branch(0x400000, 0x500000, true, BrJump, 0)
+	c.Mem(0x20000000, false)
+	td := c.Stats.TopDown()
+	sum := td.Retiring + td.FrontEnd + td.BadSpec + td.BackEnd
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("TopDown buckets sum to %f", sum)
+	}
+	s := c.Stats
+	total := s.RetireCycles + s.FEStallCycles + s.BadSpecCycles + s.BEStallCycles
+	if math.Abs(total-s.Cycles) > 1e-6 {
+		t.Errorf("attributed cycles %.2f != total %.2f", total, s.Cycles)
+	}
+}
+
+func TestStatsSubAdd(t *testing.T) {
+	c := newTestCore()
+	c.Fetch(0x400000)
+	c.Retire(false)
+	snap := c.Stats
+	c.Fetch(0x400040)
+	c.Retire(true)
+	delta := c.Stats.Sub(snap)
+	if delta.Instructions != 1 {
+		t.Errorf("delta instructions = %d", delta.Instructions)
+	}
+	var agg Stats
+	agg.Add(snap)
+	agg.Add(delta)
+	if agg.Instructions != c.Stats.Instructions || math.Abs(agg.Cycles-c.Stats.Cycles) > 1e-9 {
+		t.Error("Add(Sub) does not reconstruct totals")
+	}
+}
+
+func TestMPKIHelpers(t *testing.T) {
+	s := Stats{Instructions: 2000, L1iMisses: 10, ITLBMisses: 4, TakenBranches: 300, Mispredicts: 6}
+	if s.L1iMPKI() != 5 || s.ITLBMPKI() != 2 || s.TakenPKI() != 150 || s.MispredictPKI() != 3 {
+		t.Errorf("MPKI helpers wrong: %v %v %v %v", s.L1iMPKI(), s.ITLBMPKI(), s.TakenPKI(), s.MispredictPKI())
+	}
+	var zero Stats
+	if zero.IPC() != 0 || zero.L1iMPKI() != 0 {
+		t.Error("zero stats should not divide by zero")
+	}
+}

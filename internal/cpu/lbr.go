@@ -1,0 +1,38 @@
+package cpu
+
+// BranchRecord is one entry of the Last Branch Record facility: the
+// address of a taken branch and its target, exactly what Intel LBR
+// captures (§II-A).
+type BranchRecord struct {
+	From uint64
+	To   uint64
+}
+
+// lbrRing is the fixed-size LBR ring buffer (32 entries on Skylake+).
+type lbrRing struct {
+	buf []BranchRecord
+	pos int
+	n   int
+}
+
+func newLBR(entries int) *lbrRing {
+	return &lbrRing{buf: make([]BranchRecord, entries)}
+}
+
+func (l *lbrRing) record(from, to uint64) {
+	l.buf[l.pos] = BranchRecord{From: from, To: to}
+	l.pos = (l.pos + 1) % len(l.buf)
+	if l.n < len(l.buf) {
+		l.n++
+	}
+}
+
+// Snapshot returns the ring contents oldest-first, as perf reads them.
+func (l *lbrRing) Snapshot() []BranchRecord {
+	out := make([]BranchRecord, 0, l.n)
+	start := (l.pos - l.n + len(l.buf)) % len(l.buf)
+	for i := 0; i < l.n; i++ {
+		out = append(out, l.buf[(start+i)%len(l.buf)])
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package cpu
+
+// gshare is a global-history branch direction predictor: a table of 2-bit
+// saturating counters indexed by PC xor branch history.
+type gshare struct {
+	table   []uint8
+	mask    uint64
+	history uint64
+}
+
+func newGshare(bits int) *gshare {
+	return &gshare{
+		table: make([]uint8, 1<<bits),
+		mask:  (1 << bits) - 1,
+	}
+}
+
+// predict returns the predicted direction for the branch at pc.
+func (g *gshare) predict(pc uint64) bool {
+	idx := ((pc >> 4) ^ g.history) & g.mask
+	return g.table[idx] >= 2
+}
+
+// update trains the predictor with the actual outcome and shifts history.
+func (g *gshare) update(pc uint64, taken bool) {
+	idx := ((pc >> 4) ^ g.history) & g.mask
+	c := g.table[idx]
+	if taken {
+		if c < 3 {
+			g.table[idx] = c + 1
+		}
+	} else if c > 0 {
+		g.table[idx] = c - 1
+	}
+	g.history = (g.history << 1) & g.mask
+	if taken {
+		g.history |= 1
+	}
+}
+
+// ras is the return address stack. Overflow wraps (oldest entries lost),
+// underflow mispredicts — both as in hardware.
+type ras struct {
+	stack []uint64
+	top   int // number of live entries, capped at len(stack)
+	pos   int // circular write position
+}
+
+func newRAS(depth int) *ras {
+	return &ras{stack: make([]uint64, depth)}
+}
+
+func (r *ras) push(addr uint64) {
+	r.stack[r.pos] = addr
+	r.pos = (r.pos + 1) % len(r.stack)
+	if r.top < len(r.stack) {
+		r.top++
+	}
+}
+
+// pop returns the predicted return address; ok is false on underflow.
+func (r *ras) pop() (uint64, bool) {
+	if r.top == 0 {
+		return 0, false
+	}
+	r.top--
+	r.pos = (r.pos - 1 + len(r.stack)) % len(r.stack)
+	return r.stack[r.pos], true
+}

@@ -1,0 +1,138 @@
+package cpu
+
+import "fmt"
+
+// Bucket is a TopDown pipeline-slot category (Yasin, ISPASS 2014), the
+// methodology §VI-B and Figure 9 of the paper use.
+type Bucket uint8
+
+const (
+	BucketRetiring Bucket = iota
+	BucketFrontEnd
+	BucketBadSpec
+	BucketBackEnd
+)
+
+// Stats are the hardware counters of one core.
+type Stats struct {
+	Instructions uint64
+	Cycles       float64
+
+	L1iMisses   uint64
+	ITLBMisses  uint64
+	L2TLBMisses uint64
+	L1dMisses   uint64
+	MemAccesses uint64 // DRAM-level accesses
+
+	CondBranches  uint64
+	TakenBranches uint64
+	Mispredicts   uint64
+	BTBMisses     uint64
+
+	// Cycle attribution (TopDown buckets).
+	RetireCycles  float64
+	FEStallCycles float64
+	BadSpecCycles float64
+	BEStallCycles float64
+}
+
+// Sub returns s - base, for measuring an interval between two snapshots.
+func (s Stats) Sub(base Stats) Stats {
+	return Stats{
+		Instructions:  s.Instructions - base.Instructions,
+		Cycles:        s.Cycles - base.Cycles,
+		L1iMisses:     s.L1iMisses - base.L1iMisses,
+		ITLBMisses:    s.ITLBMisses - base.ITLBMisses,
+		L2TLBMisses:   s.L2TLBMisses - base.L2TLBMisses,
+		L1dMisses:     s.L1dMisses - base.L1dMisses,
+		MemAccesses:   s.MemAccesses - base.MemAccesses,
+		CondBranches:  s.CondBranches - base.CondBranches,
+		TakenBranches: s.TakenBranches - base.TakenBranches,
+		Mispredicts:   s.Mispredicts - base.Mispredicts,
+		BTBMisses:     s.BTBMisses - base.BTBMisses,
+		RetireCycles:  s.RetireCycles - base.RetireCycles,
+		FEStallCycles: s.FEStallCycles - base.FEStallCycles,
+		BadSpecCycles: s.BadSpecCycles - base.BadSpecCycles,
+		BEStallCycles: s.BEStallCycles - base.BEStallCycles,
+	}
+}
+
+// Add accumulates o into s (for aggregating across cores).
+func (s *Stats) Add(o Stats) {
+	s.Instructions += o.Instructions
+	s.Cycles += o.Cycles
+	s.L1iMisses += o.L1iMisses
+	s.ITLBMisses += o.ITLBMisses
+	s.L2TLBMisses += o.L2TLBMisses
+	s.L1dMisses += o.L1dMisses
+	s.MemAccesses += o.MemAccesses
+	s.CondBranches += o.CondBranches
+	s.TakenBranches += o.TakenBranches
+	s.Mispredicts += o.Mispredicts
+	s.BTBMisses += o.BTBMisses
+	s.RetireCycles += o.RetireCycles
+	s.FEStallCycles += o.FEStallCycles
+	s.BadSpecCycles += o.BadSpecCycles
+	s.BEStallCycles += o.BEStallCycles
+}
+
+// IPC returns instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / s.Cycles
+}
+
+func (s Stats) perKI(n uint64) float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(n) * 1000 / float64(s.Instructions)
+}
+
+// L1iMPKI returns L1 instruction-cache misses per kilo-instruction.
+func (s Stats) L1iMPKI() float64 { return s.perKI(s.L1iMisses) }
+
+// ITLBMPKI returns iTLB misses per kilo-instruction.
+func (s Stats) ITLBMPKI() float64 { return s.perKI(s.ITLBMisses) }
+
+// TakenPKI returns taken branches per kilo-instruction.
+func (s Stats) TakenPKI() float64 { return s.perKI(s.TakenBranches) }
+
+// MispredictPKI returns branch mispredictions per kilo-instruction.
+func (s Stats) MispredictPKI() float64 { return s.perKI(s.Mispredicts) }
+
+// TopDown is the four-way slot breakdown, each in [0,1].
+type TopDown struct {
+	Retiring float64
+	FrontEnd float64
+	BadSpec  float64
+	BackEnd  float64
+}
+
+// TopDown computes the slot breakdown from the cycle attribution.
+func (s Stats) TopDown() TopDown {
+	total := s.RetireCycles + s.FEStallCycles + s.BadSpecCycles + s.BEStallCycles
+	if total == 0 {
+		return TopDown{}
+	}
+	return TopDown{
+		Retiring: s.RetireCycles / total,
+		FrontEnd: s.FEStallCycles / total,
+		BadSpec:  s.BadSpecCycles / total,
+		BackEnd:  s.BEStallCycles / total,
+	}
+}
+
+// String implements fmt.Stringer.
+func (td TopDown) String() string {
+	return fmt.Sprintf("retiring %.1f%%, front-end %.1f%%, bad-spec %.1f%%, back-end %.1f%%",
+		td.Retiring*100, td.FrontEnd*100, td.BadSpec*100, td.BackEnd*100)
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d insts, %.0f cycles (IPC %.2f), L1i MPKI %.2f, iTLB MPKI %.2f, taken/KI %.1f, misp/KI %.2f",
+		s.Instructions, s.Cycles, s.IPC(), s.L1iMPKI(), s.ITLBMPKI(), s.TakenPKI(), s.MispredictPKI())
+}

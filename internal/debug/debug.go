@@ -1,0 +1,83 @@
+// Package debug provides post-mortem tooling for the simulated machine:
+// symbolized backtraces and fault reports. It resolves addresses against
+// any number of binaries (the original C0 binary plus the optimized
+// versions OCOLOS injected), which is exactly what debugging a process
+// under online code replacement requires.
+package debug
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/obj"
+	"repro/internal/proc"
+	"repro/internal/ptrace"
+	"repro/internal/unwind"
+)
+
+// Symbolize resolves addr against the given binaries, returning
+// "name+0xoff [binary]" or a raw hex address when unknown.
+func Symbolize(addr uint64, bins ...*obj.Binary) string {
+	for _, b := range bins {
+		if b == nil {
+			continue
+		}
+		if f, off, cold := b.Lookup(addr); f != nil {
+			suffix := ""
+			if cold {
+				suffix = ".cold"
+			}
+			return fmt.Sprintf("%s%s+%#x [%s]", f.Name, suffix, off, b.Name)
+		}
+		if r, ok := b.OrgLookup(addr); ok {
+			return fmt.Sprintf("%s+%#x [%s, old home]", r.Name, addr-r.Lo, b.Name)
+		}
+	}
+	return fmt.Sprintf("%#x", addr)
+}
+
+// Backtrace returns the symbolized stack of one thread of a stopped
+// process, innermost frame first.
+func Backtrace(p *proc.Process, tid int, bins ...*obj.Binary) ([]string, error) {
+	wasPaused := p.Paused()
+	tr := ptrace.Attach(p)
+	defer func() {
+		if !wasPaused {
+			tr.Detach()
+		}
+	}()
+	frames, err := unwind.Stack(tr, tid)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(frames))
+	for i, fr := range frames {
+		out = append(out, fmt.Sprintf("#%d %s", i, Symbolize(fr.PC, bins...)))
+	}
+	return out, nil
+}
+
+// FaultReport formats a human-readable report of a faulted (or merely
+// stopped) process: the fault error, each thread's registers summary and
+// symbolized backtrace.
+func FaultReport(p *proc.Process, bins ...*obj.Binary) string {
+	var sb strings.Builder
+	if err := p.Fault(); err != nil {
+		fmt.Fprintf(&sb, "fault: %v\n", err)
+	} else {
+		sb.WriteString("no fault recorded\n")
+	}
+	for tid, th := range p.Threads {
+		fmt.Fprintf(&sb, "thread %d: PC=%s halted=%v\n",
+			tid, Symbolize(th.PC, bins...), th.Halted)
+		bt, err := Backtrace(p, tid, bins...)
+		if err != nil {
+			fmt.Fprintf(&sb, "  <unwind failed: %v>\n", err)
+			continue
+		}
+		for _, line := range bt {
+			fmt.Fprintf(&sb, "  %s\n", line)
+		}
+	}
+	return sb.String()
+}

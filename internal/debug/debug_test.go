@@ -1,0 +1,108 @@
+package debug
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/build"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/proc"
+)
+
+func nested(t *testing.T) (*proc.Process, *obj.Binary) {
+	t.Helper()
+	p := build.NewProgram("bt")
+	inner := p.Func("inner")
+	inner.Prologue(16)
+	spin := inner.Label("spin")
+	inner.CmpI(isa.RZ, 1)
+	inner.If(isa.NE, func() { inner.Goto(spin) }, nil)
+	inner.EpilogueRet()
+	outer := p.Func("outer")
+	outer.Prologue(16)
+	outer.Call("inner")
+	outer.EpilogueRet()
+	m := p.Func("main")
+	m.Prologue(16)
+	m.Call("outer")
+	m.Halt()
+	p.SetEntry("main")
+	bin, err := p.Assemble(asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := proc.Load(bin, proc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.RunUntilHalt(5000) // park in inner's spin
+	return pr, bin
+}
+
+func TestBacktraceSymbolizes(t *testing.T) {
+	pr, bin := nested(t)
+	bt, err := Backtrace(pr, 0, bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bt) != 3 {
+		t.Fatalf("got %d frames: %v", len(bt), bt)
+	}
+	for i, want := range []string{"inner", "outer", "main"} {
+		if !strings.Contains(bt[i], want) {
+			t.Errorf("frame %d = %q, want to contain %q", i, bt[i], want)
+		}
+	}
+	// The process resumes after the backtrace (we were not paused before).
+	if pr.Paused() {
+		t.Error("Backtrace left the process paused")
+	}
+}
+
+func TestSymbolizeFallbacks(t *testing.T) {
+	_, bin := nested(t)
+	if s := Symbolize(0xDEAD0000, bin); s != "0xdead0000" {
+		t.Errorf("unknown address symbolized as %q", s)
+	}
+	bin.OrgRanges = []obj.OrgRange{{Lo: 0x700000, Hi: 0x700100, Name: "moved", Entry: 0x700000}}
+	if s := Symbolize(0x700010, bin); !strings.Contains(s, "moved") || !strings.Contains(s, "old home") {
+		t.Errorf("org range symbolized as %q", s)
+	}
+	if s := Symbolize(0x400000); s != "0x400000" {
+		t.Errorf("no-binaries symbolization = %q", s)
+	}
+}
+
+func TestFaultReport(t *testing.T) {
+	p := build.NewProgram("crash")
+	f := p.Func("boom")
+	f.Prologue(16)
+	f.MovI(isa.R1, 0)
+	f.Div(isa.R0, isa.R0, isa.R1) // divide by zero
+	f.EpilogueRet()
+	m := p.Func("main")
+	m.Prologue(16)
+	m.Call("boom")
+	m.Halt()
+	p.SetEntry("main")
+	bin, err := p.Assemble(asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := proc.Load(bin, proc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.RunUntilHalt(0)
+	if pr.Fault() == nil {
+		t.Fatal("expected a fault")
+	}
+	report := FaultReport(pr, bin)
+	for _, want := range []string{"divide by zero", "boom", "thread 0"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFig5CSV saves the Figure 5 data in a plot-ready form.
+func WriteFig5CSV(rows []Fig5Row, path string) error {
+	return writeCSV(path, [][]string{{
+		"workload", "input", "original_req_s", "ocolos", "bolt_oracle", "pgo_oracle", "bolt_average",
+	}}, func(w *csv.Writer) error {
+		for _, r := range rows {
+			if err := w.Write([]string{
+				r.Workload, r.Input,
+				fmt.Sprintf("%.0f", r.Original),
+				fmt.Sprintf("%.4f", r.OCOLOS),
+				fmt.Sprintf("%.4f", r.BoltOr),
+				fmt.Sprintf("%.4f", r.PGOOr),
+				fmt.Sprintf("%.4f", r.BoltAvg),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// WriteFig9CSV saves the Figure 9 scatter in a plot-ready form.
+func WriteFig9CSV(pts []Fig9Point, path string) error {
+	return writeCSV(path, [][]string{{
+		"workload", "input", "frontend_share", "retiring_share", "ocolos_speedup",
+	}}, func(w *csv.Writer) error {
+		for _, p := range pts {
+			if err := w.Write([]string{
+				p.Workload, p.Input,
+				fmt.Sprintf("%.4f", p.FrontEnd),
+				fmt.Sprintf("%.4f", p.Retiring),
+				fmt.Sprintf("%.4f", p.Speedup),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func writeCSV(path string, header [][]string, body func(*csv.Writer) error) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	for _, h := range header {
+		if err := w.Write(h); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := body(w); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

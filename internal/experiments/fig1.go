@@ -1,0 +1,46 @@
+package experiments
+
+// Fig1 reproduces Figure 1: per-core L1 instruction cache capacity of
+// AMD and Intel server microarchitectures over time — static public data
+// showing L1i capacity has been flat for 15 years while code footprints
+// grew, the motivation for code layout optimization.
+
+// L1iPoint is one microarchitecture data point.
+type L1iPoint struct {
+	Year   int
+	Vendor string
+	Uarch  string
+	KiB    int
+}
+
+// Fig1Data is the published per-core L1i capacity history the figure
+// plots.
+var Fig1Data = []L1iPoint{
+	{2006, "Intel", "Core (Merom)", 32},
+	{2008, "Intel", "Nehalem", 32},
+	{2011, "Intel", "Sandy Bridge", 32},
+	{2013, "Intel", "Haswell", 32},
+	{2015, "Intel", "Broadwell", 32},
+	{2017, "Intel", "Skylake-SP", 32},
+	{2019, "Intel", "Cascade Lake", 32},
+	{2021, "Intel", "Ice Lake-SP", 32},
+	{2007, "AMD", "K10 (Barcelona)", 64},
+	{2011, "AMD", "Bulldozer", 64},
+	{2014, "AMD", "Steamroller", 96},
+	{2017, "AMD", "Zen", 64},
+	{2019, "AMD", "Zen 2", 32},
+	{2020, "AMD", "Zen 3", 32},
+	{2022, "AMD", "Zen 4", 32},
+}
+
+// Fig1 prints the data series.
+func Fig1(cfg Config) error {
+	cfg.defaults()
+	cfg.printf("Figure 1: per-core L1i capacity over time (KiB)\n")
+	cfg.printf("%-6s %-7s %-18s %6s\n", "year", "vendor", "uarch", "L1i")
+	for _, p := range Fig1Data {
+		cfg.printf("%-6d %-7s %-18s %4d K\n", p.Year, p.Vendor, p.Uarch, p.KiB)
+	}
+	cfg.printf("(the simulator's core model uses the Broadwell point: 32 KiB, 8-way)\n")
+	return nil
+}

@@ -1,0 +1,113 @@
+// Package fleet is the data-center deployment layer §V sketches: systems
+// like Google-Wide Profiling continuously profile every service in the
+// fleet, and OCOLOS plugs in as the actuator — the fleet manager scans
+// TopDown counters across services, ranks the front-end-bound ones, and
+// optimizes only where layout work will pay off (Figure 9's criterion),
+// with the option of reverting services that did not improve.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/proc"
+	"repro/internal/workloads/wl"
+)
+
+// Service is one managed process.
+type Service struct {
+	Name   string
+	Input  string
+	Proc   *proc.Process
+	Driver *wl.Driver
+	Ctl    *core.Controller
+
+	baseline float64 // steady-state throughput before optimization
+}
+
+// NewService loads a workload instance under a fresh controller.
+func NewService(name string, w *wl.Workload, input string, threads int, opts core.Options) (*Service, error) {
+	d, err := w.NewDriver(input, threads)
+	if err != nil {
+		return nil, err
+	}
+	p, err := proc.Load(w.Binary, proc.Options{Threads: threads, Handler: d})
+	if err != nil {
+		return nil, err
+	}
+	ctl, err := core.New(p, w.Binary, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{Name: name, Input: input, Proc: p, Driver: d, Ctl: ctl}, nil
+}
+
+// Throughput measures the service over a simulated window.
+func (s *Service) Throughput(window float64) float64 {
+	return wl.Measure(s.Proc, s.Driver, window)
+}
+
+// Manager owns the fleet.
+type Manager struct {
+	Services []*Service
+}
+
+// Scan result for one service.
+type ScanResult struct {
+	Service  *Service
+	TopDown  cpu.TopDown
+	Optimize bool
+}
+
+// Scan runs the first-stage TopDown check on every service (the
+// DMon/GWP-style fleet profiling pass) and ranks candidates by front-end
+// share, the feature Figure 9 shows predicts benefit.
+func (m *Manager) Scan(window float64) []ScanResult {
+	out := make([]ScanResult, 0, len(m.Services))
+	for _, s := range m.Services {
+		go1, td := s.Ctl.ShouldOptimize(window)
+		out = append(out, ScanResult{Service: s, TopDown: td, Optimize: go1})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].TopDown.FrontEnd > out[j].TopDown.FrontEnd
+	})
+	return out
+}
+
+// OptimizeCandidates performs one OCOLOS round on every service the scan
+// selected, and returns per-service speedups. Services whose measured
+// speedup falls below revertBelow are reverted to C0 (§VI-C4's safety
+// net); pass 0 to never revert.
+func (m *Manager) OptimizeCandidates(scan []ScanResult, profileDur, warm, window float64, revertBelow float64) (map[string]float64, error) {
+	speedups := make(map[string]float64, len(scan))
+	for _, r := range scan {
+		s := r.Service
+		s.Proc.RunFor(warm)
+		s.baseline = s.Throughput(window)
+		if !r.Optimize {
+			speedups[s.Name] = 1.0
+			continue
+		}
+		if _, _, err := s.Ctl.RunOnce(profileDur); err != nil {
+			return nil, fmt.Errorf("fleet: optimizing %s: %w", s.Name, err)
+		}
+		s.Proc.RunFor(warm)
+		after := s.Throughput(window)
+		speedup := after / s.baseline
+		if revertBelow > 0 && speedup < revertBelow {
+			if _, err := s.Ctl.Revert(); err != nil {
+				return nil, fmt.Errorf("fleet: reverting %s: %w", s.Name, err)
+			}
+			s.Proc.RunFor(warm)
+			after = s.Throughput(window)
+			speedup = after / s.baseline
+		}
+		if err := s.Proc.Fault(); err != nil {
+			return nil, fmt.Errorf("fleet: %s faulted: %w", s.Name, err)
+		}
+		speedups[s.Name] = speedup
+	}
+	return speedups, nil
+}

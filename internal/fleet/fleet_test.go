@@ -1,0 +1,90 @@
+package fleet
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads/kvcache"
+	"repro/internal/workloads/sqldb"
+)
+
+func TestFleetScanAndOptimize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet run in -short mode")
+	}
+	// A front-end-bound database and a cache that does not need help.
+	db, err := sqldb.Build(sqldb.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv, err := kvcache.Build(kvcache.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := NewService("db", db, "read_only", 4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewService("kv", kv, "set10_get90", 4, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Manager{Services: []*Service{s1, s2}}
+
+	// Warm and scan.
+	for _, s := range m.Services {
+		s.Proc.RunFor(0.002)
+	}
+	scan := m.Scan(0.002)
+	if len(scan) != 2 {
+		t.Fatal("scan lost services")
+	}
+	// The database ranks first (highest front-end share) and is selected;
+	// the cache is not.
+	if scan[0].Service.Name != "db" || !scan[0].Optimize {
+		t.Errorf("db not selected: %+v", scan[0])
+	}
+	if scan[1].Service.Name != "kv" || scan[1].Optimize {
+		t.Errorf("kv should be skipped: %+v", scan[1])
+	}
+
+	speedups, err := m.OptimizeCandidates(scan, 0.004, 0.002, 0.003, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedups["db"] < 1.15 {
+		t.Errorf("db speedup %.2f too low", speedups["db"])
+	}
+	if speedups["kv"] != 1.0 {
+		t.Errorf("kv was optimized despite the gate: %.2f", speedups["kv"])
+	}
+}
+
+func TestFleetRevertSafetyNet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet run in -short mode")
+	}
+	db, err := sqldb.Build(sqldb.Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewService("db", db, "read_only", 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Manager{Services: []*Service{s}}
+	s.Proc.RunFor(0.002)
+	scan := m.Scan(0.002)
+	// Absurd revert threshold: even a good speedup gets reverted, proving
+	// the safety net restores ~original throughput.
+	speedups, err := m.OptimizeCandidates(scan, 0.004, 0.002, 0.003, 99.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp := speedups["db"]; sp < 0.85 || sp > 1.15 {
+		t.Errorf("reverted service at %.2fx of baseline; want ≈1.0", sp)
+	}
+	if s.Ctl.Version() < 2 {
+		t.Error("revert should have advanced the version counter")
+	}
+}

@@ -1,0 +1,69 @@
+package perf
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+)
+
+// magic identifies serialized profiles on disk (the perf.data analog).
+const magic = "OCOLOSPERF1\n"
+
+// Encode serializes the raw profile to w.
+func (r *RawProfile) Encode(w io.Writer) error {
+	if _, err := io.WriteString(w, magic); err != nil {
+		return err
+	}
+	zw := gzip.NewWriter(w)
+	if err := gob.NewEncoder(zw).Encode(r); err != nil {
+		return fmt.Errorf("perf: encode: %w", err)
+	}
+	return zw.Close()
+}
+
+// DecodeProfile reads a profile written by Encode.
+func DecodeProfile(r io.Reader) (*RawProfile, error) {
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, fmt.Errorf("perf: reading header: %w", err)
+	}
+	if !bytes.Equal(hdr, []byte(magic)) {
+		return nil, fmt.Errorf("perf: bad magic %q", hdr)
+	}
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	defer zr.Close()
+	var raw RawProfile
+	if err := gob.NewDecoder(zr).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("perf: decode: %w", err)
+	}
+	return &raw, nil
+}
+
+// WriteFile saves the profile to path.
+func (r *RawProfile) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.Encode(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a profile from path.
+func ReadFile(path string) (*RawProfile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeProfile(f)
+}

@@ -1,0 +1,130 @@
+// Package perf is the profiling substrate: the Linux-perf analog that
+// samples the simulated cores' LBR rings while a process runs (§II-A, §V
+// "Profiling") and measures TopDown cycle breakdowns (§VI-C4).
+//
+// A Recorder attaches to a running process like `perf record -b -p PID`:
+// it enables LBR capture on every core and, on a configurable cycle
+// period, snapshots the 32-entry ring. Each snapshot costs the target some
+// cycles (the PMI plus perf's own CPU use), which is why profiling shows
+// up as a throughput dip in the paper's Figure 7 region 2.
+package perf
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/proc"
+)
+
+// Sample is one LBR snapshot: up to 32 consecutive taken branches.
+type Sample struct {
+	Records []cpu.BranchRecord
+}
+
+// RawProfile is what a recording session produces: the perf.data analog.
+type RawProfile struct {
+	Samples []Sample
+	// Seconds is the simulated duration of the recording.
+	Seconds float64
+}
+
+// Branches returns the total number of branch records across samples.
+func (r *RawProfile) Branches() int {
+	n := 0
+	for _, s := range r.Samples {
+		n += len(s.Records)
+	}
+	return n
+}
+
+// RecorderOptions tunes the sampling session.
+type RecorderOptions struct {
+	// PeriodCycles is the sampling period per core (default 50k cycles
+	// ≈ 42k samples per second per core at 2.1 GHz).
+	PeriodCycles float64
+	// OverheadCycles is charged to the sampled core per PMI, modeling the
+	// interrupt, ring copy, and perf's share of the machine.
+	OverheadCycles float64
+}
+
+func (o *RecorderOptions) defaults() {
+	if o.PeriodCycles == 0 {
+		o.PeriodCycles = 50_000
+	}
+	if o.OverheadCycles == 0 {
+		o.OverheadCycles = 4_000
+	}
+}
+
+// Recorder is an attached LBR sampling session.
+type Recorder struct {
+	p     *proc.Process
+	opts  RecorderOptions
+	next  []float64
+	start float64
+	raw   *RawProfile
+	prev  func(*proc.Thread)
+}
+
+// Attach starts LBR recording on a (possibly already running) process,
+// like `perf record` attaching to a live PID.
+func Attach(p *proc.Process, opts RecorderOptions) *Recorder {
+	opts.defaults()
+	r := &Recorder{
+		p:     p,
+		opts:  opts,
+		next:  make([]float64, len(p.Threads)),
+		start: p.Seconds(),
+		raw:   &RawProfile{},
+		prev:  p.SampleHook,
+	}
+	for i, t := range p.Threads {
+		t.Core.LBREnabled = true
+		r.next[i] = t.Core.Cycles() + opts.PeriodCycles
+	}
+	p.SampleHook = r.onQuantum
+	return r
+}
+
+func (r *Recorder) onQuantum(t *proc.Thread) {
+	if r.prev != nil {
+		r.prev(t)
+	}
+	c := t.Core
+	if c.Cycles() < r.next[t.ID] {
+		return
+	}
+	recs := c.LBRSnapshot()
+	if len(recs) > 0 {
+		r.raw.Samples = append(r.raw.Samples, Sample{Records: recs})
+	}
+	c.AddStall(r.opts.OverheadCycles, cpu.BucketBackEnd)
+	// Re-arm after charging the PMI cost so the overhead itself cannot
+	// immediately trigger the next sample.
+	r.next[t.ID] = c.Cycles() + r.opts.PeriodCycles
+}
+
+// Stop ends the session and returns the collected profile.
+func (r *Recorder) Stop() *RawProfile {
+	for _, t := range r.p.Threads {
+		t.Core.LBREnabled = false
+	}
+	r.p.SampleHook = r.prev
+	r.raw.Seconds = r.p.Seconds() - r.start
+	return r.raw
+}
+
+// Record profiles the process for the given simulated duration and
+// returns the raw profile — the one-shot `perf record -- sleep N` shape.
+func Record(p *proc.Process, seconds float64, opts RecorderOptions) *RawProfile {
+	r := Attach(p, opts)
+	p.RunFor(seconds)
+	return r.Stop()
+}
+
+// MeasureTopDown runs the process for the given duration and returns the
+// interval's counter deltas — the first-stage bottleneck analysis OCOLOS
+// performs before deciding to optimize (§V, DMon-style).
+func MeasureTopDown(p *proc.Process, seconds float64) cpu.Stats {
+	before := p.Stats()
+	p.RunFor(seconds)
+	return p.Stats().Sub(before)
+}

@@ -1,0 +1,165 @@
+package perf
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/build"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/proc"
+)
+
+// loopProcess runs a branchy endless loop.
+func loopProcess(t *testing.T) *proc.Process {
+	t.Helper()
+	p := build.NewProgram("loop")
+	m := p.Func("main")
+	m.Prologue(16)
+	m.MovI(isa.R1, 0)
+	m.While(func() { m.CmpI(isa.R1, 1<<40) }, isa.LT, func() {
+		m.AndI(isa.R2, isa.R1, 7)
+		m.CmpI(isa.R2, 3)
+		m.If(isa.EQ, func() { m.AddI(isa.R3, isa.R3, 1) }, nil)
+		m.AddI(isa.R1, isa.R1, 1)
+	})
+	m.Halt()
+	p.SetEntry("main")
+	bin, err := p.Assemble(asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := proc.Load(bin, proc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func TestRecordCollectsSamples(t *testing.T) {
+	pr := loopProcess(t)
+	raw := Record(pr, 0.001, RecorderOptions{PeriodCycles: 10_000})
+	if len(raw.Samples) == 0 || raw.Branches() == 0 {
+		t.Fatal("no samples")
+	}
+	if raw.Seconds <= 0 {
+		t.Error("duration not recorded")
+	}
+	// Each sample holds at most the LBR depth.
+	for _, s := range raw.Samples {
+		if len(s.Records) == 0 || len(s.Records) > 32 {
+			t.Fatalf("sample with %d records", len(s.Records))
+		}
+	}
+	// Records point into the text section.
+	for _, r := range raw.Samples[0].Records {
+		if r.From < 0x400000 || r.From > 0x500000 {
+			t.Fatalf("branch record outside text: %#x", r.From)
+		}
+	}
+}
+
+func TestRecorderDetachesCleanly(t *testing.T) {
+	pr := loopProcess(t)
+	rec := Attach(pr, RecorderOptions{})
+	pr.RunFor(0.0005)
+	raw := rec.Stop()
+	if len(raw.Samples) == 0 {
+		t.Fatal("no samples before stop")
+	}
+	// After Stop, LBR recording is off and the hook removed.
+	for _, th := range pr.Threads {
+		if th.Core.LBREnabled {
+			t.Error("LBR still enabled after Stop")
+		}
+	}
+	if pr.SampleHook != nil {
+		t.Error("sample hook still installed after Stop")
+	}
+}
+
+func TestNestedHooksCompose(t *testing.T) {
+	pr := loopProcess(t)
+	outerCalls := 0
+	pr.SampleHook = func(*proc.Thread) { outerCalls++ }
+	rec := Attach(pr, RecorderOptions{})
+	pr.RunFor(0.0003)
+	rec.Stop()
+	if outerCalls == 0 {
+		t.Error("pre-existing sample hook was not chained")
+	}
+	if pr.SampleHook == nil {
+		t.Error("original hook not restored")
+	}
+}
+
+func TestOverheadScalesWithPeriod(t *testing.T) {
+	run := func(period float64) float64 {
+		pr := loopProcess(t)
+		pr.RunFor(0.0005)
+		before := pr.Stats()
+		Record(pr, 0.001, RecorderOptions{PeriodCycles: period})
+		d := pr.Stats().Sub(before)
+		return d.IPC()
+	}
+	fast := run(5_000)   // heavy sampling
+	slow := run(100_000) // light sampling
+	if fast >= slow {
+		t.Errorf("heavier sampling should cost IPC: %f vs %f", fast, slow)
+	}
+}
+
+func TestMeasureTopDown(t *testing.T) {
+	pr := loopProcess(t)
+	pr.RunFor(0.0005)
+	st := MeasureTopDown(pr, 0.0005)
+	if st.Instructions == 0 {
+		t.Fatal("no instructions measured")
+	}
+	td := st.TopDown()
+	sum := td.Retiring + td.FrontEnd + td.BadSpec + td.BackEnd
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("TopDown sums to %f", sum)
+	}
+}
+
+func TestProfileSerialization(t *testing.T) {
+	pr := loopProcess(t)
+	raw := Record(pr, 0.0005, RecorderOptions{})
+	var buf bytes.Buffer
+	if err := raw.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeProfile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Branches() != raw.Branches() || len(got.Samples) != len(raw.Samples) {
+		t.Error("round trip lost samples")
+	}
+	if _, err := DecodeProfile(bytes.NewReader([]byte("garbage"))); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+var _ = cpu.BranchRecord{}
+
+func TestProfileFileRoundTrip(t *testing.T) {
+	pr := loopProcess(t)
+	raw := Record(pr, 0.0003, RecorderOptions{})
+	path := t.TempDir() + "/p.perf"
+	if err := raw.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Branches() != raw.Branches() {
+		t.Error("file round trip lost records")
+	}
+	if _, err := ReadFile(t.TempDir() + "/missing.perf"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,106 @@
+// Package pgo models the compiler's built-in profile-guided optimization
+// pass — the "Clang PGO" baseline of Figure 5.
+//
+// The paper observes (§VI-B, §VI-C) that compiler PGO with an oracle
+// profile still trails BOLT, "likely due to problems mapping low-level PCs
+// back to source code and LLVM IR" [36]. We model exactly that mechanism:
+// the machine-level profile is degraded by a deterministic mapping loss
+// before being fed to the same layout machinery BOLT uses — a fraction of
+// functions lose their block-level detail (their PCs could not be mapped
+// back to IR), a further fraction lose their profile entirely — and
+// hot/cold splitting is disabled (compilers split far less aggressively
+// than a post-link optimizer).
+package pgo
+
+import (
+	"hash/fnv"
+
+	"repro/internal/bolt"
+	"repro/internal/obj"
+)
+
+// Options tunes the modeled mapping loss.
+type Options struct {
+	// DropDetailPct is the percentage of functions whose block/edge detail
+	// fails to map back to IR (they are still placed by function order).
+	DropDetailPct int
+	// DropFuncPct is the percentage of functions whose profile is lost
+	// entirely (they stay in original order).
+	DropFuncPct int
+	// TextBase is the layout base for reordered functions.
+	TextBase uint64
+}
+
+func (o *Options) defaults() {
+	if o.DropDetailPct == 0 {
+		o.DropDetailPct = 35
+	}
+	if o.DropFuncPct == 0 {
+		o.DropFuncPct = 15
+	}
+}
+
+// Optimize produces a PGO-compiled binary from the original binary and a
+// machine-level profile.
+func Optimize(bin *obj.Binary, prof *bolt.Profile, opts Options) (*obj.Binary, error) {
+	opts.defaults()
+	degraded := degrade(prof, bin, opts)
+	res, err := bolt.Optimize(bin, degraded, bolt.Options{
+		TextBase:  opts.TextBase,
+		FuncOrder: bolt.OrderC3,
+		NoSplit:   true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := res.Binary
+	out.Name = bin.Name + ".pgo"
+	// The result is an ordinary compiled binary, not a post-link-optimized
+	// one: BOLT would happily process it.
+	out.Bolted = false
+	return out, nil
+}
+
+// nameRoll hashes a function name into [0,100) to decide its mapping fate
+// deterministically.
+func nameRoll(name string) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % 100)
+}
+
+// degrade applies the mapping loss: deterministic per function name so
+// runs are reproducible.
+func degrade(prof *bolt.Profile, bin *obj.Binary, opts Options) *bolt.Profile {
+	out := &bolt.Profile{
+		Funcs:         make(map[uint64]*bolt.FuncProfile, len(prof.Funcs)),
+		TotalBranches: prof.TotalBranches,
+	}
+	for entry, fp := range prof.Funcs {
+		fn := bin.FuncAt(entry)
+		name := ""
+		if fn != nil {
+			name = fn.Name
+		}
+		roll := nameRoll(name)
+		switch {
+		case roll < opts.DropFuncPct:
+			// Entire profile unmapped: function stays where it was.
+			continue
+		case roll < opts.DropFuncPct+opts.DropDetailPct:
+			// Block detail unmapped: keep call graph + heat only, so the
+			// function is moved but its blocks keep source order.
+			nf := &bolt.FuncProfile{
+				Entry:      entry,
+				BlockCount: map[int]uint64{0: fp.Weight()},
+				Edge:       map[[2]int]uint64{},
+				Calls:      fp.Calls,
+				Records:    fp.Records,
+			}
+			out.Funcs[entry] = nf
+		default:
+			out.Funcs[entry] = fp
+		}
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package pgo
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/bolt"
+	"repro/internal/obj"
+	"repro/internal/perf"
+	"repro/internal/proc"
+	"repro/internal/progtest"
+)
+
+func setup(t *testing.T, seed int64) (*obj.Binary, uint64, *bolt.Profile) {
+	t.Helper()
+	prog, outAddr, err := progtest.Generate(progtest.Options{Funcs: 12, MainIters: 5000, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := asm.Assemble(prog, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := proc.Load(bin, proc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := perf.Record(pr, 0.002, perf.RecorderOptions{PeriodCycles: 4000})
+	prof, err := bolt.ConvertProfile(raw, bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bin, outAddr, prof
+}
+
+func run(t *testing.T, bin *obj.Binary, outAddr uint64) uint64 {
+	t.Helper()
+	pr, err := proc.Load(bin, proc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.RunUntilHalt(0)
+	if err := pr.Fault(); err != nil {
+		t.Fatalf("%s: %v", bin.Name, err)
+	}
+	return pr.Mem.ReadWord(outAddr)
+}
+
+func TestPGOPreservesSemantics(t *testing.T) {
+	bin, outAddr, prof := setup(t, 3)
+	want := run(t, bin, outAddr)
+	out, err := Optimize(bin, prof, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := run(t, out, outAddr); got != want {
+		t.Errorf("pgo output %d != original %d", got, want)
+	}
+	if out.Bolted {
+		t.Error("PGO output should not be marked bolted")
+	}
+	if out.Section(obj.SecColdText) != nil {
+		t.Error("compiler PGO should not hot/cold split")
+	}
+}
+
+func TestPGODegradationIsLossy(t *testing.T) {
+	bin, _, prof := setup(t, 4)
+	opts := Options{DropDetailPct: 35, DropFuncPct: 15}
+	deg := degrade(prof, bin, opts)
+
+	// Every profiled function's fate must match its deterministic roll.
+	for entry, orig := range prof.Funcs {
+		fn := bin.FuncAt(entry)
+		name := ""
+		if fn != nil {
+			name = fn.Name
+		}
+		roll := nameRoll(name)
+		got, kept := deg.Funcs[entry]
+		switch {
+		case roll < opts.DropFuncPct:
+			if kept {
+				t.Errorf("%s (roll %d): profile should be dropped entirely", name, roll)
+			}
+		case roll < opts.DropFuncPct+opts.DropDetailPct:
+			if !kept {
+				t.Errorf("%s (roll %d): function weight should survive", name, roll)
+			} else if len(got.Edge) != 0 {
+				t.Errorf("%s (roll %d): block detail should be lost", name, roll)
+			}
+		default:
+			if !kept || len(got.Edge) != len(orig.Edge) {
+				t.Errorf("%s (roll %d): profile should be intact", name, roll)
+			}
+		}
+	}
+
+	// Determinism.
+	deg2 := degrade(prof, bin, opts)
+	if len(deg2.Funcs) != len(deg.Funcs) {
+		t.Error("degradation is not deterministic")
+	}
+}
+
+func TestPGOOutputAcceptedByBOLT(t *testing.T) {
+	// A compiler-PGO binary is an ordinary binary; BOLT must accept it.
+	bin, outAddr, prof := setup(t, 5)
+	want := run(t, bin, outAddr)
+	pgoBin, err := Optimize(bin, prof, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := proc.Load(pgoBin, proc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := perf.Record(pr, 0.002, perf.RecorderOptions{PeriodCycles: 4000})
+	prof2, err := bolt.ConvertProfile(raw, pgoBin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bolt.Optimize(pgoBin, prof2, bolt.Options{TextBase: 0x3000_0000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := run(t, res.Binary, outAddr); got != want {
+		t.Errorf("bolt(pgo) output %d != original %d", got, want)
+	}
+}

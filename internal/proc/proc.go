@@ -1,0 +1,297 @@
+// Package proc implements the simulated process: an address space loaded
+// from an obj.Binary, threads with in-memory stacks, an interpreter for
+// the ISA that reports timing events to per-thread cpu.Cores, a
+// round-robin scheduler, and the syscall surface workloads use to receive
+// requests and publish results.
+//
+// The process also exposes the two hook points OCOLOS relies on:
+//
+//   - SetFuncPtrHook installs the wrapFuncPtrCreation analog (§IV-C2):
+//     every FPTR instruction's result value passes through the hook.
+//   - The debugger facade used by internal/ptrace: Pause/Resume, direct
+//     memory access, and register access.
+package proc
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/obj"
+)
+
+// Memory layout constants for loader-managed regions.
+const (
+	HeapBase  = 0x4000_0000
+	StackTop  = 0x7000_0000_0000
+	StackSize = 1 << 20 // per thread
+	StackGap  = 1 << 21 // distance between thread stacks
+)
+
+// SyscallHandler services SYS instructions. It may read and write the
+// calling thread's registers and the process memory. Returning an error
+// faults the thread.
+type SyscallHandler interface {
+	Syscall(p *Process, t *Thread, num int64) error
+}
+
+// SyscallFunc adapts a function to the SyscallHandler interface.
+type SyscallFunc func(p *Process, t *Thread, num int64) error
+
+// Syscall implements SyscallHandler.
+func (f SyscallFunc) Syscall(p *Process, t *Thread, num int64) error { return f(p, t, num) }
+
+// Options configures process creation.
+type Options struct {
+	Threads int         // number of threads (each gets its own core)
+	Config  *cpu.Config // nil = cpu.DefaultConfig()
+	Handler SyscallHandler
+
+	// SyscallCost is the kernel entry/exit overhead in cycles.
+	SyscallCost float64
+	// FuncPtrHookCost is charged per FPTR when a hook is installed — the
+	// run-time cost of the wrapFuncPtrCreation instrumentation.
+	FuncPtrHookCost float64
+
+	// DBI emulates running under a dynamic binary instrumentation
+	// framework (Pin/DynamoRIO, §I): translated code runs near-natively,
+	// but every direct control transfer pays a small chaining cost and
+	// every indirect transfer (indirect call, return, jump table) pays a
+	// code-cache lookup. OCOLOS's whole point is avoiding this recurring
+	// cost; the "dbi" experiment quantifies the difference.
+	DBI bool
+}
+
+// DBI cost model (cycles), roughly Pin-like: direct branches are chained
+// after warmup, indirect transfers hash into the code cache every time.
+const (
+	dbiDirectCost   = 1.5
+	dbiIndirectCost = 25
+)
+
+func (o *Options) defaults() {
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
+	if o.Config == nil {
+		o.Config = cpu.DefaultConfig()
+	}
+	if o.SyscallCost == 0 {
+		o.SyscallCost = 150
+	}
+	if o.FuncPtrHookCost == 0 {
+		o.FuncPtrHookCost = 12
+	}
+}
+
+// Process is a running simulated process.
+type Process struct {
+	Bin     *obj.Binary
+	Mem     *mem.AddressSpace
+	Threads []*Thread
+	Shared  *cpu.Shared
+	Cfg     *cpu.Config
+
+	opts    Options
+	handler SyscallHandler
+
+	fptrHook func(uint64) uint64
+
+	heapCursor uint64
+	paused     bool
+	fault      error
+
+	dcache   map[uint64]*decodePage
+	lastPage *decodePage
+	lastIdx  uint64
+
+	// SampleHook, if set, runs after every scheduler quantum with the
+	// thread that just ran; internal/perf uses it to poll LBR sample
+	// deadlines.
+	SampleHook func(t *Thread)
+}
+
+type decodePage struct {
+	insts [mem.PageSize / isa.InstBytes]isa.Inst
+	valid [mem.PageSize / isa.InstBytes]bool
+}
+
+// Load creates a process from a binary: sections are copied into a fresh
+// address space, threads are created halted at the entry function with
+// their thread index in R0.
+func Load(bin *obj.Binary, opts Options) (*Process, error) {
+	opts.defaults()
+	if bin.Entry == 0 {
+		return nil, fmt.Errorf("proc: binary %s has no entry point", bin.Name)
+	}
+	p := &Process{
+		Bin:        bin,
+		Mem:        mem.NewAddressSpace(),
+		Shared:     cpu.NewShared(opts.Config),
+		Cfg:        opts.Config,
+		opts:       opts,
+		handler:    opts.Handler,
+		heapCursor: HeapBase,
+		dcache:     make(map[uint64]*decodePage),
+	}
+	for _, s := range bin.Sections {
+		writeSparse(p.Mem, s.Addr, s.Data)
+	}
+	p.Mem.SetWriteWatch(p.invalidate)
+
+	for i := 0; i < opts.Threads; i++ {
+		stackHi := uint64(StackTop - i*StackGap)
+		t := &Thread{
+			ID:      i,
+			PC:      bin.Entry,
+			Core:    cpu.NewCore(i, opts.Config, p.Shared),
+			StackHi: stackHi,
+			StackLo: stackHi - StackSize,
+			proc:    p,
+		}
+		t.Regs[isa.SP] = stackHi
+		t.Regs[isa.R0] = uint64(i)
+		p.Threads = append(p.Threads, t)
+	}
+	return p, nil
+}
+
+// writeSparse copies section bytes into memory, skipping page-sized
+// all-zero runs so huge zero-initialized data sections (document stores,
+// scan arrays) do not inflate RSS before the program touches them — the
+// way a real loader maps BSS.
+func writeSparse(m *mem.AddressSpace, addr uint64, data []byte) {
+	const chunk = mem.PageSize
+	for off := 0; off < len(data); {
+		n := chunk - int(addr+uint64(off))%chunk
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		piece := data[off : off+n]
+		if !allZero(piece) {
+			m.Write(addr+uint64(off), piece)
+		}
+		off += n
+	}
+}
+
+func allZero(b []byte) bool {
+	for _, v := range b {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// invalidate drops decoded instructions covering a written range. Huge
+// ranges (a garbage-collected code region) walk the cache instead of the
+// range.
+func (p *Process) invalidate(addr uint64, n int) {
+	first := addr / mem.PageSize
+	last := (addr + uint64(n) - 1) / mem.PageSize
+	if last-first+1 > uint64(len(p.dcache)) {
+		for pg := range p.dcache {
+			if pg >= first && pg <= last {
+				delete(p.dcache, pg)
+			}
+		}
+	} else {
+		for pg := first; pg <= last; pg++ {
+			delete(p.dcache, pg)
+		}
+	}
+	p.lastPage = nil
+}
+
+// decode fetches the decoded instruction at addr, caching per page.
+func (p *Process) decode(addr uint64) (isa.Inst, error) {
+	pg := addr / mem.PageSize
+	dp := p.lastPage
+	if dp == nil || pg != p.lastIdx {
+		dp = p.dcache[pg]
+		if dp == nil {
+			dp = new(decodePage)
+			p.dcache[pg] = dp
+		}
+		p.lastPage, p.lastIdx = dp, pg
+	}
+	slot := (addr % mem.PageSize) / isa.InstBytes
+	if addr%isa.InstBytes != 0 {
+		return isa.Inst{}, fmt.Errorf("proc: misaligned PC %#x", addr)
+	}
+	if dp.valid[slot] {
+		return dp.insts[slot], nil
+	}
+	in, err := isa.Decode(p.Mem.CodeSlice(addr))
+	if err != nil {
+		return isa.Inst{}, fmt.Errorf("proc: at PC %#x: %w", addr, err)
+	}
+	dp.insts[slot] = in
+	dp.valid[slot] = true
+	return in, nil
+}
+
+// SetFuncPtrHook installs (or clears, with nil) the function-pointer
+// creation hook. While installed, every FPTR result is translated by fn
+// and each creation site pays Options.FuncPtrHookCost cycles.
+func (p *Process) SetFuncPtrHook(fn func(uint64) uint64) { p.fptrHook = fn }
+
+// FuncPtrHook returns the installed hook (nil if none).
+func (p *Process) FuncPtrHook() func(uint64) uint64 { return p.fptrHook }
+
+// Alloc bump-allocates n bytes of heap, 16-byte aligned.
+func (p *Process) Alloc(n uint64) uint64 {
+	addr := (p.heapCursor + 15) &^ 15
+	p.heapCursor = addr + n
+	return addr
+}
+
+// Pause stops the scheduler (ptrace attach). Running Run* calls return at
+// the next quantum boundary, leaving all threads at instruction
+// boundaries.
+func (p *Process) Pause() { p.paused = true }
+
+// Resume clears the pause flag.
+func (p *Process) Resume() { p.paused = false }
+
+// Paused reports whether the process is stopped.
+func (p *Process) Paused() bool { return p.paused }
+
+// Fault returns the first thread fault, if any.
+func (p *Process) Fault() error { return p.fault }
+
+// Halted reports whether every thread has halted.
+func (p *Process) Halted() bool {
+	for _, t := range p.Threads {
+		if !t.Halted {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats aggregates counters across all threads' cores.
+func (p *Process) Stats() cpu.Stats {
+	var s cpu.Stats
+	for _, t := range p.Threads {
+		s.Add(t.Core.Stats)
+	}
+	return s
+}
+
+// Seconds returns the elapsed simulated time: the maximum across cores
+// (cores advance in near-lockstep under the round-robin scheduler).
+func (p *Process) Seconds() float64 {
+	var max float64
+	for _, t := range p.Threads {
+		if s := t.Core.Seconds(); s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// MaxRSS returns the peak resident set size of the address space.
+func (p *Process) MaxRSS() uint64 { return p.Mem.MaxResidentBytes() }

@@ -1,0 +1,81 @@
+package proc
+
+// Quantum is how many instructions a thread runs before the scheduler
+// rotates. Cores advance near-lockstep, which keeps multi-thread timing
+// comparable while staying fast.
+const Quantum = 128
+
+// RunUntilHalt runs until every thread halts, the process faults or is
+// paused, or maxInst instructions retire in total. It returns the number
+// of instructions executed by this call.
+func (p *Process) RunUntilHalt(maxInst uint64) uint64 {
+	var executed uint64
+	for !p.paused && p.fault == nil {
+		ran := false
+		for _, t := range p.Threads {
+			if t.Halted {
+				continue
+			}
+			ran = true
+			for i := 0; i < Quantum; i++ {
+				if !p.Step(t) {
+					break
+				}
+				executed++
+			}
+			if p.SampleHook != nil {
+				p.SampleHook(t)
+			}
+		}
+		if !ran || (maxInst > 0 && executed >= maxInst) {
+			break
+		}
+	}
+	return executed
+}
+
+// RunFor advances the process by the given amount of simulated time
+// (seconds of the slowest still-running core). It returns early if all
+// threads halt, a fault occurs, or Pause is called.
+func (p *Process) RunFor(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	deadline := p.minActiveSeconds() + seconds
+	for !p.paused && p.fault == nil {
+		ran := false
+		for _, t := range p.Threads {
+			if t.Halted || t.Core.Seconds() >= deadline {
+				continue
+			}
+			ran = true
+			for i := 0; i < Quantum; i++ {
+				if !p.Step(t) {
+					break
+				}
+			}
+			if p.SampleHook != nil {
+				p.SampleHook(t)
+			}
+		}
+		if !ran {
+			break
+		}
+	}
+}
+
+func (p *Process) minActiveSeconds() float64 {
+	min := -1.0
+	for _, t := range p.Threads {
+		if t.Halted {
+			continue
+		}
+		if s := t.Core.Seconds(); min < 0 || s < min {
+			min = s
+		}
+	}
+	if min < 0 {
+		return p.Seconds()
+	}
+	return min
+}

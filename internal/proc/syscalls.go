@@ -1,0 +1,36 @@
+package proc
+
+// Canonical syscall numbers shared by the workloads and their drivers.
+// The semantics live in each workload's SyscallHandler; these constants
+// only fix the numbering so generated code and drivers agree.
+const (
+	// SysRecv asks the driver for the next request. Convention: R0 holds a
+	// buffer address, R1 its capacity; the driver writes the request bytes
+	// and returns the length in R0 (0 = no more work, the serving loop
+	// exits).
+	SysRecv = 1
+
+	// SysSend reports a completed request; R0 carries the response value.
+	// Drivers timestamp completions here for throughput and tail latency.
+	SysSend = 2
+
+	// SysNow returns the current core cycle count in R0.
+	SysNow = 3
+
+	// SysAlloc allocates R0 bytes of heap; returns the address in R0.
+	SysAlloc = 4
+
+	// SysEmit publishes a result value (R0) to the driver; used by batch
+	// workloads (rtlsim, compilersim) to report outputs for verification.
+	SysEmit = 5
+)
+
+// NowSyscall implements the SysNow convention for any handler to reuse.
+func NowSyscall(t *Thread) {
+	t.Regs[0] = uint64(t.Core.Cycles())
+}
+
+// AllocSyscall implements the SysAlloc convention.
+func AllocSyscall(p *Process, t *Thread) {
+	t.Regs[0] = p.Alloc(t.Regs[0])
+}

@@ -1,0 +1,57 @@
+package proc
+
+import (
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/isa"
+)
+
+// Thread is one simulated thread. Each thread runs on its own core (the
+// evaluation machine has more hardware contexts than any workload uses
+// threads, so pinning is a faithful simplification).
+type Thread struct {
+	ID     int
+	PC     uint64
+	Regs   [isa.NumRegs]uint64
+	CmpVal int64 // flags: last CMP/CMPI difference
+	Halted bool
+
+	Core    *cpu.Core
+	StackLo uint64
+	StackHi uint64
+
+	proc *Process
+}
+
+// Reg reads a register (RZ reads zero).
+func (t *Thread) Reg(i uint8) uint64 {
+	if i == isa.RZ {
+		return 0
+	}
+	return t.Regs[i]
+}
+
+// SetReg writes a register (writes to RZ are discarded).
+func (t *Thread) SetReg(i uint8, v uint64) {
+	if i != isa.RZ {
+		t.Regs[i] = v
+	}
+}
+
+// Mem gives syscall handlers access to process memory.
+func (t *Thread) Mem() *memAccess { return &memAccess{t.proc} }
+
+// memAccess is a narrow facade over the address space for handlers; the
+// methods mirror mem.AddressSpace.
+type memAccess struct{ p *Process }
+
+func (m *memAccess) ReadWord(addr uint64) uint64     { return m.p.Mem.ReadWord(addr) }
+func (m *memAccess) WriteWord(addr uint64, v uint64) { m.p.Mem.WriteWord(addr, v) }
+func (m *memAccess) Read(addr uint64, b []byte)      { m.p.Mem.Read(addr, b) }
+func (m *memAccess) Write(addr uint64, b []byte)     { m.p.Mem.Write(addr, b) }
+
+// String summarizes the thread state.
+func (t *Thread) String() string {
+	return fmt.Sprintf("thread %d: PC=%#x SP=%#x halted=%v", t.ID, t.PC, t.Regs[isa.SP], t.Halted)
+}

@@ -1,0 +1,173 @@
+// Package progtest generates deterministic random programs for
+// property-based testing: a random call DAG with data-dependent control
+// flow, virtual calls, and function pointers, whose final checksum must be
+// identical under any semantics-preserving code transformation. The bolt
+// and core test suites run original and transformed binaries and compare
+// checksums.
+package progtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/asm"
+	"repro/internal/build"
+	"repro/internal/isa"
+)
+
+// Options shapes the generated program.
+type Options struct {
+	Funcs      int   // number of non-main functions (≥ 3)
+	MainIters  int64 // main loop trip count
+	Seed       int64
+	JumpTables bool // allow switch-via-jump-table
+}
+
+// Generate builds a random program. The checksum is written to global
+// "out" and main halts. Returns the program and the address of "out".
+func Generate(o Options) (*asm.Program, uint64, error) {
+	if o.Funcs < 3 {
+		o.Funcs = 3
+	}
+	if o.MainIters == 0 {
+		o.MainIters = 5000
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	p := build.NewProgram(fmt.Sprintf("rand%d", o.Seed))
+	p.SetNoJumpTables(!o.JumpTables)
+	p.Global("out", 8)
+
+	names := make([]string, o.Funcs)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%02d", i)
+	}
+	// The last three functions are leaf v-table methods.
+	vslots := names[o.Funcs-3:]
+	p.VTable("vt", vslots...)
+
+	for i, name := range names {
+		f := p.Func(name)
+		emitRandomFunc(p, f, rng, names, i, o)
+	}
+
+	m := p.Func("main")
+	m.Prologue(32)
+	m.MovI(isa.R7, 0)
+	m.MovI(isa.R8, 0)
+	m.While(func() { m.CmpI(isa.R7, o.MainIters) }, isa.LT, func() {
+		m.Mov(isa.R0, isa.R7)
+		m.Call(names[0])
+		m.Add(isa.R8, isa.R8, isa.R0)
+		// Mix in a second entry point sometimes for wider coverage.
+		m.AndI(isa.R1, isa.R7, 7)
+		m.CmpI(isa.R1, 0)
+		m.If(isa.EQ, func() {
+			m.Mov(isa.R0, isa.R7)
+			m.Call(names[1%len(names)])
+			m.Add(isa.R8, isa.R8, isa.R0)
+		}, nil)
+		m.AddI(isa.R7, isa.R7, 1)
+	})
+	m.LoadGlobalAddr(isa.R3, "out")
+	m.St(isa.R3, 0, isa.R8)
+	m.Halt()
+	p.SetEntry("main")
+
+	prog, err := p.Program()
+	if err != nil {
+		return nil, 0, err
+	}
+	outAddr := asm.DataSymbols(prog, asm.Options{})["out"]
+	return prog, outAddr, nil
+}
+
+// emitRandomFunc writes a function body: R0 in → R0 out, deterministic.
+// Function i only calls functions with larger indexes (acyclic), keeping
+// its live accumulator in a frame slot across calls.
+func emitRandomFunc(p *build.ProgramBuilder, f *build.FuncBuilder, rng *rand.Rand, names []string, i int, o Options) {
+	f.Prologue(32)
+	// acc in R2, input preserved in frame slot -8.
+	f.St(isa.FP, -8, isa.R0)
+	f.Mov(isa.R2, isa.R0)
+
+	nStmts := 2 + rng.Intn(4)
+	for s := 0; s < nStmts; s++ {
+		switch rng.Intn(6) {
+		case 0: // arithmetic
+			f.MulI(isa.R2, isa.R2, int64(1+rng.Intn(7)))
+			f.AddI(isa.R2, isa.R2, int64(rng.Intn(100)))
+		case 1: // xor/shift mix
+			f.XorI(isa.R2, isa.R2, int64(rng.Intn(1<<16)))
+			f.ShrI(isa.R3, isa.R2, int64(1+rng.Intn(3)))
+			f.Add(isa.R2, isa.R2, isa.R3)
+		case 2: // biased if/else
+			bias := int64(rng.Intn(15))
+			f.Ld(isa.R1, isa.FP, -8)
+			f.AndI(isa.R1, isa.R1, 15)
+			f.CmpI(isa.R1, bias)
+			f.If(isa.Cond(rng.Intn(6)), func() {
+				f.AddI(isa.R2, isa.R2, 17)
+			}, func() {
+				f.MulI(isa.R2, isa.R2, 3)
+				f.PadCode(rng.Intn(12))
+			})
+		case 3: // bounded loop
+			n := int64(1 + rng.Intn(4))
+			f.St(isa.FP, -16, isa.R2)
+			f.MovI(isa.R4, 0)
+			f.While(func() { f.CmpI(isa.R4, n) }, isa.LT, func() {
+				f.Ld(isa.R5, isa.FP, -16)
+				f.AddI(isa.R5, isa.R5, 5)
+				f.St(isa.FP, -16, isa.R5)
+				f.AddI(isa.R4, isa.R4, 1)
+			})
+			f.Ld(isa.R2, isa.FP, -16)
+		case 4: // direct or pointer call to a later function
+			if i+1 < len(names) {
+				callee := names[i+1+rng.Intn(len(names)-i-1)]
+				f.St(isa.FP, -24, isa.R2)
+				f.Ld(isa.R0, isa.FP, -8)
+				if rng.Intn(3) == 0 {
+					f.FuncPtr(isa.R6, callee)
+					f.CallR(isa.R6)
+				} else {
+					f.Call(callee)
+				}
+				f.Ld(isa.R2, isa.FP, -24)
+				f.Add(isa.R2, isa.R2, isa.R0)
+			} else {
+				f.AddI(isa.R2, isa.R2, 9)
+			}
+		case 5: // switch on input
+			cases := make([]func(), 2+rng.Intn(3))
+			for c := range cases {
+				delta := int64(c*7 + rng.Intn(20))
+				cases[c] = func() { f.AddI(isa.R2, isa.R2, delta) }
+			}
+			f.Ld(isa.R1, isa.FP, -8)
+			f.AndI(isa.R1, isa.R1, int64(len(cases)))
+			f.Switch(isa.R1, cases, func() { f.XorI(isa.R2, isa.R2, 0x55) })
+		}
+	}
+
+	// Virtual call from the middle tier into the leaf methods.
+	if i >= 2 && i < len(names)-3 && rng.Intn(3) == 0 {
+		f.St(isa.FP, -24, isa.R2)
+		f.LoadGlobalAddr(isa.R3, "vt")
+		f.St(isa.FP, -32, isa.R3)
+		f.AddI(isa.R4, isa.FP, -32) // object: [vtable]
+		f.Ld(isa.R0, isa.FP, -8)
+		f.AndI(isa.R5, isa.R0, 1)
+		f.Ld(isa.R6, isa.R4, 0)
+		f.ShlI(isa.R5, isa.R5, 3)
+		f.Add(isa.R6, isa.R6, isa.R5)
+		f.Ld(isa.R6, isa.R6, 0)
+		f.CallR(isa.R6)
+		f.Ld(isa.R2, isa.FP, -24)
+		f.Add(isa.R2, isa.R2, isa.R0)
+	}
+
+	f.Mov(isa.R0, isa.R2)
+	f.EpilogueRet()
+}

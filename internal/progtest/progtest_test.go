@@ -1,0 +1,60 @@
+package progtest
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/proc"
+)
+
+// TestGenerateDeterministicAndRunnable: same seed → same binary and same
+// checksum; different seeds → different programs.
+func TestGenerateDeterministicAndRunnable(t *testing.T) {
+	run := func(seed int64) uint64 {
+		prog, outAddr, err := Generate(Options{Funcs: 8, MainIters: 2000, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin, err := asm.Assemble(prog, asm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := bin.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		p, err := proc.Load(bin, proc.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.RunUntilHalt(0)
+		if err := p.Fault(); err != nil {
+			t.Fatal(err)
+		}
+		return p.Mem.ReadWord(outAddr)
+	}
+	a1, a2 := run(7), run(7)
+	if a1 != a2 {
+		t.Errorf("same seed produced %d and %d", a1, a2)
+	}
+	if b := run(8); b == a1 {
+		t.Error("different seeds produced identical checksums")
+	}
+}
+
+func TestGenerateDefaultsAndJumpTables(t *testing.T) {
+	prog, _, err := Generate(Options{Seed: 3, JumpTables: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.NoJumpTables {
+		t.Error("JumpTables option ignored")
+	}
+	bin, err := asm.Assemble(prog, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Minimum function count is enforced.
+	if len(bin.Funcs) < 4 {
+		t.Errorf("only %d functions", len(bin.Funcs))
+	}
+}

@@ -1,0 +1,137 @@
+// Package ptrace is the debugger API over a simulated process, mirroring
+// the subset of Linux ptrace that OCOLOS uses (§IV): attach/stop the
+// target, peek/poke its memory, and read/adjust per-thread register state.
+//
+// Two memory-write paths are provided, matching the paper's
+// "Efficient Code Copying" discussion (§V): PokeData writes one word per
+// call (the real PTRACE_POKEDATA, a syscall plus context switches per
+// 8 bytes — prohibitively slow for MiBs of code), while AgentWrite models
+// the LD_PRELOAD agent doing a bulk memcpy from inside the target.
+package ptrace
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/proc"
+)
+
+// Tracee is an attached process.
+type Tracee struct {
+	p        *proc.Process
+	attached bool
+
+	// PokeCount and PokeBytes record traffic through the slow word-by-word
+	// path; AgentBytes through the in-process agent path. The OCOLOS
+	// controller reports these in its replacement cost breakdown.
+	PokeCount  uint64
+	PokeBytes  uint64
+	AgentBytes uint64
+}
+
+// Attach stops the target process (all threads halt at instruction
+// boundaries) and returns a Tracee handle.
+func Attach(p *proc.Process) *Tracee {
+	p.Pause()
+	return &Tracee{p: p, attached: true}
+}
+
+// Detach resumes the target.
+func (t *Tracee) Detach() {
+	if t.attached {
+		t.p.Resume()
+		t.attached = false
+	}
+}
+
+// Attached reports whether the tracee is still stopped.
+func (t *Tracee) Attached() bool { return t.attached }
+
+func (t *Tracee) check() error {
+	if !t.attached {
+		return fmt.Errorf("ptrace: not attached")
+	}
+	return nil
+}
+
+// Regs is the register file of one thread, as GETREGS returns it.
+type Regs struct {
+	PC  uint64
+	GPR [isa.NumRegs]uint64
+	Cmp int64
+}
+
+// GetRegs reads thread tid's registers.
+func (t *Tracee) GetRegs(tid int) (Regs, error) {
+	if err := t.check(); err != nil {
+		return Regs{}, err
+	}
+	if tid < 0 || tid >= len(t.p.Threads) {
+		return Regs{}, fmt.Errorf("ptrace: no thread %d", tid)
+	}
+	th := t.p.Threads[tid]
+	return Regs{PC: th.PC, GPR: th.Regs, Cmp: th.CmpVal}, nil
+}
+
+// SetRegs writes thread tid's registers.
+func (t *Tracee) SetRegs(tid int, r Regs) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	if tid < 0 || tid >= len(t.p.Threads) {
+		return fmt.Errorf("ptrace: no thread %d", tid)
+	}
+	th := t.p.Threads[tid]
+	th.PC = r.PC
+	th.Regs = r.GPR
+	th.CmpVal = r.Cmp
+	return nil
+}
+
+// Threads returns the number of threads in the tracee.
+func (t *Tracee) Threads() int { return len(t.p.Threads) }
+
+// PeekData reads one word at addr.
+func (t *Tracee) PeekData(addr uint64) (uint64, error) {
+	if err := t.check(); err != nil {
+		return 0, err
+	}
+	return t.p.Mem.ReadWord(addr), nil
+}
+
+// PokeData writes one word at addr — the slow per-word path.
+func (t *Tracee) PokeData(addr uint64, v uint64) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.p.Mem.WriteWord(addr, v)
+	t.PokeCount++
+	t.PokeBytes += 8
+	return nil
+}
+
+// ReadMem bulk-reads target memory (process_vm_readv analog).
+func (t *Tracee) ReadMem(addr uint64, b []byte) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.p.Mem.Read(addr, b)
+	return nil
+}
+
+// AgentWrite bulk-writes target memory through the in-process agent (the
+// LD_PRELOAD library's memcpy), the fast path OCOLOS uses for code
+// injection.
+func (t *Tracee) AgentWrite(addr uint64, b []byte) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	t.p.Mem.Write(addr, b)
+	t.AgentBytes += uint64(len(b))
+	return nil
+}
+
+// Process exposes the underlying process for facilities that are part of
+// the agent rather than the debugger proper (installing the
+// function-pointer hook, unmapping dead code).
+func (t *Tracee) Process() *proc.Process { return t.p }

@@ -1,0 +1,139 @@
+package ptrace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/build"
+	"repro/internal/isa"
+	"repro/internal/proc"
+)
+
+func spinProcess(t *testing.T) *proc.Process {
+	t.Helper()
+	p := build.NewProgram("spin")
+	m := p.Func("main")
+	m.Prologue(16)
+	m.MovI(isa.R1, 0)
+	m.While(func() { m.CmpI(isa.R1, 1<<40) }, isa.LT, func() {
+		m.AddI(isa.R1, isa.R1, 1)
+	})
+	m.Halt()
+	p.SetEntry("main")
+	bin, err := p.Assemble(asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := proc.Load(bin, proc.Options{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.RunUntilHalt(10000)
+	return pr
+}
+
+func TestAttachStopsTarget(t *testing.T) {
+	pr := spinProcess(t)
+	tr := Attach(pr)
+	if !tr.Attached() || !pr.Paused() {
+		t.Fatal("attach did not stop the target")
+	}
+	if n := pr.RunUntilHalt(0); n != 0 {
+		t.Errorf("stopped target executed %d instructions", n)
+	}
+	tr.Detach()
+	if pr.Paused() {
+		t.Error("detach did not resume")
+	}
+	if n := pr.RunUntilHalt(1000); n == 0 {
+		t.Error("target did not run after detach")
+	}
+	// Double detach is harmless.
+	tr.Detach()
+}
+
+func TestPeekPokeAndBulk(t *testing.T) {
+	pr := spinProcess(t)
+	tr := Attach(pr)
+	defer tr.Detach()
+
+	if err := tr.PokeData(0x9000_0000, 0xABCD); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := tr.PeekData(0x9000_0000); err != nil || v != 0xABCD {
+		t.Errorf("peek = %#x, %v", v, err)
+	}
+
+	src := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	if err := tr.AgentWrite(0x9100_0000, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(src))
+	if err := tr.ReadMem(0x9100_0000, dst); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(src, dst) {
+		t.Error("bulk round trip mismatch")
+	}
+
+	// Accounting distinguishes the slow and fast paths.
+	if tr.PokeCount != 1 || tr.PokeBytes != 8 {
+		t.Errorf("poke accounting %d/%d", tr.PokeCount, tr.PokeBytes)
+	}
+	if tr.AgentBytes != uint64(len(src)) {
+		t.Errorf("agent accounting %d", tr.AgentBytes)
+	}
+}
+
+func TestThreadsAndRegs(t *testing.T) {
+	pr := spinProcess(t)
+	tr := Attach(pr)
+	defer tr.Detach()
+	if tr.Threads() != 2 {
+		t.Fatalf("threads = %d", tr.Threads())
+	}
+	r0, err := tr.GetRegs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.PC%isa.InstBytes != 0 {
+		t.Error("PC not at instruction boundary")
+	}
+	if r0.GPR[isa.SP] == 0 {
+		t.Error("SP not initialized")
+	}
+	if _, err := tr.GetRegs(2); err == nil {
+		t.Error("out-of-range tid accepted")
+	}
+	if err := tr.SetRegs(-1, r0); err == nil {
+		t.Error("negative tid accepted")
+	}
+}
+
+func TestDetachedOperationsAllFail(t *testing.T) {
+	pr := spinProcess(t)
+	tr := Attach(pr)
+	tr.Detach()
+	if _, err := tr.PeekData(0x1000); err == nil {
+		t.Error("PeekData after detach")
+	}
+	if err := tr.SetRegs(0, Regs{}); err == nil {
+		t.Error("SetRegs after detach")
+	}
+	if err := tr.ReadMem(0x1000, make([]byte, 8)); err == nil {
+		t.Error("ReadMem after detach")
+	}
+	if err := tr.AgentWrite(0x1000, []byte{1}); err == nil {
+		t.Error("AgentWrite after detach")
+	}
+}
+
+func TestProcessAccessor(t *testing.T) {
+	pr := spinProcess(t)
+	tr := Attach(pr)
+	defer tr.Detach()
+	if tr.Process() != pr {
+		t.Error("Process() does not return the tracee's process")
+	}
+}

@@ -1,0 +1,89 @@
+// Package unwind walks the call stacks of a stopped process — the
+// libunwind analog OCOLOS uses to find return addresses and the set of
+// stack-live functions (§IV-C1).
+//
+// The ABI guarantees a frame-pointer chain: ENTER pushes the caller's FP
+// and points FP at the saved slot, so [FP] is the saved FP and [FP+8] the
+// return address. A zero FP terminates the chain (thread entry).
+package unwind
+
+import (
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/ptrace"
+)
+
+// Frame is one stack frame.
+type Frame struct {
+	PC      uint64 // instruction address: thread PC for frame 0, return address otherwise
+	RetSlot uint64 // memory address holding the return address (0 for frame 0)
+	FP      uint64 // frame pointer value for this frame
+}
+
+// maxFrames bounds runaway walks over corrupted stacks.
+const maxFrames = 4096
+
+// Stack unwinds thread tid of the stopped tracee. The first frame is the
+// thread's current PC; subsequent frames carry return addresses and the
+// stack slots they were read from (so a code-replacement pass can rewrite
+// them).
+func Stack(t *ptrace.Tracee, tid int) ([]Frame, error) {
+	regs, err := t.GetRegs(tid)
+	if err != nil {
+		return nil, err
+	}
+	frames := []Frame{{PC: regs.PC, FP: regs.GPR[isa.FP]}}
+	fp := regs.GPR[isa.FP]
+	for n := 0; fp != 0 && n < maxFrames; n++ {
+		savedFP, err := t.PeekData(fp)
+		if err != nil {
+			return nil, err
+		}
+		retSlot := fp + 8
+		ra, err := t.PeekData(retSlot)
+		if err != nil {
+			return nil, err
+		}
+		if ra == 0 {
+			break
+		}
+		frames = append(frames, Frame{PC: ra, RetSlot: retSlot, FP: savedFP})
+		if savedFP != 0 && savedFP <= fp {
+			break // chain must grow upward; stop on corruption
+		}
+		fp = savedFP
+	}
+	return frames, nil
+}
+
+// AllStacks unwinds every thread.
+func AllStacks(t *ptrace.Tracee) ([][]Frame, error) {
+	out := make([][]Frame, t.Threads())
+	for tid := 0; tid < t.Threads(); tid++ {
+		frames, err := Stack(t, tid)
+		if err != nil {
+			return nil, err
+		}
+		out[tid] = frames
+	}
+	return out, nil
+}
+
+// LiveFunctions symbolizes all frames against a binary and returns the set
+// of stack-live functions (keyed by entry address) — the functions OCOLOS
+// must treat specially during replacement.
+func LiveFunctions(t *ptrace.Tracee, bin *obj.Binary) (map[uint64]*obj.Func, error) {
+	stacks, err := AllStacks(t)
+	if err != nil {
+		return nil, err
+	}
+	live := make(map[uint64]*obj.Func)
+	for _, frames := range stacks {
+		for _, fr := range frames {
+			if f, _, _ := bin.Lookup(fr.PC); f != nil {
+				live[f.Addr] = f
+			}
+		}
+	}
+	return live, nil
+}

@@ -1,0 +1,207 @@
+// Package compilersim is the Clang-analog batch workload for BAM (§V-A,
+// Figure 10): a compiler binary that is invoked once per translation unit
+// in a parallel build. Each invocation lexes a pseudo-random token stream
+// (generated in guest code from the TU's seed), dispatches per-token into
+// recursive-descent-style grammar functions, and "emits code" into an
+// output buffer, publishing a checksum for validation.
+package compilersim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/build"
+	"repro/internal/isa"
+	"repro/internal/workloads/wl"
+	"repro/internal/workloads/wlgen"
+)
+
+// tokenTypes is the number of token kinds the front end dispatches on;
+// each TU only produces tokenWindow consecutive kinds (seed-dependent).
+const (
+	tokenTypes  = 12
+	tokenWindow = 8
+)
+
+// Scale configures the compiler's code size.
+type Scale struct {
+	GrammarSteps int // grammar functions per token type
+	GrammarPad   int
+	GrammarWork  int
+	ColdFuncs    int
+	ColdSize     int
+}
+
+// Full is the evaluation scale.
+func Full() Scale {
+	return Scale{GrammarSteps: 14, GrammarPad: 44, GrammarWork: 12, ColdFuncs: 200, ColdSize: 55}
+}
+
+// Small keeps tests fast.
+func Small() Scale {
+	return Scale{GrammarSteps: 3, GrammarPad: 8, GrammarWork: 4, ColdFuncs: 12, ColdSize: 14}
+}
+
+// Build assembles the compiler binary.
+func Build(sc Scale) (*wl.Workload, error) {
+	p := build.NewProgram("compilersim")
+	p.SetNoJumpTables(true)
+	cold := wlgen.EmitColdLib(p, "diag", sc.ColdFuncs, sc.ColdSize)
+	p.Global("outbuf", 1<<14)
+	p.Global("outpos", 8)
+
+	// Grammar pipelines, one per token type, interleaved in layout.
+	prefixes := make([]string, tokenTypes)
+	for i := range prefixes {
+		prefixes[i] = fmt.Sprintf("gram_t%02d", i)
+	}
+	gramEntries := wlgen.EmitChains(p, prefixes, wlgen.ChainSpec{
+		Steps:      sc.GrammarSteps,
+		ColdPad:    sc.GrammarPad,
+		HotWork:    sc.GrammarWork,
+		CallCold:   cold[0],
+		Sequential: true,
+	})
+
+	// Code emitters per token type: append a word to the output buffer.
+	emitNames := make([]string, tokenTypes)
+	for i := range emitNames {
+		emitNames[i] = fmt.Sprintf("emit_t%02d", i)
+		f := p.Func(emitNames[i])
+		f.Prologue(16)
+		f.LoadGlobalAddr(isa.R6, "outpos")
+		f.Ld(isa.R7, isa.R6, 0)
+		f.LoadGlobalAddr(isa.R8, "outbuf")
+		f.AndI(isa.R9, isa.R7, (1<<14)/8-1)
+		f.ShlI(isa.R9, isa.R9, 3)
+		f.Add(isa.R8, isa.R8, isa.R9)
+		f.XorI(isa.R0, isa.R0, int64(i*7919))
+		f.St(isa.R8, 0, isa.R0)
+		f.AddI(isa.R7, isa.R7, 1)
+		f.St(isa.R6, 0, isa.R7)
+		f.EpilogueRet()
+	}
+
+	// Per-token front-end handlers: grammar then emission.
+	tokNames := make([]string, tokenTypes)
+	for i := range tokNames {
+		tokNames[i] = fmt.Sprintf("tok_t%02d", i)
+		f := p.Func(tokNames[i])
+		f.Prologue(32)
+		f.St(isa.FP, -8, isa.R0)
+		f.MovI(isa.R1, 0)
+		f.Call(gramEntries[i])
+		f.Ld(isa.R0, isa.FP, -8)
+		f.Call(emitNames[i])
+		f.EpilogueRet()
+	}
+
+	// compile_tu(R0 seed, R1 ntokens) → R0 checksum.
+	// Token stream: LCG in R10; token type = high bits mod tokenTypes via
+	// a compare chain (-fno-jump-tables lowering).
+	ct := p.Func("compile_tu")
+	ct.Prologue(48)
+	ct.St(isa.FP, -8, isa.R0)  // lcg state
+	ct.St(isa.FP, -16, isa.R1) // remaining tokens
+	ct.MovI(isa.R9, 0)
+	ct.St(isa.FP, -24, isa.R9) // checksum
+	// Each TU exercises a seed-dependent window of the token-type space
+	// (different source files stress different language constructs), so
+	// profiles from more TUs cover more of the front end — the marginal
+	// utility Figure 10's ideal curve measures.
+	ct.MovI(isa.R12, tokenTypes)
+	ct.Mod(isa.R11, isa.R0, isa.R12)
+	ct.St(isa.FP, -32, isa.R11) // token-window base
+	ct.While(func() {
+		ct.Ld(isa.R9, isa.FP, -16)
+		ct.CmpI(isa.R9, 0)
+	}, isa.GT, func() {
+		// lcg: state = state*6364136223846793005 + 1442695040888963407
+		ct.Ld(isa.R10, isa.FP, -8)
+		ct.MulI(isa.R10, isa.R10, -3372029247567499371) // 6364136223846793005 as int64
+		ct.AddI(isa.R10, isa.R10, 1442695040888963407)
+		ct.St(isa.FP, -8, isa.R10)
+		ct.ShrI(isa.R11, isa.R10, 33)
+		ct.MovI(isa.R12, tokenWindow)
+		ct.Mod(isa.R11, isa.R11, isa.R12)
+		ct.Ld(isa.R12, isa.FP, -32) // + per-TU window base
+		ct.Add(isa.R11, isa.R11, isa.R12)
+		ct.MovI(isa.R12, tokenTypes)
+		ct.Mod(isa.R11, isa.R11, isa.R12) // token type
+		ct.Mov(isa.R0, isa.R10)
+		// Dispatch (compare chain over token types).
+		cases := make([]func(), tokenTypes)
+		for i := range cases {
+			name := tokNames[i]
+			cases[i] = func() { ct.Call(name) }
+		}
+		ct.Switch(isa.R11, cases, func() { ct.Call(cold[1]) })
+		// Fold into the checksum.
+		ct.Ld(isa.R9, isa.FP, -24)
+		ct.Add(isa.R9, isa.R9, isa.R0)
+		ct.St(isa.FP, -24, isa.R9)
+		ct.Ld(isa.R9, isa.FP, -16)
+		ct.AddI(isa.R9, isa.R9, -1)
+		ct.St(isa.FP, -16, isa.R9)
+	})
+	ct.Ld(isa.R0, isa.FP, -24)
+	ct.EpilogueRet()
+
+	// main: each request is one TU (op 0); NoMoreWork halts the process.
+	m := p.Func("main")
+	m.Prologue(32)
+	loop := m.Label("tu")
+	m.Sys(1) // SysRecv: R1 seed, R2 ntokens
+	m.CmpI(isa.R0, -1)
+	m.If(isa.EQ, func() { m.Halt() }, nil)
+	m.Mov(isa.R0, isa.R1)
+	m.Mov(isa.R1, isa.R2)
+	m.Call("compile_tu")
+	m.Sys(5) // SysEmit checksum
+	m.Sys(2) // SysSend
+	m.Goto(loop)
+	p.SetEntry("main")
+
+	bin, err := p.Assemble(asm.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &wl.Workload{
+		Name:    "compilersim",
+		Binary:  bin,
+		Inputs:  []string{"tu:0"},
+		Threads: 1,
+		NewDriver: func(input string, threads int) (*wl.Driver, error) {
+			gen, err := generator(input)
+			if err != nil {
+				return nil, err
+			}
+			return wl.NewDriver(gen, threads), nil
+		},
+	}, nil
+}
+
+// TUTokens is the default translation-unit size in tokens.
+const TUTokens = 2500
+
+// generator serves exactly one TU then reports no more work, like a
+// compiler process that compiles its file and exits. The input selects
+// the TU: "tu:<n>".
+func generator(input string) (wl.Generator, error) {
+	if !strings.HasPrefix(input, "tu:") {
+		return nil, fmt.Errorf("compilersim: input must be tu:<n>, got %q", input)
+	}
+	n, err := strconv.Atoi(input[3:])
+	if err != nil {
+		return nil, fmt.Errorf("compilersim: bad TU index in %q", input)
+	}
+	return func(tid int, seq uint64) wl.Request {
+		if seq > 0 {
+			return wl.Request{Op: wl.NoMoreWork}
+		}
+		seed := wl.SplitMix64(uint64(n)*0x9E37 + 12345)
+		return wl.Request{Op: 0, Arg1: seed | 1, Arg2: TUTokens}
+	}, nil
+}

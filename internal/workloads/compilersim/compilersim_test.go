@@ -1,0 +1,79 @@
+package compilersim
+
+import (
+	"testing"
+
+	"repro/internal/proc"
+)
+
+func TestCompileOneTU(t *testing.T) {
+	w, err := Build(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Binary.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := w.NewDriver("tu:7", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := w.Load(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.RunUntilHalt(0)
+	if err := pr.Fault(); err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Halted() {
+		t.Fatal("compiler process did not exit after its TU")
+	}
+	if d.Completed() != 1 {
+		t.Errorf("completed %d TUs, want 1", d.Completed())
+	}
+	if len(d.Emitted()) != 1 || d.Emitted()[0] == 0 {
+		t.Errorf("checksum missing: %v", d.Emitted())
+	}
+}
+
+func TestChecksumsDifferByTU(t *testing.T) {
+	w, err := Build(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := func(tu string) uint64 {
+		d, err := w.NewDriver(tu, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := proc.Load(w.Binary, proc.Options{Threads: 1, Handler: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr.RunUntilHalt(0)
+		if err := pr.Fault(); err != nil {
+			t.Fatal(err)
+		}
+		return d.Emitted()[0]
+	}
+	a1, a2, b := sum("tu:1"), sum("tu:1"), sum("tu:2")
+	if a1 != a2 {
+		t.Error("same TU produced different checksums")
+	}
+	if a1 == b {
+		t.Error("different TUs produced identical checksums")
+	}
+}
+
+func TestBadInputRejected(t *testing.T) {
+	w, err := Build(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []string{"x", "tu:", "tu:abc"} {
+		if _, err := w.NewDriver(in, 1); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}

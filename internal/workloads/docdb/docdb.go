@@ -1,0 +1,303 @@
+// Package docdb is the MongoDB-analog workload: a document store with a
+// BSON-style decode pipeline, collection dispatch through v-tables, and a
+// document heap far larger than the last-level cache so that scan-heavy
+// mixes are memory-bandwidth bound — the regime behind the paper's
+// MongoDB scan95_insert5 anomaly (§VI-B), where code layout optimization
+// cannot help and the BOLT-based configurations stop winning.
+//
+// Input mixes follow the paper's YCSB-style naming: read95_insert5,
+// read_update (50/50), scan95_insert5.
+package docdb
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/build"
+	"repro/internal/isa"
+	"repro/internal/workloads/wl"
+	"repro/internal/workloads/wlgen"
+)
+
+// Operation codes.
+const (
+	opRead = iota
+	opUpdate
+	opInsert
+	opScan
+	numOps
+)
+
+var opNames = []string{"read", "update", "insert", "scan"}
+
+// Scale configures code and data sizes.
+type Scale struct {
+	DecodeSteps int
+	DecodePad   int
+	DecodeWork  int
+	ColdFuncs   int
+	ColdSize    int
+	Buckets     int64
+	DocWords    int64 // document heap size in words; Full exceeds the LLC
+	ScanLen     int64
+	Preload     int64
+}
+
+// Full is the evaluation scale.
+func Full() Scale {
+	return Scale{DecodeSteps: 28, DecodePad: 40, DecodeWork: 12,
+		ColdFuncs: 320, ColdSize: 60, Buckets: 1 << 16,
+		DocWords: 1 << 22, // 32 MiB, beyond the 20 MiB L3
+		ScanLen:  2048, Preload: 8192}
+}
+
+// Small keeps tests fast.
+func Small() Scale {
+	return Scale{DecodeSteps: 6, DecodePad: 10, DecodeWork: 4,
+		ColdFuncs: 16, ColdSize: 16, Buckets: 1 << 12,
+		DocWords: 1 << 14, ScanLen: 64, Preload: 256}
+}
+
+// Build assembles the workload.
+func Build(sc Scale) (*wl.Workload, error) {
+	p := build.NewProgram("docdb")
+	p.SetNoJumpTables(true)
+
+	cold := wlgen.EmitColdLib(p, "mutil", sc.ColdFuncs, sc.ColdSize)
+	idx := wlgen.EmitHashTable(p, "didx", sc.Buckets)
+	p.Global("docs", uint64(sc.DocWords)*8)
+	p.Global("oplog", 1<<14)
+	p.Global("oplogpos", 8)
+
+	prefixes := make([]string, numOps)
+	for i, n := range opNames {
+		prefixes[i] = "bson_" + n
+	}
+	decodeEntries := wlgen.EmitChains(p, prefixes, wlgen.ChainSpec{
+		Steps:      sc.DecodeSteps,
+		ColdPad:    sc.DecodePad,
+		HotWork:    sc.DecodeWork,
+		CallCold:   cold[0],
+		Sequential: true,
+	})
+
+	// The memory-bound collection scan.
+	wlgen.EmitScan(p, "doc_scan", "docs", sc.DocWords, 8)
+
+	// Document field access: 8 strided loads within one document.
+	docRead := p.Func("doc_read") // R0 docid → R0 folded fields
+	docRead.Prologue(16)
+	docRead.LoadGlobalAddr(isa.R6, "docs")
+	docRead.AndI(isa.R7, isa.R0, sc.DocWords-8)
+	docRead.ShlI(isa.R7, isa.R7, 3)
+	docRead.Add(isa.R6, isa.R6, isa.R7)
+	docRead.MovI(isa.R9, 0)
+	for i := int64(0); i < 8; i++ {
+		docRead.Ld(isa.R8, isa.R6, i*8)
+		docRead.Add(isa.R9, isa.R9, isa.R8)
+	}
+	docRead.Mov(isa.R0, isa.R9)
+	docRead.EpilogueRet()
+
+	docWrite := p.Func("doc_write") // R0 docid, R1 value
+	docWrite.Prologue(16)
+	docWrite.LoadGlobalAddr(isa.R6, "docs")
+	docWrite.AndI(isa.R7, isa.R0, sc.DocWords-8)
+	docWrite.ShlI(isa.R7, isa.R7, 3)
+	docWrite.Add(isa.R6, isa.R6, isa.R7)
+	for i := int64(0); i < 4; i++ {
+		docWrite.St(isa.R6, i*8, isa.R1)
+	}
+	docWrite.EpilogueRet()
+
+	oplog := p.Func("oplog_append")
+	oplog.Prologue(16)
+	oplog.LoadGlobalAddr(isa.R6, "oplogpos")
+	oplog.Ld(isa.R7, isa.R6, 0)
+	oplog.LoadGlobalAddr(isa.R8, "oplog")
+	oplog.AndI(isa.R9, isa.R7, (1<<14)/8-1)
+	oplog.ShlI(isa.R9, isa.R9, 3)
+	oplog.Add(isa.R8, isa.R8, isa.R9)
+	oplog.St(isa.R8, 0, isa.R0)
+	oplog.AddI(isa.R7, isa.R7, 1)
+	oplog.St(isa.R6, 0, isa.R7)
+	oplog.EpilogueRet()
+
+	// Collection methods behind a v-table: 0 find, 1 upsert, 2 insert,
+	// 3 scan.
+	p.Global("coll_obj", 8)
+	cFind := p.Func("c_find") // R0 key → R0 doc fold
+	cFind.Prologue(32)
+	cFind.Call(idx.Get)
+	cFind.Call("doc_read")
+	cFind.EpilogueRet()
+	cUpsert := p.Func("c_upsert") // R0 key, R1 val
+	cUpsert.Prologue(32)
+	cUpsert.St(isa.FP, -8, isa.R0)
+	cUpsert.St(isa.FP, -16, isa.R1)
+	cUpsert.Call(idx.Get)
+	cUpsert.Mov(isa.R1, isa.R0) // docid (0 for miss: slot 0 is a scratch doc)
+	cUpsert.Ld(isa.R0, isa.FP, -8)
+	cUpsert.Mov(isa.R0, isa.R1)
+	cUpsert.Ld(isa.R1, isa.FP, -16)
+	cUpsert.Call("doc_write")
+	cUpsert.Ld(isa.R0, isa.FP, -8)
+	cUpsert.Call("oplog_append")
+	cUpsert.EpilogueRet()
+	cInsert := p.Func("c_insert") // R0 key, R1 docid
+	cInsert.Prologue(32)
+	cInsert.St(isa.FP, -8, isa.R1)
+	cInsert.Call(idx.Put)
+	cInsert.Ld(isa.R0, isa.FP, -8)
+	cInsert.MovI(isa.R1, 0xBEEF)
+	cInsert.Call("doc_write")
+	cInsert.Ld(isa.R0, isa.FP, -8)
+	cInsert.Call("oplog_append")
+	cInsert.EpilogueRet()
+	cScan := p.Func("c_scan") // R0 start, R1 len → R0 sum
+	cScan.Prologue(16)
+	cScan.Call("doc_scan")
+	cScan.EpilogueRet()
+	p.VTable("coll_vt", "c_find", "c_upsert", "c_insert", "c_scan")
+
+	// Handlers.
+	emitHandler := func(op int, body func(h *build.FuncBuilder)) {
+		h := p.Func("h_" + opNames[op])
+		h.Prologue(48)
+		h.St(isa.FP, -8, isa.R0)
+		h.St(isa.FP, -16, isa.R1)
+		h.St(isa.FP, -24, isa.R2)
+		h.MovI(isa.R1, 0)
+		h.Call(decodeEntries[op])
+		body(h)
+		h.EpilogueRet()
+	}
+	vcall := func(h *build.FuncBuilder, slot int64) {
+		h.LoadGlobalAddr(isa.R6, "coll_obj")
+		h.VCall(isa.R6, isa.R7, slot)
+	}
+	emitHandler(opRead, func(h *build.FuncBuilder) {
+		h.Ld(isa.R0, isa.FP, -8)
+		vcall(h, 0)
+	})
+	emitHandler(opUpdate, func(h *build.FuncBuilder) {
+		h.Ld(isa.R0, isa.FP, -8)
+		h.Ld(isa.R1, isa.FP, -16)
+		vcall(h, 1)
+	})
+	emitHandler(opInsert, func(h *build.FuncBuilder) {
+		h.Ld(isa.R0, isa.FP, -8)
+		h.Ld(isa.R1, isa.FP, -16)
+		vcall(h, 2)
+	})
+	emitHandler(opScan, func(h *build.FuncBuilder) {
+		h.Ld(isa.R0, isa.FP, -8)
+		h.MovI(isa.R1, sc.ScanLen)
+		vcall(h, 3)
+	})
+	handlerNames := make([]string, numOps)
+	for i, n := range opNames {
+		handlerNames[i] = "h_" + n
+	}
+	p.VTable("handlers_vt", handlerNames...)
+
+	// init + main with the usual ready-flag gate.
+	p.Global("ready_flag", 8)
+	ini := p.Func("db_init")
+	ini.Prologue(32)
+	ini.LoadGlobalAddr(isa.R6, "coll_vt")
+	ini.LoadGlobalAddr(isa.R7, "coll_obj")
+	ini.St(isa.R7, 0, isa.R6)
+	ini.MovI(isa.R9, 0)
+	ini.While(func() { ini.CmpI(isa.R9, sc.Preload) }, isa.LT, func() {
+		ini.ShlI(isa.R0, isa.R9, 1)
+		ini.AddI(isa.R0, isa.R0, 2)
+		ini.MulI(isa.R1, isa.R9, 2654435761)
+		ini.St(isa.FP, -8, isa.R9)
+		ini.Call(idx.Put)
+		ini.Ld(isa.R9, isa.FP, -8)
+		ini.AddI(isa.R9, isa.R9, 1)
+	})
+	ini.EpilogueRet()
+
+	m := p.Func("main")
+	m.Prologue(32)
+	m.CmpI(isa.R0, 0)
+	m.If(isa.EQ, func() {
+		m.Call("db_init")
+		m.LoadGlobalAddr(isa.R6, "ready_flag")
+		m.MovI(isa.R7, 1)
+		m.St(isa.R6, 0, isa.R7)
+	}, func() {
+		m.LoadGlobalAddr(isa.R6, "ready_flag")
+		spin := m.Label("wait")
+		m.Ld(isa.R7, isa.R6, 0)
+		m.CmpI(isa.R7, 1)
+		m.If(isa.NE, func() { m.Goto(spin) }, nil)
+	})
+	m.Call("serve_loop")
+	m.Halt()
+	wlgen.EmitServerMain(p, "serve_loop", "handlers_vt", numOps)
+	p.SetEntry("main")
+
+	bin, err := p.Assemble(asm.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &wl.Workload{
+		Name:    "docdb",
+		Binary:  bin,
+		Inputs:  Inputs(),
+		Threads: 8,
+		NewDriver: func(input string, threads int) (*wl.Driver, error) {
+			gen, err := generator(input, sc)
+			if err != nil {
+				return nil, err
+			}
+			return wl.NewDriver(gen, threads), nil
+		},
+	}, nil
+}
+
+// Inputs lists the YCSB-analog mixes.
+func Inputs() []string {
+	return []string{"read95_insert5", "read_update", "scan95_insert5"}
+}
+
+func generator(input string, sc Scale) (wl.Generator, error) {
+	type slice struct {
+		pct int
+		op  uint64
+	}
+	var mix []slice
+	switch input {
+	case "read95_insert5":
+		mix = []slice{{95, opRead}, {5, opInsert}}
+	case "read_update":
+		mix = []slice{{50, opRead}, {50, opUpdate}}
+	case "scan95_insert5":
+		mix = []slice{{95, opScan}, {5, opInsert}}
+	default:
+		return nil, fmt.Errorf("docdb: unknown input %q", input)
+	}
+	keyMask := uint64(sc.Preload - 1)
+	scanMask := uint64(sc.DocWords - 1)
+	return func(tid int, seq uint64) wl.Request {
+		r := wl.SplitMix64(uint64(tid)<<40 ^ seq ^ 0xD0C)
+		roll := int(r % 100)
+		op := mix[len(mix)-1].op
+		acc := 0
+		for _, s := range mix {
+			acc += s.pct
+			if roll < acc {
+				op = s.op
+				break
+			}
+		}
+		arg1 := ((r >> 8) & keyMask << 1) + 2
+		if op == opScan {
+			arg1 = (r >> 8) & scanMask
+		}
+		return wl.Request{Op: op, Arg1: arg1, Arg2: r >> 32 & 0xFFFF, Arg3: 0}
+	}, nil
+}

@@ -1,0 +1,50 @@
+package kvcache
+
+import (
+	"testing"
+
+	"repro/internal/workloads/wl"
+)
+
+func TestBuildAndServe(t *testing.T) {
+	w, err := Build(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Binary.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Binary.VTables) != 0 {
+		t.Error("kvcache should have no v-tables (like Memcached, Table I)")
+	}
+	for _, input := range Inputs() {
+		d, err := w.NewDriver(input, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := w.Load(d, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tput := wl.Measure(pr, d, 0.0005)
+		if err := pr.Fault(); err != nil {
+			t.Fatalf("%s: %v", input, err)
+		}
+		if tput == 0 {
+			t.Errorf("%s: zero throughput", input)
+		}
+	}
+	if _, err := w.NewDriver("bogus", 1); err == nil {
+		t.Error("unknown input accepted")
+	}
+}
+
+func TestTextIsSmall(t *testing.T) {
+	w, err := Build(Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb := w.Binary.TextBytes(); tb > 300<<10 {
+		t.Errorf("kvcache text %d bytes; should stay small like Memcached's 145 KiB", tb)
+	}
+}

@@ -1,0 +1,183 @@
+// Package rtlsim is the Verilator-analog workload: a cycle-driven RTL
+// simulator for a synthetic circuit. Each module becomes one generated
+// eval function full of stimulus-dependent biased branches, and one
+// simulated circuit cycle sweeps every module — a single-threaded
+// instruction stream whose footprint far exceeds the L1i, the regime
+// where the paper measures its largest speedup (2.20×).
+//
+// Inputs name the RISC-V benchmark stimuli of the paper: dhrystone,
+// median, vvadd. Each selects a different stimulus pattern, activating
+// different branch sides in the eval functions (the input sensitivity of
+// Figure 5).
+package rtlsim
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/build"
+	"repro/internal/isa"
+	"repro/internal/workloads/wl"
+	"repro/internal/workloads/wlgen"
+)
+
+// Scale configures the generated circuit.
+type Scale struct {
+	Modules    int // eval functions
+	Branches   int // stimulus-dependent branches per module
+	ColdFuncs  int // debug/tracing code, never executed
+	ColdSize   int
+	StateWords int64
+}
+
+// Full is the evaluation scale (~0.5 MiB of eval code).
+func Full() Scale {
+	return Scale{Modules: 100, Branches: 7, ColdFuncs: 120, ColdSize: 50, StateWords: 1 << 12}
+}
+
+// Small keeps tests fast.
+func Small() Scale {
+	return Scale{Modules: 16, Branches: 4, ColdFuncs: 8, ColdSize: 16, StateWords: 1 << 8}
+}
+
+// stimSlot is the state word holding the current stimulus.
+const stimSlot = 0
+
+// Build assembles the workload.
+func Build(sc Scale) (*wl.Workload, error) {
+	p := build.NewProgram("rtlsim")
+	p.SetNoJumpTables(true)
+	p.Global("state", uint64(sc.StateWords)*8)
+	cold := wlgen.EmitColdLib(p, "vtrace", sc.ColdFuncs, sc.ColdSize)
+
+	// Module eval functions, interleaved with cold tracing helpers the
+	// way Verilated output interleaves eval and debug code.
+	evalNames := make([]string, sc.Modules)
+	for i := range evalNames {
+		evalNames[i] = fmt.Sprintf("eval_%03d", i)
+		f := p.Func(evalNames[i])
+		f.Prologue(16)
+		f.LoadGlobalAddr(isa.R6, "state")
+		slot := int64(1 + i%int(sc.StateWords-2))
+		f.Ld(isa.R7, isa.R6, slot*8)     // module state
+		f.Ld(isa.R8, isa.R6, stimSlot*8) // stimulus word
+		for b := 0; b < sc.Branches; b++ {
+			bit := uint((i*sc.Branches + b) % 60)
+			f.ShrI(isa.R9, isa.R8, int64(bit))
+			f.AndI(isa.R9, isa.R9, 1)
+			f.CmpI(isa.R9, 0)
+			// Both branch sides are real logic; which one is hot depends
+			// entirely on the stimulus, so only a profile can know.
+			f.If(isa.EQ, func() {
+				f.MulI(isa.R7, isa.R7, int64(2*b+3))
+				f.AddI(isa.R7, isa.R7, int64(i+b))
+			}, func() {
+				f.XorI(isa.R7, isa.R7, int64(i*131+b))
+				f.ShrI(isa.R10, isa.R7, 3)
+				f.Add(isa.R7, isa.R7, isa.R10)
+				f.AddI(isa.R7, isa.R7, 7)
+				f.PadCode(2)
+			})
+		}
+		f.St(isa.R6, slot*8, isa.R7)
+		f.Mov(isa.R0, isa.R7)
+		f.EpilogueRet()
+		// Interleave a cold helper after every few modules.
+		if i%3 == 2 {
+			name := fmt.Sprintf("vdbg_%03d", i)
+			g := p.Func(name)
+			g.Prologue(16)
+			g.PadCode(30)
+			g.Call(cold[i%len(cold)])
+			g.EpilogueRet()
+		}
+	}
+
+	// cycle_eval: one circuit cycle = sweep all modules in *schedule*
+	// order, folding a checksum. The netlist schedule (data dependencies
+	// between modules) has nothing to do with the order the code
+	// generator emitted the eval functions in, so the original layout
+	// jumps all over the text section — exactly Verilator's pathology
+	// that gives BOLT its largest win in the paper.
+	schedule := make([]int, len(evalNames))
+	for i := range schedule {
+		schedule[i] = i
+	}
+	lcg := uint64(0x9E3779B97F4A7C15)
+	for i := len(schedule) - 1; i > 0; i-- {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		j := int(lcg>>33) % (i + 1)
+		schedule[i], schedule[j] = schedule[j], schedule[i]
+	}
+	ce := p.Func("cycle_eval")
+	ce.Prologue(32)
+	ce.MovI(isa.R11, 0)
+	ce.St(isa.FP, -8, isa.R11)
+	for _, mi := range schedule {
+		n := evalNames[mi]
+		ce.Call(n)
+		ce.Ld(isa.R11, isa.FP, -8)
+		ce.Add(isa.R11, isa.R11, isa.R0)
+		ce.St(isa.FP, -8, isa.R11)
+	}
+	ce.Ld(isa.R0, isa.FP, -8)
+	ce.EpilogueRet()
+
+	// main: request = simulate one circuit cycle with the given stimulus.
+	m := p.Func("main")
+	m.Prologue(32)
+	loop := m.Label("tick")
+	m.Sys(1) // SysRecv: R0 op (unused), R1 stimulus
+	m.CmpI(isa.R0, -1)
+	m.If(isa.EQ, func() { m.Halt() }, nil)
+	m.LoadGlobalAddr(isa.R6, "state")
+	m.St(isa.R6, stimSlot*8, isa.R1)
+	m.Call("cycle_eval")
+	m.Sys(2) // SysSend with the cycle checksum
+	m.Goto(loop)
+	p.SetEntry("main")
+
+	bin, err := p.Assemble(asm.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &wl.Workload{
+		Name:    "rtlsim",
+		Binary:  bin,
+		Inputs:  Inputs(),
+		Threads: 1, // Verilator is single-threaded (§VI-A)
+		NewDriver: func(input string, threads int) (*wl.Driver, error) {
+			gen, err := generator(input)
+			if err != nil {
+				return nil, err
+			}
+			return wl.NewDriver(gen, threads), nil
+		},
+	}, nil
+}
+
+// Inputs lists the stimulus sets (RISC-V benchmark analogs).
+func Inputs() []string { return []string{"dhrystone", "median", "vvadd"} }
+
+func generator(input string) (wl.Generator, error) {
+	var base uint64
+	switch input {
+	case "dhrystone":
+		base = 0x0000_0000_0000_FFFF
+	case "median":
+		base = 0xFFFF_0000_FF00_00FF
+	case "vvadd":
+		base = 0x5A5A_C33C_0F0F_9696
+	default:
+		return nil, fmt.Errorf("rtlsim: unknown input %q", input)
+	}
+	return func(tid int, seq uint64) wl.Request {
+		// Mostly stable stimulus with occasional flips, like a program
+		// phase in the simulated core.
+		stim := base
+		if seq%64 == 63 {
+			stim ^= wl.SplitMix64(seq) & 0xFF
+		}
+		return wl.Request{Op: 0, Arg1: stim}
+	}, nil
+}

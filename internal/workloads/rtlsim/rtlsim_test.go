@@ -1,0 +1,80 @@
+package rtlsim
+
+import (
+	"testing"
+
+	"repro/internal/perf"
+	"repro/internal/workloads/wl"
+)
+
+func TestBuildAndTick(t *testing.T) {
+	w, err := Build(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Binary.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, input := range Inputs() {
+		d, err := w.NewDriver(input, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := w.Load(d, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tput := wl.Measure(pr, d, 0.0005)
+		if err := pr.Fault(); err != nil {
+			t.Fatalf("%s: %v", input, err)
+		}
+		if tput == 0 {
+			t.Errorf("%s: zero cycle throughput", input)
+		}
+	}
+	if _, err := w.NewDriver("bogus", 1); err == nil {
+		t.Error("unknown input accepted")
+	}
+}
+
+func TestDeterministicChecksums(t *testing.T) {
+	w, err := Build(Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() uint64 {
+		d, _ := w.NewDriver("dhrystone", 1)
+		pr, err := w.Load(d, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr.RunFor(0.0003)
+		return d.Completed()
+	}
+	if a, b := run(), run(); a != b || a == 0 {
+		t.Errorf("non-deterministic ticks: %d vs %d", a, b)
+	}
+}
+
+// TestFullScaleFrontEndBound: the eval sweep must thrash the front end —
+// the precondition for the paper's 2.2× Verilator speedup.
+func TestFullScaleFrontEndBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evaluation-scale run in -short mode")
+	}
+	w, err := Build(Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := w.NewDriver("dhrystone", 1)
+	pr, err := w.Load(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.RunFor(0.002)
+	td := perf.MeasureTopDown(pr, 0.003).TopDown()
+	t.Logf("rtlsim dhrystone TopDown: %v", td)
+	if td.FrontEnd < 0.35 {
+		t.Errorf("front-end share %.1f%% too low for the Verilator analog", td.FrontEnd*100)
+	}
+}

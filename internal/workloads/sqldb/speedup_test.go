@@ -1,0 +1,95 @@
+package sqldb
+
+import (
+	"testing"
+
+	"repro/internal/bolt"
+	"repro/internal/core"
+	"repro/internal/obj"
+	"repro/internal/perf"
+	"repro/internal/proc"
+	"repro/internal/workloads/wl"
+)
+
+// TestSpeedupRegression pins the headline result at evaluation scale:
+// offline BOLT and online OCOLOS both give a solid speedup on read_only,
+// with OCOLOS close below the BOLT oracle (Figure 5's relationship).
+func TestSpeedupRegression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("evaluation-scale run in -short mode")
+	}
+	w, err := Build(Full())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const threads = 4
+
+	measure := func(bin *obj.Binary) float64 {
+		d, err := w.NewDriver("read_only", threads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := proc.Load(bin, proc.Options{Threads: threads, Handler: d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr.RunFor(0.002)
+		tput := wl.Measure(pr, d, 0.003)
+		if err := pr.Fault(); err != nil {
+			t.Fatal(err)
+		}
+		return tput
+	}
+
+	orig := measure(w.Binary)
+
+	// Offline BOLT with an oracle profile.
+	d, _ := w.NewDriver("read_only", threads)
+	pr, err := w.Load(d, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.RunFor(0.001)
+	raw := perf.Record(pr, 0.003, perf.RecorderOptions{})
+	prof, err := bolt.ConvertProfile(raw, w.Binary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bolt.Optimize(w.Binary, prof, bolt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boltTput := measure(res.Binary)
+
+	// OCOLOS online.
+	d2, _ := w.NewDriver("read_only", threads)
+	pr2, err := w.Load(d2, threads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr2.RunFor(0.001)
+	c, err := core.New(pr2, w.Binary, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.RunOnce(0.003); err != nil {
+		t.Fatal(err)
+	}
+	pr2.RunFor(0.002) // settle into optimized steady state
+	ocolos := wl.Measure(pr2, d2, 0.003)
+	if err := pr2.Fault(); err != nil {
+		t.Fatal(err)
+	}
+
+	bs, os := boltTput/orig, ocolos/orig
+	t.Logf("read_only speedups: BOLT %.3f, OCOLOS %.3f", bs, os)
+	if bs < 1.15 {
+		t.Errorf("BOLT speedup %.3f below regression floor 1.15", bs)
+	}
+	if os < 1.15 {
+		t.Errorf("OCOLOS speedup %.3f below regression floor 1.15", os)
+	}
+	if os > bs*1.1 {
+		t.Errorf("OCOLOS (%.3f) should not beat the BOLT oracle (%.3f) by >10%%", os, bs)
+	}
+}

@@ -1,0 +1,437 @@
+// Package sqldb is the MySQL-analog workload: a multithreaded relational
+// server with a large generated SQL parser (the MYSQLparse analog), a
+// query-plan stage, a storage engine behind a v-table (MySQL's handler
+// API), a write-ahead log, and a cold utility library that bulks the
+// binary up the way real server code does.
+//
+// Its request mixes mirror the Sysbench inputs of the paper's evaluation:
+// point_select, read_only, read_write, write_only, insert, delete,
+// update_index, update_non_index.
+package sqldb
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/build"
+	"repro/internal/isa"
+	"repro/internal/workloads/wl"
+	"repro/internal/workloads/wlgen"
+)
+
+// Operation codes (slot indexes in the dispatch table).
+const (
+	opPointSelect = iota
+	opRangeSelect
+	opInsert
+	opUpdateIndex
+	opUpdateNonIndex
+	opDelete
+	opAggregate
+	numOps
+)
+
+var opNames = []string{"point_select", "range_select", "insert",
+	"update_index", "update_non_index", "delete", "aggregate"}
+
+// Scale configures the generated code size. Full() approximates the
+// paper's front-end pressure; Small() keeps unit tests fast.
+type Scale struct {
+	ParseSteps int // functions per query-type parse chain
+	ParsePad   int // inline cold error-path NOPs per parse function
+	ParseWork  int // hot arithmetic ops per parse function
+	ColdFuncs  int // cold library size
+	ColdSize   int // instructions per cold function
+	Buckets    int64
+	Preload    int64 // rows loaded at startup
+
+	// Engine selects the storage engine: "hash" (default, memcached-style
+	// open addressing) or "btree" (InnoDB-style clustered B-tree index).
+	Engine string
+}
+
+// Full is the evaluation scale: the per-query hot code footprint exceeds
+// the 32 KiB L1i, so the original layout is front-end bound.
+func Full() Scale {
+	return Scale{ParseSteps: 36, ParsePad: 44, ParseWork: 14,
+		ColdFuncs: 260, ColdSize: 62, Buckets: 1 << 16, Preload: 8192}
+}
+
+// Small keeps tests fast.
+func Small() Scale {
+	return Scale{ParseSteps: 8, ParsePad: 12, ParseWork: 4,
+		ColdFuncs: 24, ColdSize: 20, Buckets: 1 << 12, Preload: 512}
+}
+
+// Build assembles the workload.
+func Build(sc Scale) (*wl.Workload, error) {
+	p := build.NewProgram("sqldb")
+	p.SetNoJumpTables(true) // OCOLOS requirement (§IV-D)
+
+	cold := wlgen.EmitColdLib(p, "util", sc.ColdFuncs, sc.ColdSize)
+
+	// Storage index: hash (default) or B-tree. Both expose get/put/del
+	// with identical semantics (deleted keys read back as 0).
+	var idx wlgen.HashTable
+	var engineInit string
+	if sc.Engine == "btree" {
+		bt := wlgen.EmitBTree(p, "bidx", sc.Buckets/2)
+		del := p.Func("bidx_del")
+		del.Prologue(16)
+		del.MovI(isa.R1, 0) // value 0 = deleted
+		del.Call(bt.Insert)
+		del.EpilogueRet()
+		idx = wlgen.HashTable{Get: bt.Find, Put: bt.Insert, Del: "bidx_del"}
+		engineInit = bt.Init
+	} else {
+		idx = wlgen.EmitHashTable(p, "idx", sc.Buckets)
+	}
+	p.Global("wal", 1<<14)
+	p.Global("walpos", 8)
+	p.Global("rows", 1<<18) // row heap: 32 KiB of row words ×8
+
+	// Per-query-type parse chains, interleaved in layout (scattered like
+	// generated parser states).
+	prefixes := make([]string, numOps)
+	for i, n := range opNames {
+		prefixes[i] = "parse_" + n
+	}
+	parseEntries := wlgen.EmitChains(p, prefixes, wlgen.ChainSpec{
+		Steps:      sc.ParseSteps,
+		ColdPad:    sc.ParsePad,
+		HotWork:    sc.ParseWork,
+		CallCold:   cold[0],
+		Sequential: true,
+	})
+
+	// Plan/optimizer stage: one function per query type plus two shared
+	// helpers.
+	costFn := p.Func("plan_cost")
+	costFn.Prologue(16)
+	costFn.MulI(isa.R0, isa.R0, 31)
+	costFn.ShrI(isa.R6, isa.R0, 11)
+	costFn.Xor(isa.R0, isa.R0, isa.R6)
+	costFn.EpilogueRet()
+	cardFn := p.Func("plan_cardinality")
+	cardFn.Prologue(16)
+	cardFn.AndI(isa.R0, isa.R0, 0xFFFF)
+	cardFn.AddI(isa.R0, isa.R0, 17)
+	cardFn.EpilogueRet()
+	planNames := make([]string, numOps)
+	for i, n := range opNames {
+		planNames[i] = "plan_" + n
+		f := p.Func(planNames[i])
+		f.Prologue(16)
+		f.Call("plan_cost")
+		f.CmpI(isa.R0, 0)
+		f.If(isa.LT, func() { // impossible: cost is masked positive
+			f.PadCode(20)
+			f.Call(cold[(i+1)%len(cold)])
+		}, nil)
+		f.Call("plan_cardinality")
+		f.EpilogueRet()
+	}
+
+	// Write-ahead log append: two stores and a wrap check.
+	walFn := p.Func("wal_append")
+	walFn.Prologue(16)
+	walFn.LoadGlobalAddr(isa.R6, "walpos")
+	walFn.Ld(isa.R7, isa.R6, 0)
+	walFn.LoadGlobalAddr(isa.R8, "wal")
+	walFn.AndI(isa.R9, isa.R7, (1<<14)/8-1)
+	walFn.ShlI(isa.R9, isa.R9, 3)
+	walFn.Add(isa.R8, isa.R8, isa.R9)
+	walFn.St(isa.R8, 0, isa.R0)
+	walFn.AddI(isa.R7, isa.R7, 1)
+	walFn.St(isa.R6, 0, isa.R7)
+	walFn.EpilogueRet()
+
+	// Transaction shell.
+	begin := p.Func("txn_begin")
+	begin.Prologue(16)
+	begin.MovI(isa.R0, 0x7C)
+	begin.Call("wal_append")
+	begin.EpilogueRet()
+	commit := p.Func("txn_commit")
+	commit.Prologue(16)
+	commit.MovI(isa.R0, 0x7D)
+	commit.Call("wal_append")
+	commit.EpilogueRet()
+
+	// Storage engine behind a v-table (the handler API). Object layout:
+	// [vtable]. Methods: 0 read_row, 1 write_row, 2 delete_row, 3 scan.
+	p.Global("engine_obj", 8)
+	rowTouch := p.Func("row_touch") // fold the row payload
+	rowTouch.Prologue(16)
+	rowTouch.LoadGlobalAddr(isa.R6, "rows")
+	rowTouch.AndI(isa.R7, isa.R0, (1<<18)/8-1)
+	rowTouch.ShlI(isa.R7, isa.R7, 3)
+	rowTouch.Add(isa.R6, isa.R6, isa.R7)
+	rowTouch.Ld(isa.R8, isa.R6, 0)
+	rowTouch.Add(isa.R0, isa.R0, isa.R8)
+	rowTouch.EpilogueRet()
+	rowWrite := p.Func("row_write")
+	rowWrite.Prologue(16)
+	rowWrite.LoadGlobalAddr(isa.R6, "rows")
+	rowWrite.AndI(isa.R7, isa.R0, (1<<18)/8-1)
+	rowWrite.ShlI(isa.R7, isa.R7, 3)
+	rowWrite.Add(isa.R6, isa.R6, isa.R7)
+	rowWrite.St(isa.R6, 0, isa.R1)
+	rowWrite.EpilogueRet()
+
+	eRead := p.Func("e_read_row") // R0 key → R0 value
+	eRead.Prologue(16)
+	eRead.Call(idx.Get)
+	eRead.Call("row_touch")
+	eRead.EpilogueRet()
+	eWrite := p.Func("e_write_row") // R0 key, R1 value
+	eWrite.Prologue(32)
+	eWrite.St(isa.FP, -8, isa.R0)
+	eWrite.St(isa.FP, -16, isa.R1)
+	eWrite.Call(idx.Put)
+	eWrite.Ld(isa.R0, isa.FP, -8)
+	eWrite.Ld(isa.R1, isa.FP, -16)
+	eWrite.Call("row_write")
+	eWrite.Ld(isa.R0, isa.FP, -8)
+	eWrite.Call("wal_append")
+	eWrite.EpilogueRet()
+	eDelete := p.Func("e_delete_row") // R0 key
+	eDelete.Prologue(32)
+	eDelete.St(isa.FP, -8, isa.R0)
+	eDelete.Call(idx.Del)
+	eDelete.Ld(isa.R0, isa.FP, -8)
+	eDelete.Call("wal_append")
+	eDelete.EpilogueRet()
+	eScan := p.Func("e_scan") // R0 start, R1 len → R0 sum of probed values
+	eScan.Prologue(48)
+	eScan.St(isa.FP, -8, isa.R0)  // cursor key
+	eScan.St(isa.FP, -16, isa.R1) // remaining
+	eScan.MovI(isa.R9, 0)
+	eScan.St(isa.FP, -24, isa.R9) // sum
+	eScan.While(func() {
+		eScan.Ld(isa.R9, isa.FP, -16)
+		eScan.CmpI(isa.R9, 0)
+	}, isa.GT, func() {
+		eScan.Ld(isa.R0, isa.FP, -8)
+		eScan.Call(idx.Get)
+		eScan.Ld(isa.R9, isa.FP, -24)
+		eScan.Add(isa.R9, isa.R9, isa.R0)
+		eScan.St(isa.FP, -24, isa.R9)
+		eScan.Ld(isa.R9, isa.FP, -8)
+		eScan.AddI(isa.R9, isa.R9, 2)
+		eScan.St(isa.FP, -8, isa.R9)
+		eScan.Ld(isa.R9, isa.FP, -16)
+		eScan.AddI(isa.R9, isa.R9, -1)
+		eScan.St(isa.FP, -16, isa.R9)
+	})
+	eScan.Ld(isa.R0, isa.FP, -24)
+	eScan.EpilogueRet()
+
+	p.VTable("engine_vt", "e_read_row", "e_write_row", "e_delete_row", "e_scan")
+
+	// The aggregate reducer, reached through a freshly created function
+	// pointer on every aggregate query (the wrapFuncPtrCreation workload,
+	// §IV-C2: MySQL creates ~45 pointers/ms).
+	reducer := p.Func("agg_reduce")
+	reducer.Prologue(16)
+	reducer.MulI(isa.R0, isa.R0, 7)
+	reducer.XorI(isa.R0, isa.R0, 0x5A5A)
+	reducer.EpilogueRet()
+
+	// Query handlers: parse → plan → begin → engine ops → commit.
+	// Handler ABI (from the dispatch loop): R0 = key/seed, R1 = aux value,
+	// R2 = extra. Result in R0.
+	emitHandler := func(op int, body func(h *build.FuncBuilder)) string {
+		name := "h_" + opNames[op]
+		h := p.Func(name)
+		h.Prologue(48)
+		h.St(isa.FP, -8, isa.R0)  // key
+		h.St(isa.FP, -16, isa.R1) // aux
+		h.St(isa.FP, -24, isa.R2) // extra
+		// Parse the query text (seed derived from the key; poison clear).
+		h.MovI(isa.R1, 0)
+		h.Call(parseEntries[op])
+		h.Call(planNames[op])
+		body(h)
+		h.EpilogueRet()
+		return name
+	}
+
+	// vcall dispatches engine method slot on the engine object.
+	vcall := func(h *build.FuncBuilder, slot int64) {
+		h.LoadGlobalAddr(isa.R6, "engine_obj")
+		h.VCall(isa.R6, isa.R7, slot)
+	}
+
+	emitHandler(opPointSelect, func(h *build.FuncBuilder) {
+		h.Ld(isa.R0, isa.FP, -8)
+		vcall(h, 0)
+	})
+	emitHandler(opRangeSelect, func(h *build.FuncBuilder) {
+		h.Ld(isa.R0, isa.FP, -8)
+		h.Ld(isa.R1, isa.FP, -16)
+		h.AndI(isa.R1, isa.R1, 63) // range length ≤ 64
+		h.AddI(isa.R1, isa.R1, 8)
+		vcall(h, 3)
+	})
+	emitHandler(opInsert, func(h *build.FuncBuilder) {
+		h.Call("txn_begin")
+		h.Ld(isa.R0, isa.FP, -8)
+		h.Ld(isa.R1, isa.FP, -16)
+		vcall(h, 1)
+		h.Call("txn_commit")
+	})
+	emitHandler(opUpdateIndex, func(h *build.FuncBuilder) {
+		// Index-touching update: delete + reinsert.
+		h.Call("txn_begin")
+		h.Ld(isa.R0, isa.FP, -8)
+		vcall(h, 2)
+		h.Ld(isa.R0, isa.FP, -8)
+		h.Ld(isa.R1, isa.FP, -16)
+		vcall(h, 1)
+		h.Call("txn_commit")
+	})
+	emitHandler(opUpdateNonIndex, func(h *build.FuncBuilder) {
+		h.Call("txn_begin")
+		h.Ld(isa.R0, isa.FP, -8)
+		vcall(h, 0) // read
+		h.Mov(isa.R1, isa.R0)
+		h.AddI(isa.R1, isa.R1, 1)
+		h.Ld(isa.R0, isa.FP, -8)
+		vcall(h, 1) // write back
+		h.Call("txn_commit")
+	})
+	emitHandler(opDelete, func(h *build.FuncBuilder) {
+		h.Call("txn_begin")
+		h.Ld(isa.R0, isa.FP, -8)
+		vcall(h, 2)
+		h.Call("txn_commit")
+	})
+	emitHandler(opAggregate, func(h *build.FuncBuilder) {
+		h.Ld(isa.R0, isa.FP, -8)
+		h.Ld(isa.R1, isa.FP, -16)
+		h.AndI(isa.R1, isa.R1, 31)
+		h.AddI(isa.R1, isa.R1, 4)
+		vcall(h, 3) // scan
+		h.FuncPtr(isa.R6, "agg_reduce")
+		h.CallR(isa.R6)
+	})
+
+	handlerNames := make([]string, numOps)
+	for i, n := range opNames {
+		handlerNames[i] = "h_" + n
+	}
+	p.VTable("handlers_vt", handlerNames...)
+
+	// init: point engine_obj at its v-table and preload the table.
+	ini := p.Func("db_init")
+	ini.Prologue(32)
+	if engineInit != "" {
+		ini.Call(engineInit)
+	}
+	ini.LoadGlobalAddr(isa.R6, "engine_vt")
+	ini.LoadGlobalAddr(isa.R7, "engine_obj")
+	ini.St(isa.R7, 0, isa.R6)
+	ini.MovI(isa.R9, 0)
+	ini.While(func() { ini.CmpI(isa.R9, sc.Preload) }, isa.LT, func() {
+		ini.ShlI(isa.R0, isa.R9, 1)
+		ini.AddI(isa.R0, isa.R0, 2) // keys are even, ≥ 2
+		ini.MulI(isa.R1, isa.R9, 1664525)
+		ini.AddI(isa.R1, isa.R1, 1)
+		ini.St(isa.FP, -8, isa.R9)
+		ini.Call(idx.Put)
+		ini.Ld(isa.R9, isa.FP, -8)
+		ini.AddI(isa.R9, isa.R9, 1)
+	})
+	ini.EpilogueRet()
+
+	p.Global("ready_flag", 8)
+	m := p.Func("main")
+	m.Prologue(32)
+	m.CmpI(isa.R0, 0) // thread 0 initializes; others wait on the flag
+	m.If(isa.EQ, func() {
+		m.Call("db_init")
+		m.LoadGlobalAddr(isa.R6, "ready_flag")
+		m.MovI(isa.R7, 1)
+		m.St(isa.R6, 0, isa.R7)
+	}, func() {
+		m.LoadGlobalAddr(isa.R6, "ready_flag")
+		spin := m.Label("wait")
+		m.Ld(isa.R7, isa.R6, 0)
+		m.CmpI(isa.R7, 1)
+		m.If(isa.NE, func() { m.Goto(spin) }, nil)
+	})
+	m.Call("serve_loop")
+	m.Halt()
+	wlgen.EmitServerMain(p, "serve_loop", "handlers_vt", numOps)
+	p.SetEntry("main")
+
+	bin, err := p.Assemble(asm.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &wl.Workload{
+		Name:    "sqldb",
+		Binary:  bin,
+		Inputs:  Inputs(),
+		Threads: 8,
+		NewDriver: func(input string, threads int) (*wl.Driver, error) {
+			gen, err := generator(input, sc)
+			if err != nil {
+				return nil, err
+			}
+			return wl.NewDriver(gen, threads), nil
+		},
+	}, nil
+}
+
+// Inputs lists the Sysbench-analog request mixes.
+func Inputs() []string {
+	return []string{"point_select", "read_only", "read_write", "write_only",
+		"insert", "delete", "update_index", "update_non_index"}
+}
+
+// generator builds the request stream for an input mix.
+func generator(input string, sc Scale) (wl.Generator, error) {
+	type slice struct {
+		pct int
+		op  uint64
+	}
+	var mix []slice
+	switch input {
+	case "point_select":
+		mix = []slice{{100, opPointSelect}}
+	case "read_only":
+		mix = []slice{{75, opPointSelect}, {15, opRangeSelect}, {10, opAggregate}}
+	case "read_write":
+		mix = []slice{{55, opPointSelect}, {10, opRangeSelect}, {15, opUpdateNonIndex}, {10, opInsert}, {10, opDelete}}
+	case "write_only":
+		mix = []slice{{40, opUpdateNonIndex}, {20, opUpdateIndex}, {20, opInsert}, {20, opDelete}}
+	case "insert":
+		mix = []slice{{100, opInsert}}
+	case "delete":
+		mix = []slice{{50, opDelete}, {50, opInsert}}
+	case "update_index":
+		mix = []slice{{100, opUpdateIndex}}
+	case "update_non_index":
+		mix = []slice{{100, opUpdateNonIndex}}
+	default:
+		return nil, fmt.Errorf("sqldb: unknown input %q", input)
+	}
+	keyMask := uint64(sc.Preload - 1)
+	return func(tid int, seq uint64) wl.Request {
+		r := wl.SplitMix64(uint64(tid)<<40 ^ seq)
+		roll := int(r % 100)
+		op := mix[len(mix)-1].op
+		acc := 0
+		for _, s := range mix {
+			acc += s.pct
+			if roll < acc {
+				op = s.op
+				break
+			}
+		}
+		key := ((r >> 8) & keyMask << 1) + 2 // even keys ≥ 2, in the preloaded set
+		return wl.Request{Op: op, Arg1: key, Arg2: r >> 32 & 0xFFFF, Arg3: r >> 16 & 0xFF}
+	}, nil
+}

@@ -1,0 +1,160 @@
+// Package wl holds the infrastructure shared by the benchmark workloads:
+// the Workload descriptor the experiment harness consumes and the request
+// driver that plays the role of the load generators the paper uses
+// (Sysbench for MySQL, YCSB for MongoDB, memaslap for Memcached, the
+// RISC-V benchmark inputs for Verilator).
+//
+// Convention between guest programs and drivers:
+//
+//	SysRecv — the driver writes a request descriptor into R0..R3
+//	          (R0 = operation code; R0 = NoMoreWork means the serving
+//	          loop should exit) and records the request start time.
+//	SysSend — the guest reports completion of the current request with a
+//	          response value in R0; the driver counts it and records the
+//	          request latency.
+//	SysEmit — the guest publishes a checksum/result value (validation).
+//	SysNow/SysAlloc — the usual conveniences.
+package wl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/obj"
+	"repro/internal/proc"
+)
+
+// NoMoreWork is returned from SysRecv to stop a batch guest.
+const NoMoreWork = ^uint64(0)
+
+// Request is what a generator produces for one SysRecv.
+type Request struct {
+	Op   uint64 // operation code, workload-specific
+	Arg1 uint64
+	Arg2 uint64
+	Arg3 uint64
+}
+
+// Generator produces the request stream for one input mix. It must be
+// deterministic for a given sequence number.
+type Generator func(tid int, seq uint64) Request
+
+// Driver is the load generator + measurement side of a workload.
+type Driver struct {
+	gen Generator
+
+	seq       []uint64  // per-thread sequence numbers
+	starts    []float64 // per-thread in-flight request start cycles
+	completed uint64
+	emitted   []uint64
+	latencies []float64 // per-request latency in cycles (bounded)
+	maxLat    int
+}
+
+// NewDriver builds a driver for up to maxThreads threads.
+func NewDriver(gen Generator, maxThreads int) *Driver {
+	return &Driver{
+		gen:    gen,
+		seq:    make([]uint64, maxThreads),
+		starts: make([]float64, maxThreads),
+		maxLat: 1 << 16,
+	}
+}
+
+// Syscall implements proc.SyscallHandler.
+func (d *Driver) Syscall(p *proc.Process, t *proc.Thread, num int64) error {
+	switch num {
+	case proc.SysRecv:
+		req := d.gen(t.ID, d.seq[t.ID])
+		d.seq[t.ID]++
+		t.Regs[0] = req.Op
+		t.Regs[1] = req.Arg1
+		t.Regs[2] = req.Arg2
+		t.Regs[3] = req.Arg3
+		d.starts[t.ID] = t.Core.Cycles()
+	case proc.SysSend:
+		d.completed++
+		if len(d.latencies) < d.maxLat {
+			d.latencies = append(d.latencies, t.Core.Cycles()-d.starts[t.ID])
+		}
+	case proc.SysEmit:
+		d.emitted = append(d.emitted, t.Regs[0])
+	case proc.SysNow:
+		proc.NowSyscall(t)
+	case proc.SysAlloc:
+		proc.AllocSyscall(p, t)
+	default:
+		return fmt.Errorf("wl: unknown syscall %d", num)
+	}
+	return nil
+}
+
+// Completed returns the number of finished requests.
+func (d *Driver) Completed() uint64 { return d.completed }
+
+// SetGenerator swaps the request generator, modeling an input shift (the
+// daily-pattern scenario continuous optimization exists for, §IV-C).
+func (d *Driver) SetGenerator(gen Generator) { d.gen = gen }
+
+// Generator returns the driver's request generator (so an input shift can
+// borrow another driver's mix).
+func (d *Driver) Generator() Generator { return d.gen }
+
+// Emitted returns the values the guest published (checksums).
+func (d *Driver) Emitted() []uint64 { return d.emitted }
+
+// ResetWindow clears the latency window (used between measurement phases).
+func (d *Driver) ResetWindow() { d.latencies = d.latencies[:0] }
+
+// LatencyPercentile returns the p-th percentile request latency in cycles
+// over the current window (0 if empty).
+func (d *Driver) LatencyPercentile(p float64) float64 {
+	if len(d.latencies) == 0 {
+		return 0
+	}
+	tmp := append([]float64(nil), d.latencies...)
+	sort.Float64s(tmp)
+	idx := int(p * float64(len(tmp)-1))
+	return tmp[idx]
+}
+
+// Workload packages a benchmark program with its input mixes.
+type Workload struct {
+	Name   string
+	Binary *obj.Binary
+	// Inputs lists the input names (sysbench/YCSB mixes, stimulus sets).
+	Inputs []string
+	// Threads is the default thread count the paper-style runs use.
+	Threads int
+	// NewDriver builds the load generator for an input mix.
+	NewDriver func(input string, threads int) (*Driver, error)
+}
+
+// Load starts a process for the workload with the given driver.
+func (w *Workload) Load(d *Driver, threads int) (*proc.Process, error) {
+	if threads <= 0 {
+		threads = w.Threads
+	}
+	return proc.Load(w.Binary, proc.Options{Threads: threads, Handler: d})
+}
+
+// Measure runs the process for the given simulated duration and returns
+// throughput in requests per simulated second over that window.
+func Measure(p *proc.Process, d *Driver, seconds float64) float64 {
+	before := d.Completed()
+	t0 := p.Seconds()
+	p.RunFor(seconds)
+	dt := p.Seconds() - t0
+	if dt <= 0 {
+		return 0
+	}
+	return float64(d.Completed()-before) / dt
+}
+
+// SplitMix64 is the deterministic PRNG used by request generators.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}

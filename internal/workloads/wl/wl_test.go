@@ -1,0 +1,196 @@
+package wl
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/build"
+	"repro/internal/isa"
+	"repro/internal/proc"
+)
+
+func TestDriverCountsAndLatency(t *testing.T) {
+	p := build.NewProgram("echo")
+	m := p.Func("main")
+	m.Prologue(16)
+	loop := m.Label("loop")
+	m.Sys(proc.SysRecv)
+	m.CmpI(isa.R0, -1)
+	m.If(isa.EQ, func() { m.Halt() }, nil)
+	m.Add(isa.R0, isa.R1, isa.R2)
+	m.Sys(proc.SysSend)
+	m.Goto(loop)
+	p.SetEntry("main")
+	bin, err := p.Assemble(asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	served := 0
+	d := NewDriver(func(tid int, seq uint64) Request {
+		if seq >= 100 {
+			return Request{Op: NoMoreWork}
+		}
+		served++
+		return Request{Op: 1, Arg1: seq, Arg2: 2 * seq}
+	}, 1)
+	pr, err := proc.Load(bin, proc.Options{Threads: 1, Handler: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.RunUntilHalt(0)
+	if err := pr.Fault(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Completed() != 100 {
+		t.Errorf("completed = %d, want 100", d.Completed())
+	}
+	if p50 := d.LatencyPercentile(0.5); p50 <= 0 {
+		t.Error("no latency recorded")
+	}
+	if d.LatencyPercentile(1.0) < d.LatencyPercentile(0.0) {
+		t.Error("max latency < min latency")
+	}
+	d.ResetWindow()
+	if d.LatencyPercentile(0.5) != 0 {
+		t.Error("window not reset")
+	}
+}
+
+func TestGeneratorSwap(t *testing.T) {
+	p := build.NewProgram("echo")
+	m := p.Func("main")
+	m.Prologue(16)
+	loop := m.Label("loop")
+	m.Sys(proc.SysRecv)
+	m.CmpI(isa.R0, -1)
+	m.If(isa.EQ, func() { m.Halt() }, nil)
+	m.Sys(proc.SysSend)
+	m.Goto(loop)
+	p.SetEntry("main")
+	bin, err := p.Assemble(asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(func(tid int, seq uint64) Request { return Request{Op: 1} }, 1)
+	pr, err := proc.Load(bin, proc.Options{Threads: 1, Handler: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.RunUntilHalt(5000)
+	first := d.Completed()
+	if first == 0 {
+		t.Fatal("no requests served")
+	}
+	// Swap to a terminating generator: the server drains and halts.
+	d.SetGenerator(func(tid int, seq uint64) Request { return Request{Op: NoMoreWork} })
+	if d.Generator() == nil {
+		t.Fatal("Generator() returned nil")
+	}
+	pr.RunUntilHalt(0)
+	if !pr.Halted() {
+		t.Error("server did not halt after generator swap")
+	}
+}
+
+func TestUnknownSyscallFaults(t *testing.T) {
+	p := build.NewProgram("bad")
+	m := p.Func("main")
+	m.Prologue(16)
+	m.Sys(99)
+	m.Halt()
+	p.SetEntry("main")
+	bin, err := p.Assemble(asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(func(int, uint64) Request { return Request{} }, 1)
+	pr, err := proc.Load(bin, proc.Options{Threads: 1, Handler: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.RunUntilHalt(0)
+	if pr.Fault() == nil {
+		t.Error("unknown syscall should fault")
+	}
+}
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	if SplitMix64(1) != SplitMix64(1) {
+		t.Error("SplitMix64 not deterministic")
+	}
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1000; i++ {
+		seen[SplitMix64(i)] = true
+	}
+	if len(seen) != 1000 {
+		t.Errorf("SplitMix64 collisions in first 1000: %d unique", len(seen))
+	}
+}
+
+func TestMeasureThroughput(t *testing.T) {
+	p := build.NewProgram("echo")
+	m := p.Func("main")
+	m.Prologue(16)
+	loop := m.Label("loop")
+	m.Sys(proc.SysRecv)
+	m.CmpI(isa.R0, -1)
+	m.If(isa.EQ, func() { m.Halt() }, nil)
+	m.Sys(proc.SysSend)
+	m.Goto(loop)
+	p.SetEntry("main")
+	bin, err := p.Assemble(asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(func(int, uint64) Request { return Request{Op: 1} }, 1)
+	pr, err := proc.Load(bin, proc.Options{Threads: 1, Handler: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tput := Measure(pr, d, 0.0003)
+	if tput <= 0 {
+		t.Errorf("throughput = %f", tput)
+	}
+	// Deterministic across identical runs.
+	d2 := NewDriver(func(int, uint64) Request { return Request{Op: 1} }, 1)
+	pr2, _ := proc.Load(bin, proc.Options{Threads: 1, Handler: d2})
+	if t2 := Measure(pr2, d2, 0.0003); t2 != tput {
+		t.Errorf("non-deterministic throughput: %f vs %f", tput, t2)
+	}
+	// Zero window yields zero.
+	if z := Measure(pr, d, 0); z != 0 {
+		t.Errorf("zero window throughput = %f", z)
+	}
+}
+
+func TestEmittedAndLoad(t *testing.T) {
+	p := build.NewProgram("emit")
+	m := p.Func("main")
+	m.Prologue(16)
+	m.MovI(isa.R0, 42)
+	m.Sys(proc.SysEmit)
+	m.MovI(isa.R0, 8)
+	m.Sys(proc.SysAlloc)
+	m.Sys(proc.SysNow)
+	m.Halt()
+	p.SetEntry("main")
+	bin, err := p.Assemble(asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDriver(func(int, uint64) Request { return Request{} }, 1)
+	w := &Workload{Name: "emit", Binary: bin, Threads: 1,
+		NewDriver: func(string, int) (*Driver, error) { return d, nil }}
+	pr, err := w.Load(d, 0) // 0 → workload default thread count
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr.RunUntilHalt(0)
+	if err := pr.Fault(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Emitted(); len(got) != 1 || got[0] != 42 {
+		t.Errorf("Emitted = %v", got)
+	}
+}

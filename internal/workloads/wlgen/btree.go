@@ -1,0 +1,376 @@
+package wlgen
+
+import (
+	"repro/internal/build"
+	"repro/internal/isa"
+)
+
+// B-tree geometry: classic CLRS-style B-tree (keys and values in every
+// node) with preemptive splitting, so insertion is a single downward
+// pass — no recursion, no parent stack.
+const (
+	btOrder    = 8 // max keys per node; split when full
+	btNodeSize = 224
+
+	// Node layout, word offsets.
+	btCount = 0  // number of keys
+	btLeaf  = 1  // 1 = leaf
+	btKeys  = 2  // keys[0..7]
+	btVals  = 10 // vals[0..7]
+	btKids  = 18 // children[0..8]
+)
+
+// BTree describes an emitted B-tree index.
+type BTree struct {
+	Init   string // func(): allocate the empty root
+	Find   string // func(R0 key) → R0 value (0 = miss)
+	Insert string // func(R0 key, R1 value): upsert
+	Pool   string // node pool global
+	Meta   string // [0] root addr, [1] next free pool offset
+}
+
+// EmitBTree emits a B-tree index with capacity for poolNodes nodes.
+// The workload must call Init (once) before any other operation and may
+// not insert more distinct keys than the pool supports (each node holds
+// at least btOrder/2 keys after splits, so poolNodes*4 keys is safe).
+// Keys must be > 0.
+//
+// This is the storage-engine substrate MySQL actually uses (InnoDB's
+// clustered index); sqldb exposes it as an alternative engine so the
+// layout experiments can run over pointer-chasing tree descents instead
+// of hash probes.
+func EmitBTree(p *build.ProgramBuilder, prefix string, poolNodes int64) BTree {
+	bt := BTree{
+		Init:   prefix + "_init",
+		Find:   prefix + "_find",
+		Insert: prefix + "_insert",
+		Pool:   prefix + "_pool",
+		Meta:   prefix + "_meta",
+	}
+	p.Global(bt.Pool, uint64(poolNodes)*btNodeSize)
+	p.Global(bt.Meta, 16)
+
+	alloc := prefix + "_alloc"
+	split := prefix + "_split"
+
+	// elem computes dst = node + idx*8 (byte address of word idx array
+	// slot); subsequent Ld/St use the array's word offset as displacement.
+	elem := func(f *build.FuncBuilder, dst, node, idx uint8) {
+		f.ShlI(dst, idx, 3)
+		f.Add(dst, node, dst)
+	}
+
+	// alloc() → R0: fresh node from the pool (zeroed by construction).
+	{
+		f := p.Func(alloc)
+		f.Prologue(16)
+		f.LoadGlobalAddr(isa.R6, bt.Meta)
+		f.Ld(isa.R7, isa.R6, 8)
+		f.LoadGlobalAddr(isa.R8, bt.Pool)
+		f.Add(isa.R0, isa.R8, isa.R7)
+		f.AddI(isa.R7, isa.R7, btNodeSize)
+		f.St(isa.R6, 8, isa.R7)
+		f.EpilogueRet()
+	}
+
+	// init(): root = alloc(); empty leaf.
+	{
+		f := p.Func(bt.Init)
+		f.Prologue(16)
+		f.Call(alloc)
+		f.St(isa.R0, btCount*8, isa.RZ)
+		f.MovI(isa.R6, 1)
+		f.St(isa.R0, btLeaf*8, isa.R6)
+		f.LoadGlobalAddr(isa.R6, bt.Meta)
+		f.St(isa.R6, 0, isa.R0)
+		f.EpilogueRet()
+	}
+
+	// find(key R0) → R0.
+	// R10 key, R6 node, R7 count, R8 i, R9 scratch.
+	{
+		f := p.Func(bt.Find)
+		f.Prologue(16)
+		f.Mov(isa.R10, isa.R0)
+		f.LoadGlobalAddr(isa.R6, bt.Meta)
+		f.Ld(isa.R6, isa.R6, 0)
+		walk := f.Label("walk")
+		f.Ld(isa.R7, isa.R6, btCount*8)
+		f.MovI(isa.R8, 0)
+		scan := f.Label("scan")
+		scanDone := "find_scan_done"
+		found := "find_found"
+		f.Cmp(isa.R8, isa.R7)
+		f.BranchIf(isa.GE, scanDone)
+		elem(f, isa.R9, isa.R6, isa.R8)
+		f.Ld(isa.R9, isa.R9, btKeys*8)
+		f.Cmp(isa.R10, isa.R9)
+		f.BranchIf(isa.EQ, found)
+		// Flags still hold key - keys[i] (branches do not clobber them).
+		f.BranchIf(isa.LT, scanDone)
+		f.AddI(isa.R8, isa.R8, 1)
+		f.Goto(scan)
+		f.LabelNamed(scanDone)
+		f.Ld(isa.R9, isa.R6, btLeaf*8)
+		f.CmpI(isa.R9, 1)
+		f.If(isa.EQ, func() { // leaf and not found: miss
+			f.MovI(isa.R0, 0)
+			f.EpilogueRet()
+		}, nil)
+		elem(f, isa.R9, isa.R6, isa.R8)
+		f.Ld(isa.R6, isa.R9, btKids*8)
+		f.Goto(walk)
+		f.LabelNamed(found)
+		elem(f, isa.R9, isa.R6, isa.R8)
+		f.Ld(isa.R0, isa.R9, btVals*8)
+		f.EpilogueRet()
+	}
+
+	// split(parent R0, i R1): split the full child parent.kids[i].
+	// Frame: -8 parent, -16 i, -24 y, -32 z.
+	{
+		f := p.Func(split)
+		f.Prologue(48)
+		f.St(isa.FP, -8, isa.R0)
+		f.St(isa.FP, -16, isa.R1)
+		elem(f, isa.R6, isa.R0, isa.R1)
+		f.Ld(isa.R6, isa.R6, btKids*8) // y
+		f.St(isa.FP, -24, isa.R6)
+		f.Call(alloc) // z in R0
+		f.St(isa.FP, -32, isa.R0)
+		f.Ld(isa.R6, isa.FP, -24)
+		f.Ld(isa.R7, isa.R6, btLeaf*8)
+		f.St(isa.R0, btLeaf*8, isa.R7)
+
+		// Copy keys/vals [5..7] of y into [0..2] of z.
+		f.MovI(isa.R8, 0)
+		f.While(func() { f.CmpI(isa.R8, 3) }, isa.LT, func() {
+			f.Ld(isa.R6, isa.FP, -24)  // y
+			f.Ld(isa.R11, isa.FP, -32) // z
+			f.AddI(isa.R9, isa.R8, 5)
+			elem(f, isa.R10, isa.R6, isa.R9)
+			f.Ld(isa.R12, isa.R10, btKeys*8)
+			elem(f, isa.R9, isa.R11, isa.R8)
+			f.St(isa.R9, btKeys*8, isa.R12)
+			f.Ld(isa.R12, isa.R10, btVals*8)
+			f.St(isa.R9, btVals*8, isa.R12)
+			f.AddI(isa.R8, isa.R8, 1)
+		})
+		// Children [5..8] → z[0..3] when internal.
+		f.Ld(isa.R6, isa.FP, -24)
+		f.Ld(isa.R7, isa.R6, btLeaf*8)
+		f.CmpI(isa.R7, 0)
+		f.If(isa.EQ, func() {
+			f.MovI(isa.R8, 0)
+			f.While(func() { f.CmpI(isa.R8, 4) }, isa.LT, func() {
+				f.Ld(isa.R6, isa.FP, -24)
+				f.Ld(isa.R11, isa.FP, -32)
+				f.AddI(isa.R9, isa.R8, 5)
+				elem(f, isa.R10, isa.R6, isa.R9)
+				f.Ld(isa.R12, isa.R10, btKids*8)
+				elem(f, isa.R9, isa.R11, isa.R8)
+				f.St(isa.R9, btKids*8, isa.R12)
+				f.AddI(isa.R8, isa.R8, 1)
+			})
+		}, nil)
+		// y.count = 4; z.count = 3.
+		f.Ld(isa.R6, isa.FP, -24)
+		f.MovI(isa.R7, 4)
+		f.St(isa.R6, btCount*8, isa.R7)
+		f.Ld(isa.R11, isa.FP, -32)
+		f.MovI(isa.R7, 3)
+		f.St(isa.R11, btCount*8, isa.R7)
+
+		// Shift the parent: keys/vals [i..count-1] right by one.
+		f.Ld(isa.R6, isa.FP, -8)   // parent
+		f.Ld(isa.R10, isa.FP, -16) // i
+		f.Ld(isa.R7, isa.R6, btCount*8)
+		f.Mov(isa.R9, isa.R7) // j = count
+		f.While(func() { f.Cmp(isa.R9, isa.R10) }, isa.GT, func() {
+			f.AddI(isa.R8, isa.R9, -1)
+			elem(f, isa.R11, isa.R6, isa.R8)
+			f.Ld(isa.R12, isa.R11, btKeys*8)
+			elem(f, isa.R11, isa.R6, isa.R9)
+			f.St(isa.R11, btKeys*8, isa.R12)
+			elem(f, isa.R11, isa.R6, isa.R8)
+			f.Ld(isa.R12, isa.R11, btVals*8)
+			elem(f, isa.R11, isa.R6, isa.R9)
+			f.St(isa.R11, btVals*8, isa.R12)
+			f.AddI(isa.R9, isa.R9, -1)
+		})
+		// Children [i+1..count] right by one: j from count+1 down to i+2.
+		f.Ld(isa.R7, isa.R6, btCount*8)
+		f.AddI(isa.R9, isa.R7, 1)
+		f.AddI(isa.R10, isa.R10, 1) // i+1
+		f.While(func() { f.Cmp(isa.R9, isa.R10) }, isa.GT, func() {
+			f.AddI(isa.R8, isa.R9, -1)
+			elem(f, isa.R11, isa.R6, isa.R8)
+			f.Ld(isa.R12, isa.R11, btKids*8)
+			elem(f, isa.R11, isa.R6, isa.R9)
+			f.St(isa.R11, btKids*8, isa.R12)
+			f.AddI(isa.R9, isa.R9, -1)
+		})
+		// parent.keys[i] = y.keys[4]; vals likewise; kids[i+1] = z;
+		// count++.
+		f.Ld(isa.R10, isa.FP, -16) // i
+		f.Ld(isa.R11, isa.FP, -24) // y
+		f.MovI(isa.R9, 4)
+		elem(f, isa.R12, isa.R11, isa.R9)
+		f.Ld(isa.R7, isa.R12, btKeys*8) // median key
+		elem(f, isa.R8, isa.R6, isa.R10)
+		f.St(isa.R8, btKeys*8, isa.R7)
+		f.Ld(isa.R7, isa.R12, btVals*8)
+		f.St(isa.R8, btVals*8, isa.R7)
+		f.AddI(isa.R9, isa.R10, 1)
+		elem(f, isa.R8, isa.R6, isa.R9)
+		f.Ld(isa.R7, isa.FP, -32) // z
+		f.St(isa.R8, btKids*8, isa.R7)
+		f.Ld(isa.R7, isa.R6, btCount*8)
+		f.AddI(isa.R7, isa.R7, 1)
+		f.St(isa.R6, btCount*8, isa.R7)
+		f.EpilogueRet()
+	}
+
+	// insert(key R0, val R1): single-pass upsert with preemptive splits.
+	// Frame: -8 key, -16 val, -24 node, -32 i.
+	{
+		f := p.Func(bt.Insert)
+		f.Prologue(48)
+		f.St(isa.FP, -8, isa.R0)
+		f.St(isa.FP, -16, isa.R1)
+
+		// Grow the root if full.
+		f.LoadGlobalAddr(isa.R6, bt.Meta)
+		f.Ld(isa.R7, isa.R6, 0) // root
+		f.Ld(isa.R8, isa.R7, btCount*8)
+		f.CmpI(isa.R8, btOrder)
+		f.If(isa.EQ, func() {
+			f.St(isa.FP, -24, isa.R7) // save old root
+			f.Call(alloc)             // s
+			f.St(isa.R0, btCount*8, isa.RZ)
+			f.St(isa.R0, btLeaf*8, isa.RZ)
+			f.Ld(isa.R7, isa.FP, -24)
+			f.St(isa.R0, btKids*8, isa.R7) // kids[0] = old root
+			f.LoadGlobalAddr(isa.R6, bt.Meta)
+			f.St(isa.R6, 0, isa.R0)
+			f.MovI(isa.R1, 0)
+			f.Call(split)
+		}, nil)
+
+		f.LoadGlobalAddr(isa.R6, bt.Meta)
+		f.Ld(isa.R6, isa.R6, 0)
+		f.St(isa.FP, -24, isa.R6)
+
+		down := f.Label("down")
+		leafIns := "ins_leaf"
+		f.Ld(isa.R6, isa.FP, -24)
+		f.Ld(isa.R9, isa.R6, btLeaf*8)
+		f.CmpI(isa.R9, 1)
+		f.BranchIf(isa.EQ, leafIns)
+
+		// Internal node: find child index.
+		f.Ld(isa.R7, isa.R6, btCount*8)
+		f.Ld(isa.R10, isa.FP, -8) // key
+		f.MovI(isa.R8, 0)
+		iscan := f.Label("iscan")
+		ichild := "ins_child"
+		f.Cmp(isa.R8, isa.R7)
+		f.BranchIf(isa.GE, ichild)
+		elem(f, isa.R9, isa.R6, isa.R8)
+		f.Ld(isa.R9, isa.R9, btKeys*8)
+		f.Cmp(isa.R10, isa.R9)
+		f.If(isa.EQ, func() { // key at internal node: update value
+			elem(f, isa.R9, isa.R6, isa.R8)
+			f.Ld(isa.R12, isa.FP, -16)
+			f.St(isa.R9, btVals*8, isa.R12)
+			f.EpilogueRet()
+		}, nil)
+		f.Cmp(isa.R10, isa.R9)
+		f.BranchIf(isa.LT, ichild)
+		f.AddI(isa.R8, isa.R8, 1)
+		f.Goto(iscan)
+
+		f.LabelNamed(ichild)
+		f.St(isa.FP, -32, isa.R8)
+		elem(f, isa.R9, isa.R6, isa.R8)
+		f.Ld(isa.R12, isa.R9, btKids*8) // child
+		f.Ld(isa.R7, isa.R12, btCount*8)
+		f.CmpI(isa.R7, btOrder)
+		f.If(isa.EQ, func() {
+			f.Mov(isa.R0, isa.R6)
+			f.Ld(isa.R1, isa.FP, -32)
+			f.Call(split)
+			// Re-route around the promoted median.
+			f.Ld(isa.R6, isa.FP, -24)
+			f.Ld(isa.R8, isa.FP, -32)
+			f.Ld(isa.R10, isa.FP, -8)
+			elem(f, isa.R9, isa.R6, isa.R8)
+			f.Ld(isa.R9, isa.R9, btKeys*8) // median
+			f.Cmp(isa.R10, isa.R9)
+			f.If(isa.EQ, func() {
+				elem(f, isa.R9, isa.R6, isa.R8)
+				f.Ld(isa.R12, isa.FP, -16)
+				f.St(isa.R9, btVals*8, isa.R12)
+				f.EpilogueRet()
+			}, nil)
+			f.Cmp(isa.R10, isa.R9)
+			f.If(isa.GT, func() {
+				f.AddI(isa.R8, isa.R8, 1)
+			}, nil)
+			elem(f, isa.R9, isa.R6, isa.R8)
+			f.Ld(isa.R12, isa.R9, btKids*8)
+		}, nil)
+		f.St(isa.FP, -24, isa.R12)
+		f.Goto(down)
+
+		// Leaf insertion.
+		f.LabelNamed(leafIns)
+		f.Ld(isa.R6, isa.FP, -24)
+		f.Ld(isa.R7, isa.R6, btCount*8)
+		f.Ld(isa.R10, isa.FP, -8)
+		f.MovI(isa.R8, 0)
+		lscan := f.Label("lscan")
+		lins := "ins_place"
+		f.Cmp(isa.R8, isa.R7)
+		f.BranchIf(isa.GE, lins)
+		elem(f, isa.R9, isa.R6, isa.R8)
+		f.Ld(isa.R9, isa.R9, btKeys*8)
+		f.Cmp(isa.R10, isa.R9)
+		f.If(isa.EQ, func() { // duplicate: overwrite
+			elem(f, isa.R9, isa.R6, isa.R8)
+			f.Ld(isa.R12, isa.FP, -16)
+			f.St(isa.R9, btVals*8, isa.R12)
+			f.EpilogueRet()
+		}, nil)
+		f.Cmp(isa.R10, isa.R9)
+		f.BranchIf(isa.LT, lins)
+		f.AddI(isa.R8, isa.R8, 1)
+		f.Goto(lscan)
+
+		f.LabelNamed(lins)
+		// Shift [i..count-1] right: j from count down to i+1.
+		f.Mov(isa.R9, isa.R7)
+		f.While(func() { f.Cmp(isa.R9, isa.R8) }, isa.GT, func() {
+			f.AddI(isa.R11, isa.R9, -1)
+			elem(f, isa.R12, isa.R6, isa.R11)
+			f.Ld(isa.R10, isa.R12, btKeys*8)
+			elem(f, isa.R12, isa.R6, isa.R9)
+			f.St(isa.R12, btKeys*8, isa.R10)
+			elem(f, isa.R12, isa.R6, isa.R11)
+			f.Ld(isa.R10, isa.R12, btVals*8)
+			elem(f, isa.R12, isa.R6, isa.R9)
+			f.St(isa.R12, btVals*8, isa.R10)
+			f.AddI(isa.R9, isa.R9, -1)
+		})
+		elem(f, isa.R12, isa.R6, isa.R8)
+		f.Ld(isa.R10, isa.FP, -8)
+		f.St(isa.R12, btKeys*8, isa.R10)
+		f.Ld(isa.R10, isa.FP, -16)
+		f.St(isa.R12, btVals*8, isa.R10)
+		f.AddI(isa.R7, isa.R7, 1)
+		f.St(isa.R6, btCount*8, isa.R7)
+		f.EpilogueRet()
+	}
+
+	return bt
+}

@@ -1,0 +1,120 @@
+package wlgen
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/build"
+	"repro/internal/isa"
+	"repro/internal/proc"
+)
+
+// btreeHarness drives the guest B-tree via syscalls: op 1 = insert, op
+// 2 = find (emits result), op 0 = halt.
+func btreeHarness(t *testing.T, poolNodes int64) (*proc.Process, *hashDriver) {
+	t.Helper()
+	p := build.NewProgram("bt")
+	bt := EmitBTree(p, "b", poolNodes)
+
+	m := p.Func("main")
+	m.Prologue(32)
+	m.Call(bt.Init)
+	loop := m.Label("loop")
+	m.Sys(proc.SysRecv)
+	m.CmpI(isa.R0, 0)
+	m.If(isa.EQ, func() { m.Halt() }, nil)
+	m.CmpI(isa.R0, 1)
+	m.If(isa.EQ, func() {
+		m.Mov(isa.R0, isa.R1)
+		m.Mov(isa.R1, isa.R2)
+		m.Call(bt.Insert)
+		m.Goto(loop)
+	}, nil)
+	m.Mov(isa.R0, isa.R1)
+	m.Call(bt.Find)
+	m.Sys(proc.SysEmit)
+	m.Goto(loop)
+	p.SetEntry("main")
+
+	bin, err := p.Assemble(asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &hashDriver{}
+	pr, err := proc.Load(bin, proc.Options{Threads: 1, Handler: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr, d
+}
+
+// TestBTreeMatchesMapProperty checks the guest B-tree against a Go map
+// over random upsert/find streams — including enough inserts to force
+// root growth and many node splits.
+func TestBTreeMatchesMapProperty(t *testing.T) {
+	for _, tc := range []struct {
+		seed  int64
+		keys  int
+		ops   int
+		nodes int64
+	}{
+		{seed: 1, keys: 40, ops: 2000, nodes: 64},     // small, few splits
+		{seed: 2, keys: 1000, ops: 6000, nodes: 1024}, // deep tree
+		{seed: 3, keys: 5000, ops: 8000, nodes: 4096}, // deeper
+	} {
+		rng := rand.New(rand.NewSource(tc.seed))
+		pr, d := btreeHarness(t, tc.nodes)
+		ref := map[uint64]uint64{}
+		var wantGets []uint64
+		for i := 0; i < tc.ops; i++ {
+			key := uint64(rng.Intn(tc.keys)) + 1
+			if rng.Intn(2) == 0 {
+				val := rng.Uint64() | 1
+				d.ops = append(d.ops, hashOp{1, key, val})
+				ref[key] = val
+			} else {
+				d.ops = append(d.ops, hashOp{2, key, 0})
+				wantGets = append(wantGets, ref[key])
+			}
+		}
+		pr.RunUntilHalt(0)
+		if err := pr.Fault(); err != nil {
+			t.Fatalf("seed %d: %v", tc.seed, err)
+		}
+		if len(d.Emitted) != len(wantGets) {
+			t.Fatalf("seed %d: %d finds answered, want %d", tc.seed, len(d.Emitted), len(wantGets))
+		}
+		for i := range wantGets {
+			if d.Emitted[i] != wantGets[i] {
+				t.Fatalf("seed %d: find %d = %d, reference %d", tc.seed, i, d.Emitted[i], wantGets[i])
+			}
+		}
+	}
+}
+
+// TestBTreeSequentialAscending stresses the splitting path: ascending
+// inserts always split the rightmost spine.
+func TestBTreeSequentialAscending(t *testing.T) {
+	pr, d := btreeHarness(t, 2048)
+	const n = 3000
+	for k := uint64(1); k <= n; k++ {
+		d.ops = append(d.ops, hashOp{1, k, k * 3})
+	}
+	for k := uint64(1); k <= n; k++ {
+		d.ops = append(d.ops, hashOp{2, k, 0})
+	}
+	d.ops = append(d.ops, hashOp{2, n + 1, 0}) // miss
+	pr.RunUntilHalt(0)
+	if err := pr.Fault(); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(1); k <= n; k++ {
+		if d.Emitted[k-1] != k*3 {
+			t.Fatalf("find(%d) = %d, want %d", k, d.Emitted[k-1], k*3)
+		}
+	}
+	if d.Emitted[n] != 0 {
+		t.Error("missing key should find 0")
+	}
+}

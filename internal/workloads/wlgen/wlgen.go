@@ -1,0 +1,289 @@
+// Package wlgen emits reusable guest-code building blocks for the
+// benchmark workloads: an open-addressing hash index (the storage-engine
+// substrate), deep call chains with inline cold error paths (generated
+// parser code, the MYSQLparse analog), cold utility libraries (the bulk
+// of any real binary), and scan loops (memory-bound operators).
+//
+// Every emitted function establishes a frame (ENTER first), per the
+// unwindability ABI the OCOLOS controller requires.
+package wlgen
+
+import (
+	"fmt"
+
+	"repro/internal/build"
+	"repro/internal/isa"
+)
+
+// Tombstone is the reserved key marking deleted hash slots; generators
+// must produce keys > Tombstone.
+const Tombstone = 1
+
+// HashTable describes an emitted hash index.
+type HashTable struct {
+	Get  string // func(R0 key) → R0 value (0 = miss)
+	Put  string // func(R0 key, R1 value)
+	Del  string // func(R0 key)
+	Glob string // backing global (buckets × 16 bytes)
+	Mask int64
+}
+
+// EmitHashTable emits an open-addressing (linear probing) hash index over
+// a dedicated global. buckets must be a power of two.
+func EmitHashTable(p *build.ProgramBuilder, prefix string, buckets int64) HashTable {
+	if buckets&(buckets-1) != 0 {
+		panic("wlgen: buckets must be a power of two")
+	}
+	glob := p.Global(prefix+"_tab", uint64(buckets)*16)
+	mask := buckets - 1
+	ht := HashTable{
+		Get:  prefix + "_get",
+		Put:  prefix + "_put",
+		Del:  prefix + "_del",
+		Glob: glob,
+		Mask: mask,
+	}
+
+	// hashTo(f, dst): dst = mix(R0) & mask. Clobbers R7.
+	hashTo := func(f *build.FuncBuilder, dst uint8) {
+		f.Mov(dst, isa.R0)
+		f.MulI(dst, dst, 0x9E3779B1)
+		f.ShrI(isa.R7, dst, 17)
+		f.Xor(dst, dst, isa.R7)
+		f.AndI(dst, dst, mask)
+	}
+	// slotAddr(f): R7 = &table[R6]. Clobbers R8.
+	slotAddr := func(f *build.FuncBuilder) {
+		f.LoadGlobalAddr(isa.R7, glob)
+		f.ShlI(isa.R8, isa.R6, 4)
+		f.Add(isa.R7, isa.R7, isa.R8)
+	}
+
+	g := p.Func(ht.Get)
+	g.Prologue(16)
+	hashTo(g, isa.R6)
+	loop := g.Label("probe")
+	slotAddr(g)
+	g.Ld(isa.R8, isa.R7, 0)
+	g.Cmp(isa.R8, isa.R0)
+	g.If(isa.EQ, func() {
+		g.Ld(isa.R0, isa.R7, 8)
+		g.EpilogueRet()
+	}, nil)
+	g.CmpI(isa.R8, 0)
+	g.If(isa.EQ, func() {
+		g.MovI(isa.R0, 0)
+		g.EpilogueRet()
+	}, nil)
+	g.AddI(isa.R6, isa.R6, 1)
+	g.AndI(isa.R6, isa.R6, mask)
+	g.Goto(loop)
+
+	w := p.Func(ht.Put)
+	w.Prologue(16)
+	hashTo(w, isa.R6)
+	wloop := w.Label("probe")
+	slotAddr(w)
+	w.Ld(isa.R8, isa.R7, 0)
+	w.Cmp(isa.R8, isa.R0)
+	w.If(isa.EQ, func() {
+		w.St(isa.R7, 8, isa.R1)
+		w.EpilogueRet()
+	}, nil)
+	w.CmpI(isa.R8, int64(Tombstone)+1)
+	w.If(isa.LT, func() { // empty (0) or tombstone (1): claim it
+		w.St(isa.R7, 0, isa.R0)
+		w.St(isa.R7, 8, isa.R1)
+		w.EpilogueRet()
+	}, nil)
+	w.AddI(isa.R6, isa.R6, 1)
+	w.AndI(isa.R6, isa.R6, mask)
+	w.Goto(wloop)
+
+	d := p.Func(ht.Del)
+	d.Prologue(16)
+	hashTo(d, isa.R6)
+	dloop := d.Label("probe")
+	slotAddr(d)
+	d.Ld(isa.R8, isa.R7, 0)
+	d.Cmp(isa.R8, isa.R0)
+	d.If(isa.EQ, func() {
+		d.MovI(isa.R8, Tombstone)
+		d.St(isa.R7, 0, isa.R8)
+		d.EpilogueRet()
+	}, nil)
+	d.CmpI(isa.R8, 0)
+	d.If(isa.EQ, func() { d.EpilogueRet() }, nil)
+	d.AddI(isa.R6, isa.R6, 1)
+	d.AndI(isa.R6, isa.R6, mask)
+	d.Goto(dloop)
+
+	return ht
+}
+
+// ChainSpec shapes a generated call chain (the parser-code analog).
+type ChainSpec struct {
+	Steps    int    // functions in the chain
+	ColdPad  int    // NOPs of inline cold error handling per function
+	HotWork  int    // arithmetic ops per function on the hot path
+	CallCold string // optional cold-library function called on the error path
+
+	// Sequential emits a driver function <prefix>_drv that calls the steps
+	// one after another (parser states driven from a dispatch loop)
+	// instead of nesting each step's call inside the previous one; nesting
+	// 30+ frames deep would overflow any real return-address stack, which
+	// is not how generated parsers behave.
+	Sequential bool
+}
+
+// EmitChain emits functions <prefix>_s0 … and returns the entry function
+// name. Each step mixes R0, takes a biased branch whose cold side is the
+// inline error path (never executed for well-formed requests: R1 carries
+// a poison flag the generators keep zero), then calls the next step.
+// The chain preserves and transforms R0; R1 is the poison flag.
+func EmitChain(p *build.ProgramBuilder, prefix string, spec ChainSpec) string {
+	return EmitChains(p, []string{prefix}, spec)[0]
+}
+
+// EmitChains emits one chain per prefix with the functions *interleaved by
+// step* in the layout: step k of every chain is emitted before step k+1 of
+// any chain. This reproduces the source-order scatter of generated parser
+// code — the functions one query type actually executes are strided
+// across the text section, which is precisely what profile-guided layout
+// fixes. Returns the entry function of each chain.
+func EmitChains(p *build.ProgramBuilder, prefixes []string, spec ChainSpec) []string {
+	names := make([][]string, len(prefixes))
+	for c, prefix := range prefixes {
+		names[c] = make([]string, spec.Steps)
+		for i := range names[c] {
+			names[c][i] = fmt.Sprintf("%s_s%d", prefix, i)
+		}
+	}
+	entries := make([]string, len(prefixes))
+	if spec.Sequential {
+		for c, prefix := range prefixes {
+			entries[c] = prefix + "_drv"
+			d := p.Func(entries[c])
+			d.Prologue(16)
+			for i := 0; i < spec.Steps; i++ {
+				d.Call(names[c][i])
+			}
+			d.EpilogueRet()
+		}
+	}
+	for i := spec.Steps - 1; i >= 0; i-- {
+		for c := range prefixes {
+			emitChainStep(p, names[c], i, spec)
+		}
+	}
+	if !spec.Sequential {
+		for c := range prefixes {
+			entries[c] = names[c][0]
+		}
+	}
+	return entries
+}
+
+func emitChainStep(p *build.ProgramBuilder, names []string, i int, spec ChainSpec) {
+	f := p.Func(names[i])
+	{
+		f.Prologue(16)
+		for k := 0; k < spec.HotWork; k++ {
+			switch k % 3 {
+			case 0:
+				f.MulI(isa.R0, isa.R0, int64(2*i+3))
+			case 1:
+				f.XorI(isa.R0, isa.R0, int64(i*257+k))
+			case 2:
+				f.ShrI(isa.R6, isa.R0, 7)
+				f.Add(isa.R0, isa.R0, isa.R6)
+			}
+		}
+		// Poison check: the inline cold error path (R1 != 0).
+		f.CmpI(isa.R1, 0)
+		f.If(isa.NE, func() {
+			f.PadCode(spec.ColdPad)
+			if spec.CallCold != "" {
+				f.Call(spec.CallCold)
+			}
+			f.MovI(isa.R0, 0)
+			f.EpilogueRet()
+		}, nil)
+		if i+1 < spec.Steps && !spec.Sequential {
+			f.Call(names[i+1])
+		}
+		f.EpilogueRet()
+	}
+}
+
+// EmitColdLib emits n cold utility functions <prefix>_u0… of roughly
+// sizeInsts instructions each and returns their names. They bulk up the
+// binary the way rarely-used library code does in MySQL/MongoDB.
+func EmitColdLib(p *build.ProgramBuilder, prefix string, n, sizeInsts int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s_u%d", prefix, i)
+		f := p.Func(names[i])
+		f.Prologue(16)
+		f.PadCode(sizeInsts)
+		f.AddI(isa.R0, isa.R0, int64(i))
+		f.EpilogueRet()
+	}
+	return names
+}
+
+// EmitScan emits <name>: func(R0 startIdx, R1 count) → R0 sum, walking the
+// given global array of words with the given stride. The loop is
+// memory-bound for arrays far beyond the LLC.
+func EmitScan(p *build.ProgramBuilder, name, arrayGlob string, arrayWords, stride int64) {
+	f := p.Func(name)
+	f.Prologue(16)
+	f.LoadGlobalAddr(isa.R6, arrayGlob)
+	f.MovI(isa.R8, 0) // sum
+	f.Mov(isa.R9, isa.R0)
+	f.While(func() { f.CmpI(isa.R1, 0) }, isa.GT, func() {
+		f.AndI(isa.R9, isa.R9, arrayWords-1)
+		f.ShlI(isa.R10, isa.R9, 3)
+		f.Add(isa.R10, isa.R6, isa.R10)
+		f.Ld(isa.R11, isa.R10, 0)
+		f.Add(isa.R8, isa.R8, isa.R11)
+		f.AddI(isa.R9, isa.R9, stride)
+		f.AddI(isa.R1, isa.R1, -1)
+	})
+	f.Mov(isa.R0, isa.R8)
+	f.EpilogueRet()
+}
+
+// EmitServerMain emits the standard serving loop: recv a request, bounds-
+// check the opcode, dispatch through the given handler table (a v-table
+// indexed by opcode), send the result, repeat; opcode NoMoreWork (all
+// ones) halts. handlers is the name of a v-table whose slot i serves
+// opcode i.
+func EmitServerMain(p *build.ProgramBuilder, name, handlersVT string, numOps int64) {
+	m := p.Func(name)
+	m.Prologue(32)
+	loop := m.Label("serve")
+	m.Sys(1) // SysRecv → R0 op, R1..R3 args
+	m.CmpI(isa.R0, -1)
+	m.If(isa.EQ, func() {
+		m.Halt()
+	}, nil)
+	// Bounds check (cold failure path).
+	m.CmpI(isa.R0, numOps)
+	m.If(isa.GE, func() {
+		m.PadCode(8)
+		m.Goto(loop)
+	}, nil)
+	// Dispatch through the handler v-table: an indirect call per request,
+	// exactly the code-pointer pattern OCOLOS must patch.
+	m.LoadGlobalAddr(isa.R6, handlersVT)
+	m.ShlI(isa.R7, isa.R0, 3)
+	m.Add(isa.R6, isa.R6, isa.R7)
+	m.Ld(isa.R6, isa.R6, 0)
+	m.Mov(isa.R0, isa.R1) // args shift down for the handler
+	m.Mov(isa.R1, isa.R2)
+	m.Mov(isa.R2, isa.R3)
+	m.CallR(isa.R6)
+	m.Sys(2) // SysSend (result in R0)
+	m.Goto(loop)
+}
