@@ -1,0 +1,109 @@
+package bolt
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// fingerprint renders everything that defines a layout: section
+// placement and bytes, the function map (hot and cold halves), jump
+// tables and v-table slots, and the entry point. Two results with equal
+// fingerprints are byte-identical layouts.
+func fingerprint(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	b := res.Binary
+	fmt.Fprintf(&buf, "entry=%#x reordered=%d split=%d newtext=%d\n",
+		b.Entry, res.FuncsReordered, res.FuncsSplit, res.NewTextBytes)
+	for _, s := range b.Sections {
+		fmt.Fprintf(&buf, "sec %s addr=%#x len=%d\n", s.Name, s.Addr, len(s.Data))
+		buf.Write(s.Data)
+		buf.WriteByte('\n')
+	}
+	for _, f := range b.Funcs {
+		fmt.Fprintf(&buf, "func %s addr=%#x size=%d cold=%#x/%d opt=%v\n",
+			f.Name, f.Addr, f.Size, f.ColdAddr, f.ColdSize, f.Optimized)
+	}
+	for _, vt := range b.VTables {
+		fmt.Fprintf(&buf, "vt %s addr=%#x slots=%v\n", vt.Name, vt.Addr, vt.Slots)
+	}
+	for _, jt := range b.JumpTables {
+		fmt.Fprintf(&buf, "jt addr=%#x targets=%v\n", jt.Addr, jt.Targets)
+	}
+	return buf.Bytes()
+}
+
+// TestOptimizeDeterministic: identical profiles must yield byte-identical
+// layouts, across repeated Optimize calls and across independently
+// recorded (but identical) profiling runs. The diffcheck oracle leans on
+// this: a nondeterministic optimizer would make every differential run
+// incomparable.
+func TestOptimizeDeterministic(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"default", Options{}},
+		{"no-split", Options{NoSplit: true}},
+		{"no-reorder-blocks", Options{NoReorderBlocks: true}},
+		{"no-peephole", Options{NoPeephole: true}},
+		{"pettis-hansen", Options{FuncOrder: OrderPH}},
+		{"no-func-order", Options{FuncOrder: OrderNone}},
+	}
+	bin, _ := buildToy(t, 30000)
+	prof := profileBinary(t, bin, 0.002)
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			first, err := Optimize(bin, prof, c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := fingerprint(t, first)
+			// Same profile object, repeated: Optimize must not depend on
+			// map iteration order or mutate its inputs.
+			for i := 0; i < 3; i++ {
+				again, err := Optimize(bin, prof, c.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(ref, fingerprint(t, again)) {
+					t.Fatalf("run %d produced a different layout", i+2)
+				}
+			}
+			// A fresh, independently recorded profile of the identical
+			// deterministic run must reproduce the layout end-to-end.
+			bin2, _ := buildToy(t, 30000)
+			prof2 := profileBinary(t, bin2, 0.002)
+			indep, err := Optimize(bin2, prof2, c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ref, fingerprint(t, indep)) {
+				t.Fatal("independently recorded identical profile produced a different layout")
+			}
+		})
+	}
+}
+
+// TestOptimizeDoesNotMutateInput: determinism across calls also requires
+// the optimizer to leave the input binary untouched.
+func TestOptimizeDoesNotMutateInput(t *testing.T) {
+	bin, _ := buildToy(t, 30000)
+	prof := profileBinary(t, bin, 0.002)
+	var before bytes.Buffer
+	for _, s := range bin.Sections {
+		before.Write(s.Data)
+	}
+	if _, err := Optimize(bin, prof, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var after bytes.Buffer
+	for _, s := range bin.Sections {
+		after.Write(s.Data)
+	}
+	if !bytes.Equal(before.Bytes(), after.Bytes()) {
+		t.Fatal("Optimize mutated the input binary's sections")
+	}
+}

@@ -1,0 +1,83 @@
+package build
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/obj"
+)
+
+// Machine is the execution substrate a built program runs on. The proc
+// package's Process satisfies it through the small adapter in
+// internal/diffcheck (build cannot import proc directly: proc's own
+// tests build programs with this package).
+type Machine interface {
+	// RunUntilHalt runs until every thread halts, a fault, or maxInst
+	// retired instructions (0 = no limit); returns instructions executed.
+	RunUntilHalt(maxInst uint64) uint64
+	// RunFor advances the machine by the given simulated seconds.
+	RunFor(seconds float64)
+	// Seconds returns elapsed simulated time.
+	Seconds() float64
+	// Fault returns the first execution fault, if any.
+	Fault() error
+	// ReadWord reads the 8-byte word at an absolute address.
+	ReadWord(addr uint64) uint64
+}
+
+// Result is a built program: the lowered IR, the linked binary, and the
+// data-symbol table, optionally attached to a running machine so tests
+// can drive it and observe its memory by symbol name.
+type Result struct {
+	Prog   *asm.Program
+	Binary *obj.Binary
+	Syms   map[string]uint64
+
+	m Machine
+}
+
+// Attach binds a machine (a loaded process) to the result and returns
+// the result for chaining.
+func (r *Result) Attach(m Machine) *Result {
+	r.m = m
+	return r
+}
+
+// Machine returns the attached machine (nil before Attach).
+func (r *Result) Machine() Machine { return r.m }
+
+// Addr returns the address of a global or v-table, 0 if unknown.
+func (r *Result) Addr(sym string) uint64 { return r.Syms[sym] }
+
+func (r *Result) machine() Machine {
+	if r.m == nil {
+		panic(fmt.Sprintf("build: result %s not attached to a machine", r.Binary.Name))
+	}
+	return r.m
+}
+
+// RunUntilHalt drives the attached machine to completion (or the
+// instruction budget) and returns instructions executed.
+func (r *Result) RunUntilHalt(maxInst uint64) uint64 { return r.machine().RunUntilHalt(maxInst) }
+
+// RunFor advances the attached machine by simulated seconds.
+func (r *Result) RunFor(seconds float64) { r.machine().RunFor(seconds) }
+
+// Seconds returns the attached machine's elapsed simulated time.
+func (r *Result) Seconds() float64 { return r.machine().Seconds() }
+
+// Fault returns the attached machine's first fault, if any.
+func (r *Result) Fault() error { return r.machine().Fault() }
+
+// Mem reads the word at the named global (or at Addr(sym)+off words for
+// the variadic offset), by far the most common test observation.
+func (r *Result) Mem(sym string, wordOff ...uint64) uint64 {
+	addr, ok := r.Syms[sym]
+	if !ok {
+		panic(fmt.Sprintf("build: unknown data symbol %q in %s", sym, r.Binary.Name))
+	}
+	if len(wordOff) > 0 {
+		addr += wordOff[0] * 8
+	}
+	return r.machine().ReadWord(addr)
+}

@@ -1,0 +1,213 @@
+package diffcheck
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bolt"
+	"repro/internal/isa"
+	"repro/internal/obj"
+	"repro/internal/proc"
+)
+
+// TestLayoutEquivalence is the oracle over every workload: the BOLTed
+// layout and the mid-run-replaced execution must be architecturally
+// equivalent to the compiler-default layout.
+func TestLayoutEquivalence(t *testing.T) {
+	for _, tgt := range Targets() {
+		tgt := tgt
+		t.Run(tgt.Name, func(t *testing.T) {
+			t.Parallel()
+			diffs, err := Check(tgt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, d := range diffs {
+				t.Errorf("divergence: %s", d)
+			}
+		})
+	}
+}
+
+// TestBaselineIsMeaningful guards the oracle against vacuity: the
+// baseline run must do real work and the bolted binary must really move
+// functions — an equivalence check over an empty run proves nothing.
+func TestBaselineIsMeaningful(t *testing.T) {
+	tgt, err := TargetByName("kvcache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Baseline(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Halted || base.Fault != nil {
+		t.Fatalf("baseline did not finish cleanly: halted=%v fault=%v", base.Halted, base.Fault)
+	}
+	if base.Completed == 0 || base.Syscalls == 0 || base.Insts == 0 {
+		t.Fatalf("baseline did no work: completed=%d syscalls=%d insts=%d",
+			base.Completed, base.Syscalls, base.Insts)
+	}
+	if len(base.Work) < 3 {
+		t.Fatalf("work attribution covered only %d functions", len(base.Work))
+	}
+	bin, err := BoltBinary(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bin.Bolted {
+		t.Fatal("BoltBinary returned an unbolted binary")
+	}
+	moved := 0
+	for _, f := range bin.Funcs {
+		if f.Addr >= bolt.DefaultTextBase {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("bolted layout moved no functions; the equivalence check is vacuous")
+	}
+}
+
+// TestTraceDeterminism: the harness itself must be deterministic — two
+// baseline runs of the same target produce byte-identical traces, or
+// every comparison it makes is noise.
+func TestTraceDeterminism(t *testing.T) {
+	tgt, err := TargetByName("rtlsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Baseline(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Baseline(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := Compare(a, b); len(diffs) != 0 {
+		t.Fatalf("two identical baseline runs diverge: %v", diffs)
+	}
+	if a.Insts != b.Insts || a.Seconds != b.Seconds {
+		t.Fatalf("instruction/time counts differ across identical runs: %d/%g vs %d/%g",
+			a.Insts, a.Seconds, b.Insts, b.Seconds)
+	}
+}
+
+// corruptFirstCall re-targets the first direct call in the optimized hot
+// text by one instruction slot — the shape of a bad BOLT relocation.
+func corruptFirstCall(bin *obj.Binary) error {
+	sec := bin.Section(obj.SecText)
+	if sec == nil {
+		return fmt.Errorf("bolted binary has no %s section", obj.SecText)
+	}
+	for off := 0; off+isa.InstBytes <= len(sec.Data); off += isa.InstBytes {
+		in, err := isa.Decode(sec.Data[off:])
+		if err != nil || in.Op != isa.CALL {
+			continue
+		}
+		in.Imm += isa.InstBytes
+		in.Encode(sec.Data[off:])
+		return nil
+	}
+	return fmt.Errorf("no CALL instruction in hot text")
+}
+
+// TestDetectsCorruptedRelocation: the harness can fail, not just pass. A
+// mis-relocated call in the injected code must surface as a divergence
+// (or an outright fault) against the baseline.
+func TestDetectsCorruptedRelocation(t *testing.T) {
+	tgt, err := TargetByName("kvcache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Baseline(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := BoltedWith(tgt, Hooks{MutateBinary: corruptFirstCall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := Compare(base, bad); len(diffs) == 0 {
+		t.Fatal("corrupted relocation was not detected as non-equivalent")
+	}
+}
+
+// TestDetectsClobberedCodePointer: a botched pointer patch — a v-table
+// slot left pointing at the wrong function, the exact failure OCOLOS's
+// stop-the-world v-table pass must never produce — must be flagged.
+func TestDetectsClobberedCodePointer(t *testing.T) {
+	tgt, err := TargetByName("docdb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Baseline(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clobber := func(p *proc.Process) {
+		var vt *obj.VTable
+		for _, v := range p.Bin.VTables {
+			if len(v.Slots) >= 2 {
+				vt = v
+				break
+			}
+		}
+		if vt == nil {
+			t.Fatal("docdb has no multi-slot v-table")
+		}
+		// Swap the first two slots: both remain valid function entries,
+		// so nothing faults — only semantics change.
+		s0 := p.Mem.ReadWord(vt.Addr)
+		s1 := p.Mem.ReadWord(vt.Addr + 8)
+		p.Mem.WriteWord(vt.Addr, s1)
+		p.Mem.WriteWord(vt.Addr+8, s0)
+	}
+	bad, err := BoltedWith(tgt, Hooks{PostLoad: clobber})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diffs := Compare(base, bad); len(diffs) == 0 {
+		t.Fatal("clobbered code pointer was not detected as non-equivalent")
+	}
+}
+
+// TestCompareFlagsEveryAxis exercises Compare directly so a future edit
+// cannot silently drop one of the equivalence dimensions.
+func TestCompareFlagsEveryAxis(t *testing.T) {
+	mk := func() *Trace {
+		return &Trace{
+			Name: "t", Halted: true, Completed: 5, Syscalls: 11,
+			SyscallHash: 0xAB, GlobalsHash: 0xCD, GlobalsBytes: 64,
+			Emitted: []uint64{1, 2}, Work: map[string]uint64{"f": 10},
+		}
+	}
+	base := mk()
+	cases := []struct {
+		name   string
+		mutate func(*Trace)
+	}{
+		{"halted", func(tr *Trace) { tr.Halted = false }},
+		{"fault", func(tr *Trace) { tr.Fault = fmt.Errorf("boom") }},
+		{"completed", func(tr *Trace) { tr.Completed++ }},
+		{"syscall count", func(tr *Trace) { tr.Syscalls++ }},
+		{"syscall digest", func(tr *Trace) { tr.SyscallHash++ }},
+		{"emitted value", func(tr *Trace) { tr.Emitted[1]++ }},
+		{"emitted length", func(tr *Trace) { tr.Emitted = tr.Emitted[:1] }},
+		{"globals hash", func(tr *Trace) { tr.GlobalsHash++ }},
+		{"globals size", func(tr *Trace) { tr.GlobalsBytes++ }},
+		{"work count", func(tr *Trace) { tr.Work["f"]++ }},
+		{"work set", func(tr *Trace) { tr.Work["g"] = 1 }},
+	}
+	if diffs := Compare(base, mk()); len(diffs) != 0 {
+		t.Fatalf("identical traces reported divergent: %v", diffs)
+	}
+	for _, c := range cases {
+		other := mk()
+		c.mutate(other)
+		if diffs := Compare(base, other); len(diffs) == 0 {
+			t.Errorf("%s divergence not flagged", c.name)
+		}
+	}
+}

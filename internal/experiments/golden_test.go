@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden CSV files")
+
+// goldenCompare writes the emitter output to a scratch file and diffs it
+// against the checked-in golden; -update regenerates the goldens.
+func goldenCompare(t *testing.T, golden string, emit func(path string) error) {
+	t.Helper()
+	got := filepath.Join(t.TempDir(), filepath.Base(golden))
+	if err := emit(got); err != nil {
+		t.Fatal(err)
+	}
+	gotBytes, err := os.ReadFile(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *update {
+		if err := os.WriteFile(golden, gotBytes, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if string(gotBytes) != string(want) {
+		t.Errorf("output does not match %s\n--- got ---\n%s--- want ---\n%s",
+			golden, gotBytes, want)
+	}
+}
+
+// Fixed inputs exercising the formatting edge cases: zero values,
+// sub-unity speedups, values needing rounding, and a comma-free check on
+// every numeric column.
+func fig5Fixture() []Fig5Row {
+	return []Fig5Row{
+		{Workload: "kvcache", Input: "set10_get90", Original: 812345.6, OCOLOS: 1.23456, BoltOr: 1.3, PGOOr: 1.12, BoltAvg: 1.0499949},
+		{Workload: "docdb", Input: "scan95_insert5", Original: 4321.4, OCOLOS: 0.98765, BoltOr: 1.0, PGOOr: 0, BoltAvg: 0.25},
+		{Workload: "rtlsim", Input: "dhrystone", Original: 0, OCOLOS: 0, BoltOr: 0, PGOOr: 0, BoltAvg: 0},
+	}
+}
+
+func fig9Fixture() []Fig9Point {
+	return []Fig9Point{
+		{Workload: "sqldb", Input: "oltp_point_select", FrontEnd: 0.41237, Retiring: 0.28001, Speedup: 1.5},
+		{Workload: "docdb", Input: "scan95_insert5", FrontEnd: 0.05, Retiring: 0.61235, Speedup: 0.99999},
+	}
+}
+
+func TestWriteFig5CSVGolden(t *testing.T) {
+	goldenCompare(t, filepath.Join("testdata", "fig5.golden.csv"), func(path string) error {
+		return WriteFig5CSV(fig5Fixture(), path)
+	})
+}
+
+func TestWriteFig9CSVGolden(t *testing.T) {
+	goldenCompare(t, filepath.Join("testdata", "fig9.golden.csv"), func(path string) error {
+		return WriteFig9CSV(fig9Fixture(), path)
+	})
+}

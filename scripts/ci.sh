@@ -1,0 +1,17 @@
+#!/usr/bin/env sh
+# Tier-1 gate: vet, build, and test (with the race detector) the whole
+# module. Every PR must pass this before merge; see docs/testing.md.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "CI OK"
