@@ -119,3 +119,7 @@ func BenchmarkRecoveryAnalysis(b *testing.B) { runExperiment(b, "recover") }
 // BenchmarkStaggeredRollout regenerates the §IV-D staggered-replacement
 // comparison across a load-balanced tier.
 func BenchmarkStaggeredRollout(b *testing.B) { runExperiment(b, "stagger") }
+
+// BenchmarkFleetWave regenerates the §V fleet-deployment wave: a mixed
+// service tier optimized concurrently under one manager.
+func BenchmarkFleetWave(b *testing.B) { runExperiment(b, "fleet") }

@@ -1,0 +1,135 @@
+// Fleetd drives a mixed-workload service fleet through the OCOLOS
+// lifecycle — the §V deployment story as a daemon-style batch run. It
+// stands up replicas of the database, document-store, and cache
+// workloads, scans them, optimizes the selected ones concurrently on
+// the manager's worker pool (stop-the-world pauses staggered by the
+// global semaphore), and dumps the per-service state report plus the
+// full telemetry registry.
+//
+// Quick mode (the default) runs small-scale workloads with the gate
+// skipped so every lifecycle path executes in a couple of seconds;
+// -full runs evaluation-scale workloads under the real TopDown gate.
+//
+// Run with: go run ./cmd/fleetd [-full] [-replicas N] [-rounds N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/telemetry"
+	"repro/internal/workloads/docdb"
+	"repro/internal/workloads/kvcache"
+	"repro/internal/workloads/sqldb"
+	"repro/internal/workloads/wl"
+)
+
+func main() {
+	var (
+		full        = flag.Bool("full", false, "evaluation-scale workloads and the real TopDown gate")
+		replicas    = flag.Int("replicas", 2, "replicas per workload/input pair")
+		workers     = flag.Int("workers", 4, "concurrent lifecycle workers")
+		maxPauses   = flag.Int("max-pauses", 1, "max simultaneous stop-the-world pauses")
+		rounds      = flag.Int("rounds", 2, "max optimization rounds per service")
+		revertBelow = flag.Float64("revert-below", 1.0, "revert to C0 below this speedup (0 disables)")
+	)
+	flag.Parse()
+
+	// Workload construction is the one shared-state step (binaries are
+	// immutable afterwards), so it stays sequential.
+	type spec struct {
+		build func() (*wl.Workload, error)
+		input string
+	}
+	specs := []spec{
+		{func() (*wl.Workload, error) {
+			if *full {
+				return sqldb.Build(sqldb.Full())
+			}
+			return sqldb.Build(sqldb.Small())
+		}, "read_only"},
+		{func() (*wl.Workload, error) {
+			if *full {
+				return docdb.Build(docdb.Full())
+			}
+			return docdb.Build(docdb.Small())
+		}, "read_update"},
+		{func() (*wl.Workload, error) {
+			if *full {
+				return kvcache.Build(kvcache.Full())
+			}
+			return kvcache.Build(kvcache.Small())
+		}, "set10_get90"},
+	}
+
+	metrics := telemetry.NewRegistry()
+	cfg := fleet.Config{
+		Workers:     *workers,
+		MaxPauses:   *maxPauses,
+		MaxRounds:   *rounds,
+		RevertBelow: *revertBelow,
+		Metrics:     metrics,
+	}
+	if !*full {
+		// Small-scale services: sub-millisecond windows, gate skipped so
+		// every service exercises the lifecycle, and the (comparatively
+		// huge) pause cost kept off the measured timeline.
+		cfg.SkipGate = true
+		cfg.ProfileDur = 0.0008
+		cfg.Warm = 0.0003
+		cfg.Window = 0.0004
+	}
+	m, err := fleet.NewManager(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, sp := range specs {
+		w, err := sp.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		threads := 2
+		if *full {
+			threads = 4
+		}
+		for i := 0; i < *replicas; i++ {
+			plan := fleet.ServicePlan{
+				Name:     fmt.Sprintf("%s/%s#%d", w.Name, sp.input, i),
+				Workload: w,
+				Input:    sp.input,
+				Threads:  threads,
+			}
+			if !*full {
+				plan.Core = core.Options{NoChargePause: true}
+			}
+			svc, err := m.AddService(plan)
+			if err != nil {
+				log.Fatal(err)
+			}
+			svc.Proc.RunFor(m.Config().Warm) // services have been up for a while
+		}
+	}
+
+	fmt.Printf("fleetd: %d services, %d workers, %d max pause(s), %d round(s) max\n\n",
+		len(m.Services()), m.Config().Workers, m.Config().MaxPauses, m.Config().MaxRounds)
+
+	t0 := time.Now()
+	rep, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("fleet state report:")
+	rep.Write(os.Stdout)
+	fmt.Printf("\nwave completed in %.2fs host time, peak concurrent pauses %d\n",
+		time.Since(t0).Seconds(), m.PeakPauses())
+
+	fmt.Println("\ntelemetry:")
+	metrics.WriteReport(os.Stdout)
+}

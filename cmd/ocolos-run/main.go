@@ -73,10 +73,11 @@ func run(workload, input string, threads int, profileMS float64, rounds int, rev
 	fmt.Printf("original steady state: %.0f req/s\n", base)
 
 	for r := 1; r <= rounds; r++ {
-		rs, bs, err := ctl.RunOnce(profileMS / 1e3)
+		rr, err := ctl.OptimizeRound(profileMS / 1e3)
 		if err != nil {
 			return err
 		}
+		rs, bs := rr.Replace, rr.Build
 		p.RunFor(0.003)
 		t := wl.Measure(p, d, 0.004)
 		fmt.Printf("round %d: C%d live — %.0f req/s (%.2fx)\n", r, ctl.Version(), t, t/base)

@@ -2,10 +2,12 @@
 //
 // §V of the paper notes that data centers already run continuous fleet
 // profilers (Google-Wide Profiling); OCOLOS slots in behind them. This
-// example manages four services, scans their TopDown counters (the
-// DMon-style first stage), optimizes only the ones the Figure 9 criterion
-// selects, and reports per-service and fleet-wide results — including the
-// memory-bound service the gate correctly refuses to touch.
+// example manages four services under a fleet.Manager: the TopDown scan
+// (the DMon-style first stage) selects the front-end-bound ones, the
+// worker pool drives each selected service through the optimization
+// lifecycle concurrently — with replacement pauses staggered by the
+// global semaphore — and services below the regression bar are reverted
+// to C0. The memory-bound cache is correctly refused by the gate.
 //
 // Run with: go run ./examples/fleetopt
 package main
@@ -13,9 +15,10 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
-	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/telemetry"
 	"repro/internal/workloads/docdb"
 	"repro/internal/workloads/kvcache"
 	"repro/internal/workloads/sqldb"
@@ -35,34 +38,29 @@ func main() {
 		log.Fatal(err)
 	}
 
-	var services []*fleet.Service
-	for _, s := range []struct {
-		name, input string
-		build       func() (*fleet.Service, error)
-	}{
-		{"sqldb/read_only", "", func() (*fleet.Service, error) {
-			return fleet.NewService("sqldb/read_only", db, "read_only", 4, core.Options{})
-		}},
-		{"docdb/read_update", "", func() (*fleet.Service, error) {
-			return fleet.NewService("docdb/read_update", doc, "read_update", 4, core.Options{})
-		}},
-		{"docdb/scan95", "", func() (*fleet.Service, error) {
-			return fleet.NewService("docdb/scan95", doc, "scan95_insert5", 4, core.Options{})
-		}},
-		{"kvcache/get90", "", func() (*fleet.Service, error) {
-			return fleet.NewService("kvcache/get90", kv, "set10_get90", 4, core.Options{})
-		}},
-	} {
-		svc, err := s.build()
+	metrics := telemetry.NewRegistry()
+	m, err := fleet.NewManager(fleet.Config{
+		Workers:     2,
+		MaxPauses:   1,
+		MaxRounds:   1,
+		RevertBelow: 1.02,
+		Metrics:     metrics,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	plans := []fleet.ServicePlan{
+		{Name: "sqldb/read_only", Workload: db, Input: "read_only", Threads: 4},
+		{Name: "docdb/read_update", Workload: doc, Input: "read_update", Threads: 4},
+		{Name: "docdb/scan95", Workload: doc, Input: "scan95_insert5", Threads: 4},
+		{Name: "kvcache/get90", Workload: kv, Input: "set10_get90", Threads: 4},
+	}
+	for _, plan := range plans {
+		svc, err := m.AddService(plan)
 		if err != nil {
 			log.Fatal(err)
 		}
-		services = append(services, svc)
-	}
-
-	m := &fleet.Manager{Services: services}
-	for _, s := range m.Services {
-		s.Proc.RunFor(0.002) // services have been up for a while
+		svc.Proc.RunFor(0.002) // services have been up for a while
 	}
 
 	fmt.Println("fleet scan (TopDown first stage):")
@@ -76,12 +74,10 @@ func main() {
 			r.Service.Name, r.TopDown.FrontEnd*100, r.TopDown.Retiring*100, verdict)
 	}
 
-	speedups, err := m.OptimizeCandidates(scan, 0.004, 0.002, 0.003, 1.02)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println("after one optimization wave (services below 1.02x are reverted):")
-	for _, s := range m.Services {
-		fmt.Printf("  %-20s %.2fx\n", s.Name, speedups[s.Name])
-	}
+	m.Optimize(scan)
+	fmt.Println("\nafter one optimization wave (services below 1.02x are reverted):")
+	m.Report().Write(os.Stdout)
+
+	fmt.Println("\nfleet metrics:")
+	metrics.WriteReport(os.Stdout)
 }

@@ -47,7 +47,7 @@ func main() {
 	// Phase 1: read-only traffic, optimize for it.
 	p.RunFor(0.003)
 	readBase := wl.Measure(p, driver, 0.003)
-	if _, _, err := ctl.RunOnce(0.004); err != nil {
+	if _, err := ctl.OptimizeRound(0.004); err != nil {
 		log.Fatal(err)
 	}
 	p.RunFor(0.003)
@@ -69,10 +69,11 @@ func main() {
 
 	// Re-profile the running process (profiles now reflect writes) and
 	// replace C1 with C2. The dead C1 region is garbage-collected.
-	rs, _, err := ctl.RunOnce(0.004)
+	rr, err := ctl.OptimizeRound(0.004)
 	if err != nil {
 		log.Fatal(err)
 	}
+	rs := rr.Replace
 	p.RunFor(0.003)
 	writeOnC2 := wl.Measure(p, driver, 0.003)
 	if err := p.Fault(); err != nil {

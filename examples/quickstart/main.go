@@ -49,10 +49,11 @@ func main() {
 	fmt.Printf("original:  %10.0f requests/s\n", before)
 
 	// 4. One OCOLOS round: profile 5 simulated ms, optimize, replace.
-	rs, bs, err := ctl.RunOnce(0.005)
+	rr, err := ctl.OptimizeRound(0.005)
 	if err != nil {
 		log.Fatal(err)
 	}
+	rs, bs := rr.Replace, rr.Build
 	fmt.Printf("replaced:  injected %d KiB at C1, patched %d call sites + %d vtable slots\n",
 		rs.BytesInjected/1024, rs.CallSitesPatched, rs.VTableSlotsPatched)
 	fmt.Printf("           pause %.2f ms (simulated), pipeline %.0f+%.0f ms (host perf2bolt+bolt)\n",

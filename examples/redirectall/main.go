@@ -49,10 +49,11 @@ func main() {
 			log.Fatal(err)
 		}
 		p.RunFor(0.002)
-		rs, _, err := ctl.RunOnce(0.004)
+		rr, err := ctl.OptimizeRound(0.004)
 		if err != nil {
 			log.Fatal(err)
 		}
+		rs := rr.Replace
 		p.RunFor(0.002)
 
 		// Sample where taken branches execute. The discriminator is the

@@ -32,6 +32,7 @@ import (
 	"repro/internal/obj"
 	"repro/internal/perf"
 	"repro/internal/proc"
+	"repro/internal/telemetry"
 )
 
 // Region layout for injected code versions. Each version's new text goes
@@ -125,6 +126,12 @@ type Options struct {
 	// cores so throughput/latency measurements include it (default on;
 	// tests that only check semantics can disable it).
 	NoChargePause bool
+
+	// Metrics, when non-nil, receives the controller's operational
+	// metrics: rounds, per-stage host latencies, pause seconds, bytes
+	// injected/freed, and per-stage error counts. The fleet manager
+	// shares one registry across every controller it owns.
+	Metrics *telemetry.Registry
 }
 
 // patchParallelism is the modeled fan-out of ParallelPatch.
@@ -265,7 +272,10 @@ func (c *Controller) ShouldOptimize(seconds float64) (bool, cpu.TopDown) {
 // Profile records LBR samples from the running process for the given
 // simulated duration (step 1 of Figure 4a).
 func (c *Controller) Profile(seconds float64) *perf.RawProfile {
-	return perf.Record(c.p, seconds, c.opts.Perf)
+	t0 := time.Now()
+	raw := perf.Record(c.p, seconds, c.opts.Perf)
+	c.observeStage("profile", time.Since(t0).Seconds())
+	return raw
 }
 
 // BuildStats reports the background pipeline costs (Table II).
@@ -305,6 +315,8 @@ func (c *Controller) BuildOptimized(raw *perf.RawProfile) (*BuildStats, error) {
 		return nil, err
 	}
 	t2 := time.Now()
+	c.observeStage("perf2bolt", t1.Sub(t0).Seconds())
+	c.observeStage("bolt", t2.Sub(t1).Seconds())
 	return &BuildStats{
 		Perf2BoltSeconds: t1.Sub(t0).Seconds(),
 		BoltSeconds:      t2.Sub(t1).Seconds(),
@@ -312,18 +324,58 @@ func (c *Controller) BuildOptimized(raw *perf.RawProfile) (*BuildStats, error) {
 	}, nil
 }
 
-// RunOnce performs a complete optimization round: profile for the given
-// simulated duration, build the optimized binary, and replace the code of
-// the running process. It returns the round's statistics.
-func (c *Controller) RunOnce(profileSeconds float64) (*ReplaceStats, *BuildStats, error) {
+// RoundReport is the consolidated record of one optimization round
+// (profile → build → replace), the unit Tables I/II and the fleet layer
+// consume.
+type RoundReport struct {
+	Version      int           // code version now live (C_version)
+	Build        *BuildStats   // background pipeline costs (Table II)
+	Replace      *ReplaceStats // stop-the-world replacement stats (Table I)
+	PauseSeconds float64       // simulated stop-the-world time of the round
+	WallSeconds  float64       // host wall time of the whole round
+}
+
+// OptimizeRound performs a complete optimization round: profile for the
+// given simulated duration, build the optimized binary against the
+// running version, and replace the code of the running process
+// (C_i → C_{i+1}). Per-stage host latencies, pause time, and byte counts
+// are published to Options.Metrics when a registry is configured.
+func (c *Controller) OptimizeRound(profileSeconds float64) (*RoundReport, error) {
+	start := time.Now()
 	raw := c.Profile(profileSeconds)
 	build, err := c.BuildOptimized(raw)
 	if err != nil {
-		return nil, nil, err
+		c.countError("build")
+		return nil, err
 	}
 	rs, err := c.Replace(build.Result.Binary)
 	if err != nil {
-		return nil, build, err
+		c.countError("replace")
+		return nil, err
 	}
-	return rs, build, nil
+	if m := c.opts.Metrics; m != nil {
+		m.Counter("core_rounds_total").Inc()
+	}
+	return &RoundReport{
+		Version:      rs.Version,
+		Build:        build,
+		Replace:      rs,
+		PauseSeconds: rs.PauseSeconds,
+		WallSeconds:  time.Since(start).Seconds(),
+	}, nil
+}
+
+// observeStage records one stage's host latency into the metrics
+// registry, if any.
+func (c *Controller) observeStage(stage string, seconds float64) {
+	if m := c.opts.Metrics; m != nil {
+		m.Histogram(telemetry.Label("core_stage_seconds", "stage", stage)).Observe(seconds)
+	}
+}
+
+// countError bumps the per-stage error counter, if a registry is set.
+func (c *Controller) countError(stage string) {
+	if m := c.opts.Metrics; m != nil {
+		m.Counter(telemetry.Label("core_errors_total", "stage", stage)).Inc()
+	}
 }

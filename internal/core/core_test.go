@@ -70,10 +70,11 @@ func TestSingleRoundPreservesSemantics(t *testing.T) {
 	if pr.Halted() {
 		t.Fatal("program finished before replacement")
 	}
-	rs, bs, err := c.RunOnce(0.0005)
+	rr, err := c.OptimizeRound(0.0005)
 	if err != nil {
 		t.Fatal(err)
 	}
+	rs, bs := rr.Replace, rr.Build
 	if rs.BytesInjected == 0 {
 		t.Error("nothing injected")
 	}
@@ -97,7 +98,7 @@ func TestExecutionSteersIntoC1(t *testing.T) {
 	_ = outAddr
 	pr, c := newController(t, bin, Options{})
 	pr.RunFor(0.0003)
-	if _, _, err := c.RunOnce(0.0005); err != nil {
+	if _, err := c.OptimizeRound(0.0005); err != nil {
 		t.Fatal(err)
 	}
 	// Sample where execution happens now.
@@ -123,10 +124,11 @@ func TestVTableSlotsPointIntoC1(t *testing.T) {
 	bin, _ := genProgram(t, 13, 1<<30)
 	pr, c := newController(t, bin, Options{})
 	pr.RunFor(0.0003)
-	rs, _, err := c.RunOnce(0.0005)
+	rr, err := c.OptimizeRound(0.0005)
 	if err != nil {
 		t.Fatal(err)
 	}
+	rs := rr.Replace
 	if len(bin.VTables) == 0 {
 		t.Fatal("test program has no vtables")
 	}
@@ -162,7 +164,7 @@ func TestContinuousOptimizationSemantics(t *testing.T) {
 				if pr.Halted() {
 					t.Fatalf("program ended before round %d", round)
 				}
-				if _, _, err := c.RunOnce(0.0004); err != nil {
+				if _, err := c.OptimizeRound(0.0004); err != nil {
 					t.Fatalf("round %d: %v", round, err)
 				}
 				pr.RunFor(0.0004)
@@ -189,17 +191,18 @@ func TestGarbageCollectionBoundsMemory(t *testing.T) {
 	pr, c := newController(t, bin, Options{Bolt: bolt.Options{AllowReBolt: true}})
 	pr.RunFor(0.0002)
 
-	if _, _, err := c.RunOnce(0.0004); err != nil {
+	if _, err := c.OptimizeRound(0.0004); err != nil {
 		t.Fatal(err)
 	}
 	var freed uint64
 	residents := []uint64{pr.Mem.ResidentBytes()}
 	for round := 0; round < 5; round++ {
 		pr.RunFor(0.0002)
-		rs, _, err := c.RunOnce(0.0004)
+		rr, err := c.OptimizeRound(0.0004)
 		if err != nil {
 			t.Fatal(err)
 		}
+		rs := rr.Replace
 		freed += rs.BytesFreed
 		residents = append(residents, pr.Mem.ResidentBytes())
 	}
@@ -231,7 +234,7 @@ func TestRevert(t *testing.T) {
 
 	pr, c := newController(t, bin, Options{Bolt: bolt.Options{AllowReBolt: true}})
 	pr.RunFor(0.0002)
-	if _, _, err := c.RunOnce(0.0004); err != nil {
+	if _, err := c.OptimizeRound(0.0004); err != nil {
 		t.Fatal(err)
 	}
 	pr.RunFor(0.0003)
@@ -305,7 +308,7 @@ func TestAblationsSingleRound(t *testing.T) {
 		want := plainRun(t, bin, outAddr)
 		pr, c := newController(t, bin, opts)
 		pr.RunFor(0.0003)
-		if _, _, err := c.RunOnce(0.0004); err != nil {
+		if _, err := c.OptimizeRound(0.0004); err != nil {
 			t.Fatalf("%+v: %v", opts, err)
 		}
 		pr.RunUntilHalt(0)
@@ -322,11 +325,11 @@ func TestContinuousRequiresHookAndVTables(t *testing.T) {
 	bin, _ := genProgram(t, 61, 1<<30)
 	pr, c := newController(t, bin, Options{NoFuncPtrHook: true, Bolt: bolt.Options{AllowReBolt: true}})
 	pr.RunFor(0.0002)
-	if _, _, err := c.RunOnce(0.0004); err != nil {
+	if _, err := c.OptimizeRound(0.0004); err != nil {
 		t.Fatal(err)
 	}
 	pr.RunFor(0.0002)
-	if _, _, err := c.RunOnce(0.0004); err == nil {
+	if _, err := c.OptimizeRound(0.0004); err == nil {
 		t.Error("second round without func-ptr hook should be refused")
 	}
 }
@@ -335,10 +338,11 @@ func TestReplaceStatsPopulated(t *testing.T) {
 	bin, _ := genProgram(t, 71, 1<<30)
 	pr, c := newController(t, bin, Options{})
 	pr.RunFor(0.0003)
-	rs, bs, err := c.RunOnce(0.0005)
+	rr, err := c.OptimizeRound(0.0005)
 	if err != nil {
 		t.Fatal(err)
 	}
+	rs, bs := rr.Replace, rr.Build
 	if rs.FuncsOnStack == 0 {
 		t.Error("no functions on stack at replacement time")
 	}
@@ -424,10 +428,11 @@ func TestContinuousMultithreaded(t *testing.T) {
 		if pr.Halted() {
 			t.Fatalf("ended before round %d", round)
 		}
-		rs, _, err := c.RunOnce(0.0004)
+		rr, err := c.OptimizeRound(0.0004)
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
+		rs := rr.Replace
 		if round > 0 && rs.StackFuncsCopied == 0 {
 			t.Logf("round %d: no stack-live copies (threads may all sit in C0)", round)
 		}

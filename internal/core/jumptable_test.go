@@ -46,10 +46,11 @@ func TestJumpTableSupport(t *testing.T) {
 		if pr.Halted() {
 			t.Fatalf("ended before round %d", round)
 		}
-		rs, bs, err := c.RunOnce(0.0004)
+		rr, err := c.OptimizeRound(0.0004)
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
+		rs, bs := rr.Replace, rr.Build
 		_ = rs
 		// The optimized binary's tables live inside the version region.
 		if ro := bs.Result.Binary.Section(obj.SecROData); ro != nil {
@@ -106,7 +107,7 @@ func TestJumpTableSteering(t *testing.T) {
 	bin, _ := genJTProgram(t, 94, 1<<30)
 	pr, c := newController(t, bin, Options{AllowJumpTables: true})
 	pr.RunFor(0.0003)
-	if _, _, err := c.RunOnce(0.0005); err != nil {
+	if _, err := c.OptimizeRound(0.0005); err != nil {
 		t.Fatal(err)
 	}
 	pr.RunFor(0.0003)
@@ -158,7 +159,7 @@ func TestKitchenSink(t *testing.T) {
 		if pr.Halted() {
 			t.Fatalf("ended before round %d", round)
 		}
-		if _, _, err := c.RunOnce(0.0004); err != nil {
+		if _, err := c.OptimizeRound(0.0004); err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
 		pr.RunFor(0.0003)

@@ -431,6 +431,15 @@ func (c *Controller) replace(nb *obj.Binary) (*ReplaceStats, error) {
 	}
 	stats.HostSeconds = time.Since(start).Seconds()
 	c.Reports = append(c.Reports, *stats)
+	c.observeStage("replace", stats.HostSeconds)
+	if m := c.opts.Metrics; m != nil {
+		m.Histogram("core_pause_seconds").Observe(stats.PauseSeconds)
+		m.Counter("core_bytes_injected_total").Add(float64(stats.BytesInjected))
+		m.Counter("core_bytes_freed_total").Add(float64(stats.BytesFreed))
+		if nb == nil {
+			m.Counter("core_reverts_total").Inc()
+		}
+	}
 	return stats, nil
 }
 

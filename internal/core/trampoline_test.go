@@ -23,10 +23,11 @@ func TestTrampolinesPreserveSemantics(t *testing.T) {
 		if pr.Halted() {
 			t.Fatalf("ended before round %d", round)
 		}
-		rs, _, err := c.RunOnce(0.0004)
+		rr, err := c.OptimizeRound(0.0004)
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
+		rs := rr.Replace
 		if rs.TrampolinesWritten == 0 {
 			t.Errorf("round %d: no trampolines written", round)
 		}
@@ -51,7 +52,7 @@ func TestTrampolinesSteerWithoutVTables(t *testing.T) {
 	bin, _ := genProgram(t, 82, 1<<30)
 	pr, c := newController(t, bin, Options{Trampolines: true, NoPatchVTables: true, NoPatchStackCalls: true})
 	pr.RunFor(0.0003)
-	if _, _, err := c.RunOnce(0.0005); err != nil {
+	if _, err := c.OptimizeRound(0.0005); err != nil {
 		t.Fatal(err)
 	}
 	pr.RunFor(0.0003)
@@ -81,7 +82,7 @@ func TestTrampolinesRemovedOnRevert(t *testing.T) {
 
 	pr, c := newController(t, bin, Options{Trampolines: true})
 	pr.RunFor(0.0002)
-	if _, _, err := c.RunOnce(0.0004); err != nil {
+	if _, err := c.OptimizeRound(0.0004); err != nil {
 		t.Fatal(err)
 	}
 	// Some entry was trampolined.
@@ -129,10 +130,11 @@ func TestParallelPatchShortensPause(t *testing.T) {
 	run := func(opts Options) (float64, uint64) {
 		pr, c := newController(t, bin, opts)
 		pr.RunFor(0.0002)
-		rs, _, err := c.RunOnce(0.0004)
+		rr, err := c.OptimizeRound(0.0004)
 		if err != nil {
 			t.Fatal(err)
 		}
+		rs := rr.Replace
 		pr.RunUntilHalt(0)
 		if err := pr.Fault(); err != nil {
 			t.Fatal(err)

@@ -440,7 +440,7 @@ func Midrun(t Target, switchAt uint64, profileWindow float64) (*Trace, error) {
 			if attachErr != nil {
 				return 0, attachErr
 			}
-			if _, _, err := ctrl.RunOnce(profileWindow); err != nil {
+			if _, err := ctrl.OptimizeRound(profileWindow); err != nil {
 				return 0, err
 			}
 			return ctrl.Version(), nil

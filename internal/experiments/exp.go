@@ -233,7 +233,7 @@ func (c Config) OCOLOSRun(w *wl.Workload, input string, opts core.Options) (floa
 		return 0, nil, nil, err
 	}
 	p.RunFor(c.warm())
-	if _, _, err := ctl.RunOnce(c.profileDur()); err != nil {
+	if _, err := ctl.OptimizeRound(c.profileDur()); err != nil {
 		return 0, nil, nil, err
 	}
 	p.RunFor(c.warm()) // settle into the optimized steady state
@@ -263,6 +263,7 @@ var Registry = map[string]Runner{
 	"dbi":     DBI,
 	"recover": Recover,
 	"stagger": Stagger,
+	"fleet":   FleetScale,
 }
 
 // Names returns the registered experiment names, sorted.

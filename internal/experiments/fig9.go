@@ -80,7 +80,7 @@ func Fig9(cfg Config) error {
 		return err
 	}
 	p.RunFor(cfg.warm())
-	if _, _, err := ctl.RunOnce(cfg.profileDur()); err != nil {
+	if _, err := ctl.OptimizeRound(cfg.profileDur()); err != nil {
 		return err
 	}
 	p.RunFor(cfg.warm() / 2)

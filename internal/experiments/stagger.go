@@ -1,7 +1,8 @@
 package experiments
 
 import (
-	"repro/internal/core"
+	"fmt"
+
 	"repro/internal/fleet"
 	"repro/internal/obj"
 )
@@ -26,7 +27,12 @@ func Stagger(cfg Config) error {
 		}
 		var svcs []*fleet.Service
 		for i := 0; i < replicas; i++ {
-			s, err := fleet.NewService("r", w, input, cfg.threads(4), core.Options{})
+			s, err := fleet.NewService(fleet.ServicePlan{
+				Name:     fmt.Sprintf("r%d", i),
+				Workload: w,
+				Input:    input,
+				Threads:  cfg.threads(4),
+			})
 			if err != nil {
 				return nil, err
 			}

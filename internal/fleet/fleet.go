@@ -1,47 +1,197 @@
 // Package fleet is the data-center deployment layer §V sketches: systems
 // like Google-Wide Profiling continuously profile every service in the
-// fleet, and OCOLOS plugs in as the actuator — the fleet manager scans
-// TopDown counters across services, ranks the front-end-bound ones, and
-// optimizes only where layout work will pay off (Figure 9's criterion),
-// with the option of reverting services that did not improve.
+// fleet, and OCOLOS plugs in as the actuator. The Manager scans TopDown
+// counters across services, ranks the front-end-bound ones (Figure 9's
+// criterion), and drives each selected service through an explicit
+// lifecycle —
+//
+//	Idle → Profiling → Building → Replacing → Measuring
+//	     → (next round | Steady | Reverted | Failed)
+//
+// — on a bounded worker pool, so many services are optimized
+// concurrently while a global semaphore staggers their stop-the-world
+// replacement pauses (§IV-D's operational guidance). Each service loops
+// C_i → C_{i+1} (continuous optimization with dead-code GC, §IV-C) until
+// its round-over-round gain converges, its regression guard trips a
+// revert to C0 (§VI-C4), or a persistent fault parks it in a terminal
+// state. Transient stage errors are retried with exponential backoff,
+// and everything the fleet does is published into a telemetry.Registry.
 package fleet
 
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/proc"
+	"repro/internal/telemetry"
 	"repro/internal/workloads/wl"
 )
 
-// Service is one managed process.
+// Config carries the manager's named knobs with validated defaults,
+// replacing the positional float soup the old OptimizeCandidates
+// signature grew.
+type Config struct {
+	// Workers bounds how many services run their lifecycle concurrently
+	// (default 4).
+	Workers int
+	// MaxPauses bounds how many services may sit in a stop-the-world
+	// replacement (or revert) pause at the same instant, staggering
+	// pauses across the fleet (default 1; see docs/fleet.md).
+	MaxPauses int
+
+	// ProfileDur is the simulated LBR profiling window per round
+	// (default 4 ms).
+	ProfileDur float64
+	// Warm is the simulated settle time before each measurement
+	// (default 2 ms).
+	Warm float64
+	// Window is the simulated throughput-measurement window, also used
+	// by Scan's TopDown pass (default 3 ms).
+	Window float64
+
+	// MaxRounds caps optimization rounds per service (default 2).
+	MaxRounds int
+	// ConvergeGain stops a service's loop once a round improves
+	// throughput over the previous round by less than this fraction
+	// (default 0.02, i.e. < 1.02x round-over-round gain → Steady).
+	// Negative means never converge early: always run MaxRounds.
+	ConvergeGain float64
+	// RevertBelow reverts a service to C0 when its cumulative speedup
+	// over baseline falls below this factor (0 = never revert on
+	// regression; §VI-C4's safety net).
+	RevertBelow float64
+
+	// MaxRetries is how many times a failed lifecycle stage is retried
+	// before the service gives up and reverts/fails (default 2).
+	MaxRetries int
+	// RetryBackoff is the host-time backoff before the first retry; it
+	// doubles per attempt (default 5 ms).
+	RetryBackoff time.Duration
+
+	// SkipGate optimizes every service regardless of the TopDown scan
+	// verdict (tests and force-rollouts).
+	SkipGate bool
+
+	// Metrics receives the fleet's counters, gauges, and histograms; it
+	// is also wired into every controller the manager creates. Nil means
+	// metrics are discarded.
+	Metrics *telemetry.Registry
+
+	// FaultHook, when non-nil, runs before every stage attempt; a
+	// non-nil return is treated as that stage failing. Tests use it to
+	// inject faults at each lifecycle stage. The stage is Profiling,
+	// Building, Replacing, or Measuring for forward work, and Reverted
+	// for the revert action itself.
+	FaultHook func(s *Service, stage State) error
+
+	// Sleep is the backoff clock; nil means time.Sleep. Tests inject a
+	// recorder to observe backoff without waiting.
+	Sleep func(time.Duration)
+}
+
+// withDefaults validates the config and fills unset fields.
+func (c Config) withDefaults() (Config, error) {
+	if c.Workers < 0 || c.MaxPauses < 0 || c.MaxRounds < 0 || c.MaxRetries < 0 {
+		return c, fmt.Errorf("fleet: negative count in config: %+v", c)
+	}
+	if c.ProfileDur < 0 || c.Warm < 0 || c.Window < 0 || c.RevertBelow < 0 ||
+		c.RetryBackoff < 0 {
+		return c, fmt.Errorf("fleet: negative duration/threshold in config: %+v", c)
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	if c.MaxPauses == 0 {
+		c.MaxPauses = 1
+	}
+	if c.ProfileDur == 0 {
+		c.ProfileDur = 0.004
+	}
+	if c.Warm == 0 {
+		c.Warm = 0.002
+	}
+	if c.Window == 0 {
+		c.Window = 0.003
+	}
+	if c.MaxRounds == 0 {
+		c.MaxRounds = 2
+	}
+	if c.ConvergeGain == 0 {
+		c.ConvergeGain = 0.02
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 5 * time.Millisecond
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+	return c, nil
+}
+
+// ServicePlan names everything needed to stand up one managed service,
+// replacing NewService's positional (name, w, input, threads, opts)
+// signature.
+type ServicePlan struct {
+	Name     string
+	Workload *wl.Workload
+	Input    string
+	// Threads is the worker-thread count; 0 means the workload default.
+	Threads int
+	// Core configures the service's controller. The manager fills in
+	// AllowReBolt (multi-round fleets need it) and its Metrics registry.
+	Core core.Options
+}
+
+// Service is one managed process with its lifecycle record.
 type Service struct {
 	Name   string
-	Input  string
+	Plan   ServicePlan
 	Proc   *proc.Process
 	Driver *wl.Driver
 	Ctl    *core.Controller
 
-	baseline float64 // steady-state throughput before optimization
+	mu       sync.Mutex
+	state    State
+	rounds   []RoundResult
+	retries  int
+	scanned  bool
+	selected bool
+	topdown  cpu.TopDown
+	baseline wl.WindowStats
+	lastErr  error
 }
 
 // NewService loads a workload instance under a fresh controller.
-func NewService(name string, w *wl.Workload, input string, threads int, opts core.Options) (*Service, error) {
-	d, err := w.NewDriver(input, threads)
+func NewService(plan ServicePlan) (*Service, error) {
+	if plan.Workload == nil {
+		return nil, fmt.Errorf("fleet: service %q has no workload", plan.Name)
+	}
+	if plan.Name == "" {
+		return nil, fmt.Errorf("fleet: service for workload %s has no name", plan.Workload.Name)
+	}
+	if plan.Threads <= 0 {
+		plan.Threads = plan.Workload.Threads
+	}
+	d, err := plan.Workload.NewDriver(plan.Input, plan.Threads)
 	if err != nil {
 		return nil, err
 	}
-	p, err := proc.Load(w.Binary, proc.Options{Threads: threads, Handler: d})
+	p, err := proc.Load(plan.Workload.Binary, proc.Options{Threads: plan.Threads, Handler: d})
 	if err != nil {
 		return nil, err
 	}
-	ctl, err := core.New(p, w.Binary, opts)
+	ctl, err := core.New(p, plan.Workload.Binary, plan.Core)
 	if err != nil {
 		return nil, err
 	}
-	return &Service{Name: name, Input: input, Proc: p, Driver: d, Ctl: ctl}, nil
+	return &Service{Name: plan.Name, Plan: plan, Proc: p, Driver: d, Ctl: ctl, state: Idle}, nil
 }
 
 // Throughput measures the service over a simulated window.
@@ -49,12 +199,88 @@ func (s *Service) Throughput(window float64) float64 {
 	return wl.Measure(s.Proc, s.Driver, window)
 }
 
-// Manager owns the fleet.
-type Manager struct {
-	Services []*Service
+// State returns the service's current lifecycle state.
+func (s *Service) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
 }
 
-// Scan result for one service.
+// Err returns the most recent stage error recorded for the service (nil
+// if it never failed).
+func (s *Service) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// Rounds returns a copy of the completed optimization rounds.
+func (s *Service) Rounds() []RoundResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]RoundResult(nil), s.rounds...)
+}
+
+// Manager owns the fleet: the shared config, the pause-stagger
+// semaphore, and the managed services.
+type Manager struct {
+	cfg      Config
+	pauseSem chan struct{}
+
+	mu        sync.Mutex
+	services  []*Service
+	inPause   int
+	peakPause int
+}
+
+// NewManager validates the config and returns an empty manager.
+func NewManager(cfg Config) (*Manager, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Manager{cfg: cfg, pauseSem: make(chan struct{}, cfg.MaxPauses)}, nil
+}
+
+// Config returns the manager's effective (defaulted) configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// AddService builds a service from the plan, wires it into the
+// manager's metrics registry and multi-round bolt settings, and adopts
+// it.
+func (m *Manager) AddService(plan ServicePlan) (*Service, error) {
+	if plan.Core.Metrics == nil {
+		plan.Core.Metrics = m.cfg.Metrics
+	}
+	if m.cfg.MaxRounds > 1 {
+		// Continuous optimization re-optimizes an already-bolted binary,
+		// which the real BOLT refuses (§IV-C); the extension past that
+		// refusal is opt-in at the bolt layer.
+		plan.Core.Bolt.AllowReBolt = true
+	}
+	s, err := NewService(plan)
+	if err != nil {
+		return nil, err
+	}
+	m.Add(s)
+	return s, nil
+}
+
+// Add adopts an existing service.
+func (m *Manager) Add(s *Service) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.services = append(m.services, s)
+}
+
+// Services returns the managed services in insertion order.
+func (m *Manager) Services() []*Service {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]*Service(nil), m.services...)
+}
+
+// ScanResult is the first-stage verdict for one service.
 type ScanResult struct {
 	Service  *Service
 	TopDown  cpu.TopDown
@@ -63,51 +289,115 @@ type ScanResult struct {
 
 // Scan runs the first-stage TopDown check on every service (the
 // DMon/GWP-style fleet profiling pass) and ranks candidates by front-end
-// share, the feature Figure 9 shows predicts benefit.
+// share, the feature Figure 9 shows predicts benefit. Order is
+// deterministic: front-end share descending, then service name ascending
+// on ties, so fleet schedules are reproducible.
 func (m *Manager) Scan(window float64) []ScanResult {
-	out := make([]ScanResult, 0, len(m.Services))
-	for _, s := range m.Services {
-		go1, td := s.Ctl.ShouldOptimize(window)
-		out = append(out, ScanResult{Service: s, TopDown: td, Optimize: go1})
+	services := m.Services()
+	out := make([]ScanResult, 0, len(services))
+	for _, s := range services {
+		optimize, td := s.Ctl.ShouldOptimize(window)
+		s.mu.Lock()
+		s.scanned = true
+		s.selected = optimize || m.cfg.SkipGate
+		s.topdown = td
+		s.mu.Unlock()
+		out = append(out, ScanResult{Service: s, TopDown: td, Optimize: optimize})
 	}
 	sort.SliceStable(out, func(i, j int) bool {
-		return out[i].TopDown.FrontEnd > out[j].TopDown.FrontEnd
+		if out[i].TopDown.FrontEnd != out[j].TopDown.FrontEnd {
+			return out[i].TopDown.FrontEnd > out[j].TopDown.FrontEnd
+		}
+		return out[i].Service.Name < out[j].Service.Name
 	})
 	return out
 }
 
-// OptimizeCandidates performs one OCOLOS round on every service the scan
-// selected, and returns per-service speedups. Services whose measured
-// speedup falls below revertBelow are reverted to C0 (§VI-C4's safety
-// net); pass 0 to never revert.
-func (m *Manager) OptimizeCandidates(scan []ScanResult, profileDur, warm, window float64, revertBelow float64) (map[string]float64, error) {
-	speedups := make(map[string]float64, len(scan))
-	for _, r := range scan {
-		s := r.Service
-		s.Proc.RunFor(warm)
-		s.baseline = s.Throughput(window)
-		if !r.Optimize {
-			speedups[s.Name] = 1.0
-			continue
-		}
-		if _, _, err := s.Ctl.RunOnce(profileDur); err != nil {
-			return nil, fmt.Errorf("fleet: optimizing %s: %w", s.Name, err)
-		}
-		s.Proc.RunFor(warm)
-		after := s.Throughput(window)
-		speedup := after / s.baseline
-		if revertBelow > 0 && speedup < revertBelow {
-			if _, err := s.Ctl.Revert(); err != nil {
-				return nil, fmt.Errorf("fleet: reverting %s: %w", s.Name, err)
-			}
-			s.Proc.RunFor(warm)
-			after = s.Throughput(window)
-			speedup = after / s.baseline
-		}
-		if err := s.Proc.Fault(); err != nil {
-			return nil, fmt.Errorf("fleet: %s faulted: %w", s.Name, err)
-		}
-		speedups[s.Name] = speedup
+// Run is the whole fleet pass: scan every service, then drive each
+// selected one through its optimization lifecycle on the worker pool.
+// Per-service outcomes (including faults) land in the report, not in
+// the error return, which is reserved for fleet-level misuse.
+func (m *Manager) Run() (*FleetReport, error) {
+	if len(m.Services()) == 0 {
+		return nil, fmt.Errorf("fleet: no services added")
 	}
-	return speedups, nil
+	scan := m.Scan(m.cfg.Window)
+	m.Optimize(scan)
+	return m.Report(), nil
+}
+
+// Optimize drives every scan-selected service (every scanned service
+// when SkipGate is set) through the lifecycle concurrently, bounded by
+// Config.Workers. Unselected services transition Idle → Steady
+// untouched. It blocks until the whole wave reaches a terminal state.
+func (m *Manager) Optimize(scan []ScanResult) {
+	var selected []*Service
+	for _, r := range scan {
+		if r.Optimize || m.cfg.SkipGate {
+			selected = append(selected, r.Service)
+		} else {
+			// Not worth a round: the service stays on its current code.
+			r.Service.transition(Steady)
+		}
+	}
+	if m.cfg.Metrics != nil {
+		m.cfg.Metrics.Gauge("fleet_services").Set(float64(len(scan)))
+		m.cfg.Metrics.Gauge("fleet_selected").Set(float64(len(selected)))
+	}
+
+	work := make(chan *Service)
+	var wg sync.WaitGroup
+	workers := m.cfg.Workers
+	if workers > len(selected) {
+		workers = len(selected)
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				m.drive(s)
+			}
+		}()
+	}
+	for _, s := range selected {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+}
+
+// acquirePause takes a slot in the global stop-the-world budget,
+// blocking while MaxPauses other services are mid-replacement, and
+// reports the wait into the stagger histogram.
+func (m *Manager) acquirePause() {
+	t0 := time.Now()
+	m.pauseSem <- struct{}{}
+	m.mu.Lock()
+	m.inPause++
+	if m.inPause > m.peakPause {
+		m.peakPause = m.inPause
+	}
+	peak := m.peakPause
+	m.mu.Unlock()
+	if mt := m.cfg.Metrics; mt != nil {
+		mt.Histogram("fleet_pause_wait_seconds").Observe(time.Since(t0).Seconds())
+		mt.Gauge("fleet_pauses_peak").Set(float64(peak))
+	}
+}
+
+func (m *Manager) releasePause() {
+	m.mu.Lock()
+	m.inPause--
+	m.mu.Unlock()
+	<-m.pauseSem
+}
+
+// PeakPauses reports the maximum number of services that were ever
+// simultaneously inside a stop-the-world pause — never more than
+// Config.MaxPauses.
+func (m *Manager) PeakPauses() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.peakPause
 }

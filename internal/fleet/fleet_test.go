@@ -1,16 +1,16 @@
 package fleet
 
 import (
+	"strings"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/workloads/kvcache"
 	"repro/internal/workloads/sqldb"
 )
 
 func TestFleetScanAndOptimize(t *testing.T) {
 	if testing.Short() {
-		t.Skip("fleet run in -short mode")
+		t.Skip("full-scale fleet run in -short mode")
 	}
 	// A front-end-bound database and a cache that does not need help.
 	db, err := sqldb.Build(sqldb.Full())
@@ -21,18 +21,19 @@ func TestFleetScanAndOptimize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s1, err := NewService("db", db, "read_only", 4, core.Options{})
+	m, err := NewManager(Config{MaxRounds: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	s2, err := NewService("kv", kv, "set10_get90", 4, core.Options{})
-	if err != nil {
+	if _, err := m.AddService(ServicePlan{Name: "db", Workload: db, Input: "read_only", Threads: 4}); err != nil {
 		t.Fatal(err)
 	}
-	m := &Manager{Services: []*Service{s1, s2}}
+	if _, err := m.AddService(ServicePlan{Name: "kv", Workload: kv, Input: "set10_get90", Threads: 4}); err != nil {
+		t.Fatal(err)
+	}
 
 	// Warm and scan.
-	for _, s := range m.Services {
+	for _, s := range m.Services() {
 		s.Proc.RunFor(0.002)
 	}
 	scan := m.Scan(0.002)
@@ -48,43 +49,158 @@ func TestFleetScanAndOptimize(t *testing.T) {
 		t.Errorf("kv should be skipped: %+v", scan[1])
 	}
 
-	speedups, err := m.OptimizeCandidates(scan, 0.004, 0.002, 0.003, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
+	m.Optimize(scan)
+	rep := m.Report()
+	speedups := rep.Speedups()
 	if speedups["db"] < 1.15 {
 		t.Errorf("db speedup %.2f too low", speedups["db"])
 	}
 	if speedups["kv"] != 1.0 {
 		t.Errorf("kv was optimized despite the gate: %.2f", speedups["kv"])
 	}
+	for _, sr := range rep.Services {
+		if sr.State != Steady {
+			t.Errorf("%s ended %s, want Steady", sr.Name, sr.State)
+		}
+	}
+	if v := m.Services()[1].Ctl.Version(); v != 0 {
+		t.Errorf("gated kv advanced to version %d", v)
+	}
 }
 
 func TestFleetRevertSafetyNet(t *testing.T) {
 	if testing.Short() {
-		t.Skip("fleet run in -short mode")
+		t.Skip("full-scale fleet run in -short mode")
 	}
 	db, err := sqldb.Build(sqldb.Full())
 	if err != nil {
 		t.Fatal(err)
 	}
-	s, err := NewService("db", db, "read_only", 2, core.Options{})
+	m, err := NewManager(Config{MaxRounds: 1, RevertBelow: 99})
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := &Manager{Services: []*Service{s}}
+	s, err := m.AddService(ServicePlan{Name: "db", Workload: db, Input: "read_only", Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	s.Proc.RunFor(0.002)
-	scan := m.Scan(0.002)
 	// Absurd revert threshold: even a good speedup gets reverted, proving
 	// the safety net restores ~original throughput.
-	speedups, err := m.OptimizeCandidates(scan, 0.004, 0.002, 0.003, 99.0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if sp := speedups["db"]; sp < 0.85 || sp > 1.15 {
-		t.Errorf("reverted service at %.2fx of baseline; want ≈1.0", sp)
+	m.Optimize(m.Scan(0.002))
+	if st := s.State(); st != Reverted {
+		t.Fatalf("service ended %s, want Reverted", st)
 	}
 	if s.Ctl.Version() < 2 {
 		t.Error("revert should have advanced the version counter")
+	}
+	rep := m.Report().Services[0]
+	s.Proc.RunFor(0.002)
+	if rep.Baseline <= 0 {
+		t.Fatalf("no baseline recorded: %+v", rep)
+	}
+	if ratio := s.Throughput(0.003) / rep.Baseline; ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("reverted service at %.2fx of baseline; want ≈1.0", ratio)
+	}
+}
+
+func TestScanDeterministicOrder(t *testing.T) {
+	db, err := sqldb.Build(sqldb.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical replicas added out of name order: their TopDown shares
+	// tie exactly, so the scan must fall back to name order.
+	for _, name := range []string{"r2", "r0", "r1"} {
+		s, err := m.AddService(ServicePlan{Name: name, Workload: db, Input: "read_only", Threads: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Proc.RunFor(0.0004)
+	}
+	scan := m.Scan(0.0004)
+	var got []string
+	for _, r := range scan {
+		got = append(got, r.Service.Name)
+	}
+	want := "r0,r1,r2"
+	if strings.Join(got, ",") != want {
+		t.Errorf("scan order %v, want %s", got, want)
+	}
+	for i := 1; i < len(scan); i++ {
+		if scan[i].TopDown != scan[0].TopDown {
+			t.Errorf("identical replicas diverged in TopDown: %+v vs %+v",
+				scan[0].TopDown, scan[i].TopDown)
+		}
+	}
+}
+
+func TestConfigDefaultsAndValidation(t *testing.T) {
+	cfg, err := Config{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Workers != 4 || cfg.MaxPauses != 1 || cfg.MaxRounds != 2 ||
+		cfg.MaxRetries != 2 || cfg.ConvergeGain != 0.02 {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+	if cfg.ProfileDur <= 0 || cfg.Warm <= 0 || cfg.Window <= 0 ||
+		cfg.RetryBackoff <= 0 || cfg.Sleep == nil {
+		t.Errorf("unset durations not defaulted: %+v", cfg)
+	}
+	for _, bad := range []Config{
+		{Workers: -1},
+		{MaxPauses: -2},
+		{MaxRounds: -1},
+		{MaxRetries: -3},
+		{ProfileDur: -0.1},
+		{Warm: -0.1},
+		{Window: -0.1},
+		{RevertBelow: -1},
+		{RetryBackoff: -1},
+	} {
+		if _, err := NewManager(bad); err == nil {
+			t.Errorf("config %+v accepted, want error", bad)
+		}
+	}
+	// Negative ConvergeGain is the documented "never converge early"
+	// sentinel, not an error.
+	if _, err := NewManager(Config{ConvergeGain: -1}); err != nil {
+		t.Errorf("negative ConvergeGain rejected: %v", err)
+	}
+}
+
+func TestNewServiceValidation(t *testing.T) {
+	if _, err := NewService(ServicePlan{Name: "x"}); err == nil {
+		t.Error("service without workload accepted")
+	}
+	db, err := sqldb.Build(sqldb.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewService(ServicePlan{Workload: db, Input: "read_only"}); err == nil {
+		t.Error("service without name accepted")
+	}
+	// Threads <= 0 falls back to the workload default.
+	s, err := NewService(ServicePlan{Name: "x", Workload: db, Input: "read_only"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Plan.Threads != db.Threads {
+		t.Errorf("threads %d, want workload default %d", s.Plan.Threads, db.Threads)
+	}
+}
+
+func TestRunEmptyManager(t *testing.T) {
+	m, err := NewManager(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err == nil {
+		t.Error("Run on an empty fleet should error")
 	}
 }

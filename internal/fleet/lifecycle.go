@@ -1,0 +1,294 @@
+package fleet
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/perf"
+	"repro/internal/telemetry"
+	"repro/internal/workloads/wl"
+)
+
+// State is a service's position in the optimization lifecycle.
+type State int
+
+const (
+	// Idle: adopted, not yet driven.
+	Idle State = iota
+	// Profiling: recording LBR samples from the live process (step 1).
+	Profiling
+	// Building: perf2bolt + BOLT running in the background (step 2).
+	Building
+	// Replacing: stop-the-world code replacement (steps 3-6).
+	Replacing
+	// Measuring: settling and measuring the new steady state.
+	Measuring
+	// Steady: terminal — converged (or skipped by the scan gate) and
+	// serving on its best code version.
+	Steady
+	// Reverted: terminal — restored to C0, either by the regression
+	// guard or as fault cleanup.
+	Reverted
+	// Failed: terminal — a stage fault persisted through retries and no
+	// revert was possible.
+	Failed
+)
+
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "Idle"
+	case Profiling:
+		return "Profiling"
+	case Building:
+		return "Building"
+	case Replacing:
+		return "Replacing"
+	case Measuring:
+		return "Measuring"
+	case Steady:
+		return "Steady"
+	case Reverted:
+		return "Reverted"
+	case Failed:
+		return "Failed"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Terminal reports whether the state ends a service's lifecycle.
+func (s State) Terminal() bool { return s == Steady || s == Reverted || s == Failed }
+
+// legalNext enumerates the lifecycle edges. Faults may jump any active
+// stage to Reverted/Failed; Measuring closes the round loop back to
+// Profiling.
+var legalNext = map[State][]State{
+	Idle:      {Profiling, Steady},
+	Profiling: {Building, Reverted, Failed},
+	Building:  {Replacing, Reverted, Failed},
+	Replacing: {Measuring, Reverted, Failed},
+	Measuring: {Profiling, Steady, Reverted, Failed},
+	Steady:    {},
+	Reverted:  {},
+	Failed:    {},
+}
+
+// CanTransition reports whether from → to is a legal lifecycle edge.
+func CanTransition(from, to State) bool {
+	for _, n := range legalNext[from] {
+		if n == to {
+			return true
+		}
+	}
+	return false
+}
+
+// transition moves the service to the next state, enforcing the edge
+// set. The manager's drive loop only ever requests legal edges; an
+// illegal request is a bug, reported as an error for tests to assert
+// on and recorded so the service is never silently wedged.
+func (s *Service) transition(to State) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !CanTransition(s.state, to) {
+		err := fmt.Errorf("fleet: %s: illegal transition %s → %s", s.Name, s.state, to)
+		s.lastErr = err
+		return err
+	}
+	s.state = to
+	return nil
+}
+
+// RoundResult records one completed optimization round of one service.
+type RoundResult struct {
+	Version      int     // code version live after the round
+	Throughput   float64 // post-round steady-state req/s
+	Speedup      float64 // vs the service's pre-optimization baseline
+	Gain         float64 // vs the previous round's throughput
+	PauseSeconds float64 // simulated stop-the-world time of the round
+	P95Latency   float64 // post-round p95 request latency, cycles
+}
+
+// counter bumps a fleet counter if metrics are configured.
+func (m *Manager) counter(name string, kv ...string) {
+	if mt := m.cfg.Metrics; mt != nil {
+		mt.Counter(telemetry.Label(name, kv...)).Inc()
+	}
+}
+
+// attempt runs one stage try: the injected fault hook first (tests
+// force failures per stage with it), then the real work.
+func (m *Manager) attempt(s *Service, stage State, fn func() error) error {
+	if h := m.cfg.FaultHook; h != nil {
+		if err := h(s, stage); err != nil {
+			return err
+		}
+	}
+	return fn()
+}
+
+// withRetry drives one stage to success or exhaustion: up to
+// 1+MaxRetries attempts with exponential host-time backoff between
+// them. Every failed attempt is recorded on the service and counted.
+func (m *Manager) withRetry(s *Service, stage State, fn func() error) error {
+	backoff := m.cfg.RetryBackoff
+	for att := 0; ; att++ {
+		err := m.attempt(s, stage, fn)
+		if err == nil {
+			return nil
+		}
+		s.mu.Lock()
+		s.lastErr = fmt.Errorf("fleet: %s: %s: %w", s.Name, stage, err)
+		s.mu.Unlock()
+		m.counter("fleet_stage_errors_total", "stage", stage.String())
+		if att >= m.cfg.MaxRetries {
+			return err
+		}
+		s.mu.Lock()
+		s.retries++
+		s.mu.Unlock()
+		m.counter("fleet_retries_total", "stage", stage.String())
+		m.cfg.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// drive runs one service's whole lifecycle: baseline, then optimization
+// rounds until convergence, the round cap, a regression revert, or a
+// persistent fault. It always leaves the service in a terminal state.
+func (m *Manager) drive(s *Service) {
+	// Baseline steady state before any optimization.
+	s.Proc.RunFor(m.cfg.Warm)
+	base := wl.MeasureStats(s.Proc, s.Driver, m.cfg.Window)
+	s.mu.Lock()
+	s.baseline = base
+	s.mu.Unlock()
+
+	prev := base.Throughput
+	for round := 1; ; round++ {
+		if s.transition(Profiling) != nil {
+			return
+		}
+		var raw *perf.RawProfile
+		if err := m.withRetry(s, Profiling, func() error {
+			raw = s.Ctl.Profile(m.cfg.ProfileDur)
+			return nil
+		}); err != nil {
+			m.cleanupFault(s)
+			return
+		}
+
+		if s.transition(Building) != nil {
+			return
+		}
+		var build *core.BuildStats
+		if err := m.withRetry(s, Building, func() error {
+			b, err := s.Ctl.BuildOptimized(raw)
+			if err == nil {
+				build = b
+			}
+			return err
+		}); err != nil {
+			m.cleanupFault(s)
+			return
+		}
+
+		if s.transition(Replacing) != nil {
+			return
+		}
+		var rs *core.ReplaceStats
+		if err := m.withRetry(s, Replacing, func() error {
+			m.acquirePause()
+			defer m.releasePause()
+			r, err := s.Ctl.Replace(build.Result.Binary)
+			if err == nil {
+				rs = r
+			}
+			return err
+		}); err != nil {
+			m.cleanupFault(s)
+			return
+		}
+
+		if s.transition(Measuring) != nil {
+			return
+		}
+		var win wl.WindowStats
+		if err := m.withRetry(s, Measuring, func() error {
+			s.Proc.RunFor(m.cfg.Warm)
+			win = wl.MeasureStats(s.Proc, s.Driver, m.cfg.Window)
+			return s.Proc.Fault()
+		}); err != nil {
+			m.cleanupFault(s)
+			return
+		}
+
+		res := RoundResult{
+			Version:      s.Ctl.Version(),
+			Throughput:   win.Throughput,
+			PauseSeconds: rs.PauseSeconds,
+			P95Latency:   win.P95,
+		}
+		if base.Throughput > 0 {
+			res.Speedup = win.Throughput / base.Throughput
+		}
+		if prev > 0 {
+			res.Gain = win.Throughput / prev
+		}
+		s.mu.Lock()
+		s.rounds = append(s.rounds, res)
+		s.mu.Unlock()
+		m.counter("fleet_rounds_total")
+		if mt := m.cfg.Metrics; mt != nil {
+			mt.Histogram("fleet_speedup").Observe(res.Speedup)
+			mt.Histogram("fleet_pause_seconds").Observe(rs.PauseSeconds)
+		}
+
+		// Regression guard (§VI-C4): cumulative speedup below the bar
+		// means the optimized layout is hurting this service — go home
+		// to C0 and stop.
+		if m.cfg.RevertBelow > 0 && res.Speedup < m.cfg.RevertBelow {
+			m.revert(s)
+			return
+		}
+		// Converged or out of budget: stay on the current version.
+		if round >= m.cfg.MaxRounds || res.Gain < 1+m.cfg.ConvergeGain {
+			s.transition(Steady)
+			m.counter("fleet_steady_total")
+			return
+		}
+		prev = win.Throughput
+	}
+}
+
+// revert sends the service back to C0 (with retries — Revert faults are
+// retried like any stage; the hook stage for injection is Reverted) and
+// parks it in Reverted, or in Failed if even the revert cannot land.
+func (m *Manager) revert(s *Service) {
+	err := m.withRetry(s, Reverted, func() error {
+		m.acquirePause()
+		defer m.releasePause()
+		_, err := s.Ctl.Revert()
+		return err
+	})
+	if err != nil {
+		s.transition(Failed)
+		m.counter("fleet_failures_total")
+		return
+	}
+	s.transition(Reverted)
+	m.counter("fleet_reverts_total")
+}
+
+// cleanupFault resolves a persistently failed stage: if optimized code
+// is live, try to revert to C0 (ending Reverted); otherwise — or if the
+// revert itself fails — the service is Failed. Either way it is
+// terminal, never wedged.
+func (m *Manager) cleanupFault(s *Service) {
+	if s.Ctl.Version() > 0 {
+		m.revert(s)
+		return
+	}
+	s.transition(Failed)
+	m.counter("fleet_failures_total")
+}

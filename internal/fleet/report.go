@@ -1,0 +1,87 @@
+package fleet
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// ServiceReport is the per-service outcome of a fleet pass.
+type ServiceReport struct {
+	Name     string
+	State    State
+	Selected bool    // chosen by the scan (or forced via SkipGate)
+	FrontEnd float64 // TopDown front-end share from the scan
+	Rounds   []RoundResult
+	Retries  int
+
+	Baseline     float64 // pre-optimization steady-state req/s
+	FinalSpeedup float64 // last round's speedup vs baseline (1.0 if none)
+	PauseSeconds float64 // total simulated stop-the-world time
+	Err          string  // last recorded stage error, "" if none
+}
+
+// FleetReport aggregates one fleet pass, sorted by service name.
+type FleetReport struct {
+	Services []ServiceReport
+}
+
+// Report snapshots every managed service's lifecycle record.
+func (m *Manager) Report() *FleetReport {
+	var out []ServiceReport
+	for _, s := range m.Services() {
+		s.mu.Lock()
+		r := ServiceReport{
+			Name:         s.Name,
+			State:        s.state,
+			Selected:     s.selected,
+			FrontEnd:     s.topdown.FrontEnd,
+			Rounds:       append([]RoundResult(nil), s.rounds...),
+			Retries:      s.retries,
+			Baseline:     s.baseline.Throughput,
+			FinalSpeedup: 1,
+		}
+		if s.lastErr != nil {
+			r.Err = s.lastErr.Error()
+		}
+		s.mu.Unlock()
+		for _, rr := range r.Rounds {
+			r.PauseSeconds += rr.PauseSeconds
+		}
+		if n := len(r.Rounds); n > 0 && r.State != Reverted {
+			r.FinalSpeedup = r.Rounds[n-1].Speedup
+		}
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return &FleetReport{Services: out}
+}
+
+// Speedups returns final speedup by service name (the old
+// OptimizeCandidates return shape, for table-style consumers).
+func (r *FleetReport) Speedups() map[string]float64 {
+	out := make(map[string]float64, len(r.Services))
+	for _, s := range r.Services {
+		out[s.Name] = s.FinalSpeedup
+	}
+	return out
+}
+
+// Write renders the per-service table cmd/fleetd and the fleet
+// experiment print.
+func (r *FleetReport) Write(w io.Writer) {
+	fmt.Fprintf(w, "%-24s %-10s %4s %7s %8s %9s %8s %7s\n",
+		"service", "state", "sel", "rounds", "speedup", "pause_ms", "retries", "FE%")
+	for _, s := range r.Services {
+		sel := "-"
+		if s.Selected {
+			sel = "yes"
+		}
+		fmt.Fprintf(w, "%-24s %-10s %4s %7d %7.2fx %9.2f %8d %6.1f%%\n",
+			s.Name, s.State, sel, len(s.Rounds), s.FinalSpeedup,
+			s.PauseSeconds*1e3, s.Retries, s.FrontEnd*100)
+		if s.Err != "" {
+			fmt.Fprintf(w, "%-24s   last error: %s\n", "", s.Err)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package telemetry is the metrics registry the orchestration layer
+// publishes into: the data-center systems §V of the paper positions
+// OCOLOS behind (Google-Wide Profiling, DMon) are driven by fleet-wide
+// metrics pipelines, and a continuous optimizer that cannot report its
+// rounds, pauses, speedups, and reverts cannot be operated. The registry
+// is deliberately small — counters, gauges, and histograms keyed by a
+// flat metric name — and safe for concurrent use by every controller and
+// fleet worker in the process.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind discriminates the metric types a registry holds.
+type Kind int
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Add increases the counter; negative deltas are ignored so the counter
+// stays monotonic.
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.v += delta
+	c.mu.Unlock()
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// Gauge is a value that can move in both directions.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add shifts the gauge by delta (either sign).
+func (g *Gauge) Add(delta float64) {
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Histogram records a distribution of observations. All samples are
+// retained (the fleet's cardinality is small — rounds, pauses, stage
+// latencies), which makes quantiles exact rather than bucketed.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	sum     float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	return h.sum / float64(len(h.samples))
+}
+
+// Quantile returns the p-th quantile (0 ≤ p ≤ 1) by nearest rank over
+// the exact sample set (0 when empty).
+func (h *Histogram) Quantile(p float64) float64 {
+	h.mu.Lock()
+	tmp := append([]float64(nil), h.samples...)
+	h.mu.Unlock()
+	if len(tmp) == 0 {
+		return 0
+	}
+	sort.Float64s(tmp)
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	idx := int(p * float64(len(tmp)-1))
+	return tmp[idx]
+}
+
+// Registry holds named metrics. The zero value is not usable; call
+// NewRegistry. A nil *Registry is a valid sink: every lookup returns a
+// working metric that simply is not registered anywhere, so callers can
+// publish unconditionally.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]any
+	order   []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]any)}
+}
+
+// Label renders a metric name with label pairs, e.g.
+// Label("fleet_rounds_total", "service", "sqldb") →
+// "fleet_rounds_total{service=sqldb}". Pairs are rendered in the order
+// given; pass them consistently to hit the same series.
+func Label(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup returns the metric under name, creating it with mk on first
+// use. Reusing a name with a different type panics: that is a
+// programming error, not an operational condition.
+func lookup[T any](r *Registry, name string, mk func() *T) *T {
+	if r == nil {
+		return mk()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[name]; ok {
+		t, ok := m.(*T)
+		if !ok {
+			panic(fmt.Sprintf("telemetry: metric %q reused as a different type (have %T)", name, m))
+		}
+		return t
+	}
+	t := mk()
+	r.metrics[name] = t
+	r.order = append(r.order, name)
+	return t
+}
+
+// Counter returns (creating if needed) the counter with the given name.
+func (r *Registry) Counter(name string) *Counter {
+	return lookup(r, name, func() *Counter { return &Counter{} })
+}
+
+// Gauge returns (creating if needed) the gauge with the given name.
+func (r *Registry) Gauge(name string) *Gauge {
+	return lookup(r, name, func() *Gauge { return &Gauge{} })
+}
+
+// Histogram returns (creating if needed) the histogram with the given
+// name.
+func (r *Registry) Histogram(name string) *Histogram {
+	return lookup(r, name, func() *Histogram { return &Histogram{} })
+}
+
+// Point is one metric's snapshot. Value carries the counter/gauge value;
+// the distribution fields are populated for histograms only.
+type Point struct {
+	Name  string
+	Kind  Kind
+	Value float64 // counter/gauge value; histogram sum
+
+	Count               int
+	Mean, P50, P95, Max float64
+}
+
+// Snapshot returns every metric's current state, sorted by name.
+func (r *Registry) Snapshot() []Point {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	metrics := make([]any, len(names))
+	for i, n := range names {
+		metrics[i] = r.metrics[n]
+	}
+	r.mu.Unlock()
+	sort.Sort(&pointSorter{names, metrics})
+
+	out := make([]Point, 0, len(names))
+	for i, name := range names {
+		switch m := metrics[i].(type) {
+		case *Counter:
+			out = append(out, Point{Name: name, Kind: KindCounter, Value: m.Value()})
+		case *Gauge:
+			out = append(out, Point{Name: name, Kind: KindGauge, Value: m.Value()})
+		case *Histogram:
+			out = append(out, Point{
+				Name:  name,
+				Kind:  KindHistogram,
+				Value: m.Sum(),
+				Count: m.Count(),
+				Mean:  m.Mean(),
+				P50:   m.Quantile(0.50),
+				P95:   m.Quantile(0.95),
+				Max:   m.Quantile(1),
+			})
+		}
+	}
+	return out
+}
+
+type pointSorter struct {
+	names   []string
+	metrics []any
+}
+
+func (s *pointSorter) Len() int           { return len(s.names) }
+func (s *pointSorter) Less(i, j int) bool { return s.names[i] < s.names[j] }
+func (s *pointSorter) Swap(i, j int) {
+	s.names[i], s.names[j] = s.names[j], s.names[i]
+	s.metrics[i], s.metrics[j] = s.metrics[j], s.metrics[i]
+}
+
+// WriteReport renders a human-readable dump of every metric, one line
+// each, sorted by name — the format cmd/fleetd emits.
+func (r *Registry) WriteReport(w io.Writer) {
+	for _, p := range r.Snapshot() {
+		switch p.Kind {
+		case KindHistogram:
+			fmt.Fprintf(w, "%-52s count=%-5d mean=%-12.6g p50=%-12.6g p95=%-12.6g max=%.6g\n",
+				p.Name, p.Count, p.Mean, p.P50, p.P95, p.Max)
+		default:
+			fmt.Fprintf(w, "%-52s %.6g\n", p.Name, p.Value)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentCounters hammers one counter, one gauge, and one
+// histogram from many goroutines; totals must be exact (run under
+// -race in CI).
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c := r.Counter("rounds_total")
+			g := r.Gauge("inflight")
+			h := r.Histogram("latency")
+			for j := 0; j < perWorker; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(id))
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	if got := r.Counter("rounds_total").Value(); got != workers*perWorker {
+		t.Errorf("counter = %v, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("inflight").Value(); got != 0 {
+		t.Errorf("gauge = %v, want 0", got)
+	}
+	if got := r.Histogram("latency").Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %v, want %d", got, workers*perWorker)
+	}
+}
+
+func TestCounterMonotonic(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.Add(-10) // ignored
+	if got := c.Value(); got != 3 {
+		t.Errorf("counter = %v, want 3", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1..100 observed in a scrambled order.
+	for i := 0; i < 100; i++ {
+		h.Observe(float64((i*37)%100 + 1))
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := h.Sum(); got != 5050 {
+		t.Errorf("sum = %v, want 5050", got)
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("mean = %v, want 50.5", got)
+	}
+	for _, tc := range []struct{ p, want float64 }{
+		{0, 1}, {0.5, 50}, {0.95, 95}, {1, 100},
+	} {
+		if got := h.Quantile(tc.p); got != tc.want {
+			t.Errorf("q(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	// Out-of-range p clamps instead of panicking.
+	if got := h.Quantile(2); got != 100 {
+		t.Errorf("q(2) = %v, want 100", got)
+	}
+}
+
+func TestEmptyHistogram(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Error("empty histogram must read as zeros")
+	}
+}
+
+func TestLabel(t *testing.T) {
+	if got := Label("x_total"); got != "x_total" {
+		t.Errorf("bare name mangled: %q", got)
+	}
+	got := Label("x_total", "service", "db", "stage", "replace")
+	if got != "x_total{service=db,stage=replace}" {
+		t.Errorf("labeled name = %q", got)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Error("reusing a counter name as a gauge should panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestNilRegistryIsASink(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(2)
+	r.Histogram("z").Observe(3)
+	if pts := r.Snapshot(); pts != nil {
+		t.Errorf("nil registry snapshot = %v, want nil", pts)
+	}
+}
+
+func TestSnapshotAndReport(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total").Add(2)
+	r.Gauge("a_gauge").Set(7)
+	r.Histogram("c_hist").Observe(1)
+	r.Histogram("c_hist").Observe(3)
+
+	pts := r.Snapshot()
+	if len(pts) != 3 {
+		t.Fatalf("snapshot has %d points", len(pts))
+	}
+	// Sorted by name.
+	if pts[0].Name != "a_gauge" || pts[1].Name != "b_total" || pts[2].Name != "c_hist" {
+		t.Errorf("snapshot order: %v %v %v", pts[0].Name, pts[1].Name, pts[2].Name)
+	}
+	if pts[2].Count != 2 || pts[2].Mean != 2 || pts[2].Max != 3 {
+		t.Errorf("histogram point: %+v", pts[2])
+	}
+
+	var b strings.Builder
+	r.WriteReport(&b)
+	out := b.String()
+	for _, want := range []string{"a_gauge", "b_total", "c_hist", "count=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

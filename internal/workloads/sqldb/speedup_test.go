@@ -72,7 +72,7 @@ func TestSpeedupRegression(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c.RunOnce(0.003); err != nil {
+	if _, err := c.OptimizeRound(0.003); err != nil {
 		t.Fatal(err)
 	}
 	pr2.RunFor(0.002) // settle into optimized steady state

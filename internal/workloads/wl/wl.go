@@ -151,6 +151,38 @@ func Measure(p *proc.Process, d *Driver, seconds float64) float64 {
 	return float64(d.Completed()-before) / dt
 }
 
+// WindowStats summarizes one measurement window: throughput plus the
+// request-latency distribution the fleet layer publishes as telemetry.
+type WindowStats struct {
+	Seconds    float64 // simulated window length actually covered
+	Requests   uint64  // requests completed in the window
+	Throughput float64 // requests per simulated second
+	P50        float64 // median request latency, cycles
+	P95        float64 // tail request latency, cycles
+	P99        float64 // far-tail request latency, cycles
+}
+
+// MeasureStats runs the process for the given simulated duration and
+// returns the window's throughput and latency percentiles. The latency
+// window is reset first so percentiles cover exactly this window.
+func MeasureStats(p *proc.Process, d *Driver, seconds float64) WindowStats {
+	d.ResetWindow()
+	before := d.Completed()
+	t0 := p.Seconds()
+	p.RunFor(seconds)
+	ws := WindowStats{
+		Seconds:  p.Seconds() - t0,
+		Requests: d.Completed() - before,
+		P50:      d.LatencyPercentile(0.50),
+		P95:      d.LatencyPercentile(0.95),
+		P99:      d.LatencyPercentile(0.99),
+	}
+	if ws.Seconds > 0 {
+		ws.Throughput = float64(ws.Requests) / ws.Seconds
+	}
+	return ws
+}
+
 // SplitMix64 is the deterministic PRNG used by request generators.
 func SplitMix64(x uint64) uint64 {
 	x += 0x9E3779B97F4A7C15

@@ -5,6 +5,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:"
+    echo "$unformatted"
+    exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -13,5 +21,12 @@ go build ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+# The fleet manager and telemetry registry are the concurrency-heavy
+# packages: run them twice more under the race detector to shake out
+# scheduling-dependent interleavings (-short skips the full-scale
+# single-service runs already covered above).
+echo "== go test -race -count=2 -short ./internal/fleet ./internal/telemetry"
+go test -race -count=2 -short ./internal/fleet ./internal/telemetry
 
 echo "CI OK"
