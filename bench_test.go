@@ -9,7 +9,11 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/asm"
+	"repro/internal/build"
 	"repro/internal/experiments"
+	"repro/internal/isa"
+	"repro/internal/proc"
 )
 
 func quietCfg() experiments.Config {
@@ -29,6 +33,71 @@ func runExperiment(b *testing.B, name string) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// stepProcess builds the interpreter microbenchmark guest: a hot loop of
+// ALU work with a call to a tiny leaf, the shape the simulator spends its
+// life in. The loop bound is effectively infinite; the harness caps the
+// run by instruction count.
+func stepProcess(b *testing.B) *proc.Process {
+	p := build.NewProgram("stepbench")
+	leaf := p.Func("leaf")
+	leaf.AddI(isa.R4, isa.R4, 3)
+	leaf.Ret()
+	m := p.Func("main")
+	m.Prologue(16)
+	m.MovI(isa.R1, 0)
+	m.While(func() { m.CmpI(isa.R1, 1<<40) }, isa.LT, func() {
+		for i := 0; i < 5; i++ {
+			m.AddI(isa.R2, isa.R2, 1)
+			m.XorI(isa.R3, isa.R2, 0x5a)
+			m.ShlI(isa.R3, isa.R3, 3)
+			m.Add(isa.R4, isa.R4, isa.R3)
+		}
+		m.Call("leaf")
+		m.AddI(isa.R1, isa.R1, 1)
+	})
+	m.Halt()
+	p.SetEntry("main")
+	bin, err := p.Assemble(asm.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pr, err := proc.Load(bin, proc.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return pr
+}
+
+// BenchmarkStep measures raw interpreter throughput in simulated
+// instructions per wall-clock second, for both engines: "block" is the
+// basic-block cache the scheduler uses, "legacy" the per-instruction
+// Step reference path. scripts/bench.sh turns the two into
+// BENCH_proc.json, with legacy as the pre-block-cache baseline.
+func BenchmarkStep(b *testing.B) {
+	b.Run("block", func(b *testing.B) {
+		pr := stepProcess(b)
+		b.ResetTimer()
+		n := pr.RunUntilHalt(uint64(b.N))
+		if n == 0 || pr.Fault() != nil {
+			b.Fatalf("run failed: n=%d fault=%v", n, pr.Fault())
+		}
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "inst/s")
+	})
+	b.Run("legacy", func(b *testing.B) {
+		pr := stepProcess(b)
+		t := pr.Threads[0]
+		b.ResetTimer()
+		var n uint64
+		for n < uint64(b.N) && pr.Step(t) {
+			n++
+		}
+		if n == 0 || pr.Fault() != nil {
+			b.Fatalf("run failed: n=%d fault=%v", n, pr.Fault())
+		}
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "inst/s")
+	})
 }
 
 // BenchmarkFig1L1iCapacity regenerates Figure 1 (static data).

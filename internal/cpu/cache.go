@@ -46,29 +46,32 @@ func newCacheEntries(entries, ways, granuleBytes int) *cache {
 	return newCache(entries*granuleBytes, ways, granuleBytes)
 }
 
-// access looks addr up, inserting on miss. Returns true on hit.
+// access looks addr up, inserting on miss. Returns true on hit. The set
+// is sliced once so the way scan runs without per-way bounds checks —
+// this is the single hottest function of the whole simulator.
 func (c *cache) access(addr uint64) bool {
 	c.clock++
 	c.accesses++
 	key := addr >> c.shift
 	set := int(key&c.setMask) * c.ways
 	tag := key + 1
-	var lruIdx int
-	var lruStamp uint64 = ^uint64(0)
-	for w := 0; w < c.ways; w++ {
-		i := set + w
-		if c.tags[i] == tag {
-			c.stamps[i] = c.clock
+	tags := c.tags[set : set+c.ways]
+	stamps := c.stamps[set : set+c.ways : set+c.ways]
+	lruIdx := 0
+	lruStamp := ^uint64(0)
+	for w, wtag := range tags {
+		if wtag == tag {
+			stamps[w] = c.clock
 			return true
 		}
-		if c.stamps[i] < lruStamp {
-			lruStamp = c.stamps[i]
-			lruIdx = i
+		if s := stamps[w]; s < lruStamp {
+			lruStamp = s
+			lruIdx = w
 		}
 	}
 	c.misses++
-	c.tags[lruIdx] = tag
-	c.stamps[lruIdx] = c.clock
+	tags[lruIdx] = tag
+	stamps[lruIdx] = c.clock
 	return false
 }
 
@@ -77,8 +80,8 @@ func (c *cache) probe(addr uint64) bool {
 	key := addr >> c.shift
 	set := int(key&c.setMask) * c.ways
 	tag := key + 1
-	for w := 0; w < c.ways; w++ {
-		if c.tags[set+w] == tag {
+	for _, wtag := range c.tags[set : set+c.ways] {
+		if wtag == tag {
 			return true
 		}
 	}

@@ -44,16 +44,27 @@ type Core struct {
 	lbr        *lbrRing
 	LBREnabled bool
 
+	// Stats holds the hardware counters. The Cycles field is synced
+	// lazily at read points, not per event — read it through
+	// StatsSnapshot (or use Cycles()) instead of the raw field.
 	Stats Stats
 
 	cycles        float64
 	lastFetchLine uint64 // +1 encoding; 0 = none
 	lastFetchPage uint64
+
+	// Precomputed per-event constants: line/page index shifts derived
+	// from the configured geometry, the per-slot retire cost, and a
+	// table mapping TopDown buckets to their accumulator fields.
+	lineShift  uint
+	pageShift  uint
+	retireCost float64
+	bucketAcc  [4]*float64
 }
 
 // NewCore builds a core attached to the shared hierarchy.
 func NewCore(id int, cfg *Config, sh *Shared) *Core {
-	return &Core{
+	c := &Core{
 		ID:    id,
 		cfg:   cfg,
 		l1i:   newCache(cfg.L1iKiB*1024, cfg.L1iWays, cfg.LineBytes),
@@ -67,7 +78,28 @@ func NewCore(id int, cfg *Config, sh *Shared) *Core {
 		ras:   newRAS(cfg.RASDepth),
 		dram:  newDRAM(cfg),
 		lbr:   newLBR(cfg.LBREntries),
+
+		lineShift:  log2up(cfg.LineBytes),
+		pageShift:  log2up(cfg.PageBytes),
+		retireCost: 1 / cfg.IssueWidth,
 	}
+	c.bucketAcc = [4]*float64{
+		BucketRetiring: &c.Stats.RetireCycles,
+		BucketFrontEnd: &c.Stats.FEStallCycles,
+		BucketBadSpec:  &c.Stats.BadSpecCycles,
+		BucketBackEnd:  &c.Stats.BEStallCycles,
+	}
+	return c
+}
+
+// log2up returns the smallest s with 1<<s >= n (the same granule rounding
+// the cache models use).
+func log2up(n int) uint {
+	s := uint(0)
+	for 1<<s < n {
+		s++
+	}
+	return s
 }
 
 // Config returns the core's configuration.
@@ -82,35 +114,46 @@ func (c *Core) Seconds() float64 { return c.cycles / c.cfg.ClockHz }
 // LBRSnapshot returns the LBR ring oldest-first (what a perf PMI reads).
 func (c *Core) LBRSnapshot() []BranchRecord { return c.lbr.Snapshot() }
 
+// LBRDrain returns the ring contents oldest-first and clears the ring, the
+// way a PMI handler consumes it: the next drain only sees branches retired
+// after this one.
+func (c *Core) LBRDrain() []BranchRecord { return c.lbr.drain() }
+
+// StatsSnapshot returns the counters with the lazily-maintained Cycles
+// field synced. The per-event paths (Fetch/Retire/Branch/Mem/AddStall)
+// deliberately do not rewrite Stats.Cycles on every event.
+func (c *Core) StatsSnapshot() Stats {
+	c.Stats.Cycles = c.cycles
+	return c.Stats
+}
+
 // AddStall charges extra cycles to the given TopDown bucket; the process
 // layer uses it for perf sampling overhead and syscall costs.
 func (c *Core) AddStall(cycles float64, bucket Bucket) {
 	c.cycles += cycles
-	switch bucket {
-	case BucketFrontEnd:
-		c.Stats.FEStallCycles += cycles
-	case BucketBadSpec:
-		c.Stats.BadSpecCycles += cycles
-	case BucketBackEnd:
-		c.Stats.BEStallCycles += cycles
-	case BucketRetiring:
-		c.Stats.RetireCycles += cycles
+	if int(bucket) < len(c.bucketAcc) {
+		*c.bucketAcc[bucket] += cycles
 	}
-	c.Stats.Cycles = c.cycles
 }
 
 // Fetch charges the front-end cost of fetching the instruction at pc.
 // Sequential fetches within one cache line are free after the first; a new
-// line pays an L1i lookup and, on a new page, an iTLB lookup.
+// line pays an L1i lookup and, on a new page, an iTLB lookup. The same-line
+// fast path is kept small enough to inline into the interpreter loop.
 func (c *Core) Fetch(pc uint64) {
-	line := pc>>6 + 1
+	line := pc>>c.lineShift + 1
 	if line == c.lastFetchLine {
 		return
 	}
+	c.fetchLine(pc, line)
+}
+
+// fetchLine is the new-line slow path of Fetch.
+func (c *Core) fetchLine(pc, line uint64) {
 	c.lastFetchLine = line
 
 	var stall float64
-	page := pc>>12 + 1
+	page := pc>>c.pageShift + 1
 	if page != c.lastFetchPage {
 		c.lastFetchPage = page
 		if !c.itlb.access(pc) {
@@ -153,21 +196,18 @@ func (c *Core) Fetch(pc uint64) {
 	if stall > 0 {
 		c.cycles += stall
 		c.Stats.FEStallCycles += stall
-		c.Stats.Cycles = c.cycles
 	}
 }
 
 // Retire charges the base retirement cost of one instruction.
 func (c *Core) Retire(isDiv bool) {
 	c.Stats.Instructions++
-	cost := 1 / c.cfg.IssueWidth
-	c.cycles += cost
-	c.Stats.RetireCycles += cost
+	c.cycles += c.retireCost
+	c.Stats.RetireCycles += c.retireCost
 	if isDiv {
 		c.cycles += c.cfg.DivLat
 		c.Stats.BEStallCycles += c.cfg.DivLat
 	}
-	c.Stats.Cycles = c.cycles
 }
 
 // Branch models a control transfer: pc is the branch instruction, target
@@ -236,7 +276,6 @@ func (c *Core) Branch(pc, target uint64, taken bool, kind BranchKind, retAddr ui
 		c.cycles += stall
 		c.Stats.FEStallCycles += stall
 	}
-	c.Stats.Cycles = c.cycles
 }
 
 // btbCost returns the front-end bubble for a taken branch with a static
@@ -274,7 +313,6 @@ func (c *Core) Mem(addr uint64, store bool) {
 	}
 	c.cycles += stall
 	c.Stats.BEStallCycles += stall
-	c.Stats.Cycles = c.cycles
 }
 
 // DRAMUtilization exposes the bandwidth model state (for diagnostics).

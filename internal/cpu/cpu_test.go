@@ -207,6 +207,33 @@ func TestFetchHotLoopNoStalls(t *testing.T) {
 	}
 }
 
+func TestFetchGeometryDerivedFromConfig(t *testing.T) {
+	// 128 B lines: the second fetch lands in the same (wider) line and must
+	// coalesce. With a hardcoded 64 B shift the line path re-runs there and
+	// its next-line prefetch streams 0x400080 into the L1i early, hiding the
+	// demand miss the real geometry pays.
+	cfg := DefaultConfig()
+	cfg.LineBytes = 128
+	c := NewCore(0, cfg, NewShared(cfg))
+	c.Fetch(0x400000)
+	c.Fetch(0x400040) // same 128 B line: must coalesce
+	c.Fetch(0x400080) // new line: demand miss, filled from the L2 prefetch
+	if got := c.Stats.L1iMisses; got != 2 {
+		t.Errorf("L1iMisses = %d, want 2 (line shift not derived from LineBytes?)", got)
+	}
+
+	// 2 KiB pages: the second fetch is on a new page and must pay an iTLB
+	// lookup; a hardcoded 4 KiB shift would coalesce it away.
+	cfg2 := DefaultConfig()
+	cfg2.PageBytes = 2048
+	c2 := NewCore(0, cfg2, NewShared(cfg2))
+	c2.Fetch(0x400000)
+	c2.Fetch(0x400800) // next 2 KiB page
+	if got := c2.Stats.ITLBMisses; got != 2 {
+		t.Errorf("ITLBMisses = %d, want 2 (page shift not derived from PageBytes?)", got)
+	}
+}
+
 func TestBranchMispredictCharged(t *testing.T) {
 	c := newTestCore()
 	pc, tgt := uint64(0x400040), uint64(0x400400)
@@ -320,7 +347,7 @@ func TestTopDownBucketsSum(t *testing.T) {
 	if math.Abs(sum-1) > 1e-9 {
 		t.Errorf("TopDown buckets sum to %f", sum)
 	}
-	s := c.Stats
+	s := c.StatsSnapshot()
 	total := s.RetireCycles + s.FEStallCycles + s.BadSpecCycles + s.BEStallCycles
 	if math.Abs(total-s.Cycles) > 1e-6 {
 		t.Errorf("attributed cycles %.2f != total %.2f", total, s.Cycles)
@@ -331,17 +358,18 @@ func TestStatsSubAdd(t *testing.T) {
 	c := newTestCore()
 	c.Fetch(0x400000)
 	c.Retire(false)
-	snap := c.Stats
+	snap := c.StatsSnapshot()
 	c.Fetch(0x400040)
 	c.Retire(true)
-	delta := c.Stats.Sub(snap)
+	cur := c.StatsSnapshot()
+	delta := cur.Sub(snap)
 	if delta.Instructions != 1 {
 		t.Errorf("delta instructions = %d", delta.Instructions)
 	}
 	var agg Stats
 	agg.Add(snap)
 	agg.Add(delta)
-	if agg.Instructions != c.Stats.Instructions || math.Abs(agg.Cycles-c.Stats.Cycles) > 1e-9 {
+	if agg.Instructions != cur.Instructions || math.Abs(agg.Cycles-cur.Cycles) > 1e-9 {
 		t.Error("Add(Sub) does not reconstruct totals")
 	}
 }

@@ -27,6 +27,14 @@ func (l *lbrRing) record(from, to uint64) {
 	}
 }
 
+// drain returns the ring contents oldest-first and clears the ring, so
+// consecutive reads never see the same record twice.
+func (l *lbrRing) drain() []BranchRecord {
+	out := l.Snapshot()
+	l.n = 0
+	return out
+}
+
 // Snapshot returns the ring contents oldest-first, as perf reads them.
 func (l *lbrRing) Snapshot() []BranchRecord {
 	out := make([]BranchRecord, 0, l.n)

@@ -1,0 +1,83 @@
+package diffcheck
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/proc"
+)
+
+// legacyRun replicates the scheduler's pre-block-cache quantum loop on
+// top of proc.Step, the per-instruction reference interpreter. It is the
+// "before" side of the cycle-exact equivalence gate.
+func legacyRun(p *proc.Process, maxInst uint64) uint64 {
+	var executed uint64
+	for !p.Paused() && p.Fault() == nil {
+		ran := false
+		for _, t := range p.Threads {
+			if t.Halted {
+				continue
+			}
+			ran = true
+			for i := 0; i < proc.Quantum; i++ {
+				if !p.Step(t) {
+					break
+				}
+				executed++
+			}
+		}
+		if !ran || (maxInst > 0 && executed >= maxInst) {
+			break
+		}
+	}
+	return executed
+}
+
+// TestCycleExactEngineEquivalence pins the block-cache execution engine
+// to the Step reference interpreter: every workload must retire the same
+// instructions AND account the same cycles, to the bit. This is the gate
+// that makes the engine rewrite a pure wall-clock win — any model drift
+// (an event reordered, a stall charged twice, a float added in a
+// different order) shows up as a Stats mismatch here.
+func TestCycleExactEngineEquivalence(t *testing.T) {
+	for _, tgt := range Targets() {
+		tgt := tgt
+		t.Run(tgt.Name, func(t *testing.T) {
+			t.Parallel()
+			run := func(useBlocks bool) (cpu.Stats, uint64) {
+				w, d, err := tgt.load()
+				if err != nil {
+					t.Fatal(err)
+				}
+				p, err := proc.Load(w.Binary, proc.Options{Threads: 1, Handler: d})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var n uint64
+				if useBlocks {
+					n = p.RunUntilHalt(defaultMaxInst)
+				} else {
+					n = legacyRun(p, defaultMaxInst)
+				}
+				if err := p.Fault(); err != nil {
+					t.Fatal(err)
+				}
+				return p.Stats(), n
+			}
+			blk, blkN := run(true)
+			ref, refN := run(false)
+			if blkN != refN {
+				t.Errorf("executed-instruction count: block engine %d, reference %d", blkN, refN)
+			}
+			if blk != ref {
+				t.Errorf("block engine diverged from reference interpreter:\n"+
+					"  golden quad block: insts=%d cycles=%v L1iMisses=%d mispredicts=%d\n"+
+					"  golden quad ref:   insts=%d cycles=%v L1iMisses=%d mispredicts=%d\n"+
+					"  full block: %+v\n  full ref:   %+v",
+					blk.Instructions, blk.Cycles, blk.L1iMisses, blk.Mispredicts,
+					ref.Instructions, ref.Cycles, ref.L1iMisses, ref.Mispredicts,
+					blk, ref)
+			}
+		})
+	}
+}

@@ -54,45 +54,59 @@ func (o *RecorderOptions) defaults() {
 	}
 }
 
-// Recorder is an attached LBR sampling session.
+// Recorder is an attached LBR sampling session. Re-arm deadlines are kept
+// per thread ID in a map so threads started after Attach are picked up and
+// armed lazily at their first quantum instead of panicking on a
+// fixed-size slice.
 type Recorder struct {
-	p     *proc.Process
-	opts  RecorderOptions
-	next  []float64
-	start float64
-	raw   *RawProfile
-	prev  func(*proc.Thread)
+	p      *proc.Process
+	opts   RecorderOptions
+	next   map[int]float64
+	start  float64
+	raw    *RawProfile
+	remove func()
 }
 
 // Attach starts LBR recording on a (possibly already running) process,
-// like `perf record` attaching to a live PID.
+// like `perf record` attaching to a live PID. The recorder registers
+// through proc.AddSampleHook, so hooks installed before or after it
+// survive Stop untouched.
 func Attach(p *proc.Process, opts RecorderOptions) *Recorder {
 	opts.defaults()
 	r := &Recorder{
 		p:     p,
 		opts:  opts,
-		next:  make([]float64, len(p.Threads)),
+		next:  make(map[int]float64),
 		start: p.Seconds(),
 		raw:   &RawProfile{},
-		prev:  p.SampleHook,
 	}
-	for i, t := range p.Threads {
-		t.Core.LBREnabled = true
-		r.next[i] = t.Core.Cycles() + opts.PeriodCycles
+	for _, t := range p.Threads {
+		r.arm(t)
 	}
-	p.SampleHook = r.onQuantum
+	r.remove = p.AddSampleHook(r.onQuantum)
 	return r
 }
 
+func (r *Recorder) arm(t *proc.Thread) {
+	t.Core.LBREnabled = true
+	r.next[t.ID] = t.Core.Cycles() + r.opts.PeriodCycles
+}
+
 func (r *Recorder) onQuantum(t *proc.Thread) {
-	if r.prev != nil {
-		r.prev(t)
-	}
 	c := t.Core
-	if c.Cycles() < r.next[t.ID] {
+	deadline, armed := r.next[t.ID]
+	if !armed {
+		// A thread started after Attach: begin sampling it from here.
+		r.arm(t)
 		return
 	}
-	recs := c.LBRSnapshot()
+	if c.Cycles() < deadline {
+		return
+	}
+	// Drain, not just read: when fewer branches retire per period than the
+	// ring holds, a plain snapshot would hand back the same records sample
+	// after sample, inflating the profile's edge weights.
+	recs := c.LBRDrain()
 	if len(recs) > 0 {
 		r.raw.Samples = append(r.raw.Samples, Sample{Records: recs})
 	}
@@ -102,12 +116,14 @@ func (r *Recorder) onQuantum(t *proc.Thread) {
 	r.next[t.ID] = c.Cycles() + r.opts.PeriodCycles
 }
 
-// Stop ends the session and returns the collected profile.
+// Stop ends the session and returns the collected profile. Only the
+// recorder's own hook registration is removed; any hooks chained around
+// it stay installed.
 func (r *Recorder) Stop() *RawProfile {
 	for _, t := range r.p.Threads {
 		t.Core.LBREnabled = false
 	}
-	r.p.SampleHook = r.prev
+	r.remove()
 	r.raw.Seconds = r.p.Seconds() - r.start
 	return r.raw
 }

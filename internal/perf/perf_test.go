@@ -94,6 +94,89 @@ func TestNestedHooksCompose(t *testing.T) {
 	}
 }
 
+func TestNoDuplicateRecordsAcrossSamples(t *testing.T) {
+	// A loop with a long straight-line body retires far fewer than 32
+	// branches per short period, so the LBR ring never wraps between PMIs:
+	// if the recorder read the ring without draining it, consecutive
+	// samples would repeat the same records and the profile would hold
+	// more branch records than branches the program retired.
+	p := build.NewProgram("slowloop")
+	m := p.Func("main")
+	m.Prologue(16)
+	m.MovI(isa.R1, 0)
+	m.While(func() { m.CmpI(isa.R1, 1<<40) }, isa.LT, func() {
+		for i := 0; i < 200; i++ {
+			m.AddI(isa.R2, isa.R2, 1)
+		}
+		m.AddI(isa.R1, isa.R1, 1)
+	})
+	m.Halt()
+	p.SetEntry("main")
+	bin, err := p.Assemble(asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := proc.Load(bin, proc.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := pr.Stats()
+	rec := Attach(pr, RecorderOptions{PeriodCycles: 1_000})
+	pr.RunFor(0.0005)
+	raw := rec.Stop()
+	taken := pr.Stats().Sub(before).TakenBranches
+	if len(raw.Samples) < 2 {
+		t.Fatalf("want back-to-back samples, got %d", len(raw.Samples))
+	}
+	if uint64(raw.Branches()) > taken {
+		t.Errorf("profile holds %d records but only %d branches retired (ring not drained?)",
+			raw.Branches(), taken)
+	}
+}
+
+func TestAttachChainStop(t *testing.T) {
+	// attach → chain another hook → stop: the recorder must remove only
+	// its own registration, not clobber the hook chained after it.
+	pr := loopProcess(t)
+	fieldCalls, lateCalls := 0, 0
+	pr.SampleHook = func(*proc.Thread) { fieldCalls++ }
+	rec := Attach(pr, RecorderOptions{})
+	removeLate := pr.AddSampleHook(func(*proc.Thread) { lateCalls++ })
+	pr.RunFor(0.0003)
+	rec.Stop()
+	if fieldCalls == 0 || lateCalls == 0 {
+		t.Fatalf("hooks not called before stop: field=%d late=%d", fieldCalls, lateCalls)
+	}
+	f0, l0 := fieldCalls, lateCalls
+	pr.RunFor(0.0001)
+	if fieldCalls == f0 {
+		t.Error("field hook clobbered by recorder Stop")
+	}
+	if lateCalls == l0 {
+		t.Error("hook chained after attach clobbered by recorder Stop")
+	}
+	removeLate()
+}
+
+func TestThreadStartedAfterAttach(t *testing.T) {
+	pr := loopProcess(t)
+	rec := Attach(pr, RecorderOptions{PeriodCycles: 5_000})
+	pr.RunFor(0.0002)
+	// A thread created mid-session must be armed lazily, not panic on a
+	// slice sized at Attach time.
+	pr.StartThread(pr.Bin.Entry)
+	pr.RunFor(0.0003)
+	raw := rec.Stop()
+	if len(raw.Samples) == 0 {
+		t.Fatal("no samples")
+	}
+	for _, th := range pr.Threads {
+		if th.Core.LBREnabled {
+			t.Error("LBR still enabled after Stop")
+		}
+	}
+}
+
 func TestOverheadScalesWithPeriod(t *testing.T) {
 	run := func(period float64) float64 {
 		pr := loopProcess(t)

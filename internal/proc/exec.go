@@ -196,11 +196,13 @@ func (p *Process) Step(t *Thread) bool {
 		t.Regs[isa.SP] = sp + 8
 
 	case isa.SYS:
-		c.AddStall(p.opts.SyscallCost, cpu.BucketBackEnd)
 		if p.handler == nil {
+			// Fault before charging SyscallCost: a syscall that never
+			// dispatched must not book back-end stall cycles.
 			p.faultThread(t, fmt.Errorf("proc: SYS %d with no handler at PC %#x", in.Imm, pc))
 			return false
 		}
+		c.AddStall(p.opts.SyscallCost, cpu.BucketBackEnd)
 		if err := p.handler.Syscall(p, t, in.Imm); err != nil {
 			p.faultThread(t, err)
 			return false

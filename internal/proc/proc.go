@@ -106,11 +106,26 @@ type Process struct {
 	lastPage *decodePage
 	lastIdx  uint64
 
+	// Basic-block cache (the hot execution path; see docs/perf.md).
+	// blocks maps a start PC to its decoded straight-line run, blockPg
+	// indexes blocks by code page for invalidation, and loCodePg/hiCodePg
+	// bound the pages holding any decoded state so the write watch can
+	// dismiss stack and heap stores without a map lookup.
+	blocks   map[uint64]*basicBlock
+	blockPg  map[uint64][]*basicBlock
+	loCodePg uint64
+	hiCodePg uint64
+
 	// SampleHook, if set, runs after every scheduler quantum with the
 	// thread that just ran; internal/perf uses it to poll LBR sample
-	// deadlines.
+	// deadlines. Prefer AddSampleHook, which composes: this field is kept
+	// for callers that own the only hook.
 	SampleHook func(t *Thread)
+
+	sampleHooks []*sampleHook
 }
+
+type sampleHook struct{ fn func(t *Thread) }
 
 type decodePage struct {
 	insts [mem.PageSize / isa.InstBytes]isa.Inst
@@ -134,6 +149,9 @@ func Load(bin *obj.Binary, opts Options) (*Process, error) {
 		handler:    opts.Handler,
 		heapCursor: HeapBase,
 		dcache:     make(map[uint64]*decodePage),
+		blocks:     make(map[uint64]*basicBlock),
+		blockPg:    make(map[uint64][]*basicBlock),
+		loCodePg:   ^uint64(0),
 	}
 	for _, s := range bin.Sections {
 		writeSparse(p.Mem, s.Addr, s.Data)
@@ -141,20 +159,30 @@ func Load(bin *obj.Binary, opts Options) (*Process, error) {
 	p.Mem.SetWriteWatch(p.invalidate)
 
 	for i := 0; i < opts.Threads; i++ {
-		stackHi := uint64(StackTop - i*StackGap)
-		t := &Thread{
-			ID:      i,
-			PC:      bin.Entry,
-			Core:    cpu.NewCore(i, opts.Config, p.Shared),
-			StackHi: stackHi,
-			StackLo: stackHi - StackSize,
-			proc:    p,
-		}
-		t.Regs[isa.SP] = stackHi
-		t.Regs[isa.R0] = uint64(i)
-		p.Threads = append(p.Threads, t)
+		p.StartThread(bin.Entry)
 	}
 	return p, nil
+}
+
+// StartThread creates a new runnable thread at pc with its own core and
+// stack and the thread index in R0, appends it to p.Threads, and returns
+// it. The scheduler picks it up on its next pass; perf recorders attached
+// earlier arm it lazily at its first quantum.
+func (p *Process) StartThread(pc uint64) *Thread {
+	id := len(p.Threads)
+	stackHi := uint64(StackTop - id*StackGap)
+	t := &Thread{
+		ID:      id,
+		PC:      pc,
+		Core:    cpu.NewCore(id, p.Cfg, p.Shared),
+		StackHi: stackHi,
+		StackLo: stackHi - StackSize,
+		proc:    p,
+	}
+	t.Regs[isa.SP] = stackHi
+	t.Regs[isa.R0] = uint64(id)
+	p.Threads = append(p.Threads, t)
+	return t
 }
 
 // writeSparse copies section bytes into memory, skipping page-sized
@@ -185,24 +213,63 @@ func allZero(b []byte) bool {
 	return true
 }
 
-// invalidate drops decoded instructions covering a written range. Huge
-// ranges (a garbage-collected code region) walk the cache instead of the
-// range.
+// invalidate drops decoded instructions and basic blocks covering a
+// written range. The write watch calls this on *every* store — stack
+// pushes included — so the common case must be a cheap dismissal: any
+// range outside [loCodePg, hiCodePg] (the pages holding decoded state)
+// returns without touching a map. Huge in-range spans (a garbage-collected
+// code region) walk the caches instead of the range.
 func (p *Process) invalidate(addr uint64, n int) {
 	first := addr / mem.PageSize
 	last := (addr + uint64(n) - 1) / mem.PageSize
-	if last-first+1 > uint64(len(p.dcache)) {
+	if last < p.loCodePg || first > p.hiCodePg {
+		return
+	}
+	if last-first+1 > uint64(len(p.dcache))+uint64(len(p.blockPg)) {
 		for pg := range p.dcache {
 			if pg >= first && pg <= last {
 				delete(p.dcache, pg)
 			}
 		}
+		for pg := range p.blockPg {
+			if pg >= first && pg <= last {
+				p.dropBlocks(pg)
+			}
+		}
 	} else {
 		for pg := first; pg <= last; pg++ {
 			delete(p.dcache, pg)
+			p.dropBlocks(pg)
 		}
 	}
 	p.lastPage = nil
+}
+
+// dropBlocks invalidates every basic block decoded from the given page.
+// Blocks are marked invalid (the executor checks the flag after every
+// instruction, so a block invalidated by its own store stops immediately)
+// and unregistered so the next lookup rebuilds from current bytes.
+func (p *Process) dropBlocks(pg uint64) {
+	list, ok := p.blockPg[pg]
+	if !ok {
+		return
+	}
+	for _, b := range list {
+		b.valid = false
+		delete(p.blocks, b.start)
+	}
+	delete(p.blockPg, pg)
+}
+
+// noteCodePage widens the decoded-state page bounds used by invalidate's
+// fast dismissal. Bounds never shrink; that only costs false positives.
+func (p *Process) noteCodePage(pg uint64) {
+	if pg < p.loCodePg {
+		p.loCodePg = pg
+	}
+	if pg > p.hiCodePg {
+		p.hiCodePg = pg
+	}
 }
 
 // decode fetches the decoded instruction at addr, caching per page.
@@ -214,6 +281,7 @@ func (p *Process) decode(addr uint64) (isa.Inst, error) {
 		if dp == nil {
 			dp = new(decodePage)
 			p.dcache[pg] = dp
+			p.noteCodePage(pg)
 		}
 		p.lastPage, p.lastIdx = dp, pg
 	}
@@ -276,9 +344,39 @@ func (p *Process) Halted() bool {
 func (p *Process) Stats() cpu.Stats {
 	var s cpu.Stats
 	for _, t := range p.Threads {
-		s.Add(t.Core.Stats)
+		s.Add(t.Core.StatsSnapshot())
 	}
 	return s
+}
+
+// AddSampleHook registers fn to run after every scheduler quantum and
+// returns a function that removes exactly this registration — safe no
+// matter what hooks were added or removed in between, unlike saving and
+// restoring the SampleHook field.
+func (p *Process) AddSampleHook(fn func(t *Thread)) (remove func()) {
+	h := &sampleHook{fn: fn}
+	p.sampleHooks = append(p.sampleHooks, h)
+	return func() {
+		for i, e := range p.sampleHooks {
+			if e == h {
+				// Copy-on-write splice: a hook removing itself while
+				// sample() iterates must not disturb the live slice.
+				p.sampleHooks = append(p.sampleHooks[:i:i], p.sampleHooks[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// sample dispatches the end-of-quantum hooks: the legacy single-owner
+// field first, then every registered hook in registration order.
+func (p *Process) sample(t *Thread) {
+	if p.SampleHook != nil {
+		p.SampleHook(t)
+	}
+	for _, h := range p.sampleHooks {
+		h.fn(t)
+	}
 }
 
 // Seconds returns the elapsed simulated time: the maximum across cores

@@ -1,11 +1,13 @@
 package proc
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/asm"
 	"repro/internal/build"
 	"repro/internal/isa"
+	"repro/internal/mem"
 	"repro/internal/obj"
 )
 
@@ -292,6 +294,108 @@ func TestFaults(t *testing.T) {
 	pr3.RunUntilHalt(0)
 	if pr3.Fault() == nil {
 		t.Error("handlerless SYS not faulted")
+	}
+	// The syscall never dispatched, so its kernel-entry cost must not be
+	// booked: a faulting process would otherwise distort TopDown deltas.
+	if st := pr3.Stats(); st.BEStallCycles != 0 {
+		t.Errorf("handlerless SYS booked %.0f back-end stall cycles, want 0", st.BEStallCycles)
+	}
+}
+
+func TestUnmapInvalidatesDecodedCode(t *testing.T) {
+	// A caller jumps to code written outside the loader at 0x500000; after
+	// mem.Unmap the re-run must fault on decode, and a partial unmap
+	// (zeroed-but-mapped bytes) must fault exactly like a full-page unmap.
+	const victim = 0x500000
+	newVictimProc := func() *Process {
+		p := build.NewProgram("unmapvictim")
+		m := p.Func("main")
+		m.MovI(isa.R1, victim)
+		m.CallR(isa.R1)
+		m.Halt()
+		p.SetEntry("main")
+		pr := loadOrDie(t, assembleOrDie(t, p), Options{})
+		pr.Mem.Write(victim, isa.EncodeAll([]isa.Inst{
+			{Op: isa.MOVI, Rd: isa.R2, Imm: 7},
+			{Op: isa.RET},
+		}))
+		return pr
+	}
+	rerun := func(pr *Process) {
+		t0 := pr.Threads[0]
+		t0.Halted = false
+		t0.PC = pr.Bin.Entry
+		pr.RunUntilHalt(0)
+	}
+
+	// Partial unmap: only the victim's first instruction, head of a page.
+	prA := newVictimProc()
+	prA.RunUntilHalt(0)
+	if err := prA.Fault(); err != nil {
+		t.Fatal(err)
+	}
+	if got := prA.Threads[0].Regs[isa.R2]; got != 7 {
+		t.Fatalf("victim did not run: R2 = %d", got)
+	}
+	prA.Mem.Unmap(victim, isa.InstBytes)
+	rerun(prA)
+	if prA.Fault() == nil {
+		t.Fatal("zeroed-but-mapped code executed stale decode")
+	}
+
+	// Full-page unmap of the same victim.
+	prB := newVictimProc()
+	prB.RunUntilHalt(0)
+	prB.Mem.Unmap(victim, mem.PageSize)
+	rerun(prB)
+	if prB.Fault() == nil {
+		t.Fatal("fully-unmapped code executed stale decode")
+	}
+	if a, b := prA.Fault().Error(), prB.Fault().Error(); a != b {
+		t.Errorf("partial and full unmap fault differently:\n  partial: %s\n  full:    %s", a, b)
+	}
+}
+
+func TestUnmapStraddlingPageBoundary(t *testing.T) {
+	// The victim straddles a page boundary: MOVI's immediate sits in the
+	// tail of one page, RET at the head of the next. An unmap covering the
+	// boundary zeroes the immediate (the MOVI must re-decode with the new
+	// value) and RET's opcode (which must fault).
+	const head = 0x500ff0 // last slot of the first victim page
+	const tail = 0x501000 // first slot of the next page
+	p := build.NewProgram("straddle")
+	m := p.Func("main")
+	m.MovI(isa.R1, head)
+	m.CallR(isa.R1)
+	m.Halt()
+	p.SetEntry("main")
+	pr := loadOrDie(t, assembleOrDie(t, p), Options{})
+	pr.Mem.Write(head, isa.EncodeAll([]isa.Inst{
+		{Op: isa.MOVI, Rd: isa.R2, Imm: 7},
+		{Op: isa.RET},
+	}))
+	pr.RunUntilHalt(0)
+	if err := pr.Fault(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pr.Threads[0].Regs[isa.R2]; got != 7 {
+		t.Fatalf("victim did not run: R2 = %d", got)
+	}
+
+	pr.Mem.Unmap(head+8, isa.InstBytes) // covers imm of MOVI + opcode of RET
+	t0 := pr.Threads[0]
+	t0.Halted = false
+	t0.PC = pr.Bin.Entry
+	t0.Regs[isa.R2] = 99
+	pr.RunUntilHalt(0)
+	if pr.Fault() == nil {
+		t.Fatal("zeroed RET opcode did not fault")
+	}
+	if !strings.Contains(pr.Fault().Error(), "0x501000") {
+		t.Errorf("fault not at the zeroed RET: %v", pr.Fault())
+	}
+	if got := t0.Regs[isa.R2]; got != 0 {
+		t.Errorf("MOVI executed stale immediate: R2 = %d, want 0", got)
 	}
 }
 

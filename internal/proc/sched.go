@@ -17,15 +17,8 @@ func (p *Process) RunUntilHalt(maxInst uint64) uint64 {
 				continue
 			}
 			ran = true
-			for i := 0; i < Quantum; i++ {
-				if !p.Step(t) {
-					break
-				}
-				executed++
-			}
-			if p.SampleHook != nil {
-				p.SampleHook(t)
-			}
+			executed += uint64(p.runQuantum(t, Quantum))
+			p.sample(t)
 		}
 		if !ran || (maxInst > 0 && executed >= maxInst) {
 			break
@@ -49,14 +42,8 @@ func (p *Process) RunFor(seconds float64) {
 				continue
 			}
 			ran = true
-			for i := 0; i < Quantum; i++ {
-				if !p.Step(t) {
-					break
-				}
-			}
-			if p.SampleHook != nil {
-				p.SampleHook(t)
-			}
+			p.runQuantum(t, Quantum)
+			p.sample(t)
 		}
 		if !ran {
 			break

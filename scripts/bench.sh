@@ -1,0 +1,52 @@
+#!/usr/bin/env sh
+# Interpreter-throughput benchmark runner: runs BenchmarkStep for both
+# execution engines and writes BENCH_proc.json with the block-cache
+# engine's simulated-instructions-per-second next to the legacy
+# per-instruction baseline measured in the same run. The benchmark is
+# invoked COUNT separate times — each invocation measures both engines
+# back to back, so the pair shares machine-noise conditions — and the
+# best run per engine is kept: wall-clock noise on shared machines only
+# ever slows a run down. See docs/perf.md.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+COUNT="${COUNT:-8}"
+OUT="${OUT:-BENCH_proc.json}"
+
+raw=""
+i=1
+while [ "$i" -le "$COUNT" ]; do
+    echo "== run $i/$COUNT: go test -bench BenchmarkStep -benchtime $BENCHTIME"
+    run=$(go test -run '^$' -bench 'BenchmarkStep' -benchtime "$BENCHTIME" -count 1 .)
+    echo "$run"
+    raw="$raw
+$run"
+    i=$((i + 1))
+done
+
+# Benchmark lines end with: <ns/op> ns/op <inst/s> inst/s
+block=$(echo "$raw" | awk '/^BenchmarkStep\/block/  {if ($(NF-1)+0 > best) best = $(NF-1)+0} END {print best}')
+legacy=$(echo "$raw" | awk '/^BenchmarkStep\/legacy/ {if ($(NF-1)+0 > best) best = $(NF-1)+0} END {print best}')
+
+if [ -z "$block" ] || [ -z "$legacy" ] || [ "$block" = 0 ] || [ "$legacy" = 0 ]; then
+    echo "bench.sh: failed to parse benchmark output" >&2
+    exit 1
+fi
+
+speedup=$(awk "BEGIN {printf \"%.2f\", $block / $legacy}")
+
+cat > "$OUT" <<EOF
+{
+  "benchmark": "BenchmarkStep",
+  "benchtime": "$BENCHTIME",
+  "count": $COUNT,
+  "baseline_legacy_ips": $legacy,
+  "block_engine_ips": $block,
+  "speedup": $speedup
+}
+EOF
+
+echo "== $OUT"
+cat "$OUT"

@@ -29,4 +29,15 @@ go test -race ./...
 echo "== go test -race -count=2 -short ./internal/fleet ./internal/telemetry"
 go test -race -count=2 -short ./internal/fleet ./internal/telemetry
 
+# The block-cache execution engine must stay cycle-exact with the Step
+# reference interpreter (see docs/perf.md): run the golden equivalence
+# gate explicitly so an engine regression names itself in the CI log.
+echo "== go test -run TestCycleExactEngineEquivalence ./internal/diffcheck"
+go test -run TestCycleExactEngineEquivalence ./internal/diffcheck
+
+# Bench smoke: one iteration of the throughput benchmark, to catch a
+# broken benchmark harness before scripts/bench.sh is needed for real.
+echo "== go test -bench BenchmarkStep -benchtime 1x"
+go test -run '^$' -bench BenchmarkStep -benchtime 1x .
+
 echo "CI OK"
