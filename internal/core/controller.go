@@ -132,6 +132,13 @@ type Options struct {
 	// injected/freed, and per-stage error counts. The fleet manager
 	// shares one registry across every controller it owns.
 	Metrics *telemetry.Registry
+
+	// FaultHook, when non-nil, is installed on every tracee the controller
+	// attaches during Replace: it runs before each debugger operation and
+	// can fail it (see ptrace.Tracee.FaultHook). The fault-sweep harness
+	// uses it to abort a replacement at every possible point and assert
+	// the transactional rollback restores the target exactly.
+	FaultHook func(op string, n int) error
 }
 
 // patchParallelism is the modeled fan-out of ParallelPatch.

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/bolt"
+	"repro/internal/telemetry"
+)
+
+// targetFingerprint captures the target process state a rolled-back
+// Replace must leave untouched: mapped ranges, their contents, page
+// residency, and every thread's registers.
+func targetFingerprint(t *testing.T, c *Controller) ([]byte, uint64) {
+	t.Helper()
+	var blob []byte
+	word := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			blob = append(blob, byte(v>>(8*i)))
+		}
+	}
+	for _, r := range c.p.Mem.MappedRanges() {
+		word(r[0])
+		word(r[1])
+		b := make([]byte, r[1]-r[0])
+		c.p.Mem.Read(r[0], b)
+		blob = append(blob, b...)
+	}
+	for _, th := range c.p.Threads {
+		word(th.PC)
+		for _, g := range th.Regs {
+			word(g)
+		}
+		word(uint64(th.CmpVal))
+	}
+	h := uint64(fnvOffset)
+	for _, b := range blob {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return nil, h ^ hashWord(fnvOffset, c.p.Mem.ResidentBytes())
+}
+
+// TestFailedReplaceLeavesControllerUnchanged is the regression test for
+// the state-leak class the transaction fixes: a Replace that fails part
+// way must leave Version(), the jump-table registry, the function-pointer
+// map — the whole controller — and the target process bit-identical.
+func TestFailedReplaceLeavesControllerUnchanged(t *testing.T) {
+	bin, outAddr := genProgram(t, 301, 150000)
+	want := plainRun(t, bin, outAddr)
+
+	reg := telemetry.NewRegistry()
+	pr, c := newController(t, bin, Options{
+		Bolt:    bolt.Options{AllowReBolt: true},
+		Metrics: reg,
+	})
+	pr.RunFor(0.0003)
+	raw := c.Profile(0.0004)
+	build, err := c.BuildOptimized(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scout run on an identical process/controller: the simulation is
+	// deterministic, so the op count measured here matches the replacement
+	// below op-for-op.
+	nOps := func() int {
+		pr2, c2 := newController(t, bin, Options{Bolt: bolt.Options{AllowReBolt: true}})
+		pr2.RunFor(0.0003)
+		b2, err := c2.BuildOptimized(c2.Profile(0.0004))
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		c2.opts.FaultHook = func(op string, i int) error { count++; return nil }
+		if _, err := c2.Replace(b2.Result.Binary); err != nil {
+			t.Fatal(err)
+		}
+		return count
+	}()
+	if nOps < 10 {
+		t.Fatalf("replacement used only %d tracee ops", nOps)
+	}
+
+	boom := errors.New("injected")
+	// Fail at a scatter of op indexes: early (before injection), in the
+	// middle of patching, and at the very end (verifier reads).
+	for _, failAt := range []int{0, 3, nOps / 4, nOps / 2, 3 * nOps / 4, nOps - 1} {
+		ctlBefore := c.StateHash()
+		verBefore := c.Version()
+		jtBefore := len(c.jtables)
+		fpBefore := len(c.fptrMap)
+		_, memBefore := targetFingerprint(t, c)
+
+		c.opts.FaultHook = func(op string, i int) error {
+			if i == failAt {
+				return boom
+			}
+			return nil
+		}
+		_, err := c.Replace(build.Result.Binary)
+		c.opts.FaultHook = nil
+		if !errors.Is(err, boom) {
+			t.Fatalf("failAt=%d: fault not surfaced: %v", failAt, err)
+		}
+		if got := c.StateHash(); got != ctlBefore {
+			t.Errorf("failAt=%d: controller state changed across failed Replace", failAt)
+		}
+		if c.Version() != verBefore {
+			t.Errorf("failAt=%d: Version() = %d, want %d", failAt, c.Version(), verBefore)
+		}
+		if len(c.jtables) != jtBefore {
+			t.Errorf("failAt=%d: jtables leaked: %d != %d", failAt, len(c.jtables), jtBefore)
+		}
+		if len(c.fptrMap) != fpBefore {
+			t.Errorf("failAt=%d: fptrMap leaked: %d != %d", failAt, len(c.fptrMap), fpBefore)
+		}
+		if _, memAfter := targetFingerprint(t, c); memAfter != memBefore {
+			t.Errorf("failAt=%d: target process changed across failed Replace", failAt)
+		}
+		if len(c.Reports) != 0 {
+			t.Errorf("failAt=%d: failed round appended a report", failAt)
+		}
+	}
+	if v := reg.Counter("core_txn_rollbacks_total").Value(); v == 0 {
+		t.Error("rollbacks not counted")
+	}
+
+	// The same controller and the same build must still commit cleanly and
+	// the program must finish with the never-optimized checksum.
+	if _, err := c.Replace(build.Result.Binary); err != nil {
+		t.Fatal(err)
+	}
+	if c.Version() != 1 {
+		t.Fatalf("version after recovery = %d", c.Version())
+	}
+	pr.RunUntilHalt(0)
+	if err := pr.Fault(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pr.Mem.ReadWord(outAddr); got != want {
+		t.Errorf("checksum after recovery %d != %d", got, want)
+	}
+}
+
+// TestVerifierFailureRollsBack plants an invariant violation the patching
+// code itself would never produce (a registered jump table pointing at
+// unmapped memory) and checks the pre-resume verifier catches it, the
+// round rolls back, and the failure is counted separately.
+func TestVerifierFailureRollsBack(t *testing.T) {
+	bin, _ := genProgram(t, 303, 1<<30)
+	reg := telemetry.NewRegistry()
+	pr, c := newController(t, bin, Options{Metrics: reg})
+	pr.RunFor(0.0003)
+	raw := c.Profile(0.0004)
+	build, err := c.BuildOptimized(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c.jtables[0xDEAD_0000] = []uint64{0xDEAD_0040}
+	before := c.StateHash()
+	_, err = c.Replace(build.Result.Binary)
+	if err == nil {
+		t.Fatal("verifier accepted a jump table into unknown code")
+	}
+	if !strings.Contains(err.Error(), "verify") {
+		t.Errorf("error does not identify the verifier: %v", err)
+	}
+	if c.StateHash() != before || c.Version() != 0 {
+		t.Error("verifier failure did not roll back")
+	}
+	if reg.Counter("core_verify_failures_total").Value() != 1 {
+		t.Error("verify failure not counted")
+	}
+	if reg.Counter("core_txn_rollbacks_total").Value() != 1 {
+		t.Error("rollback not counted")
+	}
+
+	// Removing the poison heals the controller in place.
+	delete(c.jtables, 0xDEAD_0000)
+	if _, err := c.Replace(build.Result.Binary); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRevertAtVersionZeroIsNoOp: Revert before any optimization has
+// nothing to undo — no pause, no report, no version change, not even an
+// attach.
+func TestRevertAtVersionZeroIsNoOp(t *testing.T) {
+	bin, outAddr := genProgram(t, 305, 60000)
+	want := plainRun(t, bin, outAddr)
+
+	pr, c := newController(t, bin, Options{})
+	pr.RunFor(0.0002)
+	stallBefore := pr.Threads[0].Core.StatsSnapshot().Cycles
+	before := c.StateHash()
+	rs, err := c.Revert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs == nil || rs.PauseSeconds != 0 || rs.BytesInjected != 0 || rs.Version != 0 {
+		t.Errorf("revert at v0 did work: %+v", rs)
+	}
+	if len(c.Reports) != 0 {
+		t.Error("no-op revert appended a report")
+	}
+	if c.Version() != 0 || c.StateHash() != before {
+		t.Error("no-op revert changed controller state")
+	}
+	if pr.Threads[0].Core.StatsSnapshot().Cycles != stallBefore {
+		t.Error("no-op revert charged cycles to the target")
+	}
+	pr.RunUntilHalt(0)
+	if got := pr.Mem.ReadWord(outAddr); got != want {
+		t.Errorf("checksum %d != %d", got, want)
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/obj"
+)
+
+// ctlSnapshot is a deep copy of every piece of controller state a
+// replacement round mutates. The target-side mutations are journaled by
+// ptrace.Txn; this covers the controller side, so a failed round restores
+// *both* halves and the controller stays reusable — the state-leak class
+// where jump tables and fptrMap entries registered before a failed
+// injection permanently polluted the maps.
+type ctlSnapshot struct {
+	res     resolver
+	version int
+	curBin  *obj.Binary
+	curOf   map[string]uint64
+	patched map[uint64]string
+	fptrMap map[uint64]uint64
+	tramps  map[string]bool
+	jtables map[uint64][]uint64
+	reports int
+}
+
+func copyMap[K comparable, V any](m map[K]V) map[K]V {
+	out := make(map[K]V, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// snapshot captures the controller state before a replacement round.
+func (c *Controller) snapshot() ctlSnapshot {
+	jt := make(map[uint64][]uint64, len(c.jtables))
+	for a, t := range c.jtables {
+		jt[a] = append([]uint64(nil), t...)
+	}
+	return ctlSnapshot{
+		res:     resolver{spans: append([]span(nil), c.res.spans...)},
+		version: c.version,
+		curBin:  c.curBin,
+		curOf:   copyMap(c.curOf),
+		patched: copyMap(c.patched),
+		fptrMap: copyMap(c.fptrMap),
+		tramps:  copyMap(c.tramps),
+		jtables: jt,
+		reports: len(c.Reports),
+	}
+}
+
+// restore rolls the controller back to a snapshot. The function-pointer
+// hook closure reads c.fptrMap through the receiver, so reassigning the
+// map restores its behavior too.
+func (c *Controller) restore(s ctlSnapshot) {
+	c.res = s.res
+	c.version = s.version
+	c.curBin = s.curBin
+	c.curOf = s.curOf
+	c.patched = s.patched
+	c.fptrMap = s.fptrMap
+	c.tramps = s.tramps
+	c.jtables = s.jtables
+	c.Reports = c.Reports[:s.reports]
+}
+
+// StateHash digests every observable piece of controller state — version,
+// resolver spans, preferred entries, patched sites, trampolines, the
+// function-pointer map, registered jump tables, and the report count —
+// into one order-independent fingerprint. The fault-sweep harness
+// compares it across a failed Replace to prove the rollback left the
+// controller bit-identical.
+func (c *Controller) StateHash() uint64 {
+	h := uint64(fnvOffset)
+	word := func(v uint64) { h = hashWord(h, v) }
+	word(uint64(c.version))
+	word(uint64(len(c.Reports)))
+	for _, s := range c.res.spans { // already sorted by lo
+		word(s.lo)
+		word(s.hi)
+		word(s.entry)
+		word(uint64(s.version))
+		h = hashString(h, s.name)
+	}
+	for _, name := range sortedKeys(c.curOf) {
+		h = hashString(h, name)
+		word(c.curOf[name])
+	}
+	for _, addr := range sortedKeys(c.patched) {
+		word(addr)
+		h = hashString(h, c.patched[addr])
+	}
+	for _, name := range sortedKeys(c.tramps) {
+		h = hashString(h, name)
+	}
+	for _, from := range sortedKeys(c.fptrMap) {
+		word(from)
+		word(c.fptrMap[from])
+	}
+	for _, addr := range sortedKeys(c.jtables) {
+		word(addr)
+		for _, e := range c.jtables[addr] {
+			word(e)
+		}
+	}
+	return h
+}
+
+// FNV-1a parameters for StateHash.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+func hashWord(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xFF
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return hashWord(h, uint64(len(s)))
+}
+
+// sortedKeys returns a map's keys in ascending order, so every journal,
+// patch, and verification pass issues its tracee operations in a
+// deterministic sequence (the fault sweep indexes into that sequence).
+func sortedKeys[K interface {
+	~uint64 | ~string
+}, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/ptrace"
+	"repro/internal/unwind"
+)
+
+// verifyResumeSafety runs after every mutation of a replacement round and
+// before the target is resumed. It re-reads the patched state through the
+// transaction and asserts the invariants a safe resume depends on:
+//
+//   - every patched direct call decodes to a CALL whose target is the
+//     callee's current preferred entry;
+//   - every v-table slot holds a known function entry (and, when v-table
+//     patching is on, the preferred one);
+//   - every thread PC, every return address on every stack (including the
+//     synthesized hidden frames), and every trampoline target lands in
+//     code the new resolver knows;
+//   - no live pointer references the address ranges being garbage-
+//     collected this round;
+//   - every registered jump-table entry still points into a live span.
+//
+// Any violation aborts the round: the caller rolls the journal back while
+// the target is still paused, so a bug in the patching logic degrades to a
+// skipped round instead of a resumed process running through torn state.
+// All reads go through the tracee in deterministic (sorted) order, so the
+// fault sweep exercises verifier reads too.
+func (c *Controller) verifyResumeSafety(x *ptrace.Txn, nr *resolver, newCur map[string]uint64, dead [][2]uint64) error {
+	inDead := func(addr uint64) bool {
+		for _, d := range dead {
+			if addr >= d[0] && addr < d[1] {
+				return true
+			}
+		}
+		return false
+	}
+	checkCode := func(what string, addr uint64) (span, error) {
+		if inDead(addr) {
+			return span{}, fmt.Errorf("core: verify: %s %#x references garbage-collected code", what, addr)
+		}
+		s, ok := nr.at(addr)
+		if !ok {
+			return span{}, fmt.Errorf("core: verify: %s %#x is not in any live code span", what, addr)
+		}
+		return s, nil
+	}
+
+	// Patched direct-call sites decode to CALLs aimed at preferred entries.
+	for _, addr := range sortedKeys(c.patched) {
+		callee := c.patched[addr]
+		var buf [isa.InstBytes]byte
+		if err := x.ReadMem(addr, buf[:]); err != nil {
+			return err
+		}
+		in, err := isa.Decode(buf[:])
+		if err != nil || in.Op != isa.CALL {
+			return fmt.Errorf("core: verify: patched site %#x does not decode to a CALL", addr)
+		}
+		tgt := uint64(int64(addr) + isa.InstBytes + in.Imm)
+		want, ok := newCur[callee]
+		if !ok {
+			return fmt.Errorf("core: verify: patched site %#x calls unknown function %s", addr, callee)
+		}
+		if tgt != want {
+			return fmt.Errorf("core: verify: patched call %#x→%s targets %#x, want %#x", addr, callee, tgt, want)
+		}
+		if _, err := checkCode("patched call target", tgt); err != nil {
+			return err
+		}
+	}
+
+	// V-table slots hold live, known function entries.
+	for _, vt := range c.orig.VTables {
+		for i := range vt.Slots {
+			v, err := x.PeekData(vt.Addr + uint64(i)*8)
+			if err != nil {
+				return err
+			}
+			s, err := checkCode(fmt.Sprintf("vtable %s slot %d", vt.Name, i), v)
+			if err != nil {
+				return err
+			}
+			if !c.opts.NoPatchVTables {
+				if want := newCur[s.name]; v != want {
+					return fmt.Errorf("core: verify: vtable %s slot %d holds %#x, want preferred entry %#x of %s",
+						vt.Name, i, v, want, s.name)
+				}
+			}
+			if v != s.entry {
+				return fmt.Errorf("core: verify: vtable %s slot %d holds %#x, mid-function of %s", vt.Name, i, v, s.name)
+			}
+		}
+	}
+
+	// Trampolines decode to JMPs into the preferred entry.
+	for _, name := range sortedKeys(c.tramps) {
+		c0 := c.c0Entry[name]
+		var buf [isa.InstBytes]byte
+		if err := x.ReadMem(c0, buf[:]); err != nil {
+			return err
+		}
+		in, err := isa.Decode(buf[:])
+		if err != nil || in.Op != isa.JMP {
+			return fmt.Errorf("core: verify: trampoline for %s at %#x does not decode to a JMP", name, c0)
+		}
+		tgt := uint64(int64(c0) + isa.InstBytes + in.Imm)
+		if want := newCur[name]; tgt != want {
+			return fmt.Errorf("core: verify: trampoline for %s jumps to %#x, want %#x", name, tgt, want)
+		}
+		if _, err := checkCode("trampoline target", tgt); err != nil {
+			return err
+		}
+	}
+
+	// Thread PCs, every return address reachable by a fresh unwind, and
+	// the hidden [SP] return addresses all resolve to live code.
+	stacks, err := unwind.AllStacks(x)
+	if err != nil {
+		return err
+	}
+	for tid, frames := range stacks {
+		for i, fr := range frames {
+			what := fmt.Sprintf("thread %d frame %d return address", tid, i)
+			if i == 0 {
+				what = fmt.Sprintf("thread %d PC", tid)
+			}
+			if _, err := checkCode(what, fr.PC); err != nil {
+				return err
+			}
+		}
+		regs, err := x.GetRegs(tid)
+		if err != nil {
+			return err
+		}
+		ra, slot, err := c.hiddenRetAddrVerify(x, tid, regs, nr)
+		if err != nil {
+			return err
+		}
+		if slot != 0 {
+			if _, err := checkCode(fmt.Sprintf("thread %d hidden return address", tid), ra); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Registered jump tables only reference live spans.
+	for _, addr := range sortedKeys(c.jtables) {
+		if inDead(addr) {
+			return fmt.Errorf("core: verify: jump table %#x lives in garbage-collected code", addr)
+		}
+		for j, e := range c.jtables[addr] {
+			if _, err := checkCode(fmt.Sprintf("jump table %#x entry %d", addr, j), e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// hiddenRetAddrVerify is hiddenRetAddr against the *new* resolver: after
+// patching, a thread paused at a moved function's entry sits at the new
+// version's entry address, which only nr knows.
+func (c *Controller) hiddenRetAddrVerify(x *ptrace.Txn, tid int, regs ptrace.Regs, nr *resolver) (ra, slot uint64, err error) {
+	sp := regs.GPR[isa.SP]
+	if sp+8 > c.p.Threads[tid].StackHi {
+		return 0, 0, nil
+	}
+	var instBuf [isa.InstBytes]byte
+	if err := x.ReadMem(regs.PC, instBuf[:]); err != nil {
+		return 0, 0, err
+	}
+	in, derr := isa.Decode(instBuf[:])
+	atEntry := false
+	if s, ok := nr.at(regs.PC); ok && regs.PC == s.entry {
+		atEntry = true
+	}
+	if !atEntry && (derr != nil || in.Op != isa.RET) {
+		return 0, 0, nil
+	}
+	ra, err = x.PeekData(sp)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ra, sp, nil
+}

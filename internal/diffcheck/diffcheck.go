@@ -129,7 +129,12 @@ func (r *recorder) Syscall(p *proc.Process, t *proc.Thread, num int64) error {
 	case proc.SysSend, proc.SysEmit:
 		r.hash = fnvWord(r.hash, t.Regs[0])
 	}
-	err := r.inner.Syscall(p, t, num)
+	var err error
+	if r.inner != nil {
+		err = r.inner.Syscall(p, t, num)
+	} else {
+		err = fmt.Errorf("diffcheck: syscall %d from a handler-less program", num)
+	}
 	if num == proc.SysRecv {
 		for i := 0; i < 4; i++ {
 			r.hash = fnvWord(r.hash, t.Regs[i])
@@ -161,6 +166,15 @@ func countsWork(op isa.Op) bool { return op != isa.NOP && op != isa.JMP }
 // corrupted binary that spins forever is reported instead of hanging.
 const defaultMaxInst = 200_000_000
 
+// runEvent is one scheduled mid-run intervention: fn fires once when at
+// instructions have retired and returns the optimized-code version live
+// afterwards. The fault-sweep harness schedules several (one per
+// continuous-optimization round); Midrun schedules one.
+type runEvent struct {
+	at uint64
+	fn func(p *proc.Process) (int, error)
+}
+
 // runner executes one single-threaded run and collects its Trace.
 type runner struct {
 	bin       *obj.Binary
@@ -171,10 +185,9 @@ type runner struct {
 	// postLoad runs after the process is created, before execution; the
 	// negative tests use it to model a botched pointer patch.
 	postLoad func(p *proc.Process)
-	// midrun, if non-nil, is invoked once when switchAt instructions have
-	// retired — the mid-run code-replacement hook.
-	midrun   func(p *proc.Process) (int, error)
-	switchAt uint64
+	// events are mid-run interventions, fired in order of their trigger
+	// instruction counts.
+	events []runEvent
 }
 
 func (r *runner) run(name string) (*Trace, error) {
@@ -190,24 +203,26 @@ func (r *runner) run(name string) (*Trace, error) {
 	if maxInst == 0 {
 		maxInst = defaultMaxInst
 	}
+	pending := append([]runEvent(nil), r.events...)
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].at < pending[j].at })
 
 	tr := &Trace{Name: name}
 	if r.attribute {
 		tr.Work = make(map[string]uint64)
 	}
 	t := p.Threads[0]
-	switched := r.midrun == nil
 	for !t.Halted && tr.Insts < maxInst {
-		if !switched && tr.Insts >= r.switchAt {
-			switched = true
-			v, err := r.midrun(p)
+		for len(pending) > 0 && tr.Insts >= pending[0].at {
+			ev := pending[0]
+			pending = pending[1:]
+			v, err := ev.fn(p)
 			if err != nil {
 				return nil, fmt.Errorf("diffcheck: mid-run replacement: %w", err)
 			}
 			tr.Version = v
-			if t.Halted { // replacement round advanced the process to completion
-				break
-			}
+		}
+		if t.Halted { // an event advanced the process to completion
+			break
 		}
 		if r.attribute {
 			in, err := isa.Decode(p.Mem.CodeSlice(t.PC))
@@ -426,17 +441,16 @@ func Midrun(t Target, switchAt uint64, profileWindow float64) (*Trace, error) {
 	var ctrl *core.Controller
 	var attachErr error
 	r := &runner{
-		bin:      w.Binary,
-		handler:  d,
-		maxInst:  t.maxInst(),
-		switchAt: switchAt,
+		bin:     w.Binary,
+		handler: d,
+		maxInst: t.maxInst(),
 		postLoad: func(p *proc.Process) {
 			ctrl, attachErr = core.New(p, w.Binary, core.Options{
 				Perf:          perf.RecorderOptions{PeriodCycles: 2000},
 				NoChargePause: true,
 			})
 		},
-		midrun: func(p *proc.Process) (int, error) {
+		events: []runEvent{{at: switchAt, fn: func(p *proc.Process) (int, error) {
 			if attachErr != nil {
 				return 0, attachErr
 			}
@@ -444,7 +458,7 @@ func Midrun(t Target, switchAt uint64, profileWindow float64) (*Trace, error) {
 				return 0, err
 			}
 			return ctrl.Version(), nil
-		},
+		}}},
 	}
 	return r.run(t.Name + "/midrun")
 }

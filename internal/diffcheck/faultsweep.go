@@ -1,0 +1,260 @@
+// The fault-sweep harness is the exhaustive robustness check for
+// transactional code replacement: it counts every tracee operation a
+// continuous-optimization scenario performs, then re-runs the scenario
+// once per operation with that exact operation forced to fail, asserting
+// after each injected fault that the rollback restored the target's
+// memory, page residency, registers, and the controller's state
+// bit-identically — and that the run still finishes with the
+// never-optimized baseline's output. One sweep proves there is no point
+// inside a replacement where a failure can leave the target torn
+// (docs/robustness.md).
+package diffcheck
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bolt"
+	"repro/internal/core"
+	"repro/internal/obj"
+	"repro/internal/perf"
+	"repro/internal/proc"
+)
+
+// ErrInjected is the sentinel failure the sweep's fault hook returns; it
+// surfaces from ptrace operations wrapped, so errors.Is finds it.
+var ErrInjected = errors.New("diffcheck: injected tracee fault")
+
+// FaultScenario describes a continuous-optimization run to sweep: a
+// binary (with an optional workload handler) that executes rounds of
+// profile → build → replace at fixed instruction counts.
+type FaultScenario struct {
+	Name string
+	Bin  *obj.Binary
+	// NewHandler builds a fresh syscall handler per run (drivers are
+	// stateful, and the sweep runs the scenario many times); nil for
+	// self-contained programs that make no syscalls.
+	NewHandler func() (proc.SyscallHandler, error)
+	MaxInst    uint64 // run cap (0 = harness default)
+
+	// SwitchAt are the retired-instruction counts at which optimization
+	// rounds trigger; two or more entries make the scenario exercise
+	// continuous optimization (stack-live copies, dead-version GC).
+	SwitchAt []uint64
+	// ProfileWindow is the simulated profiling duration per round.
+	ProfileWindow float64
+}
+
+// ScenarioFromTarget adapts a workload target into a sweepable scenario:
+// the binary is built once, and every run gets a fresh capped driver so
+// request streams replay identically.
+func ScenarioFromTarget(t Target) (*FaultScenario, error) {
+	w, err := t.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &FaultScenario{
+		Name: t.Name,
+		Bin:  w.Binary,
+		NewHandler: func() (proc.SyscallHandler, error) {
+			d, err := w.NewDriver(t.Input, 1)
+			if err != nil {
+				return nil, err
+			}
+			if t.Requests > 0 {
+				d.SetGenerator(CapRequests(d.Generator(), t.Requests))
+			}
+			return d, nil
+		},
+		MaxInst: t.MaxInst,
+	}, nil
+}
+
+// SweepRun is the outcome of one scenario execution.
+type SweepRun struct {
+	Trace      *Trace
+	Ops        int  // tracee operations begun across all rounds
+	Committed  int  // rounds that committed
+	RolledBack int  // rounds that failed and were rolled back
+	FaultHit   bool // the injected fault index was reached
+
+	// RollbackDiffs lists every way a rollback failed to restore the
+	// pre-replace state exactly; empty on a correct transaction.
+	RollbackDiffs []string
+}
+
+// Baseline runs the scenario's program with no controller attached — the
+// never-optimized reference every sweep run must match.
+func (sc *FaultScenario) Baseline() (*Trace, error) {
+	h, err := sc.handler()
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{bin: sc.Bin, handler: h, maxInst: sc.MaxInst}
+	return r.run(sc.Name + "/baseline")
+}
+
+func (sc *FaultScenario) handler() (proc.SyscallHandler, error) {
+	if sc.NewHandler == nil {
+		return nil, nil
+	}
+	return sc.NewHandler()
+}
+
+// Ops executes the scenario fault-free and returns the total tracee
+// operation count — the sweep's index space. Every round must commit;
+// a scenario whose rounds cannot land without faults is mis-sized.
+func (sc *FaultScenario) Ops() (int, error) {
+	sr, err := sc.Run(-1)
+	if err != nil {
+		return 0, err
+	}
+	if sr.Committed != len(sc.SwitchAt) {
+		return 0, fmt.Errorf("diffcheck: scenario %s: %d/%d rounds committed fault-free (rolled back %d)",
+			sc.Name, sr.Committed, len(sc.SwitchAt), sr.RolledBack)
+	}
+	return sr.Ops, nil
+}
+
+// Run executes the scenario with the faultAt-th tracee operation
+// (counting across every round, attempts and verifier reads included)
+// forced to fail; faultAt < 0 injects nothing. A faulted round is rolled
+// back and the run continues — later rounds still fire, modeling a
+// transient fault the fleet layer would absorb.
+func (sc *FaultScenario) Run(faultAt int) (*SweepRun, error) {
+	sr := &SweepRun{}
+	var ctl *core.Controller
+	var attachErr error
+	hook := func(op string, n int) error {
+		i := sr.Ops
+		sr.Ops++
+		if faultAt >= 0 && i == faultAt {
+			sr.FaultHit = true
+			return ErrInjected
+		}
+		return nil
+	}
+
+	round := func(p *proc.Process) (int, error) {
+		if attachErr != nil {
+			return 0, attachErr
+		}
+		raw := ctl.Profile(sc.ProfileWindow)
+		build, err := ctl.BuildOptimized(raw)
+		if err != nil {
+			return 0, err
+		}
+		before := replaceFingerprint(p, ctl)
+		if _, err := ctl.Replace(build.Result.Binary); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				return 0, err // a real bug, not the injected fault
+			}
+			sr.RolledBack++
+			sr.RollbackDiffs = append(sr.RollbackDiffs, before.diff(replaceFingerprint(p, ctl))...)
+			return ctl.Version(), nil
+		}
+		sr.Committed++
+		return ctl.Version(), nil
+	}
+
+	h, err := sc.handler()
+	if err != nil {
+		return nil, err
+	}
+	r := &runner{
+		bin:     sc.Bin,
+		handler: h,
+		maxInst: sc.MaxInst,
+		postLoad: func(p *proc.Process) {
+			ctl, attachErr = core.New(p, sc.Bin, core.Options{
+				Perf:          perf.RecorderOptions{PeriodCycles: 2000},
+				Bolt:          bolt.Options{AllowReBolt: true},
+				NoChargePause: true,
+				FaultHook:     hook,
+			})
+		},
+	}
+	for _, at := range sc.SwitchAt {
+		r.events = append(r.events, runEvent{at: at, fn: round})
+	}
+	tr, err := r.run(fmt.Sprintf("%s/fault@%d", sc.Name, faultAt))
+	if err != nil {
+		return nil, err
+	}
+	sr.Trace = tr
+	return sr, nil
+}
+
+// replaceFingerprint digests everything a rolled-back Replace must leave
+// untouched: every mapped range and its contents, total page residency,
+// every thread's registers, and the controller's own state hash.
+type fingerprint struct {
+	ranges   [][2]uint64
+	memHash  uint64
+	resident uint64
+	regsHash uint64
+	ctlHash  uint64
+}
+
+func replaceFingerprint(p *proc.Process, ctl *core.Controller) fingerprint {
+	fp := fingerprint{
+		ranges:   p.Mem.MappedRanges(),
+		resident: p.Mem.ResidentBytes(),
+		ctlHash:  ctl.StateHash(),
+	}
+	h := uint64(fnvOffset)
+	buf := make([]byte, 64*1024)
+	for _, r := range fp.ranges {
+		h = fnvWord(h, r[0])
+		h = fnvWord(h, r[1])
+		for off := r[0]; off < r[1]; {
+			n := uint64(len(buf))
+			if off+n > r[1] {
+				n = r[1] - off
+			}
+			p.Mem.Read(off, buf[:n])
+			h = fnvBytes(h, buf[:n])
+			off += n
+		}
+	}
+	fp.memHash = h
+	h = fnvOffset
+	for _, t := range p.Threads {
+		h = fnvWord(h, t.PC)
+		for _, g := range t.Regs {
+			h = fnvWord(h, g)
+		}
+		h = fnvWord(h, uint64(t.CmpVal))
+	}
+	fp.regsHash = h
+	return fp
+}
+
+// diff lists how another fingerprint deviates from this (pre-replace)
+// one.
+func (fp fingerprint) diff(after fingerprint) []string {
+	var out []string
+	if len(fp.ranges) != len(after.ranges) {
+		out = append(out, fmt.Sprintf("mapped ranges: %d before vs %d after rollback", len(fp.ranges), len(after.ranges)))
+	} else {
+		for i := range fp.ranges {
+			if fp.ranges[i] != after.ranges[i] {
+				out = append(out, fmt.Sprintf("mapped range %d: %#x before vs %#x after rollback", i, fp.ranges[i], after.ranges[i]))
+				break
+			}
+		}
+	}
+	if fp.memHash != after.memHash {
+		out = append(out, "memory contents differ after rollback")
+	}
+	if fp.resident != after.resident {
+		out = append(out, fmt.Sprintf("resident bytes: %d before vs %d after rollback", fp.resident, after.resident))
+	}
+	if fp.regsHash != after.regsHash {
+		out = append(out, "thread registers differ after rollback")
+	}
+	if fp.ctlHash != after.ctlHash {
+		out = append(out, "controller state differs after rollback")
+	}
+	return out
+}

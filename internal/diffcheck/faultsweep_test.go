@@ -1,0 +1,147 @@
+package diffcheck
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/progtest"
+)
+
+// sweepIndices picks which fault indices to run: every one of n in full
+// mode, a deterministic ~sample spread (always including the first and
+// last operations) under -short.
+func sweepIndices(t *testing.T, n, sample int) []int {
+	t.Helper()
+	if n <= 0 {
+		t.Fatalf("scenario performed %d tracee operations", n)
+	}
+	if !testing.Short() || n <= sample {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := []int{0}
+	for k := 1; k < sample-1; k++ {
+		out = append(out, k*(n-1)/(sample-1))
+	}
+	return append(out, n-1)
+}
+
+// checkSweepRun asserts the two halves of the robustness claim for one
+// injected fault: the rollback was bit-exact and the run still produced
+// the never-optimized baseline's output.
+func checkSweepRun(t *testing.T, sc *FaultScenario, base *Trace, faultAt int) {
+	t.Helper()
+	sr, err := sc.Run(faultAt)
+	if err != nil {
+		t.Fatalf("fault@%d: %v", faultAt, err)
+	}
+	if !sr.FaultHit {
+		t.Fatalf("fault@%d: injected fault never reached (only %d ops this run)", faultAt, sr.Ops)
+	}
+	if sr.RolledBack == 0 {
+		t.Fatalf("fault@%d: fault hit but no round rolled back", faultAt)
+	}
+	for _, d := range sr.RollbackDiffs {
+		t.Errorf("fault@%d: rollback not exact: %s", faultAt, d)
+	}
+	for _, d := range Compare(base, sr.Trace) {
+		t.Errorf("fault@%d: diverged from baseline: %s", faultAt, d)
+	}
+	if t.Failed() {
+		t.Fatalf("fault@%d: stopping sweep on first failing index", faultAt)
+	}
+}
+
+// TestFaultSweepExhaustive is the tentpole robustness check: a
+// two-round continuous-optimization scenario over a generated program is
+// re-run once per tracee operation with that exact operation forced to
+// fail. Every single failure point must roll back bit-identically and
+// finish with the baseline's output. Under -short a deterministic sample
+// of indices runs instead of all of them.
+func TestFaultSweepExhaustive(t *testing.T) {
+	prog, _, err := progtest.Generate(progtest.Options{Funcs: 12, MainIters: 4000, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := asm.Assemble(prog, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &FaultScenario{Name: "progtest", Bin: bin}
+
+	base, err := sc.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Halted || base.Fault != nil {
+		t.Fatalf("baseline bad: halted=%v fault=%v", base.Halted, base.Fault)
+	}
+	sc.SwitchAt = []uint64{base.Insts / 4, base.Insts / 2}
+	sc.ProfileWindow = base.Seconds / 16
+
+	// Fault-free reference: both rounds must commit and the run must
+	// still match the baseline (the layout-equivalence claim).
+	clean, err := sc.Run(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Committed != len(sc.SwitchAt) {
+		t.Fatalf("fault-free run committed %d/%d rounds", clean.Committed, len(sc.SwitchAt))
+	}
+	if diffs := Compare(base, clean.Trace); len(diffs) > 0 {
+		t.Fatalf("fault-free run diverged: %v", diffs)
+	}
+	n := clean.Ops
+	t.Logf("sweeping %d tracee operations across %d rounds", n, clean.Committed)
+	if n < 50 {
+		t.Fatalf("only %d tracee operations — scenario too small to mean anything", n)
+	}
+
+	for _, i := range sweepIndices(t, n, 25) {
+		checkSweepRun(t, sc, base, i)
+	}
+}
+
+// TestFaultSweepWorkload points the sweep at a real server workload
+// (kvcache with a capped request stream, syscalls and all) and samples
+// fault indices across both rounds.
+func TestFaultSweepWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload sweep is sampled but still heavy; progtest sweep covers -short")
+	}
+	tgt, err := TargetByName("kvcache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ScenarioFromTarget(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sc.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Halted || base.Fault != nil {
+		t.Fatalf("baseline bad: halted=%v fault=%v", base.Halted, base.Fault)
+	}
+	sc.SwitchAt = []uint64{base.Insts / 4, base.Insts / 2}
+	sc.ProfileWindow = base.Seconds / 16
+
+	n, err := sc.Ops()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("kvcache scenario: %d tracee operations", n)
+
+	// Sample ~30 indices, always covering the first and last operation.
+	sample := 30
+	if n < sample {
+		sample = n
+	}
+	for k := 0; k < sample; k++ {
+		checkSweepRun(t, sc, base, k*(n-1)/(sample-1))
+	}
+}

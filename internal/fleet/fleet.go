@@ -68,6 +68,13 @@ type Config struct {
 	// MaxRetries is how many times a failed lifecycle stage is retried
 	// before the service gives up and reverts/fails (default 2).
 	MaxRetries int
+	// QuarantineAfter is the replace circuit-breaker threshold: after
+	// this many consecutive transactional rollbacks (Replace calls that
+	// failed and were undone) the service is pinned at its last good
+	// version in the Quarantined state instead of being reverted or
+	// failed. Default MaxRetries+1, i.e. one exhausted Replacing stage
+	// trips the breaker.
+	QuarantineAfter int
 	// RetryBackoff is the host-time backoff before the first retry; it
 	// doubles per attempt (default 5 ms).
 	RetryBackoff time.Duration
@@ -95,7 +102,8 @@ type Config struct {
 
 // withDefaults validates the config and fills unset fields.
 func (c Config) withDefaults() (Config, error) {
-	if c.Workers < 0 || c.MaxPauses < 0 || c.MaxRounds < 0 || c.MaxRetries < 0 {
+	if c.Workers < 0 || c.MaxPauses < 0 || c.MaxRounds < 0 || c.MaxRetries < 0 ||
+		c.QuarantineAfter < 0 {
 		return c, fmt.Errorf("fleet: negative count in config: %+v", c)
 	}
 	if c.ProfileDur < 0 || c.Warm < 0 || c.Window < 0 || c.RevertBelow < 0 ||
@@ -125,6 +133,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MaxRetries == 0 {
 		c.MaxRetries = 2
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = c.MaxRetries + 1
 	}
 	if c.RetryBackoff == 0 {
 		c.RetryBackoff = 5 * time.Millisecond
@@ -157,15 +168,16 @@ type Service struct {
 	Driver *wl.Driver
 	Ctl    *core.Controller
 
-	mu       sync.Mutex
-	state    State
-	rounds   []RoundResult
-	retries  int
-	scanned  bool
-	selected bool
-	topdown  cpu.TopDown
-	baseline wl.WindowStats
-	lastErr  error
+	mu        sync.Mutex
+	state     State
+	rounds    []RoundResult
+	retries   int
+	rollbacks int // consecutive transactional replace rollbacks
+	scanned   bool
+	selected  bool
+	topdown   cpu.TopDown
+	baseline  wl.WindowStats
+	lastErr   error
 }
 
 // NewService loads a workload instance under a fresh controller.
@@ -212,6 +224,14 @@ func (s *Service) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lastErr
+}
+
+// Rollbacks returns the service's consecutive transactional replace
+// rollbacks (reset to zero by every committed replacement).
+func (s *Service) Rollbacks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rollbacks
 }
 
 // Rounds returns a copy of the completed optimization rounds.

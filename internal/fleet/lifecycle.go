@@ -32,6 +32,13 @@ const (
 	// Failed: terminal — a stage fault persisted through retries and no
 	// revert was possible.
 	Failed
+	// Quarantined: terminal — the replace-rollback circuit breaker
+	// tripped: Config.QuarantineAfter consecutive transactional rollbacks
+	// mean something is persistently wrong with replacement on this
+	// service. It is pinned at its last good code version (each rollback
+	// left target and controller exactly as they were) and excluded from
+	// further optimization.
+	Quarantined
 )
 
 func (s State) String() string {
@@ -52,25 +59,30 @@ func (s State) String() string {
 		return "Reverted"
 	case Failed:
 		return "Failed"
+	case Quarantined:
+		return "Quarantined"
 	}
 	return fmt.Sprintf("State(%d)", int(s))
 }
 
 // Terminal reports whether the state ends a service's lifecycle.
-func (s State) Terminal() bool { return s == Steady || s == Reverted || s == Failed }
+func (s State) Terminal() bool {
+	return s == Steady || s == Reverted || s == Failed || s == Quarantined
+}
 
 // legalNext enumerates the lifecycle edges. Faults may jump any active
 // stage to Reverted/Failed; Measuring closes the round loop back to
 // Profiling.
 var legalNext = map[State][]State{
-	Idle:      {Profiling, Steady},
-	Profiling: {Building, Reverted, Failed},
-	Building:  {Replacing, Reverted, Failed},
-	Replacing: {Measuring, Reverted, Failed},
-	Measuring: {Profiling, Steady, Reverted, Failed},
-	Steady:    {},
-	Reverted:  {},
-	Failed:    {},
+	Idle:        {Profiling, Steady},
+	Profiling:   {Building, Reverted, Failed},
+	Building:    {Replacing, Reverted, Failed},
+	Replacing:   {Measuring, Reverted, Failed, Quarantined},
+	Measuring:   {Profiling, Steady, Reverted, Failed},
+	Steady:      {},
+	Reverted:    {},
+	Failed:      {},
+	Quarantined: {},
 }
 
 // CanTransition reports whether from → to is a legal lifecycle edge.
@@ -201,11 +213,31 @@ func (m *Manager) drive(s *Service) {
 			m.acquirePause()
 			defer m.releasePause()
 			r, err := s.Ctl.Replace(build.Result.Binary)
-			if err == nil {
-				rs = r
+			if err != nil {
+				// The transaction rolled the target back to the last good
+				// version; record the strike for the quarantine breaker.
+				s.mu.Lock()
+				s.rollbacks++
+				s.mu.Unlock()
+				return err
 			}
-			return err
+			s.mu.Lock()
+			s.rollbacks = 0
+			s.mu.Unlock()
+			rs = r
+			return nil
 		}); err != nil {
+			// A replace fault is recoverable by design (the rollback left
+			// target and controller intact), so retries already happened
+			// above. If the strikes show replacement itself is what keeps
+			// failing, quarantine: pin the service where it is instead of
+			// tearing down a known-good version. Otherwise (the fault never
+			// reached Replace — e.g. an injected stage fault) fall back to
+			// revert-or-fail cleanup.
+			if s.Rollbacks() >= m.cfg.QuarantineAfter {
+				m.quarantine(s)
+				return
+			}
 			m.cleanupFault(s)
 			return
 		}
@@ -278,6 +310,19 @@ func (m *Manager) revert(s *Service) {
 	}
 	s.transition(Reverted)
 	m.counter("fleet_reverts_total")
+}
+
+// quarantine parks a service in Quarantined: the replace-rollback
+// circuit breaker tripped, so the service keeps serving on its last good
+// code version (C0 if no round ever landed) and leaves the optimization
+// loop. Unlike Failed, nothing about the service is wedged or suspect —
+// every failed round was rolled back transactionally.
+func (m *Manager) quarantine(s *Service) {
+	s.transition(Quarantined)
+	m.counter("fleet_quarantines_total")
+	if mt := m.cfg.Metrics; mt != nil {
+		mt.Gauge("fleet_quarantined").Add(1)
+	}
 }
 
 // cleanupFault resolves a persistently failed stage: if optimized code

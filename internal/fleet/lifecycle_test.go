@@ -11,24 +11,25 @@ import (
 )
 
 func TestTransitionTable(t *testing.T) {
-	all := []State{Idle, Profiling, Building, Replacing, Measuring, Steady, Reverted, Failed}
+	all := []State{Idle, Profiling, Building, Replacing, Measuring, Steady, Reverted, Failed, Quarantined}
 	type edge struct{ from, to State }
 	legal := map[edge]bool{
-		{Idle, Profiling}:      true,
-		{Idle, Steady}:         true,
-		{Profiling, Building}:  true,
-		{Profiling, Reverted}:  true,
-		{Profiling, Failed}:    true,
-		{Building, Replacing}:  true,
-		{Building, Reverted}:   true,
-		{Building, Failed}:     true,
-		{Replacing, Measuring}: true,
-		{Replacing, Reverted}:  true,
-		{Replacing, Failed}:    true,
-		{Measuring, Profiling}: true, // next optimization round
-		{Measuring, Steady}:    true,
-		{Measuring, Reverted}:  true,
-		{Measuring, Failed}:    true,
+		{Idle, Profiling}:        true,
+		{Idle, Steady}:           true,
+		{Profiling, Building}:    true,
+		{Profiling, Reverted}:    true,
+		{Profiling, Failed}:      true,
+		{Building, Replacing}:    true,
+		{Building, Reverted}:     true,
+		{Building, Failed}:       true,
+		{Replacing, Measuring}:   true,
+		{Replacing, Reverted}:    true,
+		{Replacing, Failed}:      true,
+		{Replacing, Quarantined}: true, // replace-rollback circuit breaker
+		{Measuring, Profiling}:   true, // next optimization round
+		{Measuring, Steady}:      true,
+		{Measuring, Reverted}:    true,
+		{Measuring, Failed}:      true,
 	}
 	for _, from := range all {
 		for _, to := range all {
@@ -39,7 +40,7 @@ func TestTransitionTable(t *testing.T) {
 		}
 	}
 	for _, s := range all {
-		term := s == Steady || s == Reverted || s == Failed
+		term := s == Steady || s == Reverted || s == Failed || s == Quarantined
 		if s.Terminal() != term {
 			t.Errorf("%s.Terminal() = %v, want %v", s, s.Terminal(), term)
 		}

@@ -8,12 +8,13 @@ import (
 
 // ServiceReport is the per-service outcome of a fleet pass.
 type ServiceReport struct {
-	Name     string
-	State    State
-	Selected bool    // chosen by the scan (or forced via SkipGate)
-	FrontEnd float64 // TopDown front-end share from the scan
-	Rounds   []RoundResult
-	Retries  int
+	Name      string
+	State     State
+	Selected  bool    // chosen by the scan (or forced via SkipGate)
+	FrontEnd  float64 // TopDown front-end share from the scan
+	Rounds    []RoundResult
+	Retries   int
+	Rollbacks int // consecutive transactional replace rollbacks at the end
 
 	Baseline     float64 // pre-optimization steady-state req/s
 	FinalSpeedup float64 // last round's speedup vs baseline (1.0 if none)
@@ -38,6 +39,7 @@ func (m *Manager) Report() *FleetReport {
 			FrontEnd:     s.topdown.FrontEnd,
 			Rounds:       append([]RoundResult(nil), s.rounds...),
 			Retries:      s.retries,
+			Rollbacks:    s.rollbacks,
 			Baseline:     s.baseline.Throughput,
 			FinalSpeedup: 1,
 		}

@@ -249,6 +249,13 @@ func (as *AddressSpace) Unmap(addr, size uint64) {
 	}
 }
 
+// Resident reports whether the page containing addr is allocated. The
+// debugger layer uses it to journal exactly which pages a write brought
+// into existence, so a transactional rollback can release them again.
+func (as *AddressSpace) Resident(addr uint64) bool {
+	return as.peekPage(addr>>pageShift) != nil
+}
+
 // ResidentBytes returns the current resident set size in bytes.
 func (as *AddressSpace) ResidentBytes() uint64 { return uint64(as.resident) * PageSize }
 

@@ -102,6 +102,13 @@ type Process struct {
 	paused     bool
 	fault      error
 
+	// regions are address windows mapped into the target by the debugger
+	// agent (the mmap analog OCOLOS's LD_PRELOAD library uses to create
+	// each code version's home). Together with the binary image, heap, and
+	// thread stacks they define which addresses the ptrace layer will
+	// touch; everything else is reported as unmapped.
+	regions []Region
+
 	dcache   map[uint64]*decodePage
 	lastPage *decodePage
 	lastIdx  uint64
@@ -299,6 +306,91 @@ func (p *Process) decode(addr uint64) (isa.Inst, error) {
 	dp.insts[slot] = in
 	dp.valid[slot] = true
 	return in, nil
+}
+
+// Region is one agent-mapped address window.
+type Region struct {
+	Addr, Size uint64
+}
+
+// End returns the exclusive end of the region.
+func (r Region) End() uint64 { return r.Addr + r.Size }
+
+// MapRegion registers [addr, addr+size) as a valid target window (the
+// agent's mmap). Pages are still allocated lazily on first write.
+func (p *Process) MapRegion(addr, size uint64) {
+	if size == 0 {
+		return
+	}
+	p.regions = append(p.regions, Region{Addr: addr, Size: size})
+}
+
+// UnmapRegion removes every registered region fully contained in
+// [addr, addr+size) and returns the removed set (the agent's munmap; the
+// transaction journal re-registers them on rollback). Page contents are
+// not touched — callers release memory through Mem.Unmap.
+func (p *Process) UnmapRegion(addr, size uint64) []Region {
+	end := addr + size
+	var removed []Region
+	kept := p.regions[:0]
+	for _, r := range p.regions {
+		if r.Addr >= addr && r.End() <= end {
+			removed = append(removed, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	p.regions = kept
+	return removed
+}
+
+// Regions returns the agent-mapped windows in registration order.
+func (p *Process) Regions() []Region { return append([]Region(nil), p.regions...) }
+
+// RangeMapped reports whether every byte of [addr, addr+n) falls inside
+// the target's mapped image: a binary section, the heap, a thread stack,
+// or an agent-mapped region. The ptrace layer refuses to read or write
+// through anything else, making the debugger a real error boundary.
+func (p *Process) RangeMapped(addr, n uint64) bool {
+	if n == 0 {
+		return true
+	}
+	end := addr + n
+	if end < addr {
+		return false // wrapped
+	}
+	for addr < end {
+		next, ok := p.coveredUntil(addr)
+		if !ok {
+			return false
+		}
+		addr = next
+	}
+	return true
+}
+
+// coveredUntil returns the exclusive end of a mapped interval containing
+// addr, or ok=false when addr is unmapped.
+func (p *Process) coveredUntil(addr uint64) (uint64, bool) {
+	for _, s := range p.Bin.Sections {
+		if addr >= s.Addr && addr < s.End() {
+			return s.End(), true
+		}
+	}
+	if addr >= HeapBase && addr < p.heapCursor {
+		return p.heapCursor, true
+	}
+	for _, t := range p.Threads {
+		if addr >= t.StackLo && addr < t.StackHi {
+			return t.StackHi, true
+		}
+	}
+	for _, r := range p.regions {
+		if addr >= r.Addr && addr < r.End() {
+			return r.End(), true
+		}
+	}
+	return 0, false
 }
 
 // SetFuncPtrHook installs (or clears, with nil) the function-pointer

@@ -7,6 +7,14 @@
 // call (the real PTRACE_POKEDATA, a syscall plus context switches per
 // 8 bytes — prohibitively slow for MiBs of code), while AgentWrite models
 // the LD_PRELOAD agent doing a bulk memcpy from inside the target.
+//
+// The tracee is a hard error boundary: every operation validates its
+// target address against the process's mapped image (binary sections,
+// heap, thread stacks, agent-mapped regions) and fails descriptively
+// instead of silently reading zeros or conjuring pages, and every
+// operation first consults FaultHook so tests can inject a failure at any
+// exact point of a replacement. The Txn layer (txn.go) builds an undo
+// journal on top of these guarantees.
 package ptrace
 
 import (
@@ -20,6 +28,14 @@ import (
 type Tracee struct {
 	p        *proc.Process
 	attached bool
+
+	// FaultHook, when non-nil, runs before every tracee operation with the
+	// operation name ("peek", "poke", "read", "write", "getregs",
+	// "setregs", "map", "unmap") and its index on this tracee. A non-nil
+	// return fails the operation before it touches the target — the fault
+	// injection surface the transactional-replacement sweep drives.
+	FaultHook func(op string, n int) error
+	opCount   int
 
 	// PokeCount and PokeBytes record traffic through the slow word-by-word
 	// path; AgentBytes through the in-process agent path. The OCOLOS
@@ -47,9 +63,30 @@ func (t *Tracee) Detach() {
 // Attached reports whether the tracee is still stopped.
 func (t *Tracee) Attached() bool { return t.attached }
 
-func (t *Tracee) check() error {
+// OpCount returns how many operations this tracee has begun (including
+// ones failed by the hook or an unmapped address).
+func (t *Tracee) OpCount() int { return t.opCount }
+
+// begin runs the per-operation preamble: the attachment check, then the
+// fault hook. Every public operation calls it exactly once.
+func (t *Tracee) begin(op string) error {
 	if !t.attached {
-		return fmt.Errorf("ptrace: not attached")
+		return fmt.Errorf("ptrace: %s: not attached", op)
+	}
+	n := t.opCount
+	t.opCount++
+	if t.FaultHook != nil {
+		if err := t.FaultHook(op, n); err != nil {
+			return fmt.Errorf("ptrace: %s (op %d): %w", op, n, err)
+		}
+	}
+	return nil
+}
+
+// checkMapped validates a target address range.
+func (t *Tracee) checkMapped(op string, addr, n uint64) error {
+	if !t.p.RangeMapped(addr, n) {
+		return fmt.Errorf("ptrace: %s at %#x (+%d): address not mapped in target (image, heap, stacks, or agent regions)", op, addr, n)
 	}
 	return nil
 }
@@ -63,9 +100,14 @@ type Regs struct {
 
 // GetRegs reads thread tid's registers.
 func (t *Tracee) GetRegs(tid int) (Regs, error) {
-	if err := t.check(); err != nil {
+	if err := t.begin("getregs"); err != nil {
 		return Regs{}, err
 	}
+	return t.rawGetRegs(tid)
+}
+
+// rawGetRegs reads registers without the hook preamble (rollback path).
+func (t *Tracee) rawGetRegs(tid int) (Regs, error) {
 	if tid < 0 || tid >= len(t.p.Threads) {
 		return Regs{}, fmt.Errorf("ptrace: no thread %d", tid)
 	}
@@ -75,9 +117,14 @@ func (t *Tracee) GetRegs(tid int) (Regs, error) {
 
 // SetRegs writes thread tid's registers.
 func (t *Tracee) SetRegs(tid int, r Regs) error {
-	if err := t.check(); err != nil {
+	if err := t.begin("setregs"); err != nil {
 		return err
 	}
+	return t.rawSetRegs(tid, r)
+}
+
+// rawSetRegs writes registers without the hook preamble (rollback path).
+func (t *Tracee) rawSetRegs(tid int, r Regs) error {
 	if tid < 0 || tid >= len(t.p.Threads) {
 		return fmt.Errorf("ptrace: no thread %d", tid)
 	}
@@ -93,7 +140,10 @@ func (t *Tracee) Threads() int { return len(t.p.Threads) }
 
 // PeekData reads one word at addr.
 func (t *Tracee) PeekData(addr uint64) (uint64, error) {
-	if err := t.check(); err != nil {
+	if err := t.begin("peek"); err != nil {
+		return 0, err
+	}
+	if err := t.checkMapped("peek", addr, 8); err != nil {
 		return 0, err
 	}
 	return t.p.Mem.ReadWord(addr), nil
@@ -101,7 +151,10 @@ func (t *Tracee) PeekData(addr uint64) (uint64, error) {
 
 // PokeData writes one word at addr — the slow per-word path.
 func (t *Tracee) PokeData(addr uint64, v uint64) error {
-	if err := t.check(); err != nil {
+	if err := t.begin("poke"); err != nil {
+		return err
+	}
+	if err := t.checkMapped("poke", addr, 8); err != nil {
 		return err
 	}
 	t.p.Mem.WriteWord(addr, v)
@@ -112,7 +165,10 @@ func (t *Tracee) PokeData(addr uint64, v uint64) error {
 
 // ReadMem bulk-reads target memory (process_vm_readv analog).
 func (t *Tracee) ReadMem(addr uint64, b []byte) error {
-	if err := t.check(); err != nil {
+	if err := t.begin("read"); err != nil {
+		return err
+	}
+	if err := t.checkMapped("read", addr, uint64(len(b))); err != nil {
 		return err
 	}
 	t.p.Mem.Read(addr, b)
@@ -123,11 +179,37 @@ func (t *Tracee) ReadMem(addr uint64, b []byte) error {
 // LD_PRELOAD library's memcpy), the fast path OCOLOS uses for code
 // injection.
 func (t *Tracee) AgentWrite(addr uint64, b []byte) error {
-	if err := t.check(); err != nil {
+	if err := t.begin("write"); err != nil {
+		return err
+	}
+	if err := t.checkMapped("write", addr, uint64(len(b))); err != nil {
 		return err
 	}
 	t.p.Mem.Write(addr, b)
 	t.AgentBytes += uint64(len(b))
+	return nil
+}
+
+// Map registers [addr, addr+size) as a valid target window — the agent
+// calling mmap to create a code version's home. Pages stay lazy; only the
+// validity map changes.
+func (t *Tracee) Map(addr, size uint64) error {
+	if err := t.begin("map"); err != nil {
+		return err
+	}
+	t.p.MapRegion(addr, size)
+	return nil
+}
+
+// Unmap releases [addr, addr+size): agent-mapped regions fully inside the
+// range are unregistered and the backing pages are returned to the system
+// (the continuous-optimization GC's munmap, §IV-C).
+func (t *Tracee) Unmap(addr, size uint64) error {
+	if err := t.begin("unmap"); err != nil {
+		return err
+	}
+	t.p.UnmapRegion(addr, size)
+	t.p.Mem.Unmap(addr, size)
 	return nil
 }
 

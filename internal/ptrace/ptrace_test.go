@@ -2,6 +2,9 @@ package ptrace
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
+	"strings"
 	"testing"
 
 	"repro/internal/asm"
@@ -58,6 +61,11 @@ func TestPeekPokeAndBulk(t *testing.T) {
 	tr := Attach(pr)
 	defer tr.Detach()
 
+	// Scratch space must be mapped first (the agent's mmap): the hardened
+	// tracee refuses to conjure pages at arbitrary addresses.
+	if err := tr.Map(0x9000_0000, 1<<24); err != nil {
+		t.Fatal(err)
+	}
 	if err := tr.PokeData(0x9000_0000, 0xABCD); err != nil {
 		t.Fatal(err)
 	}
@@ -66,11 +74,11 @@ func TestPeekPokeAndBulk(t *testing.T) {
 	}
 
 	src := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
-	if err := tr.AgentWrite(0x9100_0000, src); err != nil {
+	if err := tr.AgentWrite(0x9010_0000, src); err != nil {
 		t.Fatal(err)
 	}
 	dst := make([]byte, len(src))
-	if err := tr.ReadMem(0x9100_0000, dst); err != nil {
+	if err := tr.ReadMem(0x9010_0000, dst); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(src, dst) {
@@ -83,6 +91,99 @@ func TestPeekPokeAndBulk(t *testing.T) {
 	}
 	if tr.AgentBytes != uint64(len(src)) {
 		t.Errorf("agent accounting %d", tr.AgentBytes)
+	}
+}
+
+func TestUnmappedAddressesFailDescriptively(t *testing.T) {
+	pr := spinProcess(t)
+	tr := Attach(pr)
+	defer tr.Detach()
+
+	const bad = uint64(0x9000_0000)
+	checks := []struct {
+		name string
+		call func() error
+	}{
+		{"poke", func() error { return tr.PokeData(bad, 1) }},
+		{"peek", func() error { _, err := tr.PeekData(bad); return err }},
+		{"write", func() error { return tr.AgentWrite(bad, []byte{1}) }},
+		{"read", func() error { return tr.ReadMem(bad, make([]byte, 8)) }},
+	}
+	for _, c := range checks {
+		err := c.call()
+		if err == nil {
+			t.Fatalf("%s at unmapped %#x succeeded", c.name, bad)
+		}
+		if !strings.Contains(err.Error(), "not mapped") || !strings.Contains(err.Error(), "0x90000000") {
+			t.Errorf("%s error not descriptive: %v", c.name, err)
+		}
+	}
+	if tr.PokeCount != 0 || tr.PokeBytes != 0 || tr.AgentBytes != 0 {
+		t.Error("failed operations were charged to traffic accounting")
+	}
+
+	// A range straddling the end of a mapped region fails even though it
+	// starts mapped.
+	if err := tr.Map(0xA000_0000, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AgentWrite(0xA000_0000, make([]byte, 32)); err == nil {
+		t.Error("write straddling end of mapped region succeeded")
+	}
+	// Image, heap, and stack addresses remain valid.
+	if _, err := tr.PeekData(pr.Bin.Entry); err != nil {
+		t.Errorf("peek at binary entry: %v", err)
+	}
+	sp := pr.Threads[0].StackHi - 8
+	if _, err := tr.PeekData(sp); err != nil {
+		t.Errorf("peek in thread stack: %v", err)
+	}
+	// Unmap makes the window invalid again.
+	if err := tr.Unmap(0xA000_0000, 16); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.PeekData(0xA000_0000); err == nil {
+		t.Error("peek after unmap succeeded")
+	}
+}
+
+func TestFaultHookInjectsFailures(t *testing.T) {
+	pr := spinProcess(t)
+	tr := Attach(pr)
+	defer tr.Detach()
+	if err := tr.Map(0x9000_0000, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+
+	boom := errors.New("boom")
+	var ops []string
+	failAt := -1
+	tr.FaultHook = func(op string, n int) error {
+		ops = append(ops, op)
+		if n == failAt {
+			return boom
+		}
+		return nil
+	}
+
+	if err := tr.PokeData(0x9000_0000, 7); err != nil {
+		t.Fatal(err)
+	}
+	failAt = tr.OpCount()
+	err := tr.PokeData(0x9000_0008, 8)
+	if !errors.Is(err, boom) {
+		t.Fatalf("injected fault not surfaced: %v", err)
+	}
+	if !strings.Contains(err.Error(), "poke") {
+		t.Errorf("fault error does not name the op: %v", err)
+	}
+	// The failed poke must not have touched memory.
+	if v, _ := tr.PeekData(0x9000_0008); v != 0 {
+		t.Errorf("failed poke wrote %#x", v)
+	}
+	want := []string{"poke", "poke", "peek"}
+	if fmt.Sprint(ops) != fmt.Sprint(want) {
+		t.Errorf("hook saw ops %v, want %v", ops, want)
 	}
 }
 

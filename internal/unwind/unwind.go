@@ -20,6 +20,15 @@ type Frame struct {
 	FP      uint64 // frame pointer value for this frame
 }
 
+// Walker is the read-only debugger surface the unwinder needs. Both
+// *ptrace.Tracee and *ptrace.Txn (the journaled transaction view used
+// during code replacement) satisfy it.
+type Walker interface {
+	GetRegs(tid int) (ptrace.Regs, error)
+	PeekData(addr uint64) (uint64, error)
+	Threads() int
+}
+
 // maxFrames bounds runaway walks over corrupted stacks.
 const maxFrames = 4096
 
@@ -27,7 +36,7 @@ const maxFrames = 4096
 // thread's current PC; subsequent frames carry return addresses and the
 // stack slots they were read from (so a code-replacement pass can rewrite
 // them).
-func Stack(t *ptrace.Tracee, tid int) ([]Frame, error) {
+func Stack(t Walker, tid int) ([]Frame, error) {
 	regs, err := t.GetRegs(tid)
 	if err != nil {
 		return nil, err
@@ -38,6 +47,13 @@ func Stack(t *ptrace.Tracee, tid int) ([]Frame, error) {
 		savedFP, err := t.PeekData(fp)
 		if err != nil {
 			return nil, err
+		}
+		if savedFP == 0 {
+			// Outermost frame: its ENTER pushed the thread's initial zero
+			// FP and no caller ever pushed a return address — the slot
+			// above it is off the top of the stack, which the hardened
+			// tracee refuses to read.
+			break
 		}
 		retSlot := fp + 8
 		ra, err := t.PeekData(retSlot)
@@ -57,7 +73,7 @@ func Stack(t *ptrace.Tracee, tid int) ([]Frame, error) {
 }
 
 // AllStacks unwinds every thread.
-func AllStacks(t *ptrace.Tracee) ([][]Frame, error) {
+func AllStacks(t Walker) ([][]Frame, error) {
 	out := make([][]Frame, t.Threads())
 	for tid := 0; tid < t.Threads(); tid++ {
 		frames, err := Stack(t, tid)
@@ -72,7 +88,7 @@ func AllStacks(t *ptrace.Tracee) ([][]Frame, error) {
 // LiveFunctions symbolizes all frames against a binary and returns the set
 // of stack-live functions (keyed by entry address) — the functions OCOLOS
 // must treat specially during replacement.
-func LiveFunctions(t *ptrace.Tracee, bin *obj.Binary) (map[uint64]*obj.Func, error) {
+func LiveFunctions(t Walker, bin *obj.Binary) (map[uint64]*obj.Func, error) {
 	stacks, err := AllStacks(t)
 	if err != nil {
 		return nil, err

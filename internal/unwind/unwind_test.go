@@ -180,8 +180,12 @@ func TestReturnAddressRewrite(t *testing.T) {
 		t.Fatalf("frame 1 not in fb")
 	}
 
-	// Copy fb's code to a fresh region via the agent.
+	// Copy fb's code to a fresh region via the agent (mmap it first — the
+	// hardened tracee refuses writes outside the target's mapped image).
 	copyBase := uint64(0x2000_0000)
+	if err := tr.Map(copyBase, 1<<20); err != nil {
+		t.Fatal(err)
+	}
 	code := make([]byte, fb.Size)
 	if err := tr.ReadMem(fb.Addr, code); err != nil {
 		t.Fatal(err)

@@ -29,6 +29,17 @@ go test -race ./...
 echo "== go test -race -count=2 -short ./internal/fleet ./internal/telemetry"
 go test -race -count=2 -short ./internal/fleet ./internal/telemetry
 
+# Transactional-replacement gates (see docs/robustness.md): the sampled
+# fault sweep proves every injected tracee fault rolls back
+# bit-identically to the baseline (-short samples indices; the full
+# sweep already ran in the ./... pass), and the quarantine tests drive
+# tracee-level replace faults through a concurrent fleet wave under the
+# race detector — no service may end Failed-wedged.
+echo "== go test -short -run TestFaultSweep ./internal/diffcheck"
+go test -short -run TestFaultSweep ./internal/diffcheck
+echo "== go test -race -run 'TestTraceeFault|TestSecondRoundQuarantine|TestMidWaveFaultIsolation' ./internal/fleet"
+go test -race -run 'TestTraceeFault|TestSecondRoundQuarantine|TestMidWaveFaultIsolation' ./internal/fleet
+
 # The block-cache execution engine must stay cycle-exact with the Step
 # reference interpreter (see docs/perf.md): run the golden equivalence
 # gate explicitly so an engine regression names itself in the CI log.
