@@ -10,19 +10,31 @@
 // skipped so every lifecycle path executes in a couple of seconds;
 // -full runs evaluation-scale workloads under the real TopDown gate.
 //
-// Run with: go run ./cmd/fleetd [-full] [-replicas N] [-rounds N]
+// With -serve ADDR the wave runs in the background while an HTTP
+// control plane serves GET /metrics (Prometheus text), /services
+// (JSON fleet snapshot), /trace?service=X (span tree; &format=jsonl
+// for the event journal), and /healthz on ADDR until SIGINT/SIGTERM
+// or, once the wave completes, until shut down.
+//
+// Run with: go run ./cmd/fleetd [-full] [-replicas N] [-rounds N] [-serve :8080]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/fleet"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/workloads/docdb"
 	"repro/internal/workloads/kvcache"
 	"repro/internal/workloads/sqldb"
@@ -37,6 +49,7 @@ func main() {
 		maxPauses   = flag.Int("max-pauses", 1, "max simultaneous stop-the-world pauses")
 		rounds      = flag.Int("rounds", 2, "max optimization rounds per service")
 		revertBelow = flag.Float64("revert-below", 1.0, "revert to C0 below this speedup (0 disables)")
+		serve       = flag.String("serve", "", "serve the HTTP control plane on this address (e.g. :8080) while the wave runs")
 	)
 	flag.Parse()
 
@@ -68,12 +81,14 @@ func main() {
 	}
 
 	metrics := telemetry.NewRegistry()
+	tracer := trace.New(trace.Options{})
 	cfg := fleet.Config{
 		Workers:     *workers,
 		MaxPauses:   *maxPauses,
 		MaxRounds:   *rounds,
 		RevertBelow: *revertBelow,
 		Metrics:     metrics,
+		Tracer:      tracer,
 	}
 	if !*full {
 		// Small-scale services: sub-millisecond windows, gate skipped so
@@ -119,6 +134,16 @@ func main() {
 	fmt.Printf("fleetd: %d services, %d workers, %d max pause(s), %d round(s) max\n\n",
 		len(m.Services()), m.Config().Workers, m.Config().MaxPauses, m.Config().MaxRounds)
 
+	var srv *http.Server
+	var served <-chan error
+	sigs := make(chan os.Signal, 1)
+	if *serve != "" {
+		srv, served = serveControlPlane(*serve, m, metrics, tracer)
+		// Catch shutdown signals from here on: a SIGTERM during the wave
+		// is held until the report is out, then honored cleanly.
+		signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	}
+
 	t0 := time.Now()
 	rep, err := m.Run()
 	if err != nil {
@@ -132,4 +157,39 @@ func main() {
 
 	fmt.Println("\ntelemetry:")
 	metrics.WriteReport(os.Stdout)
+
+	if srv != nil {
+		fmt.Println("\nwave done; control plane still serving (SIGINT/SIGTERM to stop)")
+		select {
+		case sig := <-sigs:
+			fmt.Printf("fleetd: %v, shutting down\n", sig)
+		case err := <-served:
+			log.Fatalf("fleetd: control plane: %v", err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("fleetd: shutdown: %v", err)
+		}
+	}
+}
+
+// serveControlPlane binds addr (which may be :0 for an ephemeral port),
+// prints the resolved address for scrapers to parse, and serves the
+// fleet control plane in the background. The returned channel delivers
+// a serve error, if any.
+func serveControlPlane(addr string, m *fleet.Manager, metrics *telemetry.Registry, tracer *trace.Tracer) (*http.Server, <-chan error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("fleetd: listen %s: %v", addr, err)
+	}
+	srv := &http.Server{Handler: fleet.NewControlPlane(m, metrics, tracer).Handler()}
+	fmt.Printf("fleetd: serving control plane on http://%s\n", ln.Addr())
+	served := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			served <- err
+		}
+	}()
+	return srv, served
 }

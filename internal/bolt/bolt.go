@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/obj"
+	"repro/internal/trace"
 )
 
 // DefaultTextBase is where the optimized .text is linked — a disjoint,
@@ -76,6 +77,16 @@ type Result struct {
 	FuncsSplit int
 	// NewTextBytes is the size of the injected code (hot + cold sections).
 	NewTextBytes uint64
+}
+
+// TraceAttrs summarizes the layout result as span attributes, so every
+// round's bolt span records what the optimizer actually moved.
+func (r *Result) TraceAttrs() []trace.Attr {
+	return []trace.Attr{
+		trace.Int("funcs_reordered", r.FuncsReordered),
+		trace.Int("funcs_split", r.FuncsSplit),
+		trace.Int("new_text_bytes", int(r.NewTextBytes)),
+	}
 }
 
 // Optimize runs the full pipeline: reconstruct CFGs, attach the profile,

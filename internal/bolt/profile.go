@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/obj"
 	"repro/internal/perf"
+	"repro/internal/trace"
 )
 
 // Profile is the block-level profile perf2bolt produces.
@@ -20,6 +21,15 @@ type Profile struct {
 	Funcs map[uint64]*FuncProfile
 	// TotalBranches is the number of LBR records aggregated.
 	TotalBranches uint64
+}
+
+// TraceAttrs summarizes the aggregation as span attributes for the
+// perf2bolt stage span.
+func (p *Profile) TraceAttrs() []trace.Attr {
+	return []trace.Attr{
+		trace.Int("profiled_funcs", len(p.Funcs)),
+		trace.Int("total_branches", int(p.TotalBranches)),
+	}
 }
 
 // FuncProfile is the profile of one function, block indexes referring to

@@ -33,6 +33,7 @@ import (
 	"repro/internal/perf"
 	"repro/internal/proc"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 )
 
 // Region layout for injected code versions. Each version's new text goes
@@ -133,6 +134,20 @@ type Options struct {
 	// shares one registry across every controller it owns.
 	Metrics *telemetry.Registry
 
+	// Tracer, when non-nil, receives a hierarchical span per pipeline
+	// stage (profile, perf2bolt, bolt, replace, verify) plus journal
+	// events for rollbacks, verify failures, reverts, and injected
+	// faults. Stage spans parent under the current round span
+	// (StartRound/EndRound) when one is open, else under the root span
+	// installed with SetTraceRoot.
+	Tracer *trace.Tracer
+
+	// Service labels this controller's spans and journal events when the
+	// controller creates root-level spans itself (no SetTraceRoot); the
+	// fleet manager instead installs a per-service root span that carries
+	// the name.
+	Service string
+
 	// FaultHook, when non-nil, is installed on every tracee the controller
 	// attaches during Replace: it runs before each debugger operation and
 	// can fail it (see ptrace.Tracee.FaultHook). The fault-sweep harness
@@ -168,6 +183,10 @@ type Controller struct {
 	tramps    map[string]bool       // functions with a live C0 trampoline
 	jtables   map[uint64][]uint64   // live relocated jump tables by address
 
+	tracer *trace.Tracer
+	troot  *trace.Span // root span stage spans parent under (may be nil)
+	tround *trace.Span // current round span, between StartRound and EndRound
+
 	// Reports accumulates one entry per replacement round.
 	Reports []ReplaceStats
 }
@@ -196,6 +215,7 @@ func New(p *proc.Process, orig *obj.Binary, opts Options) (*Controller, error) {
 		fptrMap:   make(map[uint64]uint64),
 		tramps:    make(map[string]bool),
 		jtables:   make(map[uint64][]uint64),
+		tracer:    opts.Tracer,
 	}
 	for _, f := range orig.Funcs {
 		c.c0Entry[f.Name] = f.Addr
@@ -260,6 +280,44 @@ func (c *Controller) Version() int { return c.version }
 // before the first replacement).
 func (c *Controller) CurrentBinary() *obj.Binary { return c.curBin }
 
+// SetTraceRoot installs the span under which the controller's round and
+// stage spans nest — the fleet manager passes each service's root span
+// here so one tracer can hold many controllers' trees.
+func (c *Controller) SetTraceRoot(root *trace.Span) { c.troot = root }
+
+// StartRound opens the span bracketing one optimization round. Stage
+// spans started before the matching EndRound parent under it. Callers
+// that drive the stages individually (the fleet lifecycle) bracket them
+// explicitly; OptimizeRound does it internally.
+func (c *Controller) StartRound(round int) *trace.Span {
+	sp := c.tracer.Start(c.troot, "round", trace.Int("round", round))
+	if c.troot == nil {
+		sp.SetService(c.opts.Service)
+	}
+	sp.SetRound(round)
+	c.tround = sp
+	return sp
+}
+
+// EndRound closes the current round span with the round's outcome.
+func (c *Controller) EndRound(err error) {
+	c.tround.End(err)
+	c.tround = nil
+}
+
+// startSpan opens a stage span under the current round (or root) span.
+func (c *Controller) startSpan(name string, attrs ...trace.Attr) *trace.Span {
+	parent := c.tround
+	if parent == nil {
+		parent = c.troot
+	}
+	sp := c.tracer.Start(parent, name, attrs...)
+	if parent == nil {
+		sp.SetService(c.opts.Service)
+	}
+	return sp
+}
+
 // textBase returns the injection base for version v ≥ 1.
 func textBase(v int) uint64 { return firstTextBase + uint64(v-1)*versionStride }
 
@@ -279,9 +337,12 @@ func (c *Controller) ShouldOptimize(seconds float64) (bool, cpu.TopDown) {
 // Profile records LBR samples from the running process for the given
 // simulated duration (step 1 of Figure 4a).
 func (c *Controller) Profile(seconds float64) *perf.RawProfile {
+	sp := c.startSpan("profile")
 	t0 := time.Now()
 	raw := perf.Record(c.p, seconds, c.opts.Perf)
 	c.observeStage("profile", time.Since(t0).Seconds())
+	sp.SetAttrs(raw.TraceAttrs()...)
+	sp.End(nil)
 	return raw
 }
 
@@ -301,11 +362,15 @@ func (c *Controller) BuildOptimized(raw *perf.RawProfile) (*BuildStats, error) {
 	if c.curBin != nil {
 		input = c.curBin
 	}
+	sp := c.startSpan("perf2bolt")
 	t0 := time.Now()
 	prof, err := bolt.ConvertProfile(raw, input)
 	if err != nil {
+		sp.End(err)
 		return nil, err
 	}
+	sp.SetAttrs(prof.TraceAttrs()...)
+	sp.End(nil)
 	t1 := time.Now()
 	bo := c.opts.Bolt
 	bo.TextBase = textBase(c.version + 1)
@@ -317,10 +382,14 @@ func (c *Controller) BuildOptimized(raw *perf.RawProfile) (*BuildStats, error) {
 		// collected with it); C0's tables are never overwritten.
 		bo.ROBase = textBase(c.version+1) + roOffset
 	}
+	bsp := c.startSpan("bolt")
 	res, err := bolt.Optimize(input, prof, bo)
 	if err != nil {
+		bsp.End(err)
 		return nil, err
 	}
+	bsp.SetAttrs(res.TraceAttrs()...)
+	bsp.End(nil)
 	t2 := time.Now()
 	c.observeStage("perf2bolt", t1.Sub(t0).Seconds())
 	c.observeStage("bolt", t2.Sub(t1).Seconds())
@@ -349,17 +418,21 @@ type RoundReport struct {
 // are published to Options.Metrics when a registry is configured.
 func (c *Controller) OptimizeRound(profileSeconds float64) (*RoundReport, error) {
 	start := time.Now()
+	c.StartRound(c.version + 1)
 	raw := c.Profile(profileSeconds)
 	build, err := c.BuildOptimized(raw)
 	if err != nil {
 		c.countError("build")
+		c.EndRound(err)
 		return nil, err
 	}
 	rs, err := c.Replace(build.Result.Binary)
 	if err != nil {
 		c.countError("replace")
+		c.EndRound(err)
 		return nil, err
 	}
+	c.EndRound(nil)
 	if m := c.opts.Metrics; m != nil {
 		m.Counter("core_rounds_total").Inc()
 	}
@@ -375,14 +448,10 @@ func (c *Controller) OptimizeRound(profileSeconds float64) (*RoundReport, error)
 // observeStage records one stage's host latency into the metrics
 // registry, if any.
 func (c *Controller) observeStage(stage string, seconds float64) {
-	if m := c.opts.Metrics; m != nil {
-		m.Histogram(telemetry.Label("core_stage_seconds", "stage", stage)).Observe(seconds)
-	}
+	c.opts.Metrics.HistogramVec("core_stage_seconds", "stage").With(stage).Observe(seconds)
 }
 
 // countError bumps the per-stage error counter, if a registry is set.
 func (c *Controller) countError(stage string) {
-	if m := c.opts.Metrics; m != nil {
-		m.Counter(telemetry.Label("core_errors_total", "stage", stage)).Inc()
-	}
+	c.opts.Metrics.CounterVec("core_errors_total", "stage").With(stage).Inc()
 }

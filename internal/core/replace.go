@@ -9,6 +9,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/obj"
 	"repro/internal/ptrace"
+	"repro/internal/trace"
 	"repro/internal/unwind"
 )
 
@@ -64,31 +65,46 @@ func (c *Controller) Revert() (*ReplaceStats, error) {
 func (c *Controller) replace(nb *obj.Binary) (*ReplaceStats, error) {
 	start := time.Now()
 	newVersion := c.version + 1
+	sp := c.startSpan("replace", trace.Int("version", newVersion))
 
 	if newVersion > 1 {
 		if c.opts.NoFuncPtrHook {
-			return nil, fmt.Errorf("core: continuous optimization requires the function-pointer hook (§IV-C2)")
+			err := fmt.Errorf("core: continuous optimization requires the function-pointer hook (§IV-C2)")
+			sp.End(err)
+			return nil, err
 		}
 		if c.opts.NoPatchVTables {
-			return nil, fmt.Errorf("core: continuous optimization requires v-table patching")
+			err := fmt.Errorf("core: continuous optimization requires v-table patching")
+			sp.End(err)
+			return nil, err
 		}
 	}
 
 	snap := c.snapshot()
 	tr := ptrace.Attach(c.p)
-	tr.FaultHook = c.opts.FaultHook
+	tr.FaultHook = c.wrapFaultHook(sp)
 	defer tr.Detach()
 	x := ptrace.Begin(tr)
 
 	stats, nr, newCur, dead, err := c.applyReplace(x, nb, newVersion)
 	verifyFailed := false
 	if err == nil {
-		if verr := c.verifyResumeSafety(x, nr, newCur, dead); verr != nil {
+		vsp := c.tracer.Start(sp, "verify")
+		verr := c.verifyResumeSafety(x, nr, newCur, dead)
+		vsp.End(verr)
+		if verr != nil {
 			err = verr
 			verifyFailed = true
 		}
 	}
 	if err != nil {
+		// The failing tracee op is the last one begun: the op counter
+		// advances before the operation runs, and the rollback below
+		// bypasses the counter, so OpCount()-1 still names it.
+		sp.EventErr(trace.EvRollback, err, trace.Int("op_index", tr.OpCount()-1))
+		if verifyFailed {
+			sp.EventErr(trace.EvVerifyFail, err)
+		}
 		rbErr := x.Rollback()
 		c.restore(snap)
 		if m := c.opts.Metrics; m != nil {
@@ -98,8 +114,11 @@ func (c *Controller) replace(nb *obj.Binary) (*ReplaceStats, error) {
 			}
 		}
 		if rbErr != nil {
-			return nil, fmt.Errorf("core: replace failed (%v) and rollback failed: %w", err, rbErr)
+			err = fmt.Errorf("core: replace failed (%v) and rollback failed: %w", err, rbErr)
+			sp.End(err)
+			return nil, err
 		}
+		sp.End(err)
 		return nil, err
 	}
 	x.Commit()
@@ -142,7 +161,35 @@ func (c *Controller) replace(nb *obj.Binary) (*ReplaceStats, error) {
 			m.Counter("core_reverts_total").Inc()
 		}
 	}
+	if nb == nil {
+		sp.Event(trace.EvRevert, trace.Int("bytes_freed", int(stats.BytesFreed)))
+	}
+	sp.SetAttrs(
+		trace.Int("bytes_injected", int(stats.BytesInjected)),
+		trace.Int("vtable_slots", stats.VTableSlotsPatched),
+		trace.Int("call_sites", stats.CallSitesPatched),
+		trace.Float("pause_seconds", stats.PauseSeconds),
+	)
+	sp.End(nil)
 	return stats, nil
+}
+
+// wrapFaultHook interposes on the configured fault hook so every fault it
+// injects is journaled (with the tracee-local op index) before the
+// transaction unwinds.
+func (c *Controller) wrapFaultHook(sp *trace.Span) func(op string, n int) error {
+	hook := c.opts.FaultHook
+	if hook == nil {
+		return nil
+	}
+	return func(op string, n int) error {
+		err := hook(op, n)
+		if err != nil {
+			sp.EventErr(trace.EvFaultInjected, err,
+				trace.String("op", op), trace.Int("op_index", n))
+		}
+		return err
+	}
 }
 
 // applyReplace performs every mutation of one replacement round through

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestOptimizeRoundEmitsStageSpans asserts one full round produces the
+// complete span tree: a round span with profile, perf2bolt, bolt, and
+// replace children, the verify span nested under replace, and stage
+// attributes populated from the pipeline's actual results.
+func TestOptimizeRoundEmitsStageSpans(t *testing.T) {
+	bin, _ := genProgram(t, 31, 1<<30)
+	tr := trace.New(trace.Options{})
+	pr, c := newController(t, bin, Options{Tracer: tr, Service: "svc-a"})
+	pr.RunFor(0.0003)
+
+	if _, err := c.OptimizeRound(0.0005); err != nil {
+		t.Fatal(err)
+	}
+
+	roots := tr.Tree("svc-a")
+	if len(roots) != 1 {
+		t.Fatalf("got %d root spans, want 1 round span", len(roots))
+	}
+	round := roots[0]
+	if round.Name != "round" || round.Round != 1 || round.Open || round.Err != "" {
+		t.Fatalf("round span = %+v", round)
+	}
+
+	stages := map[string]*trace.SpanNode{}
+	for _, ch := range round.Children {
+		stages[ch.Name] = ch
+	}
+	for _, want := range []string{"profile", "perf2bolt", "bolt", "replace"} {
+		sp, ok := stages[want]
+		if !ok {
+			t.Errorf("round span has no %q child (children: %v)", want, names(round.Children))
+			continue
+		}
+		if sp.Open || sp.Err != "" {
+			t.Errorf("stage %q: open=%v err=%q", want, sp.Open, sp.Err)
+		}
+		if sp.Service != "svc-a" || sp.Round != 1 {
+			t.Errorf("stage %q: service=%q round=%d", want, sp.Service, sp.Round)
+		}
+	}
+
+	// Stage attributes come from the stage results.
+	if v, ok := stages["profile"].Attrs.Int("samples"); !ok || v <= 0 {
+		t.Errorf("profile span samples attr = %v, %v", v, ok)
+	}
+	if v, ok := stages["perf2bolt"].Attrs.Int("profiled_funcs"); !ok || v <= 0 {
+		t.Errorf("perf2bolt span profiled_funcs attr = %v, %v", v, ok)
+	}
+	if v, ok := stages["bolt"].Attrs.Int("funcs_reordered"); !ok || v <= 0 {
+		t.Errorf("bolt span funcs_reordered attr = %v, %v", v, ok)
+	}
+	if v, ok := stages["replace"].Attrs.Int("bytes_injected"); !ok || v <= 0 {
+		t.Errorf("replace span bytes_injected attr = %v, %v", v, ok)
+	}
+
+	// Verify runs as a child of replace.
+	rep := stages["replace"]
+	if rep == nil {
+		t.Fatal("no replace span")
+	}
+	var verify *trace.SpanNode
+	for _, ch := range rep.Children {
+		if ch.Name == "verify" {
+			verify = ch
+		}
+	}
+	if verify == nil {
+		t.Fatalf("replace span has no verify child (children: %v)", names(rep.Children))
+	}
+	if verify.Open || verify.Err != "" {
+		t.Errorf("verify span: open=%v err=%q", verify.Open, verify.Err)
+	}
+
+	// Journal holds the paired start/end events in monotonic order.
+	j := tr.Journal()
+	starts := j.ByType(trace.EvSpanStart)
+	ends := j.ByType(trace.EvSpanEnd)
+	if len(starts) != 6 || len(ends) != 6 { // round + 4 stages + verify
+		t.Errorf("journal has %d starts / %d ends, want 6/6", len(starts), len(ends))
+	}
+}
+
+// TestRevertEmitsRevertEvent pins the revert journal event and the
+// error-free replace span on the revert path.
+func TestRevertEmitsRevertEvent(t *testing.T) {
+	bin, _ := genProgram(t, 32, 1<<30)
+	tr := trace.New(trace.Options{})
+	pr, c := newController(t, bin, Options{Tracer: tr, Service: "svc-r"})
+	pr.RunFor(0.0003)
+	if _, err := c.OptimizeRound(0.0005); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Revert(); err != nil {
+		t.Fatal(err)
+	}
+	evs := tr.Journal().ByType(trace.EvRevert)
+	if len(evs) != 1 {
+		t.Fatalf("journal has %d revert events, want 1", len(evs))
+	}
+	if evs[0].Service != "svc-r" || evs[0].Stage != "replace" {
+		t.Errorf("revert event = %+v", evs[0])
+	}
+	if v, ok := evs[0].Attrs.Int("bytes_freed"); !ok || v <= 0 {
+		t.Errorf("revert event bytes_freed = %v, %v", v, ok)
+	}
+}
+
+func names(nodes []*trace.SpanNode) []string {
+	var out []string
+	for _, n := range nodes {
+		out = append(out, n.Name)
+	}
+	return out
+}

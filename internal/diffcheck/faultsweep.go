@@ -13,12 +13,14 @@ package diffcheck
 import (
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/bolt"
 	"repro/internal/core"
 	"repro/internal/obj"
 	"repro/internal/perf"
 	"repro/internal/proc"
+	"repro/internal/trace"
 )
 
 // ErrInjected is the sentinel failure the sweep's fault hook returns; it
@@ -78,6 +80,14 @@ type SweepRun struct {
 	RolledBack int  // rounds that failed and were rolled back
 	FaultHit   bool // the injected fault index was reached
 
+	// Tracer holds the run's spans and event journal; CheckJournal
+	// cross-checks it against the sweep's own bookkeeping.
+	Tracer *trace.Tracer
+	// InjectedOp is the tracee-local operation index the fault fired at
+	// (the hook's per-attach counter, which is what the controller's
+	// rollback event records), -1 if no fault fired.
+	InjectedOp int
+
 	// RollbackDiffs lists every way a rollback failed to restore the
 	// pre-replace state exactly; empty on a correct transaction.
 	RollbackDiffs []string
@@ -122,7 +132,7 @@ func (sc *FaultScenario) Ops() (int, error) {
 // back and the run continues — later rounds still fire, modeling a
 // transient fault the fleet layer would absorb.
 func (sc *FaultScenario) Run(faultAt int) (*SweepRun, error) {
-	sr := &SweepRun{}
+	sr := &SweepRun{Tracer: trace.New(trace.Options{}), InjectedOp: -1}
 	var ctl *core.Controller
 	var attachErr error
 	hook := func(op string, n int) error {
@@ -130,6 +140,7 @@ func (sc *FaultScenario) Run(faultAt int) (*SweepRun, error) {
 		sr.Ops++
 		if faultAt >= 0 && i == faultAt {
 			sr.FaultHit = true
+			sr.InjectedOp = n
 			return ErrInjected
 		}
 		return nil
@@ -171,6 +182,8 @@ func (sc *FaultScenario) Run(faultAt int) (*SweepRun, error) {
 				Bolt:          bolt.Options{AllowReBolt: true},
 				NoChargePause: true,
 				FaultHook:     hook,
+				Tracer:        sr.Tracer,
+				Service:       sc.Name,
 			})
 		},
 	}
@@ -183,6 +196,80 @@ func (sc *FaultScenario) Run(faultAt int) (*SweepRun, error) {
 	}
 	sr.Trace = tr
 	return sr, nil
+}
+
+// CheckJournal cross-checks the run's event journal and span tree
+// against the sweep's own bookkeeping, returning one string per
+// discrepancy (empty when the observability layer told the truth). A
+// faulted run must have journaled the injection, exactly one rollback
+// whose op_index is the tracee operation the fault fired at, and a
+// "replace" span closed with error status; a clean run must show none
+// of those.
+func (sr *SweepRun) CheckJournal() []string {
+	var out []string
+	j := sr.Tracer.Journal()
+	faults := j.ByType(trace.EvFaultInjected)
+	rollbacks := j.ByType(trace.EvRollback)
+	errReplace := spansWithErr(sr.Tracer.Tree(""), "replace")
+
+	if !sr.FaultHit {
+		if len(faults) != 0 {
+			out = append(out, fmt.Sprintf("clean run journaled %d fault_injected event(s)", len(faults)))
+		}
+		if len(rollbacks) != 0 {
+			out = append(out, fmt.Sprintf("clean run journaled %d rollback event(s)", len(rollbacks)))
+		}
+		if len(errReplace) != 0 {
+			out = append(out, fmt.Sprintf("clean run has %d error-status replace span(s)", len(errReplace)))
+		}
+		return out
+	}
+
+	if len(faults) != 1 {
+		out = append(out, fmt.Sprintf("want 1 fault_injected event, journal has %d", len(faults)))
+	} else if idx, ok := faults[0].Attrs.Int("op_index"); !ok || int(idx) != sr.InjectedOp {
+		out = append(out, fmt.Sprintf("fault_injected op_index = %d (present %v), injected at %d", idx, ok, sr.InjectedOp))
+	}
+	if len(rollbacks) != sr.RolledBack {
+		out = append(out, fmt.Sprintf("want %d rollback event(s), journal has %d", sr.RolledBack, len(rollbacks)))
+	}
+	for _, rb := range rollbacks {
+		if idx, ok := rb.Attrs.Int("op_index"); !ok || int(idx) != sr.InjectedOp {
+			out = append(out, fmt.Sprintf("rollback op_index = %d (present %v), fault injected at op %d", idx, ok, sr.InjectedOp))
+		}
+		if rb.Stage != "replace" {
+			out = append(out, fmt.Sprintf("rollback event attributed to stage %q, want replace", rb.Stage))
+		}
+		if len(faults) == 1 && rb.Seq <= faults[0].Seq {
+			out = append(out, fmt.Sprintf("rollback seq %d not after fault_injected seq %d", rb.Seq, faults[0].Seq))
+		}
+	}
+	if len(errReplace) != sr.RolledBack {
+		out = append(out, fmt.Sprintf("want %d error-status replace span(s), tree has %d", sr.RolledBack, len(errReplace)))
+	}
+	for _, n := range errReplace {
+		if !errContains(n.Err, ErrInjected) {
+			out = append(out, fmt.Sprintf("replace span error %q does not carry the injected fault", n.Err))
+		}
+	}
+	return out
+}
+
+// spansWithErr walks a span tree collecting closed spans of the given
+// name that ended with error status.
+func spansWithErr(nodes []*trace.SpanNode, name string) []*trace.SpanNode {
+	var out []*trace.SpanNode
+	for _, n := range nodes {
+		if n.Name == name && !n.Open && n.Err != "" {
+			out = append(out, n)
+		}
+		out = append(out, spansWithErr(n.Children, name)...)
+	}
+	return out
+}
+
+func errContains(msg string, sentinel error) bool {
+	return msg != "" && strings.Contains(msg, sentinel.Error())
 }
 
 // replaceFingerprint digests everything a rolled-back Replace must leave

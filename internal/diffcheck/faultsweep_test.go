@@ -29,9 +29,11 @@ func sweepIndices(t *testing.T, n, sample int) []int {
 	return append(out, n-1)
 }
 
-// checkSweepRun asserts the two halves of the robustness claim for one
-// injected fault: the rollback was bit-exact and the run still produced
-// the never-optimized baseline's output.
+// checkSweepRun asserts three things for one injected fault: the
+// rollback was bit-exact, the run still produced the never-optimized
+// baseline's output, and the trace journal recorded the failure
+// truthfully (fault_injected + rollback at the injected op index, and a
+// replace span closed with error status).
 func checkSweepRun(t *testing.T, sc *FaultScenario, base *Trace, faultAt int) {
 	t.Helper()
 	sr, err := sc.Run(faultAt)
@@ -46,6 +48,9 @@ func checkSweepRun(t *testing.T, sc *FaultScenario, base *Trace, faultAt int) {
 	}
 	for _, d := range sr.RollbackDiffs {
 		t.Errorf("fault@%d: rollback not exact: %s", faultAt, d)
+	}
+	for _, d := range sr.CheckJournal() {
+		t.Errorf("fault@%d: journal: %s", faultAt, d)
 	}
 	for _, d := range Compare(base, sr.Trace) {
 		t.Errorf("fault@%d: diverged from baseline: %s", faultAt, d)
@@ -93,6 +98,9 @@ func TestFaultSweepExhaustive(t *testing.T) {
 	}
 	if diffs := Compare(base, clean.Trace); len(diffs) > 0 {
 		t.Fatalf("fault-free run diverged: %v", diffs)
+	}
+	if probs := clean.CheckJournal(); len(probs) > 0 {
+		t.Fatalf("fault-free run journal: %v", probs)
 	}
 	n := clean.Ops
 	t.Logf("sweeping %d tracee operations across %d rounds", n, clean.Committed)

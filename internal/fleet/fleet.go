@@ -28,6 +28,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/proc"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/workloads/wl"
 )
 
@@ -87,6 +88,12 @@ type Config struct {
 	// is also wired into every controller the manager creates. Nil means
 	// metrics are discarded.
 	Metrics *telemetry.Registry
+
+	// Tracer receives one root span per service plus every lifecycle
+	// event (transitions, retries, backoffs, quarantine trips) and the
+	// per-round stage spans of every controller the manager creates. Nil
+	// means tracing is discarded.
+	Tracer *trace.Tracer
 
 	// FaultHook, when non-nil, runs before every stage attempt; a
 	// non-nil return is treated as that stage failing. Tests use it to
@@ -178,6 +185,9 @@ type Service struct {
 	topdown   cpu.TopDown
 	baseline  wl.WindowStats
 	lastErr   error
+	root      *trace.Span // per-service trace root, nil without a tracer
+	addedAt   time.Time
+	updatedAt time.Time
 }
 
 // NewService loads a workload instance under a fresh controller.
@@ -203,7 +213,26 @@ func NewService(plan ServicePlan) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Service{Name: plan.Name, Plan: plan, Proc: p, Driver: d, Ctl: ctl, state: Idle}, nil
+	now := time.Now()
+	return &Service{Name: plan.Name, Plan: plan, Proc: p, Driver: d, Ctl: ctl,
+		state: Idle, addedAt: now, updatedAt: now}, nil
+}
+
+// rootSpan returns the service's trace root span (nil-safe sink when no
+// tracer is configured).
+func (s *Service) rootSpan() *trace.Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.root
+}
+
+// setRoot installs the service's root span and points the controller's
+// stage spans under it.
+func (s *Service) setRoot(sp *trace.Span) {
+	s.mu.Lock()
+	s.root = sp
+	s.mu.Unlock()
+	s.Ctl.SetTraceRoot(sp)
 }
 
 // Throughput measures the service over a simulated window.
@@ -253,13 +282,35 @@ type Manager struct {
 	peakPause int
 }
 
-// NewManager validates the config and returns an empty manager.
+// NewManager validates the config and returns an empty manager. The base
+// metric families are registered eagerly so a scrape taken before (or
+// without) any optimization wave still exposes every fleet metric name.
 func NewManager(cfg Config) (*Manager, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
+	registerBaseMetrics(cfg.Metrics)
 	return &Manager{cfg: cfg, pauseSem: make(chan struct{}, cfg.MaxPauses)}, nil
+}
+
+// registerBaseMetrics creates the fleet's metric families at their zero
+// values (the registry is a nil-safe sink when metrics are discarded).
+func registerBaseMetrics(r *telemetry.Registry) {
+	r.Counter("fleet_rounds_total")
+	r.Counter("fleet_steady_total")
+	r.Counter("fleet_reverts_total")
+	r.Counter("fleet_failures_total")
+	r.Counter("fleet_quarantines_total")
+	r.Gauge("fleet_services")
+	r.Gauge("fleet_selected")
+	r.Gauge("fleet_quarantined")
+	r.Gauge("fleet_pauses_peak")
+	r.CounterVec("fleet_stage_errors_total", "stage")
+	r.CounterVec("fleet_retries_total", "stage")
+	r.Histogram("fleet_speedup")
+	r.Histogram("fleet_pause_seconds")
+	r.Histogram("fleet_pause_wait_seconds")
 }
 
 // Config returns the manager's effective (defaulted) configuration.
@@ -271,6 +322,12 @@ func (m *Manager) Config() Config { return m.cfg }
 func (m *Manager) AddService(plan ServicePlan) (*Service, error) {
 	if plan.Core.Metrics == nil {
 		plan.Core.Metrics = m.cfg.Metrics
+	}
+	if plan.Core.Tracer == nil {
+		plan.Core.Tracer = m.cfg.Tracer
+	}
+	if plan.Core.Service == "" {
+		plan.Core.Service = plan.Name
 	}
 	if m.cfg.MaxRounds > 1 {
 		// Continuous optimization re-optimizes an already-bolted binary,
@@ -353,11 +410,18 @@ func (m *Manager) Run() (*FleetReport, error) {
 func (m *Manager) Optimize(scan []ScanResult) {
 	var selected []*Service
 	for _, r := range scan {
+		s := r.Service
+		if s.rootSpan() == nil {
+			sp := m.cfg.Tracer.Start(nil, "service",
+				trace.Float("frontend_share", r.TopDown.FrontEnd))
+			sp.SetService(s.Name)
+			s.setRoot(sp)
+		}
 		if r.Optimize || m.cfg.SkipGate {
-			selected = append(selected, r.Service)
+			selected = append(selected, s)
 		} else {
 			// Not worth a round: the service stays on its current code.
-			r.Service.transition(Steady)
+			s.transition(Steady)
 		}
 	}
 	if m.cfg.Metrics != nil {

@@ -2,10 +2,11 @@ package fleet
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/perf"
-	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/workloads/wl"
 )
 
@@ -101,38 +102,56 @@ func CanTransition(from, to State) bool {
 // on and recorded so the service is never silently wedged.
 func (s *Service) transition(to State) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if !CanTransition(s.state, to) {
 		err := fmt.Errorf("fleet: %s: illegal transition %s → %s", s.Name, s.state, to)
 		s.lastErr = err
+		s.mu.Unlock()
 		return err
 	}
+	from := s.state
 	s.state = to
+	s.updatedAt = time.Now()
+	root := s.root
+	s.mu.Unlock()
+	// Journal the edge outside the lock: event emission takes the
+	// tracer's own locks and must never nest inside s.mu.
+	root.Event(trace.EvTransition,
+		trace.String("from", from.String()), trace.String("to", to.String()))
+	if to.Terminal() {
+		root.End(nil)
+	}
 	return nil
 }
 
 // RoundResult records one completed optimization round of one service.
 type RoundResult struct {
-	Version      int     // code version live after the round
-	Throughput   float64 // post-round steady-state req/s
-	Speedup      float64 // vs the service's pre-optimization baseline
-	Gain         float64 // vs the previous round's throughput
-	PauseSeconds float64 // simulated stop-the-world time of the round
-	P95Latency   float64 // post-round p95 request latency, cycles
+	Version      int     `json:"version"`       // code version live after the round
+	Throughput   float64 `json:"throughput"`    // post-round steady-state req/s
+	Speedup      float64 `json:"speedup"`       // vs the service's pre-optimization baseline
+	Gain         float64 `json:"gain"`          // vs the previous round's throughput
+	PauseSeconds float64 `json:"pause_seconds"` // simulated stop-the-world time of the round
+	P95Latency   float64 `json:"p95_latency"`   // post-round p95 request latency, cycles
 }
 
-// counter bumps a fleet counter if metrics are configured.
-func (m *Manager) counter(name string, kv ...string) {
-	if mt := m.cfg.Metrics; mt != nil {
-		mt.Counter(telemetry.Label(name, kv...)).Inc()
-	}
+// counter bumps an unlabeled fleet counter (the registry is a nil-safe
+// sink when metrics are discarded).
+func (m *Manager) counter(name string) {
+	m.cfg.Metrics.Counter(name).Inc()
+}
+
+// stageCounter bumps a per-stage fleet counter vector.
+func (m *Manager) stageCounter(name string, stage State) {
+	m.cfg.Metrics.CounterVec(name, "stage").With(stage.String()).Inc()
 }
 
 // attempt runs one stage try: the injected fault hook first (tests
-// force failures per stage with it), then the real work.
+// force failures per stage with it), then the real work. Injected
+// faults are journaled so chaos runs show up in the trace.
 func (m *Manager) attempt(s *Service, stage State, fn func() error) error {
 	if h := m.cfg.FaultHook; h != nil {
 		if err := h(s, stage); err != nil {
+			s.rootSpan().EventErr(trace.EvFaultInjected, err,
+				trace.String("stage", stage.String()))
 			return err
 		}
 	}
@@ -141,7 +160,8 @@ func (m *Manager) attempt(s *Service, stage State, fn func() error) error {
 
 // withRetry drives one stage to success or exhaustion: up to
 // 1+MaxRetries attempts with exponential host-time backoff between
-// them. Every failed attempt is recorded on the service and counted.
+// them. Every failed attempt is recorded on the service, counted, and
+// journaled; every backoff wait is journaled with its duration.
 func (m *Manager) withRetry(s *Service, stage State, fn func() error) error {
 	backoff := m.cfg.RetryBackoff
 	for att := 0; ; att++ {
@@ -152,14 +172,20 @@ func (m *Manager) withRetry(s *Service, stage State, fn func() error) error {
 		s.mu.Lock()
 		s.lastErr = fmt.Errorf("fleet: %s: %s: %w", s.Name, stage, err)
 		s.mu.Unlock()
-		m.counter("fleet_stage_errors_total", "stage", stage.String())
+		m.stageCounter("fleet_stage_errors_total", stage)
 		if att >= m.cfg.MaxRetries {
 			return err
 		}
 		s.mu.Lock()
 		s.retries++
 		s.mu.Unlock()
-		m.counter("fleet_retries_total", "stage", stage.String())
+		root := s.rootSpan()
+		root.EventErr(trace.EvRetry, err,
+			trace.String("stage", stage.String()), trace.Int("attempt", att+1))
+		m.stageCounter("fleet_retries_total", stage)
+		root.Event(trace.EvBackoff,
+			trace.String("stage", stage.String()),
+			trace.Float("seconds", backoff.Seconds()))
 		m.cfg.Sleep(backoff)
 		backoff *= 2
 	}
@@ -181,16 +207,19 @@ func (m *Manager) drive(s *Service) {
 		if s.transition(Profiling) != nil {
 			return
 		}
+		rsp := s.Ctl.StartRound(round)
 		var raw *perf.RawProfile
 		if err := m.withRetry(s, Profiling, func() error {
 			raw = s.Ctl.Profile(m.cfg.ProfileDur)
 			return nil
 		}); err != nil {
+			s.Ctl.EndRound(err)
 			m.cleanupFault(s)
 			return
 		}
 
-		if s.transition(Building) != nil {
+		if err := s.transition(Building); err != nil {
+			s.Ctl.EndRound(err)
 			return
 		}
 		var build *core.BuildStats
@@ -201,11 +230,13 @@ func (m *Manager) drive(s *Service) {
 			}
 			return err
 		}); err != nil {
+			s.Ctl.EndRound(err)
 			m.cleanupFault(s)
 			return
 		}
 
-		if s.transition(Replacing) != nil {
+		if err := s.transition(Replacing); err != nil {
+			s.Ctl.EndRound(err)
 			return
 		}
 		var rs *core.ReplaceStats
@@ -227,6 +258,7 @@ func (m *Manager) drive(s *Service) {
 			rs = r
 			return nil
 		}); err != nil {
+			s.Ctl.EndRound(err)
 			// A replace fault is recoverable by design (the rollback left
 			// target and controller intact), so retries already happened
 			// above. If the strikes show replacement itself is what keeps
@@ -242,15 +274,19 @@ func (m *Manager) drive(s *Service) {
 			return
 		}
 
-		if s.transition(Measuring) != nil {
+		if err := s.transition(Measuring); err != nil {
+			s.Ctl.EndRound(err)
 			return
 		}
+		msp := m.cfg.Tracer.Start(rsp, "measure")
 		var win wl.WindowStats
 		if err := m.withRetry(s, Measuring, func() error {
 			s.Proc.RunFor(m.cfg.Warm)
 			win = wl.MeasureStats(s.Proc, s.Driver, m.cfg.Window)
 			return s.Proc.Fault()
 		}); err != nil {
+			msp.End(err)
+			s.Ctl.EndRound(err)
 			m.cleanupFault(s)
 			return
 		}
@@ -267,8 +303,16 @@ func (m *Manager) drive(s *Service) {
 		if prev > 0 {
 			res.Gain = win.Throughput / prev
 		}
+		msp.SetAttrs(
+			trace.Float("throughput", win.Throughput),
+			trace.Float("speedup", res.Speedup),
+		)
+		msp.End(nil)
+		rsp.SetAttrs(trace.Float("speedup", res.Speedup))
+		s.Ctl.EndRound(nil)
 		s.mu.Lock()
 		s.rounds = append(s.rounds, res)
+		s.updatedAt = time.Now()
 		s.mu.Unlock()
 		m.counter("fleet_rounds_total")
 		if mt := m.cfg.Metrics; mt != nil {
@@ -318,11 +362,11 @@ func (m *Manager) revert(s *Service) {
 // loop. Unlike Failed, nothing about the service is wedged or suspect —
 // every failed round was rolled back transactionally.
 func (m *Manager) quarantine(s *Service) {
+	s.rootSpan().EventErr(trace.EvQuarantine, s.Err(),
+		trace.Int("rollbacks", s.Rollbacks()))
 	s.transition(Quarantined)
 	m.counter("fleet_quarantines_total")
-	if mt := m.cfg.Metrics; mt != nil {
-		mt.Gauge("fleet_quarantined").Add(1)
-	}
+	m.cfg.Metrics.Gauge("fleet_quarantined").Add(1)
 }
 
 // cleanupFault resolves a persistently failed stage: if optimized code

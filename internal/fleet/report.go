@@ -3,7 +3,6 @@ package fleet
 import (
 	"fmt"
 	"io"
-	"sort"
 )
 
 // ServiceReport is the per-service outcome of a fleet pass.
@@ -27,35 +26,25 @@ type FleetReport struct {
 	Services []ServiceReport
 }
 
-// Report snapshots every managed service's lifecycle record.
+// Report renders every managed service's lifecycle record. It is a thin
+// view over Manager.Snapshot, the single source for fleet reporting.
 func (m *Manager) Report() *FleetReport {
 	var out []ServiceReport
-	for _, s := range m.Services() {
-		s.mu.Lock()
-		r := ServiceReport{
-			Name:         s.Name,
-			State:        s.state,
-			Selected:     s.selected,
-			FrontEnd:     s.topdown.FrontEnd,
-			Rounds:       append([]RoundResult(nil), s.rounds...),
-			Retries:      s.retries,
-			Rollbacks:    s.rollbacks,
-			Baseline:     s.baseline.Throughput,
-			FinalSpeedup: 1,
-		}
-		if s.lastErr != nil {
-			r.Err = s.lastErr.Error()
-		}
-		s.mu.Unlock()
-		for _, rr := range r.Rounds {
-			r.PauseSeconds += rr.PauseSeconds
-		}
-		if n := len(r.Rounds); n > 0 && r.State != Reverted {
-			r.FinalSpeedup = r.Rounds[n-1].Speedup
-		}
-		out = append(out, r)
+	for _, st := range m.Snapshot() {
+		out = append(out, ServiceReport{
+			Name:         st.Name,
+			State:        st.State,
+			Selected:     st.Selected,
+			FrontEnd:     st.FrontEnd,
+			Rounds:       st.Rounds,
+			Retries:      st.Retries,
+			Rollbacks:    st.Rollbacks,
+			Baseline:     st.Baseline,
+			FinalSpeedup: st.Speedup,
+			PauseSeconds: st.PauseSeconds,
+			Err:          st.LastErr,
+		})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return &FleetReport{Services: out}
 }
 

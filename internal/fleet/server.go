@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// ControlPlane is the fleet's live HTTP surface: Prometheus metrics,
+// the service snapshot, span trees / the event journal, and a health
+// probe. It is read-only — every endpoint answers GET only — and safe
+// to serve while an optimization wave is running: snapshots take
+// per-service locks, the registry and tracer are internally
+// synchronized.
+//
+//	GET /metrics             Prometheus text exposition (format 0.0.4)
+//	GET /services            JSON array of ServiceStatus
+//	GET /trace?service=X     span tree JSON ("" = all services)
+//	GET /trace?format=jsonl  event journal, one JSON event per line
+//	GET /healthz             "ok"
+type ControlPlane struct {
+	m      *Manager
+	reg    *telemetry.Registry
+	tracer *trace.Tracer
+}
+
+// NewControlPlane wires the fleet's observable state into an HTTP
+// handler set. Any of the three sources may be nil; the corresponding
+// endpoints then serve empty documents rather than erroring.
+func NewControlPlane(m *Manager, reg *telemetry.Registry, tracer *trace.Tracer) *ControlPlane {
+	return &ControlPlane{m: m, reg: reg, tracer: tracer}
+}
+
+// Handler returns the control plane's route table.
+func (cp *ControlPlane) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", cp.getOnly(cp.metrics))
+	mux.HandleFunc("/services", cp.getOnly(cp.services))
+	mux.HandleFunc("/trace", cp.getOnly(cp.trace))
+	mux.HandleFunc("/healthz", cp.getOnly(cp.healthz))
+	return mux
+}
+
+func (cp *ControlPlane) getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+func (cp *ControlPlane) metrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := cp.reg.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (cp *ControlPlane) services(w http.ResponseWriter, r *http.Request) {
+	var snap []ServiceStatus
+	if cp.m != nil {
+		snap = cp.m.Snapshot()
+	}
+	if snap == nil {
+		snap = []ServiceStatus{}
+	}
+	writeJSON(w, snap)
+}
+
+func (cp *ControlPlane) trace(w http.ResponseWriter, r *http.Request) {
+	service := r.URL.Query().Get("service")
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "tree":
+		tree := cp.tracer.Tree(service)
+		if tree == nil {
+			tree = []*trace.SpanNode{}
+		}
+		writeJSON(w, tree)
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if cp.tracer == nil {
+			return
+		}
+		j := cp.tracer.Journal()
+		if service != "" {
+			for _, e := range j.ByService(service) {
+				b, err := json.Marshal(e)
+				if err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+					return
+				}
+				w.Write(append(b, '\n'))
+			}
+			return
+		}
+		if err := j.WriteJSONL(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (want tree or jsonl)", format), http.StatusBadRequest)
+	}
+}
+
+func (cp *ControlPlane) healthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,167 @@
+package fleet
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/workloads/sqldb"
+)
+
+// newTestPlane stands up a one-service fleet, runs a one-round wave,
+// and returns the control plane handler over its live state.
+func newTestPlane(t *testing.T) (http.Handler, *Manager, *trace.Tracer) {
+	t.Helper()
+	db, err := sqldb.Build(sqldb.Small())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(trace.Options{})
+	reg := telemetry.NewRegistry()
+	m, err := NewManager(Config{
+		MaxRounds: 1, SkipGate: true, Tracer: tr, Metrics: reg,
+		ProfileDur: 0.0008, Warm: 0.0003, Window: 0.0004,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.AddService(ServicePlan{Name: "svc", Workload: db, Input: "read_only", Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Proc.RunFor(0.0004)
+	m.Optimize(m.Scan(m.Config().Window))
+	return NewControlPlane(m, reg, tr).Handler(), m, tr
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+func TestControlPlaneHealthz(t *testing.T) {
+	h, _, _ := newTestPlane(t)
+	rec := get(t, h, "/healthz")
+	if rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "ok" {
+		t.Errorf("healthz = %d %q", rec.Code, rec.Body.String())
+	}
+}
+
+func TestControlPlaneMetrics(t *testing.T) {
+	h, _, _ := newTestPlane(t)
+	rec := get(t, h, "/metrics")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("metrics content type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE fleet_rounds_total counter",
+		"fleet_services 1",
+		"# TYPE core_stage_seconds summary",
+		`core_stage_seconds{stage="profile",quantile="0.5"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestControlPlaneServices(t *testing.T) {
+	h, m, _ := newTestPlane(t)
+	rec := get(t, h, "/services")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("services status = %d", rec.Code)
+	}
+	var got []ServiceStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("services not JSON: %v\n%s", err, rec.Body.String())
+	}
+	want := m.Snapshot()
+	if len(got) != len(want) || got[0].Name != "svc" || got[0].Version != want[0].Version {
+		t.Errorf("services = %+v, want %+v", got, want)
+	}
+	// State round-trips by name in the raw document.
+	if !strings.Contains(rec.Body.String(), `"state": "`+want[0].State.String()+`"`) {
+		t.Errorf("state not named in %s", rec.Body.String())
+	}
+}
+
+func TestControlPlaneTrace(t *testing.T) {
+	h, _, tr := newTestPlane(t)
+
+	rec := get(t, h, "/trace?service=svc")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("trace status = %d", rec.Code)
+	}
+	var tree []*trace.SpanNode
+	if err := json.Unmarshal(rec.Body.Bytes(), &tree); err != nil {
+		t.Fatalf("trace not JSON: %v", err)
+	}
+	if len(tree) != 1 || tree[0].Name != "service" || len(tree[0].Children) == 0 {
+		t.Errorf("trace tree = %s", rec.Body.String())
+	}
+
+	// Unknown service: empty tree, not an error.
+	rec = get(t, h, "/trace?service=nope")
+	if rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Errorf("unknown-service trace = %d %q", rec.Code, rec.Body.String())
+	}
+
+	// JSONL journal: one event per line, count matches the journal.
+	rec = get(t, h, "/trace?format=jsonl")
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if want := tr.Journal().Len(); len(lines) != want {
+		t.Errorf("jsonl has %d lines, journal %d", len(lines), want)
+	}
+	var ev trace.Event
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("jsonl line not JSON: %v", err)
+	}
+	if ev.Seq == 0 {
+		t.Errorf("first event has no sequence number: %+v", ev)
+	}
+
+	rec = get(t, h, "/trace?format=yaml")
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("bad format status = %d", rec.Code)
+	}
+}
+
+func TestControlPlaneRejectsNonGet(t *testing.T) {
+	h, _, _ := newTestPlane(t)
+	for _, path := range []string{"/metrics", "/services", "/trace", "/healthz"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, strings.NewReader("x")))
+		if rec.Code != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s = %d, want 405", path, rec.Code)
+		}
+		if allow := rec.Header().Get("Allow"); allow != http.MethodGet {
+			t.Errorf("POST %s Allow = %q", path, allow)
+		}
+	}
+}
+
+func TestControlPlaneEmptySources(t *testing.T) {
+	h := NewControlPlane(nil, nil, nil).Handler()
+	if rec := get(t, h, "/metrics"); rec.Code != http.StatusOK || rec.Body.Len() != 0 {
+		t.Errorf("nil metrics = %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, h, "/services"); rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Errorf("nil services = %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, h, "/trace"); rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Errorf("nil trace = %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("nil healthz = %d", rec.Code)
+	}
+}

@@ -1,0 +1,103 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// MarshalJSON renders lifecycle states by name, so snapshots read as
+// "Steady" rather than an enum ordinal.
+func (s State) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON accepts the state names MarshalJSON produces, so
+// /services documents round-trip through consumers.
+func (s *State) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for st := Idle; st <= Quarantined; st++ {
+		if st.String() == name {
+			*s = st
+			return nil
+		}
+	}
+	return fmt.Errorf("fleet: unknown state %q", name)
+}
+
+// ServiceStatus is the externally consumable snapshot of one managed
+// service: everything the report table, the control plane's /services
+// endpoint, and operators polling the fleet need, with JSON field names
+// stable across releases.
+type ServiceStatus struct {
+	Name     string `json:"name"`
+	State    State  `json:"state"`
+	Selected bool   `json:"selected"`
+	// FrontEnd is the TopDown front-end share from the scan (Figure 9's
+	// selection feature).
+	FrontEnd float64 `json:"frontend_share"`
+	// Version is the optimized code version the service serves on (0 =
+	// original code, including after a revert).
+	Version   int           `json:"version"`
+	Rounds    []RoundResult `json:"rounds,omitempty"`
+	Retries   int           `json:"retries"`
+	Rollbacks int           `json:"rollbacks"`
+	// Baseline is the pre-optimization steady-state throughput.
+	Baseline float64 `json:"baseline_throughput"`
+	// Speedup is the last round's speedup vs baseline (1.0 before any
+	// round lands and after a revert).
+	Speedup float64 `json:"speedup"`
+	// PauseSeconds is the total simulated stop-the-world time.
+	PauseSeconds float64   `json:"pause_seconds"`
+	LastErr      string    `json:"last_error,omitempty"`
+	AddedAt      time.Time `json:"added_at"`
+	UpdatedAt    time.Time `json:"updated_at"`
+}
+
+// Status snapshots one service under its lock.
+func (s *Service) Status() ServiceStatus {
+	s.mu.Lock()
+	st := ServiceStatus{
+		Name:      s.Name,
+		State:     s.state,
+		Selected:  s.selected,
+		FrontEnd:  s.topdown.FrontEnd,
+		Rounds:    append([]RoundResult(nil), s.rounds...),
+		Retries:   s.retries,
+		Rollbacks: s.rollbacks,
+		Baseline:  s.baseline.Throughput,
+		Speedup:   1,
+		AddedAt:   s.addedAt,
+		UpdatedAt: s.updatedAt,
+	}
+	if s.lastErr != nil {
+		st.LastErr = s.lastErr.Error()
+	}
+	s.mu.Unlock()
+	for _, rr := range st.Rounds {
+		st.PauseSeconds += rr.PauseSeconds
+	}
+	if n := len(st.Rounds); n > 0 && st.State != Reverted {
+		st.Version = st.Rounds[n-1].Version
+		st.Speedup = st.Rounds[n-1].Speedup
+	}
+	return st
+}
+
+// Snapshot captures the whole fleet, sorted by service name. It is safe
+// to call at any time, including mid-wave: each service is snapshotted
+// under its own lock. Every reporting surface — the text report, the
+// control plane's JSON endpoint — is built on top of it.
+func (m *Manager) Snapshot() []ServiceStatus {
+	services := m.Services()
+	out := make([]ServiceStatus, 0, len(services))
+	for _, s := range services {
+		out = append(out, s.Status())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

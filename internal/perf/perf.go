@@ -12,6 +12,7 @@ package perf
 import (
 	"repro/internal/cpu"
 	"repro/internal/proc"
+	"repro/internal/trace"
 )
 
 // Sample is one LBR snapshot: up to 32 consecutive taken branches.
@@ -33,6 +34,18 @@ func (r *RawProfile) Branches() int {
 		n += len(s.Records)
 	}
 	return n
+}
+
+// TraceAttrs summarizes the recording as span attributes: the profile
+// span on every optimization round carries the sample and branch counts
+// so a thin profile (the Figure 7 "not enough samples yet" failure mode)
+// is visible in the trace, not just in the final speedup.
+func (r *RawProfile) TraceAttrs() []trace.Attr {
+	return []trace.Attr{
+		trace.Int("samples", len(r.Samples)),
+		trace.Int("branches", r.Branches()),
+		trace.Float("profile_seconds", r.Seconds),
+	}
 }
 
 // RecorderOptions tunes the sampling session.

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): a `# TYPE` line per metric family, then one
+// sample line per series. Counters and gauges map directly; histograms —
+// which retain exact samples — are exposed as summaries: per-series
+// p50/p95 quantile gauges plus the standard `_sum` and `_count` samples.
+// Output order matches Snapshot (base name, then label values), so a
+// fixed registry produces byte-identical exposition — the golden test
+// pins it.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	points := r.Snapshot()
+	var lastName string
+	for _, p := range points {
+		if p.Name != lastName {
+			typ := "counter"
+			switch p.Kind {
+			case KindGauge:
+				typ = "gauge"
+			case KindHistogram:
+				typ = "summary"
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", p.Name, typ); err != nil {
+				return err
+			}
+			lastName = p.Name
+		}
+		var err error
+		switch p.Kind {
+		case KindHistogram:
+			err = writeSummary(w, p)
+		default:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", p.Name, promLabels(p.Labels, "", ""), promFloat(p.Value))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSummary emits one histogram series as quantile samples plus
+// _sum/_count.
+func writeSummary(w io.Writer, p Point) error {
+	for _, q := range []struct {
+		q string
+		v float64
+	}{{"0.5", p.P50}, {"0.95", p.P95}, {"1", p.Max}} {
+		if _, err := fmt.Fprintf(w, "%s%s %s\n",
+			p.Name, promLabels(p.Labels, "quantile", q.q), promFloat(q.v)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", p.Name, promLabels(p.Labels, "", ""), promFloat(p.Value)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", p.Name, promLabels(p.Labels, "", ""), p.Count)
+	return err
+}
+
+// promLabels renders a label set (plus an optional extra pair, used for
+// the summary quantile label) as `{k="v",...}`, or "" when empty.
+func promLabels(labels []LabelPair, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(l.Value))
+		b.WriteByte('"')
+	}
+	if extraKey != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraKey)
+		b.WriteString(`="`)
+		b.WriteString(promEscape(extraVal))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// promFloat formats a sample value the way Prometheus clients do.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

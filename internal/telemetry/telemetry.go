@@ -11,6 +11,7 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -132,8 +133,11 @@ func (h *Histogram) Mean() float64 {
 	return h.sum / float64(len(h.samples))
 }
 
-// Quantile returns the p-th quantile (0 ≤ p ≤ 1) by nearest rank over
-// the exact sample set (0 when empty).
+// Quantile returns the p-th quantile (0 ≤ p ≤ 1) by ceil nearest rank
+// over the exact sample set (0 when empty): the sorted sample at index
+// ⌈p·(n-1)⌉, i.e. the smallest retained observation at or above the
+// requested rank. Truncating instead of ceiling here underreported every
+// quantile that fell between ranks (p=0.5 over [1,2] came back 1).
 func (h *Histogram) Quantile(p float64) float64 {
 	h.mu.Lock()
 	tmp := append([]float64(nil), h.samples...)
@@ -148,7 +152,10 @@ func (h *Histogram) Quantile(p float64) float64 {
 	if p > 1 {
 		p = 1
 	}
-	idx := int(p * float64(len(tmp)-1))
+	idx := int(math.Ceil(p * float64(len(tmp)-1)))
+	if idx > len(tmp)-1 {
+		idx = len(tmp) - 1
+	}
 	return tmp[idx]
 }
 
@@ -171,6 +178,13 @@ func NewRegistry() *Registry {
 // Label("fleet_rounds_total", "service", "sqldb") →
 // "fleet_rounds_total{service=sqldb}". Pairs are rendered in the order
 // given; pass them consistently to hit the same series.
+//
+// Deprecated: Label smashes labels into the flat metric name, which
+// defeats per-label aggregation and Prometheus exposition. Use the
+// structured vectors instead: Registry.CounterVec(name,
+// keys...).With(values...) (and the gauge/histogram equivalents). The
+// shim stays only so rendered series names remain readable and pinned by
+// test; no call site outside this package and its tests may use it.
 func Label(name string, kv ...string) string {
 	if len(kv) == 0 {
 		return name
@@ -228,18 +242,204 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return lookup(r, name, func() *Histogram { return &Histogram{} })
 }
 
-// Point is one metric's snapshot. Value carries the counter/gauge value;
-// the distribution fields are populated for histograms only.
+// ---- structured metric vectors ----------------------------------------
+
+// LabelPair is one label key/value on a metric series.
+type LabelPair struct {
+	Key, Value string
+}
+
+// vec is the shared machinery behind the typed vectors: one metric
+// family (a base name plus a fixed, ordered label-key set) fanning out to
+// child metrics per label-value tuple.
+type vec[M any] struct {
+	name string
+	keys []string
+
+	mu       sync.Mutex
+	children map[string]*M
+	values   map[string][]string
+}
+
+// childKey joins a value tuple into a map key. 0x1f (unit separator)
+// cannot appear in sane label values and keeps distinct tuples distinct.
+func childKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// with returns (creating if needed) the child metric for the given label
+// values, which must match the vector's key count.
+func (v *vec[M]) with(mk func() *M, values []string) *M {
+	if len(values) != len(v.keys) {
+		panic(fmt.Sprintf("telemetry: metric %q has label keys %v; got %d value(s) %v",
+			v.name, v.keys, len(values), values))
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.children == nil {
+		v.children = make(map[string]*M)
+		v.values = make(map[string][]string)
+	}
+	k := childKey(values)
+	if m, ok := v.children[k]; ok {
+		return m
+	}
+	m := mk()
+	v.children[k] = m
+	v.values[k] = append([]string(nil), values...)
+	return m
+}
+
+// series returns every child with its label pairs, sorted by value tuple
+// so snapshots and exposition are stable.
+func (v *vec[M]) series() []struct {
+	labels []LabelPair
+	m      *M
+} {
+	v.mu.Lock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]struct {
+		labels []LabelPair
+		m      *M
+	}, 0, len(keys))
+	for _, k := range keys {
+		vals := v.values[k]
+		labels := make([]LabelPair, len(v.keys))
+		for i, lk := range v.keys {
+			labels[i] = LabelPair{Key: lk, Value: vals[i]}
+		}
+		out = append(out, struct {
+			labels []LabelPair
+			m      *M
+		}{labels, v.children[k]})
+	}
+	v.mu.Unlock()
+	return out
+}
+
+// CounterVec is a counter family keyed by a fixed set of labels.
+type CounterVec struct{ v vec[Counter] }
+
+// With returns the counter for the given label values (in key order).
+func (c *CounterVec) With(values ...string) *Counter {
+	return c.v.with(func() *Counter { return &Counter{} }, values)
+}
+
+// GaugeVec is a gauge family keyed by a fixed set of labels.
+type GaugeVec struct{ v vec[Gauge] }
+
+// With returns the gauge for the given label values (in key order).
+func (g *GaugeVec) With(values ...string) *Gauge {
+	return g.v.with(func() *Gauge { return &Gauge{} }, values)
+}
+
+// HistogramVec is a histogram family keyed by a fixed set of labels.
+type HistogramVec struct{ v vec[Histogram] }
+
+// With returns the histogram for the given label values (in key order).
+func (h *HistogramVec) With(values ...string) *Histogram {
+	return h.v.with(func() *Histogram { return &Histogram{} }, values)
+}
+
+// checkKeys panics when a vector name is reused with a different label
+// schema — the vector analog of lookup's type check.
+func checkKeys(name string, have, want []string) {
+	if len(have) == len(want) {
+		same := true
+		for i := range have {
+			if have[i] != want[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return
+		}
+	}
+	panic(fmt.Sprintf("telemetry: metric %q reused with label keys %v (have %v)", name, want, have))
+}
+
+// CounterVec returns (creating if needed) the counter vector with the
+// given name and label keys. Label ordering is fixed at first use.
+func (r *Registry) CounterVec(name string, keys ...string) *CounterVec {
+	v := lookup(r, name, func() *CounterVec { return &CounterVec{v: vec[Counter]{name: name, keys: keys}} })
+	checkKeys(name, v.v.keys, keys)
+	return v
+}
+
+// GaugeVec returns (creating if needed) the gauge vector with the given
+// name and label keys.
+func (r *Registry) GaugeVec(name string, keys ...string) *GaugeVec {
+	v := lookup(r, name, func() *GaugeVec { return &GaugeVec{v: vec[Gauge]{name: name, keys: keys}} })
+	checkKeys(name, v.v.keys, keys)
+	return v
+}
+
+// HistogramVec returns (creating if needed) the histogram vector with
+// the given name and label keys.
+func (r *Registry) HistogramVec(name string, keys ...string) *HistogramVec {
+	v := lookup(r, name, func() *HistogramVec { return &HistogramVec{v: vec[Histogram]{name: name, keys: keys}} })
+	checkKeys(name, v.v.keys, keys)
+	return v
+}
+
+// ---- snapshots ---------------------------------------------------------
+
+// Point is one series' snapshot. Name is the base metric name; Labels
+// carries the label pairs for vector children (nil for plain metrics).
+// Value holds the counter/gauge value; the distribution fields are
+// populated for histograms only.
 type Point struct {
-	Name  string
-	Kind  Kind
-	Value float64 // counter/gauge value; histogram sum
+	Name   string
+	Labels []LabelPair
+	Kind   Kind
+	Value  float64 // counter/gauge value; histogram sum
 
 	Count               int
 	Mean, P50, P95, Max float64
 }
 
-// Snapshot returns every metric's current state, sorted by name.
+// Series renders the full series name, labels included — the flat string
+// the deprecated Label convention used to produce.
+func (p Point) Series() string {
+	if len(p.Labels) == 0 {
+		return p.Name
+	}
+	kv := make([]string, 0, len(p.Labels)*2)
+	for _, l := range p.Labels {
+		kv = append(kv, l.Key, l.Value)
+	}
+	return Label(p.Name, kv...)
+}
+
+// point builds one Point from a scalar metric.
+func point(name string, labels []LabelPair, m any) Point {
+	switch m := m.(type) {
+	case *Counter:
+		return Point{Name: name, Labels: labels, Kind: KindCounter, Value: m.Value()}
+	case *Gauge:
+		return Point{Name: name, Labels: labels, Kind: KindGauge, Value: m.Value()}
+	case *Histogram:
+		return Point{
+			Name:   name,
+			Labels: labels,
+			Kind:   KindHistogram,
+			Value:  m.Sum(),
+			Count:  m.Count(),
+			Mean:   m.Mean(),
+			P50:    m.Quantile(0.50),
+			P95:    m.Quantile(0.95),
+			Max:    m.Quantile(1),
+		}
+	}
+	panic(fmt.Sprintf("telemetry: unknown metric type %T", m))
+}
+
+// Snapshot returns every series' current state, sorted by base name and
+// then by label values — a stable order for reports, exposition, and
+// golden tests. Vector families expand to one Point per child series.
 func (r *Registry) Snapshot() []Point {
 	if r == nil {
 		return nil
@@ -256,21 +456,20 @@ func (r *Registry) Snapshot() []Point {
 	out := make([]Point, 0, len(names))
 	for i, name := range names {
 		switch m := metrics[i].(type) {
-		case *Counter:
-			out = append(out, Point{Name: name, Kind: KindCounter, Value: m.Value()})
-		case *Gauge:
-			out = append(out, Point{Name: name, Kind: KindGauge, Value: m.Value()})
-		case *Histogram:
-			out = append(out, Point{
-				Name:  name,
-				Kind:  KindHistogram,
-				Value: m.Sum(),
-				Count: m.Count(),
-				Mean:  m.Mean(),
-				P50:   m.Quantile(0.50),
-				P95:   m.Quantile(0.95),
-				Max:   m.Quantile(1),
-			})
+		case *CounterVec:
+			for _, s := range m.v.series() {
+				out = append(out, point(name, s.labels, s.m))
+			}
+		case *GaugeVec:
+			for _, s := range m.v.series() {
+				out = append(out, point(name, s.labels, s.m))
+			}
+		case *HistogramVec:
+			for _, s := range m.v.series() {
+				out = append(out, point(name, s.labels, s.m))
+			}
+		default:
+			out = append(out, point(name, nil, m))
 		}
 	}
 	return out
@@ -288,16 +487,16 @@ func (s *pointSorter) Swap(i, j int) {
 	s.metrics[i], s.metrics[j] = s.metrics[j], s.metrics[i]
 }
 
-// WriteReport renders a human-readable dump of every metric, one line
+// WriteReport renders a human-readable dump of every series, one line
 // each, sorted by name — the format cmd/fleetd emits.
 func (r *Registry) WriteReport(w io.Writer) {
 	for _, p := range r.Snapshot() {
 		switch p.Kind {
 		case KindHistogram:
 			fmt.Fprintf(w, "%-52s count=%-5d mean=%-12.6g p50=%-12.6g p95=%-12.6g max=%.6g\n",
-				p.Name, p.Count, p.Mean, p.P50, p.P95, p.Max)
+				p.Series(), p.Count, p.Mean, p.P50, p.P95, p.Max)
 		default:
-			fmt.Fprintf(w, "%-52s %.6g\n", p.Name, p.Value)
+			fmt.Fprintf(w, "%-52s %.6g\n", p.Series(), p.Value)
 		}
 	}
 }

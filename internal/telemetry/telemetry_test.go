@@ -67,8 +67,9 @@ func TestHistogramQuantiles(t *testing.T) {
 	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
 		t.Errorf("mean = %v, want 50.5", got)
 	}
+	// Ceil nearest-rank: index ⌈p·(n-1)⌉ of the sorted samples.
 	for _, tc := range []struct{ p, want float64 }{
-		{0, 1}, {0.5, 50}, {0.95, 95}, {1, 100},
+		{0, 1}, {0.5, 51}, {0.95, 96}, {1, 100},
 	} {
 		if got := h.Quantile(tc.p); got != tc.want {
 			t.Errorf("q(%v) = %v, want %v", tc.p, got, tc.want)
@@ -77,6 +78,40 @@ func TestHistogramQuantiles(t *testing.T) {
 	// Out-of-range p clamps instead of panicking.
 	if got := h.Quantile(2); got != 100 {
 		t.Errorf("q(2) = %v, want 100", got)
+	}
+	if got := h.Quantile(-1); got != 1 {
+		t.Errorf("q(-1) = %v, want 1", got)
+	}
+}
+
+// TestQuantileCeilNearestRank pins the ceil semantics on small sample
+// sets — the truncation bug returned 1 for the median of [1,2].
+func TestQuantileCeilNearestRank(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		samples []float64
+		p       float64
+		want    float64
+	}{
+		{"median-of-two", []float64{1, 2}, 0.5, 2},
+		{"median-of-two-reversed-insert", []float64{2, 1}, 0.5, 2},
+		{"median-of-three", []float64{3, 1, 2}, 0.5, 2},
+		{"median-of-four", []float64{4, 1, 3, 2}, 0.5, 3},
+		{"p25-of-four", []float64{10, 20, 30, 40}, 0.25, 20},
+		{"p75-of-four", []float64{10, 20, 30, 40}, 0.75, 40},
+		{"p95-of-two", []float64{1, 2}, 0.95, 2},
+		{"p0-of-two", []float64{1, 2}, 0, 1},
+		{"single", []float64{7}, 0.5, 7},
+		{"single-max", []float64{7}, 1, 7},
+		{"exact-rank", []float64{1, 2, 3, 4, 5}, 0.5, 3},
+	} {
+		var h Histogram
+		for _, v := range tc.samples {
+			h.Observe(v)
+		}
+		if got := h.Quantile(tc.p); got != tc.want {
+			t.Errorf("%s: q(%v) over %v = %v, want %v", tc.name, tc.p, tc.samples, got, tc.want)
+		}
 	}
 }
 
@@ -87,6 +122,9 @@ func TestEmptyHistogram(t *testing.T) {
 	}
 }
 
+// TestLabel pins the deprecated shim's output: Point.Series and the
+// human-readable report still render series through it, so its format is
+// load-bearing even with no metric call sites left.
 func TestLabel(t *testing.T) {
 	if got := Label("x_total"); got != "x_total" {
 		t.Errorf("bare name mangled: %q", got)
@@ -94,6 +132,131 @@ func TestLabel(t *testing.T) {
 	got := Label("x_total", "service", "db", "stage", "replace")
 	if got != "x_total{service=db,stage=replace}" {
 		t.Errorf("labeled name = %q", got)
+	}
+	// Odd trailing key is dropped, not rendered half-formed.
+	if got := Label("x", "k"); got != "x{}" {
+		t.Errorf("odd pair list = %q", got)
+	}
+}
+
+func TestCounterVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("stage_errors_total", "stage")
+	v.With("profile").Inc()
+	v.With("replace").Add(2)
+	v.With("profile").Inc()
+
+	if got := v.With("profile").Value(); got != 2 {
+		t.Errorf("profile series = %v, want 2", got)
+	}
+	// Same name returns the same family; children are shared.
+	if got := r.CounterVec("stage_errors_total", "stage").With("replace").Value(); got != 2 {
+		t.Errorf("replace series = %v, want 2", got)
+	}
+
+	pts := r.Snapshot()
+	if len(pts) != 2 {
+		t.Fatalf("snapshot has %d points, want 2", len(pts))
+	}
+	// Children sorted by label value; Series() renders the flat name the
+	// deprecated Label convention produced.
+	if pts[0].Series() != "stage_errors_total{stage=profile}" ||
+		pts[1].Series() != "stage_errors_total{stage=replace}" {
+		t.Errorf("series = %q, %q", pts[0].Series(), pts[1].Series())
+	}
+	if pts[0].Labels[0] != (LabelPair{"stage", "profile"}) {
+		t.Errorf("labels = %+v", pts[0].Labels)
+	}
+}
+
+func TestGaugeAndHistogramVec(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("inflight", "service").With("db").Set(3)
+	hv := r.HistogramVec("stage_seconds", "service", "stage")
+	hv.With("db", "replace").Observe(1)
+	hv.With("db", "replace").Observe(3)
+
+	pts := r.Snapshot()
+	if len(pts) != 2 {
+		t.Fatalf("snapshot has %d points", len(pts))
+	}
+	if pts[0].Kind != KindGauge || pts[0].Value != 3 {
+		t.Errorf("gauge point: %+v", pts[0])
+	}
+	h := pts[1]
+	if h.Kind != KindHistogram || h.Count != 2 || h.Value != 4 || h.Max != 3 {
+		t.Errorf("histogram point: %+v", h)
+	}
+	if h.Series() != "stage_seconds{service=db,stage=replace}" {
+		t.Errorf("series = %q", h.Series())
+	}
+}
+
+func TestVecMisuse(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("v_total", "a", "b")
+	// Wrong arity.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("wrong With arity should panic")
+			}
+		}()
+		r.CounterVec("v_total", "a", "b").With("only-one")
+	}()
+	// Same name, different keys.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("key-set mismatch should panic")
+			}
+		}()
+		r.CounterVec("v_total", "a")
+	}()
+	// Same name, different vector type.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("type mismatch should panic")
+			}
+		}()
+		r.GaugeVec("v_total", "a", "b")
+	}()
+}
+
+func TestNilRegistryVecsAreSinks(t *testing.T) {
+	var r *Registry
+	r.CounterVec("a", "k").With("v").Inc()
+	r.GaugeVec("b", "k").With("v").Set(1)
+	r.HistogramVec("c", "k").With("v").Observe(1)
+	if pts := r.Snapshot(); pts != nil {
+		t.Errorf("nil registry snapshot = %v", pts)
+	}
+}
+
+func TestConcurrentVecs(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 500
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			stage := "even"
+			if id%2 == 1 {
+				stage = "odd"
+			}
+			for j := 0; j < perWorker; j++ {
+				r.CounterVec("vec_total", "stage").With(stage).Inc()
+				r.HistogramVec("vec_seconds", "stage").With(stage).Observe(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	v := r.CounterVec("vec_total", "stage")
+	if got := v.With("even").Value() + v.With("odd").Value(); got != workers*perWorker {
+		t.Errorf("vec total = %v, want %d", got, workers*perWorker)
 	}
 }
 

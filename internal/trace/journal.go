@@ -1,0 +1,335 @@
+// Package trace is the observability substrate the fleet layer watches
+// itself through: hierarchical spans over every optimization-pipeline
+// stage and a bounded, ordered journal of typed events. The paper's §V
+// deployment story — a data center continuously re-optimizing long-running
+// services — only works if the optimizer itself is observable; BOLT's
+// authors make the same point about always-on profiling infrastructure,
+// and the record-and-replay line of work shows how much debugging power a
+// durable, ordered event log buys. Spans answer "where did this round
+// spend its time and did it fail"; the journal answers "what happened, in
+// what order" — rollbacks, verify failures, quarantine trips, reverts,
+// injected faults — and can be dumped as JSONL or asserted on in tests.
+//
+// A nil *Tracer (and the nil *Span it hands out) is a valid no-op sink,
+// mirroring telemetry's nil *Registry, so instrumentation can publish
+// unconditionally.
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// EventType discriminates journal entries.
+type EventType int
+
+const (
+	// EvSpanStart / EvSpanEnd bracket every span in the journal, so the
+	// journal alone carries a total order over the span tree.
+	EvSpanStart EventType = iota
+	EvSpanEnd
+	// EvRollback: a transactional replacement failed and its write journal
+	// was replayed; the "op_index" attribute is the tracee operation index
+	// the round died at.
+	EvRollback
+	// EvVerifyFail: the pre-resume verifier rejected a replacement.
+	EvVerifyFail
+	// EvQuarantine: the fleet's replace-rollback circuit breaker tripped.
+	EvQuarantine
+	// EvRevert: a service was restored to C0.
+	EvRevert
+	// EvFaultInjected: a test fault hook failed an operation on purpose.
+	EvFaultInjected
+	// EvTransition: a service moved to a new lifecycle state.
+	EvTransition
+	// EvRetry: a lifecycle stage attempt failed and will be retried.
+	EvRetry
+	// EvBackoff: the retry loop slept before the next attempt.
+	EvBackoff
+)
+
+var eventTypeNames = [...]string{
+	EvSpanStart:     "span_start",
+	EvSpanEnd:       "span_end",
+	EvRollback:      "rollback",
+	EvVerifyFail:    "verify_fail",
+	EvQuarantine:    "quarantine",
+	EvRevert:        "revert",
+	EvFaultInjected: "fault_injected",
+	EvTransition:    "transition",
+	EvRetry:         "retry",
+	EvBackoff:       "backoff",
+}
+
+func (t EventType) String() string {
+	if int(t) < len(eventTypeNames) {
+		return eventTypeNames[t]
+	}
+	return fmt.Sprintf("EventType(%d)", int(t))
+}
+
+// MarshalJSON renders the type as its string name, so JSONL dumps stay
+// readable and stable across constant reordering.
+func (t EventType) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.String())
+}
+
+// UnmarshalJSON accepts the string names MarshalJSON produces, so
+// journal dumps round-trip through consumers.
+func (t *EventType) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	for i, n := range eventTypeNames {
+		if n == name {
+			*t = EventType(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("trace: unknown event type %q", name)
+}
+
+// Attr is one key/value annotation on a span or event.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String, Int, Float, and Bool are the attribute constructors the
+// instrumentation sites use.
+func String(k, v string) Attr        { return Attr{Key: k, Value: v} }
+func Int(k string, v int) Attr       { return Attr{Key: k, Value: int64(v)} }
+func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+func Bool(k string, v bool) Attr     { return Attr{Key: k, Value: v} }
+
+// Attrs is an ordered attribute list; it marshals as a JSON object in
+// list order.
+type Attrs []Attr
+
+// MarshalJSON renders the list as an object, preserving attribute order.
+func (a Attrs) MarshalJSON() ([]byte, error) {
+	var b []byte
+	b = append(b, '{')
+	for i, at := range a {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		k, err := json.Marshal(at.Key)
+		if err != nil {
+			return nil, err
+		}
+		v, err := json.Marshal(at.Value)
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, k...)
+		b = append(b, ':')
+		b = append(b, v...)
+	}
+	return append(b, '}'), nil
+}
+
+// UnmarshalJSON decodes an object back into an ordered attribute list,
+// preserving key order. Numbers decode as int64 when integral, float64
+// otherwise, matching what the constructors store.
+func (a *Attrs) UnmarshalJSON(b []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.UseNumber()
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if tok == nil { // JSON null
+		*a = nil
+		return nil
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return fmt.Errorf("trace: attrs must be a JSON object, got %v", tok)
+	}
+	var out Attrs
+	for dec.More() {
+		kt, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		key, ok := kt.(string)
+		if !ok {
+			return fmt.Errorf("trace: non-string attr key %v", kt)
+		}
+		var v any
+		if err := dec.Decode(&v); err != nil {
+			return err
+		}
+		if n, ok := v.(json.Number); ok {
+			if i, err := n.Int64(); err == nil {
+				v = i
+			} else if f, err := n.Float64(); err == nil {
+				v = f
+			}
+		}
+		out = append(out, Attr{Key: key, Value: v})
+	}
+	*a = out
+	return nil
+}
+
+// Get returns the value of the named attribute.
+func (a Attrs) Get(key string) (any, bool) {
+	for _, at := range a {
+		if at.Key == key {
+			return at.Value, true
+		}
+	}
+	return nil, false
+}
+
+// Int returns the named attribute coerced to int64 (false if absent or
+// not numeric).
+func (a Attrs) Int(key string) (int64, bool) {
+	v, ok := a.Get(key)
+	if !ok {
+		return 0, false
+	}
+	switch n := v.(type) {
+	case int64:
+		return n, true
+	case int:
+		return int64(n), true
+	case uint64:
+		return int64(n), true
+	case float64:
+		return int64(n), true
+	}
+	return 0, false
+}
+
+// Event is one journal entry. Seq is assigned by the journal and is the
+// total order over everything the tracer observed — span starts and ends
+// included — so "the rollback happened after the third verify read" is a
+// checkable statement.
+type Event struct {
+	Seq     uint64    `json:"seq"`
+	Type    EventType `json:"type"`
+	Service string    `json:"service,omitempty"`
+	Round   int       `json:"round,omitempty"`
+	Stage   string    `json:"stage,omitempty"`
+	Span    uint64    `json:"span,omitempty"` // owning span ID, 0 if none
+	Err     string    `json:"err,omitempty"`
+	Attrs   Attrs     `json:"attrs,omitempty"`
+}
+
+// DefaultJournalCap bounds the journal when Options.JournalCap is unset.
+const DefaultJournalCap = 4096
+
+// Journal is a bounded ring of events. When full, the oldest entries are
+// dropped (and counted); sequence numbers keep increasing, so a gap at
+// the front of Events() is visible as seq(first) > dropped evidence.
+type Journal struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int    // index of the oldest entry
+	n       int    // live entries
+	seq     uint64 // total events ever appended
+	dropped uint64
+}
+
+// NewJournal returns a journal holding at most capacity events
+// (DefaultJournalCap if capacity <= 0).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCap
+	}
+	return &Journal{buf: make([]Event, capacity)}
+}
+
+// Append assigns the next sequence number to e and stores it, evicting
+// the oldest entry when full. It returns the stored event. A nil journal
+// is a no-op sink.
+func (j *Journal) Append(e Event) Event {
+	if j == nil {
+		return e
+	}
+	j.mu.Lock()
+	j.seq++
+	e.Seq = j.seq
+	if j.n == len(j.buf) {
+		j.buf[j.start] = e
+		j.start = (j.start + 1) % len(j.buf)
+		j.dropped++
+	} else {
+		j.buf[(j.start+j.n)%len(j.buf)] = e
+		j.n++
+	}
+	j.mu.Unlock()
+	return e
+}
+
+// Len returns the number of retained events.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.n
+}
+
+// Dropped returns how many events the ring evicted.
+func (j *Journal) Dropped() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// Events returns the retained events in sequence order.
+func (j *Journal) Events() []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Event, 0, j.n)
+	for i := 0; i < j.n; i++ {
+		out = append(out, j.buf[(j.start+i)%len(j.buf)])
+	}
+	return out
+}
+
+// Filter returns the retained events the predicate accepts, in order.
+func (j *Journal) Filter(pred func(Event) bool) []Event {
+	var out []Event
+	for _, e := range j.Events() {
+		if pred(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByType returns the retained events of one type, in order.
+func (j *Journal) ByType(t EventType) []Event {
+	return j.Filter(func(e Event) bool { return e.Type == t })
+}
+
+// ByService returns the retained events of one service, in order.
+func (j *Journal) ByService(name string) []Event {
+	return j.Filter(func(e Event) bool { return e.Service == name })
+}
+
+// WriteJSONL dumps the retained events, one JSON object per line.
+func (j *Journal) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w) // Encode appends the newline
+	for _, e := range j.Events() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -51,4 +51,30 @@ go test -run TestCycleExactEngineEquivalence ./internal/diffcheck
 echo "== go test -bench BenchmarkStep -benchtime 1x"
 go test -run '^$' -bench BenchmarkStep -benchtime 1x .
 
+# Control-plane smoke (see docs/observability.md): boot the real fleetd
+# with an ephemeral-port HTTP control plane and a minimal wave, scrape
+# /healthz and /metrics while it runs, then shut it down with SIGTERM
+# and require a clean exit.
+echo "== fleetd -serve smoke"
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+go build -o "$tmpdir/fleetd" ./cmd/fleetd
+"$tmpdir/fleetd" -serve 127.0.0.1:0 -replicas 1 -rounds 1 >"$tmpdir/log" 2>&1 &
+fleetd_pid=$!
+addr=
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's,.*serving control plane on http://,,p' "$tmpdir/log")
+    [ -n "$addr" ] && break
+    kill -0 "$fleetd_pid" 2>/dev/null || { cat "$tmpdir/log"; echo "fleetd exited before serving"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { cat "$tmpdir/log"; echo "fleetd never printed its address"; exit 1; }
+curl -sf "http://$addr/healthz" | grep -q '^ok$' || { echo "/healthz failed"; exit 1; }
+curl -sf "http://$addr/metrics" >"$tmpdir/metrics" || { echo "/metrics failed"; exit 1; }
+grep -q '^fleet_services ' "$tmpdir/metrics" || { cat "$tmpdir/metrics"; echo "fleet_services missing from /metrics"; exit 1; }
+curl -sf "http://$addr/services" >/dev/null || { echo "/services failed"; exit 1; }
+kill -TERM "$fleetd_pid"
+wait "$fleetd_pid" || { cat "$tmpdir/log"; echo "fleetd did not exit cleanly"; exit 1; }
+echo "control plane smoke OK ($addr)"
+
 echo "CI OK"
