@@ -17,13 +17,22 @@
 // or, once the wave completes, until shut down.
 //
 // Run with: go run ./cmd/fleetd [-full] [-replicas N] [-rounds N] [-serve :8080]
+//
+// -record journals the wave's nondeterminism (wall-clock reads, backoff
+// jitter, perf deadlines, fault decisions, per-service state-hash
+// checkpoints); while recording, the wave is serialized (one worker, one
+// pause). -replay re-executes a recorded wave from the journal alone —
+// the fleet flags come from the journal's meta header — and requires a
+// byte-identical re-recorded journal (docs/replay.md).
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"os"
@@ -33,6 +42,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/replay"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workloads/docdb"
@@ -40,6 +50,18 @@ import (
 	"repro/internal/workloads/sqldb"
 	"repro/internal/workloads/wl"
 )
+
+// fleetMeta is the journal meta header: the flag set that rebuilds the
+// recorded fleet bit-for-bit.
+func fleetMeta(full bool, replicas, rounds int, revertBelow float64) []trace.Attr {
+	return []trace.Attr{
+		trace.String("kind", "fleetd"),
+		trace.Bool("full", full),
+		trace.Int("replicas", replicas),
+		trace.Int("rounds", rounds),
+		trace.Int("revert_below_bits", int(math.Float64bits(revertBelow))),
+	}
+}
 
 func main() {
 	var (
@@ -50,8 +72,48 @@ func main() {
 		rounds      = flag.Int("rounds", 2, "max optimization rounds per service")
 		revertBelow = flag.Float64("revert-below", 1.0, "revert to C0 below this speedup (0 disables)")
 		serve       = flag.String("serve", "", "serve the HTTP control plane on this address (e.g. :8080) while the wave runs")
+		record      = flag.String("record", "", "write the wave's nondeterminism journal to FILE (JSONL)")
+		replayPath  = flag.String("replay", "", "re-execute a recorded wave from FILE (fleet flags are ignored)")
 	)
 	flag.Parse()
+
+	var sess *replay.Session
+	var originalJournal []byte
+	if *replayPath != "" {
+		var err error
+		originalJournal, err = os.ReadFile(*replayPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		events, err := replay.Load(bytes.NewReader(originalJournal))
+		if err != nil {
+			log.Fatal(err)
+		}
+		meta, err := replay.MetaOf(events)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The journal header is the configuration of record.
+		fAny, _ := meta.Get("full")
+		*full, _ = fAny.(bool)
+		rp, _ := meta.Int("replicas")
+		*replicas = int(rp)
+		rd, _ := meta.Int("rounds")
+		*rounds = int(rd)
+		rb, ok := meta.Int("revert_below_bits")
+		if !ok {
+			log.Fatal("fleetd: journal meta has no revert_below_bits — not a fleetd recording")
+		}
+		*revertBelow = math.Float64frombits(uint64(rb))
+		if sess, err = replay.NewReplayer(events); err != nil {
+			log.Fatal(err)
+		}
+	} else if *record != "" {
+		sess = replay.NewRecorder(0)
+	}
+	if err := sess.Meta(fleetMeta(*full, *replicas, *rounds, *revertBelow)...); err != nil {
+		log.Fatal(err)
+	}
 
 	// Workload construction is the one shared-state step (binaries are
 	// immutable afterwards), so it stays sequential.
@@ -89,6 +151,7 @@ func main() {
 		RevertBelow: *revertBelow,
 		Metrics:     metrics,
 		Tracer:      tracer,
+		Replay:      sess, // an active session forces a serial wave
 	}
 	if !*full {
 		// Small-scale services: sub-millisecond windows, gate skipped so
@@ -155,6 +218,10 @@ func main() {
 	fmt.Printf("\nwave completed in %.2fs host time, peak concurrent pauses %d\n",
 		time.Since(t0).Seconds(), m.PeakPauses())
 
+	if err := finishSession(sess, *record, *replayPath, originalJournal); err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println("\ntelemetry:")
 	metrics.WriteReport(os.Stdout)
 
@@ -172,6 +239,39 @@ func main() {
 			log.Fatalf("fleetd: shutdown: %v", err)
 		}
 	}
+}
+
+// finishSession validates the wave's session and either writes the
+// recording or verifies the replay re-recorded byte-identically.
+func finishSession(sess *replay.Session, recordPath, replayPath string, original []byte) error {
+	if !sess.Active() {
+		return nil
+	}
+	if err := sess.Finish(); err != nil {
+		return err
+	}
+	if recordPath != "" {
+		f, err := os.Create(recordPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sess.WriteJSONL(f); err != nil {
+			return err
+		}
+		fmt.Printf("\nrecorded %d events to %s\n", len(sess.Events()), recordPath)
+		return nil
+	}
+	var rerecorded bytes.Buffer
+	if err := sess.WriteJSONL(&rerecorded); err != nil {
+		return err
+	}
+	if !bytes.Equal(original, rerecorded.Bytes()) {
+		return fmt.Errorf("replay verified all checkpoints but re-recorded journal is not byte-identical (%d vs %d bytes)",
+			len(original), rerecorded.Len())
+	}
+	fmt.Printf("\nreplay OK: %d events re-executed bit-identically from %s\n", sess.Journal().Len(), replayPath)
+	return nil
 }
 
 // serveControlPlane binds addr (which may be :0 for an ephemeral port),

@@ -32,6 +32,7 @@ import (
 	"repro/internal/obj"
 	"repro/internal/perf"
 	"repro/internal/proc"
+	"repro/internal/replay"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -154,6 +155,13 @@ type Options struct {
 	// uses it to abort a replacement at every possible point and assert
 	// the transactional rollback restores the target exactly.
 	FaultHook func(op string, n int) error
+
+	// Replay, when active, records or replays the controller's
+	// nondeterminism sources: perf sampling deadlines are routed through
+	// the session, FaultHook decisions are journaled (and journal-fed on
+	// replay), and every replace commit/rollback emits a StateHash
+	// checkpoint. See internal/replay and docs/replay.md.
+	Replay *replay.Session
 }
 
 // patchParallelism is the modeled fan-out of ParallelPatch.
@@ -204,6 +212,14 @@ func New(p *proc.Process, orig *obj.Binary, opts Options) (*Controller, error) {
 		return nil, fmt.Errorf("core: target binary %s is already bolted", orig.Name)
 	}
 	opts.Pause.defaults()
+	if opts.Replay.Active() {
+		// Route the controller's nondeterminism through the session: fault
+		// decisions (journaled when firing, journal-fed on replay) and perf
+		// sampling deadlines (always journaled — they are what makes two
+		// profiles of the same window differ).
+		opts.FaultHook = opts.Replay.FaultHook(opts.FaultHook)
+		opts.Perf.NextDeadline = opts.Replay.PerfDeadline(opts.Perf.DeadlineFunc())
+	}
 	c := &Controller{
 		p:         p,
 		orig:      orig,

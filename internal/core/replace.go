@@ -118,6 +118,13 @@ func (c *Controller) replace(nb *obj.Binary) (*ReplaceStats, error) {
 			sp.End(err)
 			return nil, err
 		}
+		// Round boundary: the rollback must land on the identical controller
+		// state in record and replay, or the session diverged.
+		if cerr := c.opts.Replay.Checkpoint("replace_rollback", c.StateHash(),
+			trace.Int("version", c.version)); cerr != nil {
+			sp.End(cerr)
+			return nil, cerr
+		}
 		sp.End(err)
 		return nil, err
 	}
@@ -170,6 +177,13 @@ func (c *Controller) replace(nb *obj.Binary) (*ReplaceStats, error) {
 		trace.Int("call_sites", stats.CallSitesPatched),
 		trace.Float("pause_seconds", stats.PauseSeconds),
 	)
+	// Round boundary: a committed replacement (or revert) must produce the
+	// identical controller state hash under replay.
+	if cerr := c.opts.Replay.Checkpoint("replace_commit", c.StateHash(),
+		trace.Int("version", c.version)); cerr != nil {
+		sp.End(cerr)
+		return nil, cerr
+	}
 	sp.End(nil)
 	return stats, nil
 }

@@ -20,6 +20,7 @@ import (
 	"repro/internal/obj"
 	"repro/internal/perf"
 	"repro/internal/proc"
+	"repro/internal/replay"
 	"repro/internal/trace"
 )
 
@@ -45,6 +46,12 @@ type FaultScenario struct {
 	SwitchAt []uint64
 	// ProfileWindow is the simulated profiling duration per round.
 	ProfileWindow float64
+
+	// MetaExtra is appended to a recorded run's session-meta event:
+	// callers record whatever identifies how the scenario was built
+	// (generator seed, workload target) so a shipped journal names its
+	// own reconstruction recipe.
+	MetaExtra trace.Attrs
 }
 
 // ScenarioFromTarget adapts a workload target into a sweepable scenario:
@@ -91,6 +98,11 @@ type SweepRun struct {
 	// RollbackDiffs lists every way a rollback failed to restore the
 	// pre-replace state exactly; empty on a correct transaction.
 	RollbackDiffs []string
+
+	// Session is the run's record/replay session (nil for a plain Run):
+	// the recording of this run's nondeterminism, or the re-recording
+	// produced while replaying a shipped journal.
+	Session *replay.Session
 }
 
 // Baseline runs the scenario's program with no controller attached — the
@@ -132,7 +144,80 @@ func (sc *FaultScenario) Ops() (int, error) {
 // back and the run continues — later rounds still fire, modeling a
 // transient fault the fleet layer would absorb.
 func (sc *FaultScenario) Run(faultAt int) (*SweepRun, error) {
-	sr := &SweepRun{Tracer: trace.New(trace.Options{}), InjectedOp: -1}
+	return sc.run(faultAt, nil)
+}
+
+// RunRecorded executes the scenario under a recording replay session:
+// the returned run's Session holds the journal that replays this exact
+// execution — fault decision, perf sample timing, and replace
+// checkpoints included. Failing sweep tests dump it as their repro.
+func (sc *FaultScenario) RunRecorded(faultAt int) (*SweepRun, error) {
+	sess := replay.NewRecorder(0)
+	if err := sess.Meta(sc.metaAttrs(faultAt)...); err != nil {
+		return nil, err
+	}
+	return sc.run(faultAt, sess)
+}
+
+// ReplayJournal re-executes a recorded scenario run from its journal
+// alone: the fault fires where the journal says it fired (no live fault
+// hook runs), perf deadlines are journal-fed, and every recorded
+// checkpoint is re-verified against the recomputed StateHash. The
+// scenario must be built the same way as at record time; the meta event
+// is cross-checked so drift surfaces as a divergence, not silence.
+func (sc *FaultScenario) ReplayJournal(events []trace.Event) (*SweepRun, error) {
+	meta, err := replay.MetaOf(events)
+	if err != nil {
+		return nil, err
+	}
+	faultAt, ok := meta.Int("fault_at")
+	if !ok {
+		return nil, fmt.Errorf("diffcheck: journal meta has no fault_at")
+	}
+	sess, err := replay.NewReplayer(events)
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.Meta(sc.metaAttrs(int(faultAt))...); err != nil {
+		return nil, err
+	}
+	sr, err := sc.run(int(faultAt), sess)
+	if err != nil {
+		return sr, err
+	}
+	if err := sess.Finish(); err != nil {
+		return sr, err
+	}
+	// The live hook never ran: reconstruct the sweep bookkeeping from the
+	// replayed fault decision itself.
+	for _, e := range sess.Events() {
+		if e.Type == trace.EvFaultDecision {
+			sr.FaultHit = true
+			if n, ok := e.Attrs.Int("op_index"); ok {
+				sr.InjectedOp = int(n)
+			}
+		}
+	}
+	return sr, nil
+}
+
+// metaAttrs is the session-meta identity of one recorded run: enough to
+// re-derive the scenario (with MetaExtra naming its build recipe) plus
+// the fault index being swept.
+func (sc *FaultScenario) metaAttrs(faultAt int) []trace.Attr {
+	attrs := trace.Attrs{
+		trace.String("kind", "faultsweep"),
+		trace.String("scenario", sc.Name),
+		trace.Int("fault_at", faultAt),
+		trace.String("switch_at", fmt.Sprint(sc.SwitchAt)),
+		trace.Float("profile_window", sc.ProfileWindow),
+		trace.Int("max_inst", int(sc.MaxInst)),
+	}
+	return append(attrs, sc.MetaExtra...)
+}
+
+func (sc *FaultScenario) run(faultAt int, sess *replay.Session) (*SweepRun, error) {
+	sr := &SweepRun{Tracer: trace.New(trace.Options{}), InjectedOp: -1, Session: sess}
 	var ctl *core.Controller
 	var attachErr error
 	hook := func(op string, n int) error {
@@ -157,8 +242,8 @@ func (sc *FaultScenario) Run(faultAt int) (*SweepRun, error) {
 		}
 		before := replaceFingerprint(p, ctl)
 		if _, err := ctl.Replace(build.Result.Binary); err != nil {
-			if !errors.Is(err, ErrInjected) {
-				return 0, err // a real bug, not the injected fault
+			if !errors.Is(err, ErrInjected) && !replay.IsRecordedFault(err) {
+				return 0, err // a real bug (or a replay divergence), not the injected fault
 			}
 			sr.RolledBack++
 			sr.RollbackDiffs = append(sr.RollbackDiffs, before.diff(replaceFingerprint(p, ctl))...)
@@ -170,7 +255,7 @@ func (sc *FaultScenario) Run(faultAt int) (*SweepRun, error) {
 
 	h, err := sc.handler()
 	if err != nil {
-		return nil, err
+		return sr, err
 	}
 	r := &runner{
 		bin:     sc.Bin,
@@ -184,15 +269,21 @@ func (sc *FaultScenario) Run(faultAt int) (*SweepRun, error) {
 				FaultHook:     hook,
 				Tracer:        sr.Tracer,
 				Service:       sc.Name,
+				Replay:        sess,
 			})
 		},
 	}
 	for _, at := range sc.SwitchAt {
 		r.events = append(r.events, runEvent{at: at, fn: round})
 	}
+	// Error paths still return sr: a failing recorded run's journal is the
+	// repro its test dumps, so the session must survive the failure.
 	tr, err := r.run(fmt.Sprintf("%s/fault@%d", sc.Name, faultAt))
 	if err != nil {
-		return nil, err
+		return sr, err
+	}
+	if err := sess.Err(); err != nil {
+		return sr, err
 	}
 	sr.Trace = tr
 	return sr, nil

@@ -1,11 +1,111 @@
 package diffcheck
 
 import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
 	"testing"
 
 	"repro/internal/asm"
 	"repro/internal/progtest"
+	"repro/internal/replay"
+	"repro/internal/trace"
 )
+
+// replayJournalPath points TestReplayShippedJournal at a recorded
+// fault-sweep journal (the artifact a failing sweep test dumps).
+var replayJournalPath = flag.String("replay.journal", "",
+	"path to a recorded fault-sweep journal to re-execute")
+
+// Generator parameters of the progtest sweep scenario. They are also
+// recorded in each journal's session-meta event so a shipped repro
+// names its own reconstruction recipe.
+const (
+	progtestFuncs = 12
+	progtestIters = 4000
+	progtestSeed  = 41
+)
+
+func progtestMetaAttrs() trace.Attrs {
+	return trace.Attrs{
+		trace.Int("gen_funcs", progtestFuncs),
+		trace.Int("gen_iters", progtestIters),
+		trace.Int("gen_seed", progtestSeed),
+	}
+}
+
+// newProgtestScenario builds the generated-program sweep scenario used
+// by the recording tests and by journal replays alike.
+func newProgtestScenario(t *testing.T) (*FaultScenario, *Trace) {
+	t.Helper()
+	prog, _, err := progtest.Generate(progtest.Options{
+		Funcs: progtestFuncs, MainIters: progtestIters, Seed: progtestSeed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin, err := asm.Assemble(prog, asm.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &FaultScenario{Name: "progtest", Bin: bin, MetaExtra: progtestMetaAttrs()}
+	return sc, prepareScenario(t, sc)
+}
+
+// prepareScenario runs the baseline and derives the round trigger
+// points from it, returning the baseline trace.
+func prepareScenario(t *testing.T, sc *FaultScenario) *Trace {
+	t.Helper()
+	base, err := sc.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Halted || base.Fault != nil {
+		t.Fatalf("baseline bad: halted=%v fault=%v", base.Halted, base.Fault)
+	}
+	sc.SwitchAt = []uint64{base.Insts / 4, base.Insts / 2}
+	sc.ProfileWindow = base.Seconds / 16
+	return base
+}
+
+// scenarioFromMeta rebuilds the sweep scenario a recorded journal's
+// session-meta event describes — the reconstruction half of "every CI
+// failure ships its own repro". Any drift between this rebuild and the
+// recording surfaces as a meta divergence when the replay starts.
+func scenarioFromMeta(t *testing.T, meta trace.Attrs) (*FaultScenario, *Trace) {
+	t.Helper()
+	nameAny, _ := meta.Get("scenario")
+	name, _ := nameAny.(string)
+	if name == "progtest" {
+		funcs, _ := meta.Int("gen_funcs")
+		iters, _ := meta.Int("gen_iters")
+		seed, _ := meta.Int("gen_seed")
+		prog, _, err := progtest.Generate(progtest.Options{
+			Funcs: int(funcs), MainIters: iters, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bin, err := asm.Assemble(prog, asm.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := &FaultScenario{Name: name, Bin: bin, MetaExtra: trace.Attrs{
+			trace.Int("gen_funcs", int(funcs)),
+			trace.Int("gen_iters", int(iters)),
+			trace.Int("gen_seed", int(seed)),
+		}}
+		return sc, prepareScenario(t, sc)
+	}
+	tgt, err := TargetByName(name)
+	if err != nil {
+		t.Fatalf("journal names unknown scenario %q: %v", name, err)
+	}
+	sc, err := ScenarioFromTarget(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc, prepareScenario(t, sc)
+}
 
 // sweepIndices picks which fault indices to run: every one of n in full
 // mode, a deterministic ~sample spread (always including the first and
@@ -29,22 +129,39 @@ func sweepIndices(t *testing.T, n, sample int) []int {
 	return append(out, n-1)
 }
 
+// failSweep dumps the failing run's journal to the test artifacts
+// directory and fails with the one-line command that replays it.
+func failSweep(t *testing.T, sr *SweepRun, faultAt int, format string, args ...any) {
+	t.Helper()
+	msg := fmt.Sprintf(format, args...)
+	if sr == nil || sr.Session == nil {
+		t.Fatalf("fault@%d: %s", faultAt, msg)
+	}
+	path, derr := sr.Session.DumpArtifact(fmt.Sprintf("faultsweep-%s-fault%d", t.Name(), faultAt))
+	if derr != nil {
+		t.Fatalf("fault@%d: %s (journal dump failed: %v)", faultAt, msg, derr)
+	}
+	t.Fatalf("fault@%d: %s\nrepro: go test ./internal/diffcheck -run TestReplayShippedJournal -args -replay.journal=%s",
+		faultAt, msg, path)
+}
+
 // checkSweepRun asserts three things for one injected fault: the
 // rollback was bit-exact, the run still produced the never-optimized
 // baseline's output, and the trace journal recorded the failure
 // truthfully (fault_injected + rollback at the injected op index, and a
-// replace span closed with error status).
+// replace span closed with error status). The run is recorded; any
+// failure ships its journal as the repro.
 func checkSweepRun(t *testing.T, sc *FaultScenario, base *Trace, faultAt int) {
 	t.Helper()
-	sr, err := sc.Run(faultAt)
+	sr, err := sc.RunRecorded(faultAt)
 	if err != nil {
-		t.Fatalf("fault@%d: %v", faultAt, err)
+		failSweep(t, sr, faultAt, "run: %v", err)
 	}
 	if !sr.FaultHit {
-		t.Fatalf("fault@%d: injected fault never reached (only %d ops this run)", faultAt, sr.Ops)
+		failSweep(t, sr, faultAt, "injected fault never reached (only %d ops this run)", sr.Ops)
 	}
 	if sr.RolledBack == 0 {
-		t.Fatalf("fault@%d: fault hit but no round rolled back", faultAt)
+		failSweep(t, sr, faultAt, "fault hit but no round rolled back")
 	}
 	for _, d := range sr.RollbackDiffs {
 		t.Errorf("fault@%d: rollback not exact: %s", faultAt, d)
@@ -55,8 +172,11 @@ func checkSweepRun(t *testing.T, sc *FaultScenario, base *Trace, faultAt int) {
 	for _, d := range Compare(base, sr.Trace) {
 		t.Errorf("fault@%d: diverged from baseline: %s", faultAt, d)
 	}
+	if err := sr.Session.Finish(); err != nil {
+		t.Errorf("fault@%d: recording incomplete: %v", faultAt, err)
+	}
 	if t.Failed() {
-		t.Fatalf("fault@%d: stopping sweep on first failing index", faultAt)
+		failSweep(t, sr, faultAt, "stopping sweep on first failing index")
 	}
 }
 
@@ -67,25 +187,7 @@ func checkSweepRun(t *testing.T, sc *FaultScenario, base *Trace, faultAt int) {
 // finish with the baseline's output. Under -short a deterministic sample
 // of indices runs instead of all of them.
 func TestFaultSweepExhaustive(t *testing.T) {
-	prog, _, err := progtest.Generate(progtest.Options{Funcs: 12, MainIters: 4000, Seed: 41})
-	if err != nil {
-		t.Fatal(err)
-	}
-	bin, err := asm.Assemble(prog, asm.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	sc := &FaultScenario{Name: "progtest", Bin: bin}
-
-	base, err := sc.Baseline()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !base.Halted || base.Fault != nil {
-		t.Fatalf("baseline bad: halted=%v fault=%v", base.Halted, base.Fault)
-	}
-	sc.SwitchAt = []uint64{base.Insts / 4, base.Insts / 2}
-	sc.ProfileWindow = base.Seconds / 16
+	sc, base := newProgtestScenario(t)
 
 	// Fault-free reference: both rounds must commit and the run must
 	// still match the baseline (the layout-equivalence claim).
@@ -128,15 +230,7 @@ func TestFaultSweepWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := sc.Baseline()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !base.Halted || base.Fault != nil {
-		t.Fatalf("baseline bad: halted=%v fault=%v", base.Halted, base.Fault)
-	}
-	sc.SwitchAt = []uint64{base.Insts / 4, base.Insts / 2}
-	sc.ProfileWindow = base.Seconds / 16
+	base := prepareScenario(t, sc)
 
 	n, err := sc.Ops()
 	if err != nil {
@@ -151,5 +245,180 @@ func TestFaultSweepWorkload(t *testing.T) {
 	}
 	for k := 0; k < sample; k++ {
 		checkSweepRun(t, sc, base, k*(n-1)/(sample-1))
+	}
+}
+
+// TestFaultSweepReplayRoundTrip is the determinism claim itself: record
+// a faulted run, re-execute it from the serialized journal alone, and
+// require the same outcome, the same baseline equivalence, and a
+// byte-identical re-recorded journal.
+func TestFaultSweepReplayRoundTrip(t *testing.T) {
+	sc, base := newProgtestScenario(t)
+	clean, err := sc.Run(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultAt := clean.Ops / 2
+
+	rec, err := sc.RunRecorded(faultAt)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	if !rec.FaultHit || rec.RolledBack == 0 {
+		t.Fatalf("recorded run did not fault+rollback: %+v", rec)
+	}
+	if err := rec.Session.Finish(); err != nil {
+		t.Fatalf("recording incomplete: %v", err)
+	}
+	var recorded bytes.Buffer
+	if err := rec.Session.WriteJSONL(&recorded); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip through the serialized form, exactly like a shipped
+	// artifact would.
+	events, err := replay.Load(bytes.NewReader(recorded.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := sc.ReplayJournal(events)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if !rp.FaultHit || rp.InjectedOp != rec.InjectedOp {
+		t.Errorf("replay fault: hit=%v op=%d, recorded op=%d", rp.FaultHit, rp.InjectedOp, rec.InjectedOp)
+	}
+	if rp.RolledBack != rec.RolledBack || rp.Committed != rec.Committed {
+		t.Errorf("replay outcome rolledback=%d committed=%d, recorded %d/%d",
+			rp.RolledBack, rp.Committed, rec.RolledBack, rec.Committed)
+	}
+	for _, d := range rp.RollbackDiffs {
+		t.Errorf("replayed rollback not exact: %s", d)
+	}
+	for _, d := range Compare(base, rp.Trace) {
+		t.Errorf("replayed run diverged from baseline: %s", d)
+	}
+
+	var rerecorded bytes.Buffer
+	if err := rp.Session.WriteJSONL(&rerecorded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(recorded.Bytes(), rerecorded.Bytes()) {
+		t.Errorf("re-recorded journal is not byte-identical (%d vs %d bytes)",
+			recorded.Len(), rerecorded.Len())
+	}
+}
+
+// TestFaultSweepReplayDivergence corrupts a single recorded event and
+// requires the replayer to fail fast with the diverging sequence number
+// and both payloads — the recorded event and what the execution
+// actually produced.
+func TestFaultSweepReplayDivergence(t *testing.T) {
+	sc, _ := newProgtestScenario(t)
+	clean, err := sc.Run(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := sc.RunRecorded(clean.Ops / 2)
+	if err != nil {
+		t.Fatalf("record: %v", err)
+	}
+	pristine := rec.Session.Events()
+
+	corrupt := func(t *testing.T, mutate func([]trace.Event) uint64) {
+		t.Helper()
+		events := make([]trace.Event, len(pristine))
+		copy(events, pristine)
+		seq := mutate(events)
+		_, err := sc.ReplayJournal(events)
+		var div *replay.DivergenceError
+		if !errors.As(err, &div) {
+			t.Fatalf("corrupt journal replayed without divergence: %v", err)
+		}
+		if div.Seq != seq {
+			t.Errorf("diverged at seq %d, want %d", div.Seq, seq)
+		}
+		msg := div.Error()
+		for _, want := range []string{"diverged at seq", "recorded", "got"} {
+			if !bytes.Contains([]byte(msg), []byte(want)) {
+				t.Errorf("divergence message %q missing %q", msg, want)
+			}
+		}
+		if div.Want.Seq == 0 && div.Got.Type == 0 {
+			t.Errorf("divergence lost the payloads: %+v", div)
+		}
+	}
+
+	t.Run("checkpoint-hash", func(t *testing.T) {
+		corrupt(t, func(events []trace.Event) uint64 {
+			for i, e := range events {
+				if e.Type != trace.EvCheckpoint {
+					continue
+				}
+				attrs := append(trace.Attrs{}, e.Attrs...)
+				for j, a := range attrs {
+					if a.Key == "state_hash" {
+						attrs[j] = trace.String("state_hash", "0xdead")
+					}
+				}
+				events[i].Attrs = attrs
+				return e.Seq
+			}
+			t.Fatal("no checkpoint event recorded")
+			return 0
+		})
+	})
+	t.Run("perf-deadline", func(t *testing.T) {
+		corrupt(t, func(events []trace.Event) uint64 {
+			for i, e := range events {
+				if e.Type != trace.EvPerfSample {
+					continue
+				}
+				attrs := append(trace.Attrs{}, e.Attrs...)
+				for j, a := range attrs {
+					if a.Key == "tid" {
+						attrs[j] = trace.Int("tid", 99)
+					}
+				}
+				events[i].Attrs = attrs
+				return e.Seq
+			}
+			t.Fatal("no perf_sample event recorded")
+			return 0
+		})
+	})
+}
+
+// TestReplayShippedJournal re-executes a journal artifact named on the
+// command line — the command every failing sweep test prints. It
+// rebuilds the scenario from the journal's own session-meta event, so
+// the file is the complete repro.
+func TestReplayShippedJournal(t *testing.T) {
+	if *replayJournalPath == "" {
+		t.Skip("no -replay.journal given; this test re-executes a shipped repro artifact")
+	}
+	events, err := replay.LoadFile(*replayJournalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := replay.MetaOf(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, base := scenarioFromMeta(t, meta)
+	sr, err := sc.ReplayJournal(events)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	t.Logf("replayed %s: ops=%d committed=%d rolledback=%d faultop=%d",
+		*replayJournalPath, sr.Ops, sr.Committed, sr.RolledBack, sr.InjectedOp)
+	for _, d := range sr.RollbackDiffs {
+		t.Errorf("rollback not exact: %s", d)
+	}
+	for _, d := range sr.CheckJournal() {
+		t.Errorf("journal: %s", d)
+	}
+	for _, d := range Compare(base, sr.Trace) {
+		t.Errorf("diverged from baseline: %s", d)
 	}
 }

@@ -20,6 +20,7 @@ package fleet
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"sync"
 	"time"
@@ -27,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/proc"
+	"repro/internal/replay"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workloads/wl"
@@ -102,9 +104,31 @@ type Config struct {
 	// for the revert action itself.
 	FaultHook func(s *Service, stage State) error
 
-	// Sleep is the backoff clock; nil means time.Sleep. Tests inject a
-	// recorder to observe backoff without waiting.
+	// Sleep overrides how backoff waits are performed; nil means
+	// Clock.Sleep. Tests inject a recorder to observe backoff without
+	// waiting.
 	Sleep func(time.Duration)
+
+	// Clock supplies every wall-clock read and backoff sleep the fleet
+	// performs (service added/updated timestamps, pause-wait timing);
+	// nil means the host's real clock. The record/replay layer swaps in
+	// a journaling clock so timestamps replay deterministically.
+	Clock replay.Clock
+
+	// JitterSeed seeds the retry-backoff jitter source (default 1), so a
+	// fleet's backoff schedule is a pure function of its config.
+	JitterSeed int64
+	// Jitter overrides the seeded jitter source with a custom [0,1)
+	// draw; tests pin it to observe exact schedules.
+	Jitter func() float64
+
+	// Replay, when active, records or replays the wave's nondeterminism:
+	// clock reads, sleeps, jitter draws, stage-fault decisions, and —
+	// through each service's controller — perf deadlines, tracee fault
+	// decisions, and replace checkpoints. An active session serializes
+	// the wave (Workers and MaxPauses are forced to 1): replay needs a
+	// deterministic decision order, the same limitation rr has.
+	Replay *replay.Session
 }
 
 // withDefaults validates the config and fills unset fields.
@@ -147,11 +171,45 @@ func (c Config) withDefaults() (Config, error) {
 	if c.RetryBackoff == 0 {
 		c.RetryBackoff = 5 * time.Millisecond
 	}
-	if c.Sleep == nil {
-		c.Sleep = time.Sleep
+	if c.Clock == nil {
+		c.Clock = replay.Wall{}
+	}
+	if c.JitterSeed == 0 {
+		c.JitterSeed = 1
+	}
+	if c.Replay.Active() {
+		// Recording is only meaningful over a deterministic decision order;
+		// a one-worker, one-pause wave is exactly that (Scan order is
+		// already deterministic).
+		c.Workers = 1
+		c.MaxPauses = 1
 	}
 	return c, nil
 }
+
+// backoffJitterFrac scales the jitter added to each retry backoff:
+// sleep = backoff * (1 + frac*jitter), jitter drawn from [0,1).
+const backoffJitterFrac = 0.5
+
+// seededJitter returns a locked, seeded [0,1) source.
+func seededJitter(seed int64) func() float64 {
+	var mu sync.Mutex
+	r := rand.New(rand.NewSource(seed))
+	return func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return r.Float64()
+	}
+}
+
+// sleepOverride substitutes the Sleep behavior of a Clock (Config.Sleep
+// compatibility: tests record backoff waits without waiting).
+type sleepOverride struct {
+	replay.Clock
+	sleep func(time.Duration)
+}
+
+func (c sleepOverride) Sleep(d time.Duration) { c.sleep(d) }
 
 // ServicePlan names everything needed to stand up one managed service,
 // replacing NewService's positional (name, w, input, threads, opts)
@@ -165,6 +223,10 @@ type ServicePlan struct {
 	// Core configures the service's controller. The manager fills in
 	// AllowReBolt (multi-round fleets need it) and its Metrics registry.
 	Core core.Options
+	// Clock supplies the service's record timestamps (added/updated);
+	// nil means the host clock. The manager injects its own (possibly
+	// record/replay) clock.
+	Clock replay.Clock
 }
 
 // Service is one managed process with its lifecycle record.
@@ -186,6 +248,7 @@ type Service struct {
 	baseline  wl.WindowStats
 	lastErr   error
 	root      *trace.Span // per-service trace root, nil without a tracer
+	clock     replay.Clock
 	addedAt   time.Time
 	updatedAt time.Time
 }
@@ -213,9 +276,22 @@ func NewService(plan ServicePlan) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
-	now := time.Now()
+	if plan.Clock == nil {
+		plan.Clock = replay.Wall{}
+	}
+	now := plan.Clock.Now()
 	return &Service{Name: plan.Name, Plan: plan, Proc: p, Driver: d, Ctl: ctl,
-		state: Idle, addedAt: now, updatedAt: now}, nil
+		state: Idle, clock: plan.Clock, addedAt: now, updatedAt: now}, nil
+}
+
+// now reads the service clock, falling back to the wall clock for
+// hand-built Service literals (tests) that never went through
+// NewService.
+func (s *Service) now() time.Time {
+	if s.clock == nil {
+		return time.Now()
+	}
+	return s.clock.Now()
 }
 
 // rootSpan returns the service's trace root span (nil-safe sink when no
@@ -275,6 +351,8 @@ func (s *Service) Rounds() []RoundResult {
 type Manager struct {
 	cfg      Config
 	pauseSem chan struct{}
+	clock    replay.Clock   // cfg.Clock, session-wrapped, Sleep-overridden
+	jitter   func() float64 // backoff jitter source, session-wrapped
 
 	mu        sync.Mutex
 	services  []*Service
@@ -291,7 +369,20 @@ func NewManager(cfg Config) (*Manager, error) {
 		return nil, err
 	}
 	registerBaseMetrics(cfg.Metrics)
-	return &Manager{cfg: cfg, pauseSem: make(chan struct{}, cfg.MaxPauses)}, nil
+	clock := cfg.Clock
+	if cfg.Sleep != nil {
+		clock = sleepOverride{Clock: clock, sleep: cfg.Sleep}
+	}
+	jitter := cfg.Jitter
+	if jitter == nil {
+		jitter = seededJitter(cfg.JitterSeed)
+	}
+	return &Manager{
+		cfg:      cfg,
+		pauseSem: make(chan struct{}, cfg.MaxPauses),
+		clock:    cfg.Replay.Clock(clock),
+		jitter:   cfg.Replay.Jitter(jitter),
+	}, nil
 }
 
 // registerBaseMetrics creates the fleet's metric families at their zero
@@ -328,6 +419,12 @@ func (m *Manager) AddService(plan ServicePlan) (*Service, error) {
 	}
 	if plan.Core.Service == "" {
 		plan.Core.Service = plan.Name
+	}
+	if plan.Core.Replay == nil {
+		plan.Core.Replay = m.cfg.Replay
+	}
+	if plan.Clock == nil {
+		plan.Clock = m.clock
 	}
 	if m.cfg.MaxRounds > 1 {
 		// Continuous optimization re-optimizes an already-bolted binary,
@@ -400,6 +497,17 @@ func (m *Manager) Run() (*FleetReport, error) {
 	}
 	scan := m.Scan(m.cfg.Window)
 	m.Optimize(scan)
+	// Round boundary for the whole wave: every service's terminal state
+	// and controller hash must match the recording exactly.
+	if r := m.cfg.Replay; r.Active() {
+		for _, s := range m.Services() {
+			if err := r.Checkpoint("service_final", s.Ctl.StateHash(),
+				trace.String("service", s.Name), trace.String("state", s.State().String()),
+				trace.Int("version", s.Ctl.Version())); err != nil {
+				return nil, err
+			}
+		}
+	}
 	return m.Report(), nil
 }
 
@@ -455,7 +563,7 @@ func (m *Manager) Optimize(scan []ScanResult) {
 // blocking while MaxPauses other services are mid-replacement, and
 // reports the wait into the stagger histogram.
 func (m *Manager) acquirePause() {
-	t0 := time.Now()
+	t0 := m.clock.Now()
 	m.pauseSem <- struct{}{}
 	m.mu.Lock()
 	m.inPause++
@@ -465,7 +573,7 @@ func (m *Manager) acquirePause() {
 	peak := m.peakPause
 	m.mu.Unlock()
 	if mt := m.cfg.Metrics; mt != nil {
-		mt.Histogram("fleet_pause_wait_seconds").Observe(time.Since(t0).Seconds())
+		mt.Histogram("fleet_pause_wait_seconds").Observe(m.clock.Now().Sub(t0).Seconds())
 		mt.Gauge("fleet_pauses_peak").Set(float64(peak))
 	}
 }

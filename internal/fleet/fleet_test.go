@@ -149,8 +149,8 @@ func TestConfigDefaultsAndValidation(t *testing.T) {
 		t.Errorf("unexpected defaults: %+v", cfg)
 	}
 	if cfg.ProfileDur <= 0 || cfg.Warm <= 0 || cfg.Window <= 0 ||
-		cfg.RetryBackoff <= 0 || cfg.Sleep == nil {
-		t.Errorf("unset durations not defaulted: %+v", cfg)
+		cfg.RetryBackoff <= 0 || cfg.Clock == nil || cfg.JitterSeed == 0 {
+		t.Errorf("unset durations/sources not defaulted: %+v", cfg)
 	}
 	for _, bad := range []Config{
 		{Workers: -1},

@@ -101,6 +101,9 @@ func CanTransition(from, to State) bool {
 // illegal request is a bug, reported as an error for tests to assert
 // on and recorded so the service is never silently wedged.
 func (s *Service) transition(to State) error {
+	// Read the clock before taking the lock: a record/replay clock
+	// journals the read and must never nest inside s.mu.
+	stamp := s.now()
 	s.mu.Lock()
 	if !CanTransition(s.state, to) {
 		err := fmt.Errorf("fleet: %s: illegal transition %s → %s", s.Name, s.state, to)
@@ -110,7 +113,7 @@ func (s *Service) transition(to State) error {
 	}
 	from := s.state
 	s.state = to
-	s.updatedAt = time.Now()
+	s.updatedAt = stamp
 	root := s.root
 	s.mu.Unlock()
 	// Journal the edge outside the lock: event emission takes the
@@ -146,22 +149,33 @@ func (m *Manager) stageCounter(name string, stage State) {
 
 // attempt runs one stage try: the injected fault hook first (tests
 // force failures per stage with it), then the real work. Injected
-// faults are journaled so chaos runs show up in the trace.
+// faults are journaled so chaos runs show up in the trace. The fault
+// decision routes through the replay session, so a recorded wave's
+// stage faults are re-injected from the journal alone on replay.
 func (m *Manager) attempt(s *Service, stage State, fn func() error) error {
-	if h := m.cfg.FaultHook; h != nil {
-		if err := h(s, stage); err != nil {
-			s.rootSpan().EventErr(trace.EvFaultInjected, err,
-				trace.String("stage", stage.String()))
-			return err
-		}
+	err := m.cfg.Replay.Fault("fleet.stage",
+		trace.Attrs{trace.String("service", s.Name), trace.String("stage", stage.String())},
+		func() error {
+			if h := m.cfg.FaultHook; h != nil {
+				return h(s, stage)
+			}
+			return nil
+		})
+	if err != nil {
+		s.rootSpan().EventErr(trace.EvFaultInjected, err,
+			trace.String("stage", stage.String()))
+		return err
 	}
 	return fn()
 }
 
 // withRetry drives one stage to success or exhaustion: up to
 // 1+MaxRetries attempts with exponential host-time backoff between
-// them. Every failed attempt is recorded on the service, counted, and
-// journaled; every backoff wait is journaled with its duration.
+// them. Each wait is the doubling base plus a jittered share drawn from
+// the manager's seeded source (same seed ⇒ same schedule), so
+// fleet-wide retries don't synchronize. Every failed attempt is
+// recorded on the service, counted, and journaled; every backoff wait
+// is journaled with its duration.
 func (m *Manager) withRetry(s *Service, stage State, fn func() error) error {
 	backoff := m.cfg.RetryBackoff
 	for att := 0; ; att++ {
@@ -183,10 +197,11 @@ func (m *Manager) withRetry(s *Service, stage State, fn func() error) error {
 		root.EventErr(trace.EvRetry, err,
 			trace.String("stage", stage.String()), trace.Int("attempt", att+1))
 		m.stageCounter("fleet_retries_total", stage)
+		wait := backoff + time.Duration(float64(backoff)*backoffJitterFrac*m.jitter())
 		root.Event(trace.EvBackoff,
 			trace.String("stage", stage.String()),
-			trace.Float("seconds", backoff.Seconds()))
-		m.cfg.Sleep(backoff)
+			trace.Float("seconds", wait.Seconds()))
+		m.clock.Sleep(wait)
 		backoff *= 2
 	}
 }
@@ -310,9 +325,10 @@ func (m *Manager) drive(s *Service) {
 		msp.End(nil)
 		rsp.SetAttrs(trace.Float("speedup", res.Speedup))
 		s.Ctl.EndRound(nil)
+		stamp := s.now()
 		s.mu.Lock()
 		s.rounds = append(s.rounds, res)
-		s.updatedAt = time.Now()
+		s.updatedAt = stamp
 		s.mu.Unlock()
 		m.counter("fleet_rounds_total")
 		if mt := m.cfg.Metrics; mt != nil {

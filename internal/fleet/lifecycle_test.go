@@ -179,6 +179,7 @@ func TestRetryBackoffRecovers(t *testing.T) {
 		MaxRetries:   2,
 		RetryBackoff: 4 * time.Millisecond,
 		Sleep:        func(d time.Duration) { sleeps = append(sleeps, d) },
+		Jitter:       func() float64 { return 0 }, // pin: assert the pure doubling base
 		SkipGate:     true,
 		ProfileDur:   0.0004,
 		Warm:         0.00015,

@@ -2,19 +2,59 @@ package fleet
 
 import (
 	"errors"
+	"flag"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/replay"
 	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/workloads/sqldb"
 )
 
+// replayFleetJournal points TestReplayFleetJournal at a recorded
+// quarantine-wave journal (the artifact a failing test dumps).
+var replayFleetJournal = flag.String("replay.fleet.journal", "",
+	"path to a recorded fleet quarantine journal to re-execute")
+
+// quarantineMeta is the session-meta identity of a recorded quarantine
+// wave: enough for TestReplayFleetJournal to rebuild the fixture.
+func quarantineMeta(service string) []trace.Attr {
+	return []trace.Attr{
+		trace.String("kind", "fleet-quarantine"),
+		trace.String("service", service),
+	}
+}
+
+// recordQuarantine starts a recording session for a quarantine-wave test
+// and registers a cleanup that, on failure, dumps the journal to the
+// test artifacts directory and logs the one-line replay command.
+func recordQuarantine(t *testing.T, service string) *replay.Session {
+	t.Helper()
+	sess := replay.NewRecorder(0)
+	if err := sess.Meta(quarantineMeta(service)...); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		path, err := sess.DumpArtifact("fleet-" + t.Name())
+		if err != nil {
+			t.Logf("journal dump failed: %v", err)
+			return
+		}
+		t.Logf("repro: go test ./internal/fleet -run TestReplayFleetJournal -args -replay.fleet.journal=%s", path)
+	})
+	return sess
+}
+
 // quarantineManager builds a one-worker-per-service manager tuned for
 // fast waves; services are added by the caller with their own core-level
-// fault hooks.
-func quarantineManager(t *testing.T, workers int, reg *telemetry.Registry) *Manager {
+// fault hooks. A non-nil session records (or replays) the whole wave.
+func quarantineManager(t *testing.T, workers int, reg *telemetry.Registry, sess *replay.Session) *Manager {
 	t.Helper()
 	m, err := NewManager(Config{
 		Workers:      workers,
@@ -28,6 +68,7 @@ func quarantineManager(t *testing.T, workers int, reg *telemetry.Registry) *Mana
 		Warm:         0.00015,
 		Window:       0.0002,
 		Metrics:      reg,
+		Replay:       sess,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -59,7 +100,7 @@ func addSQLService(t *testing.T, m *Manager, name string, hook func(op string, n
 func TestTraceeFaultQuarantinesNotFails(t *testing.T) {
 	boom := errors.New("injected tracee fault")
 	reg := telemetry.NewRegistry()
-	m := quarantineManager(t, 1, reg)
+	m := quarantineManager(t, 1, reg, recordQuarantine(t, "svc"))
 	s := addSQLService(t, m, "svc", func(op string, n int) error {
 		if n == 5 {
 			return boom
@@ -113,7 +154,7 @@ func TestTraceeFaultQuarantinesNotFails(t *testing.T) {
 func TestTraceeFaultHealsAfterRetry(t *testing.T) {
 	boom := errors.New("transient tracee fault")
 	reg := telemetry.NewRegistry()
-	m := quarantineManager(t, 1, reg)
+	m := quarantineManager(t, 1, reg, recordQuarantine(t, "svc"))
 	attempts := 0
 	s := addSQLService(t, m, "svc", func(op string, n int) error {
 		if n == 0 {
@@ -147,7 +188,7 @@ func TestTraceeFaultHealsAfterRetry(t *testing.T) {
 func TestSecondRoundQuarantinePinsLastGoodVersion(t *testing.T) {
 	boom := errors.New("round-2 tracee fault")
 	reg := telemetry.NewRegistry()
-	m := quarantineManager(t, 1, reg)
+	m := quarantineManager(t, 1, reg, recordQuarantine(t, "svc"))
 	var svc *Service
 	svc = addSQLService(t, m, "svc", func(op string, n int) error {
 		if svc.Ctl.Version() >= 1 {
@@ -183,7 +224,8 @@ func TestSecondRoundQuarantinePinsLastGoodVersion(t *testing.T) {
 func TestMidWaveFaultIsolation(t *testing.T) {
 	boom := errors.New("injected tracee fault")
 	reg := telemetry.NewRegistry()
-	m := quarantineManager(t, 3, reg)
+	// A concurrent wave is inherently nondeterministic: no recording.
+	m := quarantineManager(t, 3, reg, nil)
 	var sick atomic.Bool
 	sick.Store(true)
 	a := addSQLService(t, m, "healthy-a", nil)
@@ -225,4 +267,47 @@ func TestMidWaveFaultIsolation(t *testing.T) {
 			t.Errorf("%s faulted post-wave: %v", s.Name, err)
 		}
 	}
+}
+
+// TestReplayFleetJournal re-executes a quarantine-wave journal named on
+// the command line — the command a failing quarantine test logs. The
+// fixture is rebuilt from the journal's session-meta event and the wave
+// runs with no live fault hook: every fault, clock read, jitter draw,
+// and state-hash checkpoint comes from (and is verified against) the
+// journal alone.
+func TestReplayFleetJournal(t *testing.T) {
+	if *replayFleetJournal == "" {
+		t.Skip("no -replay.fleet.journal given; this test re-executes a shipped repro artifact")
+	}
+	events, err := replay.LoadFile(*replayFleetJournal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := replay.MetaOf(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nameAny, _ := meta.Get("service")
+	name, _ := nameAny.(string)
+	if name == "" {
+		t.Fatal("journal meta has no service name")
+	}
+	sess, err := replay.NewReplayer(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Meta(quarantineMeta(name)...); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	m := quarantineManager(t, 1, reg, sess)
+	s := addSQLService(t, m, name, nil)
+	if _, err := m.Run(); err != nil {
+		t.Fatalf("replayed wave: %v", err)
+	}
+	if err := sess.Finish(); err != nil {
+		t.Fatalf("replay diverged: %v", err)
+	}
+	t.Logf("replayed %s: service %s ended %s at version %d (%d rollbacks)",
+		*replayFleetJournal, name, s.State(), s.Ctl.Version(), s.Rollbacks())
 }

@@ -56,6 +56,12 @@ type RecorderOptions struct {
 	// OverheadCycles is charged to the sampled core per PMI, modeling the
 	// interrupt, ring copy, and perf's share of the machine.
 	OverheadCycles float64
+	// NextDeadline, when set, overrides the periodic sampling policy: it
+	// returns the cycle count at which thread tid's next LBR snapshot
+	// fires, given the core's current cycle count. The record/replay
+	// layer injects a journaling source here so sample timing — the
+	// profile's nondeterminism — replays bit-identically.
+	NextDeadline func(tid int, cycles float64) float64
 }
 
 func (o *RecorderOptions) defaults() {
@@ -67,17 +73,29 @@ func (o *RecorderOptions) defaults() {
 	}
 }
 
+// DeadlineFunc returns the effective sampling-deadline source:
+// NextDeadline when set, else the periodic default.
+func (o RecorderOptions) DeadlineFunc() func(tid int, cycles float64) float64 {
+	if o.NextDeadline != nil {
+		return o.NextDeadline
+	}
+	o.defaults()
+	period := o.PeriodCycles
+	return func(_ int, cycles float64) float64 { return cycles + period }
+}
+
 // Recorder is an attached LBR sampling session. Re-arm deadlines are kept
 // per thread ID in a map so threads started after Attach are picked up and
 // armed lazily at their first quantum instead of panicking on a
 // fixed-size slice.
 type Recorder struct {
-	p      *proc.Process
-	opts   RecorderOptions
-	next   map[int]float64
-	start  float64
-	raw    *RawProfile
-	remove func()
+	p        *proc.Process
+	opts     RecorderOptions
+	deadline func(tid int, cycles float64) float64
+	next     map[int]float64
+	start    float64
+	raw      *RawProfile
+	remove   func()
 }
 
 // Attach starts LBR recording on a (possibly already running) process,
@@ -87,11 +105,12 @@ type Recorder struct {
 func Attach(p *proc.Process, opts RecorderOptions) *Recorder {
 	opts.defaults()
 	r := &Recorder{
-		p:     p,
-		opts:  opts,
-		next:  make(map[int]float64),
-		start: p.Seconds(),
-		raw:   &RawProfile{},
+		p:        p,
+		opts:     opts,
+		deadline: opts.DeadlineFunc(),
+		next:     make(map[int]float64),
+		start:    p.Seconds(),
+		raw:      &RawProfile{},
 	}
 	for _, t := range p.Threads {
 		r.arm(t)
@@ -102,7 +121,7 @@ func Attach(p *proc.Process, opts RecorderOptions) *Recorder {
 
 func (r *Recorder) arm(t *proc.Thread) {
 	t.Core.LBREnabled = true
-	r.next[t.ID] = t.Core.Cycles() + r.opts.PeriodCycles
+	r.next[t.ID] = r.deadline(t.ID, t.Core.Cycles())
 }
 
 func (r *Recorder) onQuantum(t *proc.Thread) {
@@ -126,7 +145,7 @@ func (r *Recorder) onQuantum(t *proc.Thread) {
 	c.AddStall(r.opts.OverheadCycles, cpu.BucketBackEnd)
 	// Re-arm after charging the PMI cost so the overhead itself cannot
 	// immediately trigger the next sample.
-	r.next[t.ID] = c.Cycles() + r.opts.PeriodCycles
+	r.next[t.ID] = r.deadline(t.ID, c.Cycles())
 }
 
 // Stop ends the session and returns the collected profile. Only the

@@ -61,6 +61,13 @@ type Options struct {
 	// code-cache lookup. OCOLOS's whole point is avoiding this recurring
 	// cost; the "dbi" experiment quantifies the difference.
 	DBI bool
+
+	// SchedQuantum, when set, overrides the fixed scheduler quantum per
+	// pick: it receives the thread ID and the proposed quantum (the
+	// Quantum constant) and returns the instruction budget to run. The
+	// default nil keeps the deterministic round-robin; chaos tests and
+	// the record/replay layer inject perturbed or journal-fed sources.
+	SchedQuantum func(tid, proposed int) int
 }
 
 // DBI cost model (cycles), roughly Pin-like: direct branches are chained

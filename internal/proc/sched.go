@@ -5,6 +5,18 @@ package proc
 // comparable while staying fast.
 const Quantum = 128
 
+// quantumFor returns the instruction budget for one pick of thread t:
+// the fixed Quantum unless Options.SchedQuantum overrides it.
+func (p *Process) quantumFor(t *Thread) int {
+	if p.opts.SchedQuantum == nil {
+		return Quantum
+	}
+	if q := p.opts.SchedQuantum(t.ID, Quantum); q > 0 {
+		return q
+	}
+	return Quantum
+}
+
 // RunUntilHalt runs until every thread halts, the process faults or is
 // paused, or maxInst instructions retire in total. It returns the number
 // of instructions executed by this call.
@@ -17,7 +29,7 @@ func (p *Process) RunUntilHalt(maxInst uint64) uint64 {
 				continue
 			}
 			ran = true
-			executed += uint64(p.runQuantum(t, Quantum))
+			executed += uint64(p.runQuantum(t, p.quantumFor(t)))
 			p.sample(t)
 		}
 		if !ran || (maxInst > 0 && executed >= maxInst) {
@@ -42,7 +54,7 @@ func (p *Process) RunFor(seconds float64) {
 				continue
 			}
 			ran = true
-			p.runQuantum(t, Quantum)
+			p.runQuantum(t, p.quantumFor(t))
 			p.sample(t)
 		}
 		if !ran {

@@ -1,0 +1,178 @@
+package replay
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// Clock is the injectable time source the fleet layer reads instead of
+// calling time.Now/time.Sleep directly: in record mode every read and
+// sleep is journaled; in replay mode reads return the recorded instants
+// and sleeps return immediately (a replay never waits on host time).
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// Wall is the default Clock: the host's real time.
+type Wall struct{}
+
+func (Wall) Now() time.Time        { return time.Now() }
+func (Wall) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Clock wraps inner with the session: pass-through when inactive.
+func (s *Session) Clock(inner Clock) Clock {
+	if !s.Active() {
+		return inner
+	}
+	return &sessionClock{s: s, inner: inner}
+}
+
+type sessionClock struct {
+	s     *Session
+	inner Clock
+}
+
+func (c *sessionClock) Now() time.Time {
+	attrs, err := c.s.step(trace.Event{Type: trace.EvClockRead, Stage: "clock.now"},
+		func() trace.Attrs {
+			return trace.Attrs{trace.Int("unix_nano", int(c.inner.Now().UnixNano()))}
+		})
+	if err != nil {
+		// Diverged: the sticky error will surface at the next checkpoint or
+		// Finish; keep time flowing so the execution can reach it.
+		return c.inner.Now()
+	}
+	ns, _ := attrs.Int("unix_nano")
+	return time.Unix(0, ns)
+}
+
+func (c *sessionClock) Sleep(d time.Duration) {
+	// The duration is identity: it is computed by the (re-)execution from
+	// replayed jitter, so a mismatch means the backoff schedule diverged.
+	_, err := c.s.step(trace.Event{Type: trace.EvSleep, Stage: "clock.sleep",
+		Attrs: trace.Attrs{trace.Int("nanos", int(d))}}, nil)
+	if err != nil || c.s.Replaying() {
+		return
+	}
+	c.inner.Sleep(d)
+}
+
+// Jitter wraps a [0,1) jitter source (the fleet's seeded backoff
+// randomness). Draws are recorded bit-exactly via Float64bits.
+func (s *Session) Jitter(inner func() float64) func() float64 {
+	if !s.Active() {
+		return inner
+	}
+	return func() float64 {
+		attrs, err := s.step(trace.Event{Type: trace.EvJitter, Stage: "backoff.jitter"},
+			func() trace.Attrs {
+				return trace.Attrs{trace.Int("bits", int(math.Float64bits(inner())))}
+			})
+		if err != nil {
+			if inner != nil {
+				return inner()
+			}
+			return 0
+		}
+		bits, _ := attrs.Int("bits")
+		return math.Float64frombits(uint64(bits))
+	}
+}
+
+// PerfDeadline wraps a perf sampling-deadline source (see
+// perf.RecorderOptions.NextDeadline). The thread ID and current cycle
+// count are identity — the replayed execution recomputes both — and the
+// chosen deadline is the recorded payload.
+func (s *Session) PerfDeadline(inner func(tid int, cycles float64) float64) func(int, float64) float64 {
+	if !s.Active() {
+		return inner
+	}
+	return func(tid int, cycles float64) float64 {
+		identity := trace.Attrs{
+			trace.Int("tid", tid),
+			trace.Int("at_bits", int(math.Float64bits(cycles))),
+		}
+		attrs, err := s.step(trace.Event{Type: trace.EvPerfSample, Stage: "perf.deadline", Attrs: identity},
+			func() trace.Attrs {
+				return trace.Attrs{trace.Int("deadline_bits", int(math.Float64bits(inner(tid, cycles))))}
+			})
+		if err != nil {
+			if inner != nil {
+				return inner(tid, cycles)
+			}
+			return cycles
+		}
+		bits, _ := attrs.Int("deadline_bits")
+		return math.Float64frombits(uint64(bits))
+	}
+}
+
+// SchedQuantum wraps a scheduler quantum source (see
+// proc.Options.SchedQuantum). The default round-robin scheduler is
+// deterministic, so only an injected policy needs per-pick recording;
+// one EvSchedPolicy event pins down which case the recording is in, and
+// in replay mode the recorded flag — not the caller's argument — decides
+// whether picks are journal-fed.
+func (s *Session) SchedQuantum(inner func(tid, proposed int) int) func(int, int) int {
+	if !s.Active() {
+		return inner
+	}
+	injected := inner != nil
+	attrs, err := s.step(trace.Event{Type: trace.EvSchedPolicy, Stage: "sched.policy"},
+		func() trace.Attrs {
+			return trace.Attrs{trace.Bool("injected", injected)}
+		})
+	if err != nil {
+		return inner
+	}
+	if s.Replaying() {
+		v, _ := attrs.Get("injected")
+		recorded, _ := v.(bool)
+		if !recorded {
+			return nil
+		}
+		return func(tid, proposed int) int {
+			identity := trace.Attrs{trace.Int("tid", tid), trace.Int("proposed", proposed)}
+			a, err := s.step(trace.Event{Type: trace.EvSchedPick, Stage: "sched.pick", Attrs: identity}, nil)
+			if err != nil {
+				return proposed
+			}
+			q, _ := a.Int("quantum")
+			return int(q)
+		}
+	}
+	if !injected {
+		return nil
+	}
+	return func(tid, proposed int) int {
+		q := inner(tid, proposed)
+		s.step(trace.Event{Type: trace.EvSchedPick, Stage: "sched.pick", Attrs: trace.Attrs{
+			trace.Int("tid", tid), trace.Int("proposed", proposed), trace.Int("quantum", q)}}, nil)
+		return q
+	}
+}
+
+// FaultHook wraps a tracee-level fault hook (core.Options.FaultHook).
+// Record mode journals each firing decision; replay mode reconstructs
+// the decisions from the journal alone — the inner hook (usually nil on
+// replay) is never consulted.
+func (s *Session) FaultHook(inner func(op string, n int) error) func(string, int) error {
+	if !s.Active() {
+		return inner
+	}
+	if s.Recording() && inner == nil {
+		return nil
+	}
+	return func(op string, n int) error {
+		identity := trace.Attrs{trace.String("op", op), trace.Int("op_index", n)}
+		return s.Fault("fault.hook", identity, func() error {
+			if inner == nil {
+				return nil
+			}
+			return inner(op, n)
+		})
+	}
+}

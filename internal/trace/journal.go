@@ -16,6 +16,7 @@
 package trace
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -49,6 +50,32 @@ const (
 	EvRetry
 	// EvBackoff: the retry loop slept before the next attempt.
 	EvBackoff
+
+	// The remaining types are the record/replay vocabulary (internal/replay):
+	// each is one recorded nondeterministic decision, and a journal of them
+	// drives a bit-identical re-execution.
+
+	// EvSessionMeta heads a recorded session: the workload/config identity
+	// the replayer needs to reconstruct the run.
+	EvSessionMeta
+	// EvClockRead: one wall-clock read (unix nanos recorded).
+	EvClockRead
+	// EvSleep: one backoff sleep (duration recorded; replay skips the wait).
+	EvSleep
+	// EvJitter: one draw from the backoff jitter source.
+	EvJitter
+	// EvPerfSample: one perf sampling-deadline decision for a thread.
+	EvPerfSample
+	// EvSchedPolicy: whether a non-default scheduler quantum source was
+	// installed for the session.
+	EvSchedPolicy
+	// EvSchedPick: one injected scheduler quantum choice.
+	EvSchedPick
+	// EvFaultDecision: a fault hook chose to fail an operation.
+	EvFaultDecision
+	// EvCheckpoint: a state-hash checkpoint at a round boundary; replay
+	// recomputes the hash and fails fast on mismatch.
+	EvCheckpoint
 )
 
 var eventTypeNames = [...]string{
@@ -62,6 +89,15 @@ var eventTypeNames = [...]string{
 	EvTransition:    "transition",
 	EvRetry:         "retry",
 	EvBackoff:       "backoff",
+	EvSessionMeta:   "session_meta",
+	EvClockRead:     "clock_read",
+	EvSleep:         "sleep",
+	EvJitter:        "jitter",
+	EvPerfSample:    "perf_sample",
+	EvSchedPolicy:   "sched_policy",
+	EvSchedPick:     "sched_pick",
+	EvFaultDecision: "fault_decision",
+	EvCheckpoint:    "checkpoint",
 }
 
 func (t EventType) String() string {
@@ -332,4 +368,30 @@ func (j *Journal) WriteJSONL(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// ReadJSONL parses a WriteJSONL dump back into events, preserving order
+// (blank lines are skipped). It is the inverse WriteJSONL needs for
+// journal round-trips and what the replayer loads its input from.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("trace: jsonl line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

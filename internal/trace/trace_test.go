@@ -212,3 +212,72 @@ func TestConcurrentSpansAndJournal(t *testing.T) {
 		t.Errorf("spans dropped = %d", tr.SpansDropped())
 	}
 }
+
+// TestJournalWrapRoundTrip serializes a journal whose ring has wrapped
+// and parses it back: the retained window must survive the JSONL
+// round-trip event-for-event — sequence numbers, types, and attrs —
+// because a shipped journal is exactly this dump.
+func TestJournalWrapRoundTrip(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Append(Event{Type: EvClockRead, Stage: "clock.now",
+			Attrs: Attrs{Int("i", i), Float("f", float64(i)/3), Bool("b", i%2 == 0), String("s", fmt.Sprintf("v%d", i))}})
+	}
+	if j.Len() != 4 || j.Dropped() != 6 {
+		t.Fatalf("len=%d dropped=%d, want 4/6", j.Len(), j.Dropped())
+	}
+	var b strings.Builder
+	if err := j.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := j.Events()
+	if len(got) != len(want) {
+		t.Fatalf("round-trip returned %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Seq != want[i].Seq || got[i].Type != want[i].Type || got[i].Stage != want[i].Stage {
+			t.Errorf("event %d: %+v, want %+v", i, got[i], want[i])
+		}
+		if got[i].Seq != uint64(7+i) {
+			t.Errorf("event %d seq %d, want %d (oldest retained is #7)", i, got[i].Seq, 7+i)
+		}
+		for _, a := range want[i].Attrs {
+			v, ok := got[i].Attrs.Get(a.Key)
+			if !ok {
+				t.Errorf("event %d lost attr %q", i, a.Key)
+				continue
+			}
+			switch wv := a.Value.(type) {
+			case int:
+				if n, ok := got[i].Attrs.Int(a.Key); !ok || n != int64(wv) {
+					t.Errorf("event %d attr %q = %v, want %d", i, a.Key, v, wv)
+				}
+			case float64:
+				// Integral floats decode as int64 (the documented JSONL
+				// normalization); compare numerically.
+				gf, gok := v.(float64)
+				if gi, ok := v.(int64); ok {
+					gf, gok = float64(gi), true
+				}
+				if !gok || gf != wv {
+					t.Errorf("event %d attr %q = %v (%T), want %v", i, a.Key, v, v, wv)
+				}
+			default:
+				if v != a.Value {
+					t.Errorf("event %d attr %q = %v (%T), want %v (%T)", i, a.Key, v, v, a.Value, a.Value)
+				}
+			}
+		}
+	}
+	// Parsing tolerates blank lines and reports the bad line on error.
+	if _, err := ReadJSONL(strings.NewReader("\n" + b.String() + "\n")); err != nil {
+		t.Errorf("blank lines rejected: %v", err)
+	}
+	if _, err := ReadJSONL(strings.NewReader("{\"seq\":1}\nnot-json\n")); err == nil {
+		t.Error("corrupt line accepted")
+	}
+}

@@ -5,6 +5,24 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Replay-based tests (fault sweep, fleet quarantine) dump the journal of
+# any failing run here; upload_journals preserves them outside the
+# cleaned-up tmpdir so a red CI run ships its own repros
+# (docs/replay.md).
+export OCOLOS_TEST_ARTIFACTS="${OCOLOS_TEST_ARTIFACTS:-$tmpdir/artifacts}"
+mkdir -p "$OCOLOS_TEST_ARTIFACTS"
+upload_journals() {
+    if ls "$OCOLOS_TEST_ARTIFACTS"/*.jsonl >/dev/null 2>&1; then
+        keep=$(mktemp -d "${TMPDIR:-/tmp}/ocolos-repro.XXXXXX")
+        cp "$OCOLOS_TEST_ARTIFACTS"/*.jsonl "$keep/"
+        echo "repro journals preserved in $keep:"
+        ls "$keep"
+    fi
+}
+
 echo "== gofmt -l"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -36,9 +54,23 @@ go test -race -count=2 -short ./internal/fleet ./internal/telemetry
 # tracee-level replace faults through a concurrent fleet wave under the
 # race detector — no service may end Failed-wedged.
 echo "== go test -short -run TestFaultSweep ./internal/diffcheck"
-go test -short -run TestFaultSweep ./internal/diffcheck
+go test -short -run TestFaultSweep ./internal/diffcheck || { upload_journals; exit 1; }
 echo "== go test -race -run 'TestTraceeFault|TestSecondRoundQuarantine|TestMidWaveFaultIsolation' ./internal/fleet"
-go test -race -run 'TestTraceeFault|TestSecondRoundQuarantine|TestMidWaveFaultIsolation' ./internal/fleet
+go test -race -run 'TestTraceeFault|TestSecondRoundQuarantine|TestMidWaveFaultIsolation' ./internal/fleet || { upload_journals; exit 1; }
+
+# Record/replay smoke (see docs/replay.md): a two-round kvcache session
+# is recorded, then re-executed from the journal alone — every
+# state-hash checkpoint must verify and the re-recorded journal must be
+# byte-identical.
+echo "== record/replay smoke"
+go build -o "$tmpdir/ocolos-run" ./cmd/ocolos-run
+"$tmpdir/ocolos-run" -workload kvcache -input set10_get90 -rounds 2 \
+    -record "$tmpdir/session.jsonl" >/dev/null
+"$tmpdir/ocolos-run" -replay "$tmpdir/session.jsonl" >"$tmpdir/replay.log" 2>&1 ||
+    { cat "$tmpdir/replay.log"; echo "record/replay smoke failed"; exit 1; }
+grep -q 'replay OK' "$tmpdir/replay.log" ||
+    { cat "$tmpdir/replay.log"; echo "replay did not verify"; exit 1; }
+echo "record/replay smoke OK ($(wc -l < "$tmpdir/session.jsonl") events)"
 
 # The block-cache execution engine must stay cycle-exact with the Step
 # reference interpreter (see docs/perf.md): run the golden equivalence
@@ -56,8 +88,6 @@ go test -run '^$' -bench BenchmarkStep -benchtime 1x .
 # /healthz and /metrics while it runs, then shut it down with SIGTERM
 # and require a clean exit.
 echo "== fleetd -serve smoke"
-tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
 go build -o "$tmpdir/fleetd" ./cmd/fleetd
 "$tmpdir/fleetd" -serve 127.0.0.1:0 -replicas 1 -rounds 1 >"$tmpdir/log" 2>&1 &
 fleetd_pid=$!
