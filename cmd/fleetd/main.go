@@ -13,10 +13,16 @@
 // With -serve ADDR the wave runs in the background while an HTTP
 // control plane serves GET /metrics (Prometheus text), /services
 // (JSON fleet snapshot), /trace?service=X (span tree; &format=jsonl
-// for the event journal), and /healthz on ADDR until SIGINT/SIGTERM
-// or, once the wave completes, until shut down.
+// for the event journal), /cache (layout-cache hit/miss stats), and
+// /healthz on ADDR until SIGINT/SIGTERM or, once the wave completes,
+// until shut down.
 //
-// Run with: go run ./cmd/fleetd [-full] [-replicas N] [-rounds N] [-serve :8080]
+// The manager is sharded (-shards) so status reads never stall the
+// wave, and BOLTed layouts are shared across identical replicas
+// through the content-addressed layout cache (-no-cache to ablate);
+// see docs/fleet.md.
+//
+// Run with: go run ./cmd/fleetd [-full] [-replicas N] [-rounds N] [-shards N] [-serve :8080]
 //
 // -record journals the wave's nondeterminism (wall-clock reads, backoff
 // jitter, perf deadlines, fault decisions, per-service state-hash
@@ -53,13 +59,15 @@ import (
 
 // fleetMeta is the journal meta header: the flag set that rebuilds the
 // recorded fleet bit-for-bit.
-func fleetMeta(full bool, replicas, rounds int, revertBelow float64) []trace.Attr {
+func fleetMeta(full bool, replicas, rounds, shards int, revertBelow float64, noCache bool) []trace.Attr {
 	return []trace.Attr{
 		trace.String("kind", "fleetd"),
 		trace.Bool("full", full),
 		trace.Int("replicas", replicas),
 		trace.Int("rounds", rounds),
+		trace.Int("shards", shards),
 		trace.Int("revert_below_bits", int(math.Float64bits(revertBelow))),
+		trace.Bool("no_cache", noCache),
 	}
 }
 
@@ -70,6 +78,8 @@ func main() {
 		workers     = flag.Int("workers", 4, "concurrent lifecycle workers")
 		maxPauses   = flag.Int("max-pauses", 1, "max simultaneous stop-the-world pauses")
 		rounds      = flag.Int("rounds", 2, "max optimization rounds per service")
+		shards      = flag.Int("shards", 4, "independent manager lock domains (services are hashed across them)")
+		noCache     = flag.Bool("no-cache", false, "disable the content-addressed layout cache (every service runs its own BOLT)")
 		revertBelow = flag.Float64("revert-below", 1.0, "revert to C0 below this speedup (0 disables)")
 		serve       = flag.String("serve", "", "serve the HTTP control plane on this address (e.g. :8080) while the wave runs")
 		record      = flag.String("record", "", "write the wave's nondeterminism journal to FILE (JSONL)")
@@ -100,18 +110,24 @@ func main() {
 		*replicas = int(rp)
 		rd, _ := meta.Int("rounds")
 		*rounds = int(rd)
+		if sh, ok := meta.Int("shards"); ok {
+			*shards = int(sh)
+		}
 		rb, ok := meta.Int("revert_below_bits")
 		if !ok {
 			log.Fatal("fleetd: journal meta has no revert_below_bits — not a fleetd recording")
 		}
 		*revertBelow = math.Float64frombits(uint64(rb))
+		if nc, ok := meta.Get("no_cache"); ok {
+			*noCache, _ = nc.(bool)
+		}
 		if sess, err = replay.NewReplayer(events); err != nil {
 			log.Fatal(err)
 		}
 	} else if *record != "" {
 		sess = replay.NewRecorder(0)
 	}
-	if err := sess.Meta(fleetMeta(*full, *replicas, *rounds, *revertBelow)...); err != nil {
+	if err := sess.Meta(fleetMeta(*full, *replicas, *rounds, *shards, *revertBelow, *noCache)...); err != nil {
 		log.Fatal(err)
 	}
 
@@ -145,13 +161,15 @@ func main() {
 	metrics := telemetry.NewRegistry()
 	tracer := trace.New(trace.Options{})
 	cfg := fleet.Config{
-		Workers:     *workers,
-		MaxPauses:   *maxPauses,
-		MaxRounds:   *rounds,
-		RevertBelow: *revertBelow,
-		Metrics:     metrics,
-		Tracer:      tracer,
-		Replay:      sess, // an active session forces a serial wave
+		Workers:       *workers,
+		Shards:        *shards,
+		MaxPauses:     *maxPauses,
+		MaxRounds:     *rounds,
+		RevertBelow:   *revertBelow,
+		NoLayoutCache: *noCache,
+		Metrics:       metrics,
+		Tracer:        tracer,
+		Replay:        sess, // an active session forces a serial wave
 	}
 	if !*full {
 		// Small-scale services: sub-millisecond windows, gate skipped so
@@ -194,8 +212,8 @@ func main() {
 		}
 	}
 
-	fmt.Printf("fleetd: %d services, %d workers, %d max pause(s), %d round(s) max\n\n",
-		len(m.Services()), m.Config().Workers, m.Config().MaxPauses, m.Config().MaxRounds)
+	fmt.Printf("fleetd: %d services, %d workers, %d shard(s), %d max pause(s), %d round(s) max\n\n",
+		len(m.Services()), m.Config().Workers, m.Config().Shards, m.Config().MaxPauses, m.Config().MaxRounds)
 
 	var srv *http.Server
 	var served <-chan error
@@ -217,6 +235,12 @@ func main() {
 	rep.Write(os.Stdout)
 	fmt.Printf("\nwave completed in %.2fs host time, peak concurrent pauses %d\n",
 		time.Since(t0).Seconds(), m.PeakPauses())
+	if stats, ok := m.CacheStats(); ok {
+		fmt.Printf("layout cache: %d hit(s), %d miss(es), %d coalesced, %d entries (hit rate %.2f)\n",
+			stats.Hits, stats.Misses, stats.Coalesced, stats.Entries, stats.HitRate())
+	} else {
+		fmt.Println("layout cache: disabled")
+	}
 
 	if err := finishSession(sess, *record, *replayPath, originalJournal); err != nil {
 		log.Fatal(err)

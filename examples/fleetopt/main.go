@@ -64,7 +64,7 @@ func main() {
 	}
 
 	fmt.Println("fleet scan (TopDown first stage):")
-	scan := m.Scan(0.002)
+	scan := m.Scan(fleet.ScanOptions{Window: 0.002})
 	for _, r := range scan {
 		verdict := "skip"
 		if r.Optimize {
@@ -74,7 +74,7 @@ func main() {
 			r.Service.Name, r.TopDown.FrontEnd*100, r.TopDown.Retiring*100, verdict)
 	}
 
-	m.Optimize(scan)
+	m.Optimize(scan, fleet.WaveOptions{})
 	fmt.Println("\nafter one optimization wave (services below 1.02x are reverted):")
 	m.Report().Write(os.Stdout)
 

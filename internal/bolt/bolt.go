@@ -68,9 +68,28 @@ func (o *Options) defaults() {
 	}
 }
 
+// Layout records the decisions the optimizer made: the hot-function
+// layout order and each hot function's basic-block order, keyed by the
+// input binary's entry addresses. The emitted Binary already embodies
+// these decisions; carrying them separately is what lets a fleet-wide
+// layout cache store, compare, and audit "the layout" as a value
+// independent of the bytes it was linked into.
+type Layout struct {
+	// FuncOrder is the hot-function layout order (input entry addresses),
+	// as chosen by the function-ordering algorithm.
+	FuncOrder []uint64
+	// BlockOrder maps each reordered function's input entry address to
+	// its chosen basic-block order (indices into the input CFG's blocks,
+	// before hot/cold splitting).
+	BlockOrder map[uint64][]int
+}
+
 // Result carries the optimized binary plus the statistics Table I reports.
 type Result struct {
 	Binary *obj.Binary
+	// Layout is the decision record behind Binary: function order and
+	// per-function block orders.
+	Layout *Layout
 	// FuncsReordered is the number of functions moved to the new .text.
 	FuncsReordered int
 	// FuncsSplit is how many of them had cold blocks exiled.
@@ -124,7 +143,10 @@ func Optimize(bin *obj.Binary, prof *Profile, opts Options) (*Result, error) {
 
 	hotOrder := OrderFunctions(prof, hot, sizeOf, opts.FuncOrder)
 
-	res := &Result{}
+	res := &Result{Layout: &Layout{
+		FuncOrder:  hotOrder,
+		BlockOrder: make(map[uint64][]int, len(hotOrder)),
+	}}
 	var hotFrags, coldFrags []*asm.Fragment
 	for _, entry := range hotOrder {
 		cfg := cfgs[entry]
@@ -135,6 +157,7 @@ func Optimize(bin *obj.Binary, prof *Profile, opts Options) (*Result, error) {
 		} else {
 			order = ReorderBlocks(cfg, fp)
 		}
+		res.Layout.BlockOrder[entry] = order
 		hotBlocks, coldBlocks := order, []int(nil)
 		if !opts.NoSplit && !cfg.HasJumpTable {
 			hotBlocks, coldBlocks = SplitBlocks(cfg, order)

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/layout"
+)
+
+// recordingCache is the injectable-fake shape satellite consumers
+// (diffcheck, experiments) use: a plain Get/Put/Stats implementation
+// with operation counts, no single-flight machinery.
+type recordingCache struct {
+	mu      sync.Mutex
+	entries map[layout.Key]*layout.Entry
+	gets    int
+	puts    int
+	hits    int
+}
+
+func (r *recordingCache) Get(k layout.Key) (*layout.Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gets++
+	e, ok := r.entries[k]
+	if ok {
+		r.hits++
+	}
+	return e, ok
+}
+
+func (r *recordingCache) Put(k layout.Key, e *layout.Entry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.entries == nil {
+		r.entries = make(map[layout.Key]*layout.Entry)
+	}
+	r.entries[k] = e
+	r.puts++
+}
+
+func (r *recordingCache) Stats() layout.Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return layout.Stats{
+		Hits:    uint64(r.hits),
+		Misses:  uint64(r.gets - r.hits),
+		Entries: len(r.entries),
+	}
+}
+
+// TestLayoutCacheInjection: a caller-supplied cache behind the small
+// layout.Cache interface short-circuits BuildOptimized on the second
+// identical controller, and the cached layout preserves program
+// semantics end to end.
+func TestLayoutCacheInjection(t *testing.T) {
+	bin, outAddr := genProgram(t, 11, 60000)
+	want := plainRun(t, bin, outAddr)
+
+	fake := &recordingCache{}
+	optimize := func() (*Controller, uint64, bool) {
+		pr, c := newController(t, bin, Options{LayoutCache: fake})
+		pr.RunFor(0.0003)
+		rr, err := c.OptimizeRound(0.0005)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rr.Build.LayoutKey == "" {
+			t.Error("cached build carried no layout key")
+		}
+		pr.RunUntilHalt(0)
+		if err := pr.Fault(); err != nil {
+			t.Fatal(err)
+		}
+		return c, pr.Mem.ReadWord(outAddr), rr.Build.CacheHit
+	}
+
+	_, out1, hit1 := optimize()
+	if hit1 {
+		t.Error("first controller hit an empty cache")
+	}
+	if out1 != want {
+		t.Errorf("miss path output %#x, want %#x", out1, want)
+	}
+	if fake.puts != 1 {
+		t.Fatalf("puts = %d, want 1 after the computing miss", fake.puts)
+	}
+
+	_, out2, hit2 := optimize()
+	if !hit2 {
+		t.Error("identical second controller missed the cache")
+	}
+	if out2 != want {
+		t.Errorf("hit path output %#x, want %#x", out2, want)
+	}
+	if fake.puts != 1 {
+		t.Errorf("puts = %d after the hit, want still 1 (no recompute)", fake.puts)
+	}
+	if fake.hits < 1 {
+		t.Errorf("fake recorded %d hits, want ≥ 1", fake.hits)
+	}
+}

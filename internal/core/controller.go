@@ -29,6 +29,7 @@ import (
 	"repro/internal/bolt"
 	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/layout"
 	"repro/internal/obj"
 	"repro/internal/perf"
 	"repro/internal/proc"
@@ -162,6 +163,16 @@ type Options struct {
 	// replay), and every replace commit/rollback emits a StateHash
 	// checkpoint. See internal/replay and docs/replay.md.
 	Replay *replay.Session
+
+	// LayoutCache, when non-nil, short-circuits BuildOptimized: the
+	// (binary, quantized profile, optimizer options) fingerprint is
+	// looked up first and only a miss runs perf2bolt + BOLT, with
+	// single-flight coalescing when the cache supports it. The fleet
+	// manager shares one cache across every controller it owns so one
+	// service's layout is reused fleet-wide ("optimize once, deploy
+	// everywhere", §V); tests inject recording fakes through the same
+	// seam. Cache decisions are journaled by an active Replay session.
+	LayoutCache layout.Cache
 }
 
 // patchParallelism is the modeled fan-out of ParallelPatch.
@@ -367,27 +378,23 @@ type BuildStats struct {
 	Perf2BoltSeconds float64 // host time of profile conversion
 	BoltSeconds      float64 // host time of the optimizer
 	Result           *bolt.Result
+
+	// CacheHit reports that the layout came out of Options.LayoutCache
+	// (including the single-flight coalesced path) instead of a fresh
+	// perf2bolt + BOLT run; LayoutKey is the content-addressed key of
+	// the lookup ("" when no cache is configured).
+	CacheHit  bool
+	LayoutKey string
 }
 
-// BuildOptimized converts the raw profile and runs the optimizer against
-// the *currently running* code version (step 2). For rounds ≥ 2 this
-// requires Options.Bolt.AllowReBolt, reproducing the real BOLT's refusal
-// and this implementation's extension past it (§IV-C).
-func (c *Controller) BuildOptimized(raw *perf.RawProfile) (*BuildStats, error) {
-	input := c.orig
-	if c.curBin != nil {
-		input = c.curBin
-	}
-	sp := c.startSpan("perf2bolt")
-	t0 := time.Now()
-	prof, err := bolt.ConvertProfile(raw, input)
-	if err != nil {
-		sp.End(err)
-		return nil, err
-	}
-	sp.SetAttrs(prof.TraceAttrs()...)
-	sp.End(nil)
-	t1 := time.Now()
+// SetLayoutCache swaps the layout cache consulted by BuildOptimized
+// (nil disables caching). The fleet manager uses it to honor per-wave
+// cache toggles; it must not be called while a round is in flight.
+func (c *Controller) SetLayoutCache(lc layout.Cache) { c.opts.LayoutCache = lc }
+
+// boltOptions derives the per-round optimizer options for the next
+// version.
+func (c *Controller) boltOptions() bolt.Options {
 	bo := c.opts.Bolt
 	bo.TextBase = textBase(c.version + 1)
 	// Functions that fall cold this round are pinned back at C0: their
@@ -398,21 +405,112 @@ func (c *Controller) BuildOptimized(raw *perf.RawProfile) (*BuildStats, error) {
 		// collected with it); C0's tables are never overwritten.
 		bo.ROBase = textBase(c.version+1) + roOffset
 	}
-	bsp := c.startSpan("bolt")
+	return bo
+}
+
+// BuildOptimized converts the raw profile and runs the optimizer against
+// the *currently running* code version (step 2). For rounds ≥ 2 this
+// requires Options.Bolt.AllowReBolt, reproducing the real BOLT's refusal
+// and this implementation's extension past it (§IV-C).
+//
+// With a layout cache configured, the (binary, quantized-profile,
+// options) fingerprint is consulted first: a hit reuses the cached
+// layout — the expensive pipeline never runs — and concurrent misses on
+// one key coalesce into a single BOLT run. The round's perf2bolt/bolt
+// stage spans are emitted either way, carrying cache_hit so a trace
+// shows which services paid for the layout and which reused it.
+func (c *Controller) BuildOptimized(raw *perf.RawProfile) (*BuildStats, error) {
+	input := c.orig
+	if c.curBin != nil {
+		input = c.curBin
+	}
+	bo := c.boltOptions()
+	if c.opts.LayoutCache == nil {
+		res, stats, err := c.runBoltPipeline(input, raw, bo, "")
+		if err != nil {
+			return nil, err
+		}
+		stats.Result = res
+		return stats, nil
+	}
+
+	key := layout.KeyFor(input, raw, bo)
+	var stats *BuildStats
+	entry, outcome, err := layout.Do(c.opts.LayoutCache, key, func() (*layout.Entry, error) {
+		res, st, err := c.runBoltPipeline(input, raw, bo, key.String())
+		if err != nil {
+			return nil, err
+		}
+		stats = st
+		return &layout.Entry{Result: res}, nil
+	})
+	// The lookup outcome is part of the wave's decision sequence: journal
+	// it (and on replay, verify the re-executed wave reaches the same
+	// decision) before acting on it.
+	if rerr := c.opts.Replay.CacheEvent(key.String(), string(outcome)); rerr != nil {
+		return nil, rerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	if stats == nil {
+		// Hit or coalesced: this controller never ran the pipeline. Emit
+		// the stage spans so every round's trace keeps the same shape,
+		// marked as cache reuse.
+		sp := c.startSpan("perf2bolt", trace.Bool("cache_hit", true))
+		sp.End(nil)
+		bsp := c.startSpan("bolt", trace.Bool("cache_hit", true),
+			trace.String("cache_key", key.String()))
+		bsp.SetAttrs(entry.Result.TraceAttrs()...)
+		bsp.End(nil)
+		c.opts.Metrics.CounterVec("core_layout_cache_total", "outcome").
+			With(string(outcome)).Inc()
+		stats = &BuildStats{CacheHit: true}
+	}
+	stats.LayoutKey = key.String()
+	// Hand out a private copy of the cached image: entries are shared
+	// fleet-wide and must stay immutable, while the caller's binary is
+	// injected into (and retained by) one specific process.
+	res := *entry.Result
+	res.Binary = entry.Result.Binary.Clone()
+	stats.Result = &res
+	return stats, nil
+}
+
+// runBoltPipeline is the uncached build: profile conversion plus the
+// optimizer, bracketed by stage spans and latency metrics. It returns
+// the result separately from the stats so the cache can store the one
+// and the caller keep the other.
+func (c *Controller) runBoltPipeline(input *obj.Binary, raw *perf.RawProfile, bo bolt.Options, cacheKey string) (*bolt.Result, *BuildStats, error) {
+	sp := c.startSpan("perf2bolt")
+	t0 := time.Now()
+	prof, err := bolt.ConvertProfile(raw, input)
+	if err != nil {
+		sp.End(err)
+		return nil, nil, err
+	}
+	sp.SetAttrs(prof.TraceAttrs()...)
+	sp.End(nil)
+	t1 := time.Now()
+	attrs := []trace.Attr{}
+	if cacheKey != "" {
+		attrs = append(attrs, trace.Bool("cache_hit", false), trace.String("cache_key", cacheKey))
+	}
+	bsp := c.startSpan("bolt", attrs...)
 	res, err := bolt.Optimize(input, prof, bo)
 	if err != nil {
 		bsp.End(err)
-		return nil, err
+		return nil, nil, err
 	}
 	bsp.SetAttrs(res.TraceAttrs()...)
 	bsp.End(nil)
 	t2 := time.Now()
 	c.observeStage("perf2bolt", t1.Sub(t0).Seconds())
 	c.observeStage("bolt", t2.Sub(t1).Seconds())
-	return &BuildStats{
+	c.opts.Metrics.Counter("core_bolt_invocations_total").Inc()
+	return res, &BuildStats{
 		Perf2BoltSeconds: t1.Sub(t0).Seconds(),
 		BoltSeconds:      t2.Sub(t1).Seconds(),
-		Result:           res,
 	}, nil
 }
 

@@ -16,10 +16,22 @@
 // revert to C0 (§VI-C4), or a persistent fault parks it in a terminal
 // state. Transient stage errors are retried with exponential backoff,
 // and everything the fleet does is published into a telemetry.Registry.
+//
+// At fleet scale the manager is sharded: services hash into
+// Config.Shards independent lock domains with per-shard work queues, so
+// Snapshot, Scan, and the HTTP control plane read one shard at a time
+// without stalling in-flight replacements, and the shared worker budget
+// drains every shard's queue concurrently. All selected services share
+// one content-addressed layout.Cache — identical binaries with
+// statistically identical profiles reuse a single BOLT run per round
+// ("optimize once, deploy everywhere", §V) — and trace-journal /
+// telemetry writes are batched off the wave hot path by a bounded
+// flusher.
 package fleet
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math/rand"
 	"sort"
 	"sync"
@@ -27,6 +39,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cpu"
+	"repro/internal/layout"
 	"repro/internal/proc"
 	"repro/internal/replay"
 	"repro/internal/telemetry"
@@ -39,12 +52,19 @@ import (
 // signature grew.
 type Config struct {
 	// Workers bounds how many services run their lifecycle concurrently
-	// (default 4).
+	// (default 4). The budget is global: it is shared across all shard
+	// queues, never multiplied by Shards.
 	Workers int
 	// MaxPauses bounds how many services may sit in a stop-the-world
 	// replacement (or revert) pause at the same instant, staggering
 	// pauses across the fleet (default 1; see docs/fleet.md).
 	MaxPauses int
+	// Shards is the number of independent lock domains the service
+	// table is split into (default 4). Services hash to a shard by name;
+	// readers (Snapshot, Scan, the control plane) and the wave's
+	// dispatchers each touch one shard at a time, so a thousand-service
+	// fleet never serializes on a single manager mutex.
+	Shards int
 
 	// ProfileDur is the simulated LBR profiling window per round
 	// (default 4 ms).
@@ -85,6 +105,22 @@ type Config struct {
 	// SkipGate optimizes every service regardless of the TopDown scan
 	// verdict (tests and force-rollouts).
 	SkipGate bool
+
+	// LayoutCache is the fleet-wide content-addressed cache of BOLT
+	// layouts shared by every controller the manager creates; identical
+	// binaries with statistically identical profiles reuse one BOLT run.
+	// Nil means the manager builds a layout.Memory wired into Metrics;
+	// set NoLayoutCache to run without any cache.
+	LayoutCache layout.Cache
+	// NoLayoutCache disables the fleet layout cache entirely: every
+	// service pays its own perf2bolt+BOLT pipeline (ablation baseline).
+	NoLayoutCache bool
+	// FlushBuffer bounds the async flusher that batches trace-journal
+	// and telemetry writes off the wave hot path (default 256 pending
+	// writes; the wave blocks, bounded, when it outruns the drain).
+	// Negative disables batching: writes happen inline, as they also do
+	// under an active replay session.
+	FlushBuffer int
 
 	// Metrics receives the fleet's counters, gauges, and histograms; it
 	// is also wired into every controller the manager creates. Nil means
@@ -134,7 +170,7 @@ type Config struct {
 // withDefaults validates the config and fills unset fields.
 func (c Config) withDefaults() (Config, error) {
 	if c.Workers < 0 || c.MaxPauses < 0 || c.MaxRounds < 0 || c.MaxRetries < 0 ||
-		c.QuarantineAfter < 0 {
+		c.QuarantineAfter < 0 || c.Shards < 0 {
 		return c, fmt.Errorf("fleet: negative count in config: %+v", c)
 	}
 	if c.ProfileDur < 0 || c.Warm < 0 || c.Window < 0 || c.RevertBelow < 0 ||
@@ -146,6 +182,12 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MaxPauses == 0 {
 		c.MaxPauses = 1
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.FlushBuffer == 0 {
+		c.FlushBuffer = 256
 	}
 	if c.ProfileDur == 0 {
 		c.ProfileDur = 0.004
@@ -247,7 +289,8 @@ type Service struct {
 	topdown   cpu.TopDown
 	baseline  wl.WindowStats
 	lastErr   error
-	root      *trace.Span // per-service trace root, nil without a tracer
+	root      *trace.Span  // per-service trace root, nil without a tracer
+	emit      func(func()) // wave flusher hook; nil = inline writes
 	clock     replay.Clock
 	addedAt   time.Time
 	updatedAt time.Time
@@ -311,9 +354,27 @@ func (s *Service) setRoot(sp *trace.Span) {
 	s.Ctl.SetTraceRoot(sp)
 }
 
+// setEmit installs (or clears, with nil) the wave's async write hook:
+// while set, the service's lifecycle events route through the wave
+// flusher instead of being journaled inline.
+func (s *Service) setEmit(fn func(func())) {
+	s.mu.Lock()
+	s.emit = fn
+	s.mu.Unlock()
+}
+
+// Measure measures the service's current throughput over the scan
+// window (opts.MinThroughput is ignored: Measure reports, Scan gates).
+func (s *Service) Measure(opts ScanOptions) float64 {
+	return wl.Measure(s.Proc, s.Driver, opts.Window)
+}
+
 // Throughput measures the service over a simulated window.
+//
+// Deprecated: use Measure with ScanOptions. This shim is pinned by
+// TestDeprecatedScanShims and kept for one release.
 func (s *Service) Throughput(window float64) float64 {
-	return wl.Measure(s.Proc, s.Driver, window)
+	return s.Measure(ScanOptions{Window: window})
 }
 
 // State returns the service's current lifecycle state.
@@ -346,16 +407,41 @@ func (s *Service) Rounds() []RoundResult {
 	return append([]RoundResult(nil), s.rounds...)
 }
 
+// mgrShard is one lock domain of the service table. Every shard owns a
+// disjoint, name-hashed subset of the fleet; readers and wave
+// dispatchers lock one shard at a time, so contention on any shard
+// (say, a snapshot racing a thousand-service wave) never stalls the
+// other shards.
+type mgrShard struct {
+	mu       sync.Mutex
+	services []*Service
+}
+
+// snapshot copies the shard's service list under its own lock.
+func (sh *mgrShard) snapshot() []*Service {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return append([]*Service(nil), sh.services...)
+}
+
 // Manager owns the fleet: the shared config, the pause-stagger
-// semaphore, and the managed services.
+// semaphore, the sharded service table, and the fleet-wide layout
+// cache.
 type Manager struct {
 	cfg      Config
 	pauseSem chan struct{}
 	clock    replay.Clock   // cfg.Clock, session-wrapped, Sleep-overridden
 	jitter   func() float64 // backoff jitter source, session-wrapped
+	cache    layout.Cache   // fleet-wide layout cache, nil when disabled
 
-	mu        sync.Mutex
-	services  []*Service
+	shards []*mgrShard
+
+	// fl is the wave's write flusher. It is installed before a wave's
+	// workers start and cleared after they join, so worker goroutines
+	// read it race-free; outside a wave it is nil and writes are inline.
+	fl *flusher
+
+	pmu       sync.Mutex // pause accounting, separate from shard locks
 	inPause   int
 	peakPause int
 }
@@ -377,12 +463,44 @@ func NewManager(cfg Config) (*Manager, error) {
 	if jitter == nil {
 		jitter = seededJitter(cfg.JitterSeed)
 	}
+	cache := cfg.LayoutCache
+	if cache == nil && !cfg.NoLayoutCache {
+		cache = layout.NewMemory(0, cfg.Metrics)
+	}
+	if cfg.NoLayoutCache {
+		cache = nil
+	}
+	shards := make([]*mgrShard, cfg.Shards)
+	for i := range shards {
+		shards[i] = &mgrShard{}
+	}
 	return &Manager{
 		cfg:      cfg,
 		pauseSem: make(chan struct{}, cfg.MaxPauses),
 		clock:    cfg.Replay.Clock(clock),
 		jitter:   cfg.Replay.Jitter(jitter),
+		cache:    cache,
+		shards:   shards,
 	}, nil
+}
+
+// shardIndex hashes a service name to its lock domain.
+func (m *Manager) shardIndex(name string) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(len(m.shards)))
+}
+
+// LayoutCache returns the fleet-wide layout cache (nil when disabled).
+func (m *Manager) LayoutCache() layout.Cache { return m.cache }
+
+// CacheStats snapshots the layout-cache counters; ok is false when the
+// cache is disabled.
+func (m *Manager) CacheStats() (stats layout.Stats, ok bool) {
+	if m.cache == nil {
+		return layout.Stats{}, false
+	}
+	return m.cache.Stats(), true
 }
 
 // registerBaseMetrics creates the fleet's metric families at their zero
@@ -426,6 +544,9 @@ func (m *Manager) AddService(plan ServicePlan) (*Service, error) {
 	if plan.Clock == nil {
 		plan.Clock = m.clock
 	}
+	if plan.Core.LayoutCache == nil {
+		plan.Core.LayoutCache = m.cache
+	}
 	if m.cfg.MaxRounds > 1 {
 		// Continuous optimization re-optimizes an already-bolted binary,
 		// which the real BOLT refuses (§IV-C); the extension past that
@@ -440,18 +561,35 @@ func (m *Manager) AddService(plan ServicePlan) (*Service, error) {
 	return s, nil
 }
 
-// Add adopts an existing service.
+// Add adopts an existing service into its name-hashed shard.
 func (m *Manager) Add(s *Service) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.services = append(m.services, s)
+	sh := m.shards[m.shardIndex(s.Name)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.services = append(sh.services, s)
 }
 
-// Services returns the managed services in insertion order.
+// Services returns the managed services in deterministic name order.
+// (The table is sharded, so insertion order is not meaningful; sorting
+// by name makes every fleet-wide iteration — snapshots, reports, replay
+// checkpoints — reproducible regardless of shard layout.)
 func (m *Manager) Services() []*Service {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return append([]*Service(nil), m.services...)
+	var out []*Service
+	for _, sh := range m.shards {
+		out = append(out, sh.snapshot()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// async routes one trace/telemetry write through the wave's flusher
+// when one is installed, and runs it inline otherwise.
+func (m *Manager) async(fn func()) {
+	if f := m.fl; f != nil {
+		f.enqueue(fn)
+		return
+	}
+	fn()
 }
 
 // ScanResult is the first-stage verdict for one service.
@@ -459,24 +597,53 @@ type ScanResult struct {
 	Service  *Service
 	TopDown  cpu.TopDown
 	Optimize bool
+	// Throughput is the service's measured req/s over the scan window;
+	// only populated when ScanOptions.MinThroughput gating is on.
+	Throughput float64
+}
+
+// ScanOptions configures a fleet scan. The zero value scans with the
+// manager's configured window and no throughput floor, so
+// Scan(ScanOptions{}) is the common fleet pass.
+type ScanOptions struct {
+	// Window is the simulated TopDown (and throughput) measurement
+	// window per service; 0 means Config.Window.
+	Window float64
+	// MinThroughput, when positive, additionally measures each service's
+	// current throughput over Window and withholds optimization from
+	// services below the floor: near-idle services don't repay a
+	// stop-the-world pause, whatever their TopDown shape says.
+	MinThroughput float64
 }
 
 // Scan runs the first-stage TopDown check on every service (the
 // DMon/GWP-style fleet profiling pass) and ranks candidates by front-end
 // share, the feature Figure 9 shows predicts benefit. Order is
 // deterministic: front-end share descending, then service name ascending
-// on ties, so fleet schedules are reproducible.
-func (m *Manager) Scan(window float64) []ScanResult {
+// on ties, so fleet schedules are reproducible. Only one shard's lock is
+// held at a time while gathering the fleet, so a scan never stalls
+// another shard's in-flight replacements.
+func (m *Manager) Scan(opts ScanOptions) []ScanResult {
+	if opts.Window == 0 {
+		opts.Window = m.cfg.Window
+	}
 	services := m.Services()
 	out := make([]ScanResult, 0, len(services))
 	for _, s := range services {
-		optimize, td := s.Ctl.ShouldOptimize(window)
+		optimize, td := s.Ctl.ShouldOptimize(opts.Window)
+		r := ScanResult{Service: s, TopDown: td, Optimize: optimize}
+		if opts.MinThroughput > 0 {
+			r.Throughput = s.Measure(ScanOptions{Window: opts.Window})
+			if r.Throughput < opts.MinThroughput {
+				r.Optimize = false
+			}
+		}
 		s.mu.Lock()
 		s.scanned = true
-		s.selected = optimize || m.cfg.SkipGate
+		s.selected = r.Optimize || m.cfg.SkipGate
 		s.topdown = td
 		s.mu.Unlock()
-		out = append(out, ScanResult{Service: s, TopDown: td, Optimize: optimize})
+		out = append(out, r)
 	}
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].TopDown.FrontEnd != out[j].TopDown.FrontEnd {
@@ -487,6 +654,15 @@ func (m *Manager) Scan(window float64) []ScanResult {
 	return out
 }
 
+// ScanWindow is the old positional scan entry point.
+//
+// Deprecated: use Scan with ScanOptions, which also carries the
+// throughput floor. This shim is pinned by TestDeprecatedScanShims and
+// kept for one release.
+func (m *Manager) ScanWindow(window float64) []ScanResult {
+	return m.Scan(ScanOptions{Window: window})
+}
+
 // Run is the whole fleet pass: scan every service, then drive each
 // selected one through its optimization lifecycle on the worker pool.
 // Per-service outcomes (including faults) land in the report, not in
@@ -495,8 +671,8 @@ func (m *Manager) Run() (*FleetReport, error) {
 	if len(m.Services()) == 0 {
 		return nil, fmt.Errorf("fleet: no services added")
 	}
-	scan := m.Scan(m.cfg.Window)
-	m.Optimize(scan)
+	scan := m.Scan(ScanOptions{})
+	m.Optimize(scan, WaveOptions{})
 	// Round boundary for the whole wave: every service's terminal state
 	// and controller hash must match the recording exactly.
 	if r := m.cfg.Replay; r.Active() {
@@ -511,11 +687,30 @@ func (m *Manager) Run() (*FleetReport, error) {
 	return m.Report(), nil
 }
 
+// WaveOptions configures one optimization wave.
+type WaveOptions struct {
+	// Serial drives the wave one service at a time in scan order,
+	// bypassing the shard queues and the worker budget. It is forced
+	// automatically while a record/replay session is active: replay
+	// needs a deterministic decision order.
+	Serial bool
+	// NoCache runs this wave without the fleet layout cache: every
+	// service pays its own perf2bolt+BOLT pipeline (the redundant-work
+	// baseline the cache is measured against).
+	NoCache bool
+}
+
 // Optimize drives every scan-selected service (every scanned service
-// when SkipGate is set) through the lifecycle concurrently, bounded by
-// Config.Workers. Unselected services transition Idle → Steady
-// untouched. It blocks until the whole wave reaches a terminal state.
-func (m *Manager) Optimize(scan []ScanResult) {
+// when SkipGate is set) through the lifecycle concurrently: selected
+// services split into their name-hashed shard queues, each queue drains
+// independently, and the global Config.Workers budget bounds how many
+// lifecycles run at once across all shards. Unselected services
+// transition Idle → Steady untouched. Trace-journal and telemetry
+// writes are batched through a bounded flusher for the duration of the
+// wave (unless the wave is serial); everything is flushed before
+// Optimize returns. It blocks until the whole wave reaches a terminal
+// state.
+func (m *Manager) Optimize(scan []ScanResult, wave WaveOptions) {
 	var selected []*Service
 	for _, r := range scan {
 		s := r.Service
@@ -536,27 +731,71 @@ func (m *Manager) Optimize(scan []ScanResult) {
 		m.cfg.Metrics.Gauge("fleet_services").Set(float64(len(scan)))
 		m.cfg.Metrics.Gauge("fleet_selected").Set(float64(len(selected)))
 	}
-
-	work := make(chan *Service)
-	var wg sync.WaitGroup
-	workers := m.cfg.Workers
-	if workers > len(selected) {
-		workers = len(selected)
-	}
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for s := range work {
-				m.drive(s)
-			}
-		}()
+	cache := m.cache
+	if wave.NoCache {
+		cache = nil
 	}
 	for _, s := range selected {
-		work <- s
+		s.Ctl.SetLayoutCache(cache)
 	}
-	close(work)
+
+	if wave.Serial || m.cfg.Replay.Active() {
+		// One service at a time in scan order; writes stay inline so the
+		// replay journal sees every decision at its program point.
+		for _, s := range selected {
+			m.drive(s)
+		}
+		return
+	}
+
+	var fl *flusher
+	if m.cfg.FlushBuffer >= 0 {
+		fl = newFlusher(m.cfg.FlushBuffer)
+		m.fl = fl
+		for _, s := range selected {
+			s.setEmit(fl.enqueue)
+		}
+	}
+
+	// Per-shard queues drain independently; the token channel is the
+	// global concurrency budget shared across them, so a hot shard can't
+	// exceed Workers and a cold shard never waits on a foreign lock.
+	queues := make([][]*Service, len(m.shards))
+	for _, s := range selected {
+		i := m.shardIndex(s.Name)
+		queues[i] = append(queues[i], s)
+	}
+	tokens := make(chan struct{}, m.cfg.Workers)
+	var wg sync.WaitGroup
+	for _, q := range queues {
+		if len(q) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(q []*Service) {
+			defer wg.Done()
+			var swg sync.WaitGroup
+			for _, s := range q {
+				tokens <- struct{}{}
+				swg.Add(1)
+				go func(s *Service) {
+					defer swg.Done()
+					defer func() { <-tokens }()
+					m.drive(s)
+				}(s)
+			}
+			swg.Wait()
+		}(q)
+	}
 	wg.Wait()
+
+	if fl != nil {
+		m.fl = nil
+		for _, s := range selected {
+			s.setEmit(nil)
+		}
+		fl.close()
+	}
 }
 
 // acquirePause takes a slot in the global stop-the-world budget,
@@ -565,23 +804,26 @@ func (m *Manager) Optimize(scan []ScanResult) {
 func (m *Manager) acquirePause() {
 	t0 := m.clock.Now()
 	m.pauseSem <- struct{}{}
-	m.mu.Lock()
+	m.pmu.Lock()
 	m.inPause++
 	if m.inPause > m.peakPause {
 		m.peakPause = m.inPause
 	}
 	peak := m.peakPause
-	m.mu.Unlock()
+	m.pmu.Unlock()
 	if mt := m.cfg.Metrics; mt != nil {
-		mt.Histogram("fleet_pause_wait_seconds").Observe(m.clock.Now().Sub(t0).Seconds())
-		mt.Gauge("fleet_pauses_peak").Set(float64(peak))
+		wait := m.clock.Now().Sub(t0).Seconds()
+		m.async(func() {
+			mt.Histogram("fleet_pause_wait_seconds").Observe(wait)
+			mt.Gauge("fleet_pauses_peak").Set(float64(peak))
+		})
 	}
 }
 
 func (m *Manager) releasePause() {
-	m.mu.Lock()
+	m.pmu.Lock()
 	m.inPause--
-	m.mu.Unlock()
+	m.pmu.Unlock()
 	<-m.pauseSem
 }
 
@@ -589,7 +831,7 @@ func (m *Manager) releasePause() {
 // simultaneously inside a stop-the-world pause — never more than
 // Config.MaxPauses.
 func (m *Manager) PeakPauses() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.pmu.Lock()
+	defer m.pmu.Unlock()
 	return m.peakPause
 }

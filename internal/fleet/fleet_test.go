@@ -36,7 +36,7 @@ func TestFleetScanAndOptimize(t *testing.T) {
 	for _, s := range m.Services() {
 		s.Proc.RunFor(0.002)
 	}
-	scan := m.Scan(0.002)
+	scan := m.Scan(ScanOptions{Window: 0.002})
 	if len(scan) != 2 {
 		t.Fatal("scan lost services")
 	}
@@ -49,7 +49,7 @@ func TestFleetScanAndOptimize(t *testing.T) {
 		t.Errorf("kv should be skipped: %+v", scan[1])
 	}
 
-	m.Optimize(scan)
+	m.Optimize(scan, WaveOptions{})
 	rep := m.Report()
 	speedups := rep.Speedups()
 	if speedups["db"] < 1.15 {
@@ -87,7 +87,7 @@ func TestFleetRevertSafetyNet(t *testing.T) {
 	s.Proc.RunFor(0.002)
 	// Absurd revert threshold: even a good speedup gets reverted, proving
 	// the safety net restores ~original throughput.
-	m.Optimize(m.Scan(0.002))
+	m.Optimize(m.Scan(ScanOptions{Window: 0.002}), WaveOptions{})
 	if st := s.State(); st != Reverted {
 		t.Fatalf("service ended %s, want Reverted", st)
 	}
@@ -122,7 +122,7 @@ func TestScanDeterministicOrder(t *testing.T) {
 		}
 		s.Proc.RunFor(0.0004)
 	}
-	scan := m.Scan(0.0004)
+	scan := m.Scan(ScanOptions{Window: 0.0004})
 	var got []string
 	for _, r := range scan {
 		got = append(got, r.Service.Name)

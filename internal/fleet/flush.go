@@ -1,0 +1,43 @@
+package fleet
+
+// flusher batches trace-journal and telemetry writes off the wave hot
+// path. The tracer's journal and the metrics registry are each one lock
+// domain shared by every worker; at fleet scale (1,000 services emitting
+// transitions, retries, counters, and histogram observations) those
+// locks become the wave's synchronization point. Workers instead enqueue
+// the writes as closures into a bounded channel and a single background
+// goroutine drains them in order — enqueue order is preserved globally,
+// so each service's event sequence (which tests and operators read back
+// per service) stays intact, while the workers only ever contend on one
+// channel send.
+//
+// The channel is bounded: a wave that outruns the drain blocks on
+// enqueue (backpressure) rather than growing an unbounded write queue.
+// close() drains everything before returning, so once a wave's Optimize
+// call returns, every metric and journal event of the wave is visible.
+type flusher struct {
+	ch   chan func()
+	done chan struct{}
+}
+
+// newFlusher starts the drain goroutine with the given buffer bound.
+func newFlusher(buf int) *flusher {
+	f := &flusher{ch: make(chan func(), buf), done: make(chan struct{})}
+	go func() {
+		defer close(f.done)
+		for fn := range f.ch {
+			fn()
+		}
+	}()
+	return f
+}
+
+// enqueue submits one write; blocks only when the buffer is full.
+func (f *flusher) enqueue(fn func()) { f.ch <- fn }
+
+// close waits for every enqueued write to land, then stops the drain
+// goroutine. The flusher must not be used afterwards.
+func (f *flusher) close() {
+	close(f.ch)
+	<-f.done
+}

@@ -115,13 +115,24 @@ func (s *Service) transition(to State) error {
 	s.state = to
 	s.updatedAt = stamp
 	root := s.root
+	emit := s.emit
 	s.mu.Unlock()
 	// Journal the edge outside the lock: event emission takes the
-	// tracer's own locks and must never nest inside s.mu.
-	root.Event(trace.EvTransition,
-		trace.String("from", from.String()), trace.String("to", to.String()))
-	if to.Terminal() {
-		root.End(nil)
+	// tracer's own locks and must never nest inside s.mu. During a
+	// concurrent wave the write goes through the flusher — the drain
+	// preserves enqueue order, and a service's transitions are enqueued
+	// sequentially by its one worker, so per-service event order holds.
+	write := func() {
+		root.Event(trace.EvTransition,
+			trace.String("from", from.String()), trace.String("to", to.String()))
+		if to.Terminal() {
+			root.End(nil)
+		}
+	}
+	if emit != nil {
+		emit(write)
+	} else {
+		write()
 	}
 	return nil
 }
@@ -137,14 +148,15 @@ type RoundResult struct {
 }
 
 // counter bumps an unlabeled fleet counter (the registry is a nil-safe
-// sink when metrics are discarded).
+// sink when metrics are discarded). Routed through the wave flusher so
+// a thousand workers don't serialize on the registry lock mid-wave.
 func (m *Manager) counter(name string) {
-	m.cfg.Metrics.Counter(name).Inc()
+	m.async(func() { m.cfg.Metrics.Counter(name).Inc() })
 }
 
-// stageCounter bumps a per-stage fleet counter vector.
+// stageCounter bumps a per-stage fleet counter vector (flusher-routed).
 func (m *Manager) stageCounter(name string, stage State) {
-	m.cfg.Metrics.CounterVec(name, "stage").With(stage.String()).Inc()
+	m.async(func() { m.cfg.Metrics.CounterVec(name, "stage").With(stage.String()).Inc() })
 }
 
 // attempt runs one stage try: the injected fault hook first (tests
@@ -162,8 +174,10 @@ func (m *Manager) attempt(s *Service, stage State, fn func() error) error {
 			return nil
 		})
 	if err != nil {
-		s.rootSpan().EventErr(trace.EvFaultInjected, err,
-			trace.String("stage", stage.String()))
+		m.async(func() {
+			s.rootSpan().EventErr(trace.EvFaultInjected, err,
+				trace.String("stage", stage.String()))
+		})
 		return err
 	}
 	return fn()
@@ -194,13 +208,18 @@ func (m *Manager) withRetry(s *Service, stage State, fn func() error) error {
 		s.retries++
 		s.mu.Unlock()
 		root := s.rootSpan()
-		root.EventErr(trace.EvRetry, err,
-			trace.String("stage", stage.String()), trace.Int("attempt", att+1))
+		att := att
+		m.async(func() {
+			root.EventErr(trace.EvRetry, err,
+				trace.String("stage", stage.String()), trace.Int("attempt", att+1))
+		})
 		m.stageCounter("fleet_retries_total", stage)
 		wait := backoff + time.Duration(float64(backoff)*backoffJitterFrac*m.jitter())
-		root.Event(trace.EvBackoff,
-			trace.String("stage", stage.String()),
-			trace.Float("seconds", wait.Seconds()))
+		m.async(func() {
+			root.Event(trace.EvBackoff,
+				trace.String("stage", stage.String()),
+				trace.Float("seconds", wait.Seconds()))
+		})
 		m.clock.Sleep(wait)
 		backoff *= 2
 	}
@@ -332,8 +351,10 @@ func (m *Manager) drive(s *Service) {
 		s.mu.Unlock()
 		m.counter("fleet_rounds_total")
 		if mt := m.cfg.Metrics; mt != nil {
-			mt.Histogram("fleet_speedup").Observe(res.Speedup)
-			mt.Histogram("fleet_pause_seconds").Observe(rs.PauseSeconds)
+			m.async(func() {
+				mt.Histogram("fleet_speedup").Observe(res.Speedup)
+				mt.Histogram("fleet_pause_seconds").Observe(rs.PauseSeconds)
+			})
 		}
 
 		// Regression guard (§VI-C4): cumulative speedup below the bar
@@ -378,11 +399,14 @@ func (m *Manager) revert(s *Service) {
 // loop. Unlike Failed, nothing about the service is wedged or suspect —
 // every failed round was rolled back transactionally.
 func (m *Manager) quarantine(s *Service) {
-	s.rootSpan().EventErr(trace.EvQuarantine, s.Err(),
-		trace.Int("rollbacks", s.Rollbacks()))
+	err, rollbacks := s.Err(), s.Rollbacks()
+	m.async(func() {
+		s.rootSpan().EventErr(trace.EvQuarantine, err,
+			trace.Int("rollbacks", rollbacks))
+	})
 	s.transition(Quarantined)
 	m.counter("fleet_quarantines_total")
-	m.cfg.Metrics.Gauge("fleet_quarantined").Add(1)
+	m.async(func() { m.cfg.Metrics.Gauge("fleet_quarantined").Add(1) })
 }
 
 // cleanupFault resolves a persistently failed stage: if optimized code

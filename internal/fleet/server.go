@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/layout"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
@@ -20,6 +21,7 @@ import (
 //	GET /services            JSON array of ServiceStatus
 //	GET /trace?service=X     span tree JSON ("" = all services)
 //	GET /trace?format=jsonl  event journal, one JSON event per line
+//	GET /cache               layout-cache stats (hits, misses, coalesced, hit rate)
 //	GET /healthz             "ok"
 type ControlPlane struct {
 	m      *Manager
@@ -40,6 +42,7 @@ func (cp *ControlPlane) Handler() http.Handler {
 	mux.HandleFunc("/metrics", cp.getOnly(cp.metrics))
 	mux.HandleFunc("/services", cp.getOnly(cp.services))
 	mux.HandleFunc("/trace", cp.getOnly(cp.trace))
+	mux.HandleFunc("/cache", cp.getOnly(cp.cache))
 	mux.HandleFunc("/healthz", cp.getOnly(cp.healthz))
 	return mux
 }
@@ -105,6 +108,24 @@ func (cp *ControlPlane) trace(w http.ResponseWriter, r *http.Request) {
 	default:
 		http.Error(w, fmt.Sprintf("unknown format %q (want tree or jsonl)", format), http.StatusBadRequest)
 	}
+}
+
+// CacheStatus is the /cache document: the layout cache's counters plus
+// the derived hit rate, or enabled=false when the fleet runs cacheless.
+type CacheStatus struct {
+	Enabled bool         `json:"enabled"`
+	Stats   layout.Stats `json:"stats"`
+	HitRate float64      `json:"hit_rate"`
+}
+
+func (cp *ControlPlane) cache(w http.ResponseWriter, r *http.Request) {
+	var doc CacheStatus
+	if cp.m != nil {
+		if stats, ok := cp.m.CacheStats(); ok {
+			doc = CacheStatus{Enabled: true, Stats: stats, HitRate: stats.HitRate()}
+		}
+	}
+	writeJSON(w, doc)
 }
 
 func (cp *ControlPlane) healthz(w http.ResponseWriter, r *http.Request) {

@@ -34,7 +34,7 @@ func newTestPlane(t *testing.T) (http.Handler, *Manager, *trace.Tracer) {
 		t.Fatal(err)
 	}
 	s.Proc.RunFor(0.0004)
-	m.Optimize(m.Scan(m.Config().Window))
+	m.Optimize(m.Scan(ScanOptions{}), WaveOptions{})
 	return NewControlPlane(m, reg, tr).Handler(), m, tr
 }
 

@@ -49,7 +49,7 @@ func TestSnapshotAndTraceAfterWave(t *testing.T) {
 		}
 	}
 
-	m.Optimize(m.Scan(m.Config().Window))
+	m.Optimize(m.Scan(ScanOptions{}), WaveOptions{})
 
 	for _, st := range m.Snapshot() {
 		if !st.State.Terminal() {
@@ -178,7 +178,7 @@ func TestRetryAndBackoffEvents(t *testing.T) {
 		t.Fatal(err)
 	}
 	s.Proc.RunFor(0.0004)
-	m.Optimize(m.Scan(m.Config().Window))
+	m.Optimize(m.Scan(ScanOptions{}), WaveOptions{})
 
 	j := tr.Journal()
 	faults := j.ByType(trace.EvFaultInjected)

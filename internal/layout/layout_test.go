@@ -1,0 +1,179 @@
+package layout
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/bolt"
+	"repro/internal/telemetry"
+)
+
+func key(i int) Key {
+	return Key{Binary: fmt.Sprintf("bin%d", i), Profile: "prof", Opts: "opt"}
+}
+
+// TestSingleFlightCoalesces is the cache's core concurrency contract,
+// meant for -race: many concurrent misses on one key run the compute
+// function exactly once; everyone shares the one entry.
+func TestSingleFlightCoalesces(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := NewMemory(0, reg)
+	k := key(1)
+	want := &Entry{Result: &bolt.Result{FuncsReordered: 7}}
+
+	const callers = 16
+	var computes atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	results := make([]*Entry, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, _, err := m.Do(k, func() (*Entry, error) {
+				computes.Add(1)
+				<-release // hold the flight open until all callers launched
+				return want, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", i, err)
+			}
+			results[i] = e
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want exactly 1", n)
+	}
+	for i, e := range results {
+		if e != want {
+			t.Errorf("caller %d got entry %+v, want the shared one", i, e)
+		}
+	}
+	st := m.Stats()
+	if st.Misses != 1 || st.Hits+st.Coalesced != callers-1 {
+		t.Errorf("stats = %+v, want 1 miss and %d hit/coalesced", st, callers-1)
+	}
+	if st.Requests() != callers {
+		t.Errorf("requests = %d, want %d", st.Requests(), callers)
+	}
+	if st.Entries != 1 {
+		t.Errorf("entries = %d, want 1", st.Entries)
+	}
+	// A later lookup is a plain hit and the hit rate reflects the wave.
+	if e, _, err := m.Do(k, func() (*Entry, error) {
+		t.Error("compute ran on a cached key")
+		return nil, nil
+	}); err != nil || e != want {
+		t.Fatalf("Do on cached key = %v, %v", e, err)
+	}
+	if hr := m.Stats().HitRate(); hr < float64(callers-1)/float64(callers) {
+		t.Errorf("hit rate = %v, want ≥ %v", hr, float64(callers-1)/float64(callers))
+	}
+}
+
+// TestSingleFlightErrorNotCached: a failed compute propagates its error
+// to every coalesced waiter and leaves nothing in the cache.
+func TestSingleFlightErrorNotCached(t *testing.T) {
+	m := NewMemory(0, nil)
+	boom := errors.New("boom")
+	if _, _, err := m.Do(key(1), func() (*Entry, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if st := m.Stats(); st.Entries != 0 {
+		t.Fatalf("failed compute was cached: %+v", st)
+	}
+	// The key is retryable: the next Do is a fresh miss.
+	e, out, err := m.Do(key(1), func() (*Entry, error) { return &Entry{}, nil })
+	if err != nil || e == nil || out != Miss {
+		t.Fatalf("retry after error = %v, %v, %v", e, out, err)
+	}
+}
+
+// TestMemoryEviction: the cache is bounded and evicts oldest-first.
+func TestMemoryEviction(t *testing.T) {
+	m := NewMemory(2, nil)
+	for i := 1; i <= 3; i++ {
+		m.Put(key(i), &Entry{})
+	}
+	if _, ok := m.Get(key(1)); ok {
+		t.Error("oldest entry survived past capacity")
+	}
+	for i := 2; i <= 3; i++ {
+		if _, ok := m.Get(key(i)); !ok {
+			t.Errorf("entry %d evicted prematurely", i)
+		}
+	}
+	st := m.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats = %+v, want 1 eviction and 2 entries", st)
+	}
+}
+
+// plainCache is the injectable fake shape: Get/Put/Stats only, no
+// single-flight. Do must degrade to check-compute-store against it.
+type plainCache struct {
+	mu      sync.Mutex
+	entries map[Key]*Entry
+	puts    int
+}
+
+func (p *plainCache) Get(k Key) (*Entry, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[k]
+	return e, ok
+}
+
+func (p *plainCache) Put(k Key, e *Entry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.entries == nil {
+		p.entries = make(map[Key]*Entry)
+	}
+	p.entries[k] = e
+	p.puts++
+}
+
+func (p *plainCache) Stats() Stats { return Stats{} }
+
+func TestDoDegradesToGetPut(t *testing.T) {
+	p := &plainCache{}
+	e1, out, err := Do(p, key(1), func() (*Entry, error) { return &Entry{}, nil })
+	if err != nil || out != Miss || e1 == nil {
+		t.Fatalf("first Do = %v, %v, %v", e1, out, err)
+	}
+	e2, out, err := Do(p, key(1), func() (*Entry, error) {
+		t.Error("compute ran on cached key")
+		return nil, nil
+	})
+	if err != nil || out != Hit || e2 != e1 {
+		t.Fatalf("second Do = %v, %v, %v", e2, out, err)
+	}
+	if p.puts != 1 {
+		t.Errorf("puts = %d, want 1", p.puts)
+	}
+}
+
+// TestMemoryTelemetry: lookup outcomes land in the registry vector.
+func TestMemoryTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	m := NewMemory(0, reg)
+	m.Do(key(1), func() (*Entry, error) { return &Entry{}, nil })
+	m.Do(key(1), func() (*Entry, error) { return nil, errors.New("unreachable") })
+	v := reg.CounterVec("layout_cache_requests_total", "outcome")
+	if got := v.With(string(Miss)).Value(); got != 1 {
+		t.Errorf("miss counter = %v, want 1", got)
+	}
+	if got := v.With(string(Hit)).Value(); got != 1 {
+		t.Errorf("hit counter = %v, want 1", got)
+	}
+	if got := v.With(string(Coalesced)).Value(); got != 0 {
+		t.Errorf("coalesced counter = %v, want 0", got)
+	}
+}

@@ -155,6 +155,22 @@ func (s *Session) SchedQuantum(inner func(tid, proposed int) int) func(int, int)
 	}
 }
 
+// CacheEvent journals one layout-cache lookup decision. Both the
+// content-addressed key and the outcome are identity: a replayed wave
+// starts from an empty cache and re-executes the same serial decision
+// sequence, so it must recompute the same keys and reach the same
+// hit/miss outcomes — any drift (a layout fingerprint that no longer
+// matches, a lookup that appears or disappears) surfaces as a
+// DivergenceError instead of silently replaying different code.
+func (s *Session) CacheEvent(key, outcome string) error {
+	if !s.Active() {
+		return nil
+	}
+	_, err := s.step(trace.Event{Type: trace.EvCacheDecision, Stage: "layout.cache",
+		Attrs: trace.Attrs{trace.String("key", key), trace.String("outcome", outcome)}}, nil)
+	return err
+}
+
 // FaultHook wraps a tracee-level fault hook (core.Options.FaultHook).
 // Record mode journals each firing decision; replay mode reconstructs
 // the decisions from the journal alone — the inner hook (usually nil on

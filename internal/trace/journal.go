@@ -76,6 +76,11 @@ const (
 	// EvCheckpoint: a state-hash checkpoint at a round boundary; replay
 	// recomputes the hash and fails fast on mismatch.
 	EvCheckpoint
+	// EvCacheDecision: one layout-cache lookup outcome (hit/miss/
+	// coalesced) with its content-addressed key. Everything is identity:
+	// a replayed wave recomputes the key and must reach the same
+	// decision, so cached waves replay bit-identically.
+	EvCacheDecision
 )
 
 var eventTypeNames = [...]string{
@@ -98,6 +103,7 @@ var eventTypeNames = [...]string{
 	EvSchedPick:     "sched_pick",
 	EvFaultDecision: "fault_decision",
 	EvCheckpoint:    "checkpoint",
+	EvCacheDecision: "cache_decision",
 }
 
 func (t EventType) String() string {

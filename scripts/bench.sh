@@ -1,12 +1,21 @@
 #!/usr/bin/env sh
-# Interpreter-throughput benchmark runner: runs BenchmarkStep for both
-# execution engines and writes BENCH_proc.json with the block-cache
-# engine's simulated-instructions-per-second next to the legacy
-# per-instruction baseline measured in the same run. The benchmark is
-# invoked COUNT separate times — each invocation measures both engines
-# back to back, so the pair shares machine-noise conditions — and the
-# best run per engine is kept: wall-clock noise on shared machines only
-# ever slows a run down. See docs/perf.md.
+# Benchmark runner, two sections:
+#
+# 1. Interpreter throughput: runs BenchmarkStep for both execution
+#    engines and writes BENCH_proc.json with the block-cache engine's
+#    simulated-instructions-per-second next to the legacy
+#    per-instruction baseline measured in the same run. The benchmark is
+#    invoked COUNT separate times — each invocation measures both
+#    engines back to back, so the pair shares machine-noise conditions —
+#    and the best run per engine is kept: wall-clock noise on shared
+#    machines only ever slows a run down. See docs/perf.md.
+#
+# 2. Fleet wave: drives FLEET_SERVICES (default 1000) mixed-workload
+#    replicas through one sharded optimization wave under the race
+#    detector and writes BENCH_fleet.json — wave wall time, BOLT
+#    invocations, and the layout-cache hit rate that keeps invocations
+#    far below the service count. See docs/fleet.md. Skip with
+#    SKIP_FLEET=1 (the interpreter section is the fast one).
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -14,6 +23,8 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-1s}"
 COUNT="${COUNT:-8}"
 OUT="${OUT:-BENCH_proc.json}"
+FLEET_OUT="${FLEET_OUT:-BENCH_fleet.json}"
+FLEET_SERVICES="${FLEET_SERVICES:-1000}"
 
 raw=""
 i=1
@@ -50,3 +61,11 @@ EOF
 
 echo "== $OUT"
 cat "$OUT"
+
+if [ "${SKIP_FLEET:-0}" != 1 ]; then
+    echo "== fleet wave benchmark: $FLEET_SERVICES services, -race"
+    FLEET_BENCH_OUT="$FLEET_OUT" FLEET_BENCH_SERVICES="$FLEET_SERVICES" \
+        go test -race -run TestFleetWaveBench -count 1 -timeout 60m ./internal/fleet
+    echo "== $FLEET_OUT"
+    cat "$FLEET_OUT"
+fi

@@ -58,6 +58,21 @@ go test -short -run TestFaultSweep ./internal/diffcheck || { upload_journals; ex
 echo "== go test -race -run 'TestTraceeFault|TestSecondRoundQuarantine|TestMidWaveFaultIsolation' ./internal/fleet"
 go test -race -run 'TestTraceeFault|TestSecondRoundQuarantine|TestMidWaveFaultIsolation' ./internal/fleet || { upload_journals; exit 1; }
 
+# Sharded-wave + layout-cache gates (see docs/fleet.md): the
+# single-flight cache and the sharded dispatcher are the fleet's two
+# concurrency hot spots, so both run explicitly under the race
+# detector. The 32-replica homogeneous smoke must serve >90% of its
+# lookups from the cache — the "optimize once, deploy everywhere"
+# contract — and the test itself fails below that bar.
+echo "== go test -race -run 'TestSingleFlight' ./internal/layout"
+go test -race -run 'TestSingleFlight' ./internal/layout
+echo "== sharded-wave cache smoke: 32 homogeneous replicas, -race"
+FLEET_BENCH_OUT="$tmpdir/BENCH_fleet_smoke.json" FLEET_BENCH_SERVICES=32 \
+    FLEET_BENCH_WORKLOADS=1 FLEET_BENCH_WORKERS=4 FLEET_BENCH_SHARDS=4 \
+    go test -race -run TestFleetWaveBench -count 1 ./internal/fleet || { upload_journals; exit 1; }
+grep -q '"cache_hit_rate"' "$tmpdir/BENCH_fleet_smoke.json" ||
+    { cat "$tmpdir/BENCH_fleet_smoke.json"; echo "fleet smoke wrote no cache stats"; exit 1; }
+
 # Record/replay smoke (see docs/replay.md): a two-round kvcache session
 # is recorded, then re-executed from the journal alone — every
 # state-hash checkpoint must verify and the re-recorded journal must be
@@ -103,6 +118,7 @@ curl -sf "http://$addr/healthz" | grep -q '^ok$' || { echo "/healthz failed"; ex
 curl -sf "http://$addr/metrics" >"$tmpdir/metrics" || { echo "/metrics failed"; exit 1; }
 grep -q '^fleet_services ' "$tmpdir/metrics" || { cat "$tmpdir/metrics"; echo "fleet_services missing from /metrics"; exit 1; }
 curl -sf "http://$addr/services" >/dev/null || { echo "/services failed"; exit 1; }
+curl -sf "http://$addr/cache" | grep -q '"enabled": true' || { echo "/cache failed"; exit 1; }
 kill -TERM "$fleetd_pid"
 wait "$fleetd_pid" || { cat "$tmpdir/log"; echo "fleetd did not exit cleanly"; exit 1; }
 echo "control plane smoke OK ($addr)"
