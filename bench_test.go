@@ -39,7 +39,7 @@ func runExperiment(b *testing.B, name string) {
 // ALU work with a call to a tiny leaf, the shape the simulator spends its
 // life in. The loop bound is effectively infinite; the harness caps the
 // run by instruction count.
-func stepProcess(b *testing.B) *proc.Process {
+func stepProcess(b *testing.B, opts proc.Options) *proc.Process {
 	p := build.NewProgram("stepbench")
 	leaf := p.Func("leaf")
 	leaf.AddI(isa.R4, isa.R4, 3)
@@ -63,7 +63,7 @@ func stepProcess(b *testing.B) *proc.Process {
 	if err != nil {
 		b.Fatal(err)
 	}
-	pr, err := proc.Load(bin, proc.Options{})
+	pr, err := proc.Load(bin, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -71,13 +71,27 @@ func stepProcess(b *testing.B) *proc.Process {
 }
 
 // BenchmarkStep measures raw interpreter throughput in simulated
-// instructions per wall-clock second, for both engines: "block" is the
-// basic-block cache the scheduler uses, "legacy" the per-instruction
-// Step reference path. scripts/bench.sh turns the two into
-// BENCH_proc.json, with legacy as the pre-block-cache baseline.
+// instructions per wall-clock second, for all three engines: "super" is
+// the superblock trace engine the scheduler uses by default, "block" the
+// basic-block cache it is built on (superblocks disabled), and "legacy"
+// the per-instruction Step reference path. scripts/bench.sh turns the
+// three into BENCH_proc.json, with legacy as the pre-block-cache
+// baseline.
 func BenchmarkStep(b *testing.B) {
+	b.Run("super", func(b *testing.B) {
+		pr := stepProcess(b, proc.Options{})
+		b.ResetTimer()
+		n := pr.RunUntilHalt(uint64(b.N))
+		if n == 0 || pr.Fault() != nil {
+			b.Fatalf("run failed: n=%d fault=%v", n, pr.Fault())
+		}
+		b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "inst/s")
+		if b.N > 10000 && pr.SuperblockStats().Insts == 0 {
+			b.Fatal("superblock engine never engaged")
+		}
+	})
 	b.Run("block", func(b *testing.B) {
-		pr := stepProcess(b)
+		pr := stepProcess(b, proc.Options{DisableSuperblocks: true})
 		b.ResetTimer()
 		n := pr.RunUntilHalt(uint64(b.N))
 		if n == 0 || pr.Fault() != nil {
@@ -86,7 +100,7 @@ func BenchmarkStep(b *testing.B) {
 		b.ReportMetric(float64(n)/b.Elapsed().Seconds(), "inst/s")
 	})
 	b.Run("legacy", func(b *testing.B) {
-		pr := stepProcess(b)
+		pr := stepProcess(b, proc.Options{})
 		t := pr.Threads[0]
 		b.ResetTimer()
 		var n uint64

@@ -1,0 +1,301 @@
+package cpu
+
+// Block-level cycle accounting.
+//
+// The superblock engine (internal/proc) pre-aggregates each straight-line
+// run of event-free instructions at decode time and charges the Core for
+// the whole run at once instead of per instruction. That is only exact
+// because of how the Core represents cycles (see Core.Cycles): the
+// retire-slot cost and divider latency are folded lazily from integer
+// counters, so a bulk charge of n instructions is bit-identical to n
+// individual Retire calls no matter how the run is split. Everything
+// that depends on dynamic microarchitectural state (cache, TLB,
+// predictors, DRAM queue) still goes through the per-event paths.
+//
+// The front end is the one piece of fetch state a decoded run depends
+// on: whether the first instruction sits on the line the core last
+// fetched. FetchFP captures that state as a compact fingerprint so the
+// engine can prove a segment-head Fetch is a no-op (fingerprint match)
+// and skip the call, falling back to the full per-event Fetch on
+// mismatch.
+
+// FetchFP is a compact fingerprint of the core front-end fetch state:
+// the +1-encoded index of the cache line last fetched (0 after a taken
+// branch redirected fetch). Fetching an instruction whose line
+// fingerprint equals the core's current fingerprint is free and leaves
+// every model structure untouched.
+type FetchFP uint64
+
+// FetchFP returns the core's current front-end fingerprint.
+func (c *Core) FetchFP() FetchFP { return FetchFP(c.lastFetchLine) }
+
+// PCFetchFP returns the fingerprint the front end will have immediately
+// after fetching pc — equivalently, the fingerprint the core must
+// already hold for Fetch(pc) to be a guaranteed no-op.
+func (c *Core) PCFetchFP(pc uint64) FetchFP { return FetchFP(pc>>c.lineShift + 1) }
+
+// SameFetchLine reports whether a and b share an instruction cache line,
+// i.e. whether a fetch of b immediately after a is free. The superblock
+// builder uses it to precompute which ops in a trace are fetch points.
+func (c *Core) SameFetchLine(a, b uint64) bool {
+	return a>>c.lineShift == b>>c.lineShift
+}
+
+// FetchPlan is a precomputed warm-path descriptor for one planned fetch
+// point: the L1i way-0 slots and tag encodings FetchFast compares so the
+// all-hits common case is charged inline, with no calls. Plans are pure
+// geometry (functions of pc alone), built once per fetch point at trace
+// formation and valid for the program's lifetime.
+type FetchPlan struct {
+	line uint64 // +1-encoded line of pc — also its L1i tag (the L1i granule is the line)
+	page uint64 // +1-encoded page of pc (lastFetchPage encoding)
+	set  int32  // way-0 slot of pc's line in the L1i
+	nset int32  // way-0 slot of the prefetch-next line
+}
+
+// PlanFetch precomputes the FetchPlan for fetches of pc.
+func (c *Core) PlanFetch(pc uint64) FetchPlan {
+	l1i := c.l1i
+	key := pc >> l1i.shift
+	return FetchPlan{
+		line: pc>>c.lineShift + 1,
+		page: pc>>c.pageShift + 1,
+		set:  int32(key&l1i.setMask) * int32(l1i.ways),
+		nset: int32((key+1)&l1i.setMask) * int32(l1i.ways),
+	}
+}
+
+// FetchFast performs Fetch(pc) for a planned fetch point when the warm
+// preconditions hold: the line is already live (Fetch is a no-op), or
+// the fetch stays on the current page and both the demand line and its
+// prefetch-next line sit in their L1i sets' way 0 — the MRU slot
+// move-to-front maintains (see cache.access). Under those conditions
+// the full path charges no stall and changes nothing but the demand
+// line's recency stamp, replicated here inline. Returns false, having
+// changed nothing, when the caller must take the full Fetch path.
+func (c *Core) FetchFast(pl *FetchPlan) bool {
+	if pl.line == c.lastFetchLine {
+		return true
+	}
+	if pl.page != c.lastFetchPage ||
+		c.l1iTags[pl.set] != pl.line || c.l1iTags[pl.nset] != pl.line+1 {
+		return false
+	}
+	c.lastFetchLine = pl.line
+	l1i := c.l1i
+	l1i.clock++
+	l1i.accesses++
+	c.l1iStamps[pl.set] = l1i.clock
+	return true
+}
+
+// FetchRunPlan pre-aggregates the front-end events of one pure run of a
+// superblock: the way-0 slots and tags of every line the run fetches
+// (its fetch points are sequential line crossings on one page) plus the
+// prefetch tail line. When every line is warm, FetchRunFast collapses
+// the run's whole front-end traffic to K stamp refreshes in one call —
+// O(1) model interactions per run — with per-event fallback whenever
+// any precondition fails.
+type FetchRunPlan struct {
+	page  uint64   // required lastFetchPage (all fetched lines share it)
+	first uint64   // +1-encoded first fetched line; live ⇒ fallback (the fetch would be a no-op)
+	last  uint64   // lastFetchLine after the run
+	sets  []int32  // way-0 slots: the K fetched lines, then the prefetch tail
+	tags  []uint64 // their +1-encoded tags
+
+	// Verification memo: the L1i tag epoch (and the core it belongs to
+	// — plans can be shared across threads' cores) at the last
+	// successful tag check. While the epoch is unchanged no tags[] slot
+	// has mutated, so the check's outcome is unchanged and the scan is
+	// skipped. The epoch is stored +1 so the zero value never matches.
+	epoch     uint64
+	epochCore *Core
+}
+
+// PlanFetchRun builds the aggregate plan for a run whose fetch points
+// sit at pcs (in trace order). Returns nil when the run cannot be
+// pre-aggregated: its crossings are not sequential same-page lines
+// (e.g. the run straddles a page boundary). An empty pcs yields a plan
+// that always succeeds doing nothing — a run that never leaves its
+// entry line has no front-end traffic at all.
+func (c *Core) PlanFetchRun(pcs []uint64) *FetchRunPlan {
+	g := &FetchRunPlan{}
+	if len(pcs) == 0 {
+		return g
+	}
+	l1i := c.l1i
+	first := pcs[0] >> c.lineShift
+	g.page = pcs[0]>>c.pageShift + 1
+	g.first = first + 1
+	g.last = first + uint64(len(pcs))
+	for k, pc := range pcs {
+		if pc>>c.lineShift != first+uint64(k) || pc>>c.pageShift+1 != g.page {
+			return nil
+		}
+	}
+	for k := 0; k <= len(pcs); k++ {
+		key := first + uint64(k)
+		g.sets = append(g.sets, int32(key&l1i.setMask)*int32(l1i.ways))
+		g.tags = append(g.tags, key+1)
+	}
+	return g
+}
+
+// FetchRunFast performs every fetch of a pure run at once when the warm
+// preconditions hold: the first fetched line is not already live (its
+// fetch really happens; the later ones then follow by adjacency), the
+// run stays on the current page, and all K fetched lines plus the
+// prefetch tail sit in their sets' way 0. The per-event path would then
+// charge no stalls and touch nothing but the K recency stamps and the
+// clock, replicated here in fetch order. Returns false, having changed
+// nothing, when the caller must take the per-op path.
+func (c *Core) FetchRunFast(g *FetchRunPlan) bool {
+	last := len(g.sets) - 1 // index of the prefetch tail; K = last
+	if last < 0 {
+		return true // no fetch points: nothing to verify or charge
+	}
+	if g.first == c.lastFetchLine || g.page != c.lastFetchPage {
+		return false
+	}
+	l1i := c.l1i
+	if g.epoch != l1i.epoch+1 || g.epochCore != c {
+		tags := c.l1iTags
+		for k, s := range g.sets {
+			if tags[s] != g.tags[k] {
+				return false
+			}
+		}
+		g.epoch = l1i.epoch + 1
+		g.epochCore = c
+	}
+	stamps := c.l1iStamps
+	clock := l1i.clock
+	for _, s := range g.sets[:last] {
+		clock++
+		stamps[s] = clock
+	}
+	l1i.clock = clock
+	l1i.accesses += uint64(last)
+	c.lastFetchLine = g.last
+	return true
+}
+
+// MemFast performs Mem(addr, store) when addr hits the L1d's way 0 —
+// the only Mem case that charges no stall, making the store/load
+// distinction moot. Returns false, having changed nothing, when the
+// caller must take the full Mem path. Call-free so it inlines into the
+// engines' hot loops.
+func (c *Core) MemFast(addr uint64) bool {
+	l1d := c.l1d
+	key := addr >> l1d.shift
+	set := int(key&l1d.setMask) * l1d.ways
+	if c.l1dTags[set] != key+1 {
+		return false
+	}
+	l1d.clock++
+	l1d.accesses++
+	c.l1dStamps[set] = l1d.clock
+	return true
+}
+
+// The Branch*Fast family below are inline warm paths for the branch
+// kinds a superblock executes on its planned path. Each replicates
+// Branch's exact effects for one kind under preconditions that make the
+// outcome fixed (BTB way-0 hit with an unchanged target, RAS top
+// agreeing with the actual return target), returns false having changed
+// nothing otherwise, and bails to the full path whenever the LBR is
+// recording (taken branches would need a ring append).
+
+// BranchJumpFast is Branch(pc, target, true, BrJump, 0) for a BTB way-0
+// hit whose stored target already matches: a correctly predicted taken
+// jump costing only the redirect bubble.
+func (c *Core) BranchJumpFast(pc, target uint64) bool {
+	b := c.btb
+	key := pc >> 4
+	set := int(key&b.setMask) * b.ways
+	if c.LBREnabled || b.tags[set] != key+1 || b.targets[set] != target {
+		return false
+	}
+	b.clock++
+	b.stamps[set] = b.clock
+	c.Stats.TakenBranches++
+	c.lastFetchLine = 0
+	c.stallFE += c.cfg.TakenBubble
+	return true
+}
+
+// BranchCallFast is Branch(pc, target, true, BrCall, retAddr) under the
+// same BTB preconditions as BranchJumpFast, plus the RAS push.
+func (c *Core) BranchCallFast(pc, target, retAddr uint64) bool {
+	b := c.btb
+	key := pc >> 4
+	set := int(key&b.setMask) * b.ways
+	if c.LBREnabled || b.tags[set] != key+1 || b.targets[set] != target {
+		return false
+	}
+	b.clock++
+	b.stamps[set] = b.clock
+	r := c.ras
+	r.stack[r.pos] = retAddr
+	r.pos++
+	if r.pos == len(r.stack) {
+		r.pos = 0
+	}
+	if r.top < len(r.stack) {
+		r.top++
+	}
+	c.Stats.TakenBranches++
+	c.lastFetchLine = 0
+	c.stallFE += c.cfg.TakenBubble
+	return true
+}
+
+// BranchRetFast is Branch(pc, target, true, BrRet, 0) when the RAS top
+// predicts the actual target: pop, bubble, no mispredict.
+func (c *Core) BranchRetFast(pc, target uint64) bool {
+	r := c.ras
+	if c.LBREnabled || r.top == 0 {
+		return false
+	}
+	pos := r.pos - 1
+	if pos < 0 {
+		pos = len(r.stack) - 1
+	}
+	if r.stack[pos] != target {
+		return false // underflow-free mispredict: full path
+	}
+	r.pos = pos
+	r.top--
+	c.Stats.TakenBranches++
+	c.lastFetchLine = 0
+	c.stallFE += c.cfg.TakenBubble
+	return true
+}
+
+// BranchCondNotTakenFast is Branch(pc, target, false, BrCond, 0) in
+// full: a not-taken conditional only touches the direction predictor
+// (and the mispredict accounting), so there are no preconditions and no
+// fallback — it always completes.
+func (c *Core) BranchCondNotTakenFast(pc uint64) {
+	g := c.dir
+	idx := ((pc >> 4) ^ g.history) & g.mask
+	cnt := g.table[idx]
+	if cnt > 0 {
+		g.table[idx] = cnt - 1
+	}
+	g.history = (g.history << 1) & g.mask
+	c.Stats.CondBranches++
+	if cnt >= 2 {
+		c.Stats.Mispredicts++
+		c.stallBS += c.cfg.MispredictPenalty
+	}
+}
+
+// RetireBulk charges the retirement of n instructions, divs of which
+// are divider ops, in O(1). Exactly equivalent to n Retire calls by
+// construction: both paths only bump the integer counters that Cycles()
+// folds lazily.
+func (c *Core) RetireBulk(n, divs uint64) {
+	c.Stats.Instructions += n
+	c.divOps += divs
+}

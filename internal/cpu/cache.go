@@ -13,6 +13,11 @@ type cache struct {
 	clock    uint64
 	accesses uint64
 	misses   uint64
+	// epoch counts tag mutations: it bumps whenever any tags[] slot
+	// changes (move-to-front swap or miss fill), and never on an MRU
+	// way-0 hit. A verified tag predicate (FetchRunFast's plan check)
+	// therefore stays true as long as epoch is unchanged.
+	epoch uint64
 }
 
 // newCache builds a cache of capacity bytes with the given associativity
@@ -46,9 +51,13 @@ func newCacheEntries(entries, ways, granuleBytes int) *cache {
 	return newCache(entries*granuleBytes, ways, granuleBytes)
 }
 
-// access looks addr up, inserting on miss. Returns true on hit. The set
-// is sliced once so the way scan runs without per-way bounds checks —
-// this is the single hottest function of the whole simulator.
+// access looks addr up, inserting on miss. Returns true on hit. This is
+// the single hottest function of the whole simulator, so the common case
+// is kept to a handful of instructions: a set's ways are an *unordered*
+// tag→stamp map (eviction picks the minimum stamp wherever it sits), so
+// hits are swapped into way 0 — move-to-front — making "hit in way 0"
+// one compare and one stamp write, with zero observable difference in
+// hit/miss behavior or eviction decisions.
 func (c *cache) access(addr uint64) bool {
 	c.clock++
 	c.accesses++
@@ -57,19 +66,29 @@ func (c *cache) access(addr uint64) bool {
 	tag := key + 1
 	tags := c.tags[set : set+c.ways]
 	stamps := c.stamps[set : set+c.ways : set+c.ways]
-	lruIdx := 0
-	lruStamp := ^uint64(0)
-	for w, wtag := range tags {
-		if wtag == tag {
-			stamps[w] = c.clock
+	if tags[0] == tag { // MRU fast path
+		stamps[0] = c.clock
+		return true
+	}
+	for w := 1; w < len(tags); w++ {
+		if tags[w] == tag {
+			tags[w], tags[0] = tags[0], tag
+			stamps[w] = stamps[0]
+			stamps[0] = c.clock
+			c.epoch++
 			return true
 		}
+	}
+	c.misses++
+	c.epoch++
+	lruIdx := 0
+	lruStamp := stamps[0]
+	for w := 1; w < len(stamps); w++ {
 		if s := stamps[w]; s < lruStamp {
 			lruStamp = s
 			lruIdx = w
 		}
 	}
-	c.misses++
 	tags[lruIdx] = tag
 	stamps[lruIdx] = c.clock
 	return false
@@ -80,8 +99,12 @@ func (c *cache) probe(addr uint64) bool {
 	key := addr >> c.shift
 	set := int(key&c.setMask) * c.ways
 	tag := key + 1
-	for _, wtag := range c.tags[set : set+c.ways] {
-		if wtag == tag {
+	tags := c.tags[set : set+c.ways]
+	if tags[0] == tag { // MRU fast path (see access)
+		return true
+	}
+	for w := 1; w < len(tags); w++ {
+		if tags[w] == tag {
 			return true
 		}
 	}
@@ -132,6 +155,50 @@ func (b *btb) lookup(pc uint64) (uint64, bool) {
 			return b.targets[i], true
 		}
 	}
+	return 0, false
+}
+
+// predictUpdate is lookup followed by update fused into one scan: it
+// returns the prediction that was stored for pc and records the actual
+// target, refreshing recency once. Only the relative order of stamp
+// assignments is observable (eviction compares stamps within a set), and
+// that order is identical to the two-call sequence; like the caches,
+// hits move to way 0 so repeated branches resolve on the first compare.
+func (b *btb) predictUpdate(pc, target uint64) (uint64, bool) {
+	b.clock++
+	key := pc >> 4
+	set := int(key&b.setMask) * b.ways
+	tag := key + 1
+	tags := b.tags[set : set+b.ways]
+	targets := b.targets[set : set+b.ways : set+b.ways]
+	stamps := b.stamps[set : set+b.ways : set+b.ways]
+	if tags[0] == tag { // MRU fast path
+		pred := targets[0]
+		targets[0] = target
+		stamps[0] = b.clock
+		return pred, true
+	}
+	for w := 1; w < len(tags); w++ {
+		if tags[w] == tag {
+			pred := targets[w]
+			tags[w], tags[0] = tags[0], tag
+			targets[w], targets[0] = targets[0], target
+			stamps[w] = stamps[0]
+			stamps[0] = b.clock
+			return pred, true
+		}
+	}
+	lruIdx := 0
+	lruStamp := stamps[0]
+	for w := 1; w < len(stamps); w++ {
+		if s := stamps[w]; s < lruStamp {
+			lruStamp = s
+			lruIdx = w
+		}
+	}
+	tags[lruIdx] = tag
+	targets[lruIdx] = target
+	stamps[lruIdx] = b.clock
 	return 0, false
 }
 

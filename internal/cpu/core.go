@@ -44,13 +44,25 @@ type Core struct {
 	lbr        *lbrRing
 	LBREnabled bool
 
-	// Stats holds the hardware counters. The Cycles field is synced
-	// lazily at read points, not per event — read it through
-	// StatsSnapshot (or use Cycles()) instead of the raw field.
+	// Stats holds the hardware counters. The float cycle fields
+	// (Cycles, RetireCycles, FEStallCycles, BadSpecCycles,
+	// BEStallCycles) are derived lazily at read points, not per event —
+	// read them through StatsSnapshot (or use Cycles()) instead of the
+	// raw fields.
 	Stats Stats
 
-	cycles        float64
-	lastFetchLine uint64 // +1 encoding; 0 = none
+	// Cycle accounting keeps integer event counts separate from float
+	// stall accumulators so that a straight-line run of event-free
+	// instructions can be charged in O(1) (RetireBulk): total cycles are
+	// derived as Instructions*retireCost + divOps*DivLat + the four
+	// stall sums, with a fixed summation order so the derived value is
+	// bit-identical however retirements were grouped.
+	divOps        uint64
+	stallRet      float64 // extra cycles charged to the Retiring bucket
+	stallFE       float64 // front-end stalls (fetch misses, taken-branch bubbles)
+	stallBS       float64 // bad speculation (mispredict penalties)
+	stallBE       float64 // back-end stalls (data-cache misses, syscalls), excluding DivLat
+	lastFetchLine uint64  // +1 encoding; 0 = none
 	lastFetchPage uint64
 
 	// Precomputed per-event constants: line/page index shifts derived
@@ -60,6 +72,14 @@ type Core struct {
 	pageShift  uint
 	retireCost float64
 	bucketAcc  [4]*float64
+
+	// l1iTags/l1iStamps (and the l1d pair) alias the caches' arrays so
+	// the inline warm paths (FetchFast, MemFast) reach them with one
+	// indirection fewer.
+	l1iTags   []uint64
+	l1iStamps []uint64
+	l1dTags   []uint64
+	l1dStamps []uint64
 }
 
 // NewCore builds a core attached to the shared hierarchy.
@@ -84,11 +104,13 @@ func NewCore(id int, cfg *Config, sh *Shared) *Core {
 		retireCost: 1 / cfg.IssueWidth,
 	}
 	c.bucketAcc = [4]*float64{
-		BucketRetiring: &c.Stats.RetireCycles,
-		BucketFrontEnd: &c.Stats.FEStallCycles,
-		BucketBadSpec:  &c.Stats.BadSpecCycles,
-		BucketBackEnd:  &c.Stats.BEStallCycles,
+		BucketRetiring: &c.stallRet,
+		BucketFrontEnd: &c.stallFE,
+		BucketBadSpec:  &c.stallBS,
+		BucketBackEnd:  &c.stallBE,
 	}
+	c.l1iTags, c.l1iStamps = c.l1i.tags, c.l1i.stamps
+	c.l1dTags, c.l1dStamps = c.l1d.tags, c.l1d.stamps
 	return c
 }
 
@@ -105,11 +127,18 @@ func log2up(n int) uint {
 // Config returns the core's configuration.
 func (c *Core) Config() *Config { return c.cfg }
 
-// Cycles returns the core's elapsed cycle count.
-func (c *Core) Cycles() float64 { return c.cycles }
+// Cycles returns the core's elapsed cycle count, derived from the
+// integer event counters and the stall accumulators. The summation order
+// is fixed (and mirrored by StatsSnapshot) so the result does not depend
+// on how retirements were grouped into bulk charges.
+func (c *Core) Cycles() float64 {
+	return (float64(c.Stats.Instructions)*c.retireCost + c.stallRet) +
+		c.stallFE + c.stallBS +
+		(float64(c.divOps)*c.cfg.DivLat + c.stallBE)
+}
 
 // Seconds returns the core's elapsed simulated time.
-func (c *Core) Seconds() float64 { return c.cycles / c.cfg.ClockHz }
+func (c *Core) Seconds() float64 { return c.Cycles() / c.cfg.ClockHz }
 
 // LBRSnapshot returns the LBR ring oldest-first (what a perf PMI reads).
 func (c *Core) LBRSnapshot() []BranchRecord { return c.lbr.Snapshot() }
@@ -119,20 +148,28 @@ func (c *Core) LBRSnapshot() []BranchRecord { return c.lbr.Snapshot() }
 // after this one.
 func (c *Core) LBRDrain() []BranchRecord { return c.lbr.drain() }
 
-// StatsSnapshot returns the counters with the lazily-maintained Cycles
-// field synced. The per-event paths (Fetch/Retire/Branch/Mem/AddStall)
-// deliberately do not rewrite Stats.Cycles on every event.
+// StatsSnapshot returns the counters with the lazily-derived float cycle
+// fields synced. The per-event paths (Fetch/Retire/Branch/Mem/AddStall)
+// deliberately do not rewrite the Stats cycle fields on every event; the
+// derivation here uses the same summation order as Cycles() so the two
+// agree bit-for-bit.
 func (c *Core) StatsSnapshot() Stats {
-	c.Stats.Cycles = c.cycles
-	return c.Stats
+	s := c.Stats
+	s.RetireCycles = float64(s.Instructions)*c.retireCost + c.stallRet
+	s.FEStallCycles = c.stallFE
+	s.BadSpecCycles = c.stallBS
+	s.BEStallCycles = float64(c.divOps)*c.cfg.DivLat + c.stallBE
+	s.Cycles = s.RetireCycles + s.FEStallCycles + s.BadSpecCycles + s.BEStallCycles
+	return s
 }
 
 // AddStall charges extra cycles to the given TopDown bucket; the process
 // layer uses it for perf sampling overhead and syscall costs.
 func (c *Core) AddStall(cycles float64, bucket Bucket) {
-	c.cycles += cycles
 	if int(bucket) < len(c.bucketAcc) {
 		*c.bucketAcc[bucket] += cycles
+	} else {
+		c.stallBE += cycles
 	}
 }
 
@@ -151,6 +188,24 @@ func (c *Core) Fetch(pc uint64) {
 // fetchLine is the new-line slow path of Fetch.
 func (c *Core) fetchLine(pc, line uint64) {
 	c.lastFetchLine = line
+
+	// Warm-stream fast path: same page as the last fetch, and both the
+	// demand line and its prefetch-next line sit in their sets' way 0
+	// (the MRU position move-to-front maintains). Then the full path
+	// below would charge nothing and change nothing except the demand
+	// line's recency stamp — replicate exactly that and return. Any
+	// condition that fails falls through to the full model.
+	l1i := c.l1i
+	key := pc >> l1i.shift
+	set := int(key&l1i.setMask) * l1i.ways
+	nset := int((key+1)&l1i.setMask) * l1i.ways
+	if pc>>c.pageShift+1 == c.lastFetchPage &&
+		l1i.tags[set] == key+1 && l1i.tags[nset] == key+2 {
+		l1i.clock++
+		l1i.accesses++
+		l1i.stamps[set] = l1i.clock
+		return
+	}
 
 	var stall float64
 	page := pc>>c.pageShift + 1
@@ -173,7 +228,7 @@ func (c *Core) fetchLine(pc, line uint64) {
 		} else if c.sh.l3.access(pc) {
 			stall += c.cfg.L3Lat
 		} else {
-			stall += c.dram.latency(c.cfg.MemLat, c.cycles)
+			stall += c.dram.latency(c.cfg.MemLat, c.Cycles())
 			c.Stats.MemAccesses++
 		}
 	}
@@ -194,19 +249,17 @@ func (c *Core) fetchLine(pc, line uint64) {
 		}
 	}
 	if stall > 0 {
-		c.cycles += stall
-		c.Stats.FEStallCycles += stall
+		c.stallFE += stall
 	}
 }
 
-// Retire charges the base retirement cost of one instruction.
+// Retire charges the base retirement cost of one instruction. Both the
+// retire-slot cost and the divider latency are folded lazily from the
+// integer counters (see Cycles), so retiring is two integer adds.
 func (c *Core) Retire(isDiv bool) {
 	c.Stats.Instructions++
-	c.cycles += c.retireCost
-	c.Stats.RetireCycles += c.retireCost
 	if isDiv {
-		c.cycles += c.cfg.DivLat
-		c.Stats.BEStallCycles += c.cfg.DivLat
+		c.divOps++
 	}
 }
 
@@ -237,7 +290,7 @@ func (c *Core) Branch(pc, target uint64, taken bool, kind BranchKind, retAddr ui
 			c.ras.push(retAddr)
 		}
 	case BrCallInd, BrJumpTable:
-		predTarget, hit := c.btb.lookup(pc)
+		predTarget, hit := c.btb.predictUpdate(pc, target)
 		if !hit {
 			c.Stats.BTBMisses++
 			misp = true
@@ -246,7 +299,6 @@ func (c *Core) Branch(pc, target uint64, taken bool, kind BranchKind, retAddr ui
 		} else {
 			stall += c.cfg.TakenBubble
 		}
-		c.btb.update(pc, target)
 		if kind == BrCallInd {
 			c.ras.push(retAddr)
 		}
@@ -261,9 +313,7 @@ func (c *Core) Branch(pc, target uint64, taken bool, kind BranchKind, retAddr ui
 
 	if misp {
 		c.Stats.Mispredicts++
-		p := c.cfg.MispredictPenalty
-		c.cycles += p
-		c.Stats.BadSpecCycles += p
+		c.stallBS += c.cfg.MispredictPenalty
 	}
 	if taken {
 		c.Stats.TakenBranches++
@@ -273,16 +323,14 @@ func (c *Core) Branch(pc, target uint64, taken bool, kind BranchKind, retAddr ui
 		}
 	}
 	if stall > 0 {
-		c.cycles += stall
-		c.Stats.FEStallCycles += stall
+		c.stallFE += stall
 	}
 }
 
 // btbCost returns the front-end bubble for a taken branch with a static
 // target: a small redirect bubble on BTB hit, a bigger one on miss.
 func (c *Core) btbCost(pc, target uint64) float64 {
-	predTarget, hit := c.btb.lookup(pc)
-	c.btb.update(pc, target)
+	predTarget, hit := c.btb.predictUpdate(pc, target)
 	if hit && predTarget == target {
 		return c.cfg.TakenBubble
 	}
@@ -302,7 +350,7 @@ func (c *Core) Mem(addr uint64, store bool) {
 	} else if c.sh.l3.access(addr) {
 		stall = c.cfg.L3Lat
 	} else {
-		stall = c.dram.latency(c.cfg.MemLat, c.cycles)
+		stall = c.dram.latency(c.cfg.MemLat, c.Cycles())
 		c.Stats.MemAccesses++
 	}
 	// Stores retire without waiting; charge a fraction for store-buffer
@@ -311,8 +359,7 @@ func (c *Core) Mem(addr uint64, store bool) {
 	if store {
 		stall *= 0.3
 	}
-	c.cycles += stall
-	c.Stats.BEStallCycles += stall
+	c.stallBE += stall
 }
 
 // DRAMUtilization exposes the bandwidth model state (for diagnostics).

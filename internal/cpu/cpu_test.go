@@ -197,12 +197,12 @@ func TestFetchHotLoopNoStalls(t *testing.T) {
 		}
 		c.lastFetchLine, c.lastFetchPage = 0, 0
 	}
-	before := c.Stats.FEStallCycles
+	before := c.StatsSnapshot().FEStallCycles
 	c.lastFetchLine, c.lastFetchPage = 0, 0
 	for pc := uint64(0x400000); pc < 0x400400; pc += 16 {
 		c.Fetch(pc)
 	}
-	if c.Stats.FEStallCycles != before {
+	if c.StatsSnapshot().FEStallCycles != before {
 		t.Error("warm loop fetch should not stall")
 	}
 }
@@ -305,12 +305,12 @@ func TestLBROnlyWhenEnabled(t *testing.T) {
 func TestMemHierarchyCosts(t *testing.T) {
 	c := newTestCore()
 	c.Mem(0x10000000, false) // cold: DRAM
-	cold := c.Stats.BEStallCycles
+	cold := c.StatsSnapshot().BEStallCycles
 	if cold < c.Config().MemLat {
 		t.Errorf("cold load cost %.0f < DRAM latency", cold)
 	}
 	c.Mem(0x10000000, false) // L1 hit: free
-	if c.Stats.BEStallCycles != cold {
+	if c.StatsSnapshot().BEStallCycles != cold {
 		t.Error("L1 hit should be free")
 	}
 }
@@ -334,6 +334,50 @@ func TestDRAMContention(t *testing.T) {
 	}
 }
 
+func TestDRAMIdleGapDecaysCleanly(t *testing.T) {
+	// Regression: the time-scaled EMA update used alpha*dt unclamped, so a
+	// gap longer than the EMA horizon (dt > 1/alpha) overshot past the
+	// instantaneous rate to a negative estimate that got floored to 0.
+	// With the coefficient clamped at 1, a long-idle access must land the
+	// estimate exactly on the instantaneous rate 1/dt — small but nonzero
+	// — and latency must stay monotone under a resumed hammer.
+	cfg := DefaultConfig()
+	d := newDRAM(cfg)
+	// Saturate: one access per cycle far above peakPerCycle.
+	for i := 0; i < 100000; i++ {
+		d.latency(cfg.MemLat, float64(i))
+	}
+	if d.Utilization() < 0.5 {
+		t.Fatalf("hammer did not saturate: util %.3f", d.Utilization())
+	}
+	// One access after an idle gap much longer than the EMA horizon.
+	gap := 10 / cfg.MemEMAAlpha // dt with alpha*dt = 10 >> 1
+	now := 99999 + gap          // last hammer access was at cycle 99999
+	lat := d.latency(cfg.MemLat, now)
+	want := 1 / gap
+	if math.Abs(d.rateEMA-want) > want*1e-6 {
+		t.Errorf("post-gap rateEMA = %g, want instantaneous rate %g", d.rateEMA, want)
+	}
+	if lat > cfg.MemLat*1.2 {
+		t.Errorf("post-gap latency %.1f should be near base %.1f", lat, cfg.MemLat)
+	}
+	// Resume hammering: the estimate must rise from its small positive
+	// value, never having been zeroed or gone negative.
+	prevUtil := d.Utilization()
+	if prevUtil <= 0 {
+		t.Errorf("post-gap utilization %.6f should be positive", prevUtil)
+	}
+	for i := 0; i < 1000; i++ {
+		d.latency(cfg.MemLat, now+float64(i)+1)
+		if d.rateEMA < 0 {
+			t.Fatalf("rateEMA went negative: %g", d.rateEMA)
+		}
+	}
+	if d.Utilization() <= prevUtil {
+		t.Errorf("resumed hammer should raise utilization (%.6f -> %.6f)", prevUtil, d.Utilization())
+	}
+}
+
 func TestTopDownBucketsSum(t *testing.T) {
 	c := newTestCore()
 	for i := 0; i < 100; i++ {
@@ -342,7 +386,7 @@ func TestTopDownBucketsSum(t *testing.T) {
 	}
 	c.Branch(0x400000, 0x500000, true, BrJump, 0)
 	c.Mem(0x20000000, false)
-	td := c.Stats.TopDown()
+	td := c.StatsSnapshot().TopDown()
 	sum := td.Retiring + td.FrontEnd + td.BadSpec + td.BackEnd
 	if math.Abs(sum-1) > 1e-9 {
 		t.Errorf("TopDown buckets sum to %f", sum)

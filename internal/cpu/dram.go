@@ -26,7 +26,17 @@ func (d *dramModel) latency(base float64, nowCycles float64) float64 {
 	}
 	d.lastCycle = nowCycles
 	inst := 1 / dt // accesses per cycle, instantaneous
-	d.rateEMA += d.alpha * dt * (inst - d.rateEMA)
+	// Time-scaled EMA: the effective coefficient alpha*dt must be clamped
+	// at 1. Past 1 the update overshoots the instantaneous rate — after a
+	// long idle gap it would swing negative and get floored to 0, turning
+	// "the queue drained" into "the queue estimate is garbage". At k == 1
+	// the estimate lands exactly on the instantaneous rate, which is the
+	// correct limit for a gap much longer than the EMA horizon.
+	k := d.alpha * dt
+	if k > 1 {
+		k = 1
+	}
+	d.rateEMA += k * (inst - d.rateEMA)
 	if d.rateEMA < 0 {
 		d.rateEMA = 0
 	}

@@ -52,7 +52,10 @@ func newRAS(depth int) *ras {
 
 func (r *ras) push(addr uint64) {
 	r.stack[r.pos] = addr
-	r.pos = (r.pos + 1) % len(r.stack)
+	r.pos++
+	if r.pos == len(r.stack) {
+		r.pos = 0
+	}
 	if r.top < len(r.stack) {
 		r.top++
 	}
@@ -64,6 +67,9 @@ func (r *ras) pop() (uint64, bool) {
 		return 0, false
 	}
 	r.top--
-	r.pos = (r.pos - 1 + len(r.stack)) % len(r.stack)
+	r.pos--
+	if r.pos < 0 {
+		r.pos = len(r.stack) - 1
+	}
 	return r.stack[r.pos], true
 }

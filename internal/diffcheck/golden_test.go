@@ -33,50 +33,70 @@ func legacyRun(p *proc.Process, maxInst uint64) uint64 {
 	return executed
 }
 
-// TestCycleExactEngineEquivalence pins the block-cache execution engine
-// to the Step reference interpreter: every workload must retire the same
+// TestCycleExactEngineEquivalence pins both fast execution tiers — the
+// basic-block cache and the superblock trace engine layered on it — to
+// the Step reference interpreter: every workload must retire the same
 // instructions AND account the same cycles, to the bit. This is the gate
-// that makes the engine rewrite a pure wall-clock win — any model drift
+// that makes the engine rewrites a pure wall-clock win — any model drift
 // (an event reordered, a stall charged twice, a float added in a
-// different order) shows up as a Stats mismatch here.
+// different order) shows up as a Stats mismatch here. The superblock run
+// must actually exercise traces (formation plus in-trace retirement), so
+// the gate cannot silently pass by never entering the tier it pins.
 func TestCycleExactEngineEquivalence(t *testing.T) {
 	for _, tgt := range Targets() {
 		tgt := tgt
 		t.Run(tgt.Name, func(t *testing.T) {
 			t.Parallel()
-			run := func(useBlocks bool) (cpu.Stats, uint64) {
+			run := func(mode string) (cpu.Stats, uint64, proc.SuperblockStats) {
 				w, d, err := tgt.load()
 				if err != nil {
 					t.Fatal(err)
 				}
-				p, err := proc.Load(w.Binary, proc.Options{Threads: 1, Handler: d})
+				opts := proc.Options{Threads: 1, Handler: d}
+				if mode == "block" {
+					opts.DisableSuperblocks = true
+				}
+				p, err := proc.Load(w.Binary, opts)
 				if err != nil {
 					t.Fatal(err)
 				}
 				var n uint64
-				if useBlocks {
-					n = p.RunUntilHalt(defaultMaxInst)
-				} else {
+				if mode == "legacy" {
 					n = legacyRun(p, defaultMaxInst)
+				} else {
+					n = p.RunUntilHalt(defaultMaxInst)
 				}
 				if err := p.Fault(); err != nil {
 					t.Fatal(err)
 				}
-				return p.Stats(), n
+				return p.Stats(), n, p.SuperblockStats()
 			}
-			blk, blkN := run(true)
-			ref, refN := run(false)
-			if blkN != refN {
-				t.Errorf("executed-instruction count: block engine %d, reference %d", blkN, refN)
-			}
-			if blk != ref {
-				t.Errorf("block engine diverged from reference interpreter:\n"+
-					"  golden quad block: insts=%d cycles=%v L1iMisses=%d mispredicts=%d\n"+
-					"  golden quad ref:   insts=%d cycles=%v L1iMisses=%d mispredicts=%d\n"+
-					"  full block: %+v\n  full ref:   %+v",
-					blk.Instructions, blk.Cycles, blk.L1iMisses, blk.Mispredicts,
-					ref.Instructions, ref.Cycles, ref.L1iMisses, ref.Mispredicts,
-					blk, ref)
+			ref, refN, _ := run("legacy")
+			for _, mode := range []string{"super", "block"} {
+				got, gotN, sb := run(mode)
+				if gotN != refN {
+					t.Errorf("%s engine executed %d instructions, reference %d", mode, gotN, refN)
+				}
+				if got != ref {
+					t.Errorf("%s engine diverged from reference interpreter:\n"+
+						"  golden quad %s: insts=%d cycles=%v L1iMisses=%d mispredicts=%d\n"+
+						"  golden quad ref: insts=%d cycles=%v L1iMisses=%d mispredicts=%d\n"+
+						"  full %s: %+v\n  full ref: %+v",
+						mode,
+						mode, got.Instructions, got.Cycles, got.L1iMisses, got.Mispredicts,
+						ref.Instructions, ref.Cycles, ref.L1iMisses, ref.Mispredicts,
+						mode, got, ref)
+				}
+				switch mode {
+				case "super":
+					if sb.Formed == 0 || sb.Insts == 0 {
+						t.Errorf("superblock engine never exercised traces on %s: %+v", tgt.Name, sb)
+					}
+				case "block":
+					if sb.Formed != 0 || sb.Insts != 0 {
+						t.Errorf("DisableSuperblocks run still used traces: %+v", sb)
+					}
+				}
 			}
 		})
 	}

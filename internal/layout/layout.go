@@ -139,7 +139,8 @@ type flight struct {
 type Memory struct {
 	mu       sync.Mutex
 	entries  map[Key]*Entry
-	order    []Key // insertion order, for capacity eviction
+	order    []Key // insertion order, for capacity eviction; order[head:] are live
+	head     int   // first live slot in order; compacted when it passes half
 	inflight map[Key]*flight
 	cap      int
 	stats    Stats
@@ -216,16 +217,31 @@ func (m *Memory) Put(k Key, e *Entry) {
 	}
 }
 
-// put stores under m.mu.
+// put stores under m.mu. Eviction advances head instead of re-slicing
+// order (order = order[1:] would keep every evicted key pinned in the
+// backing array for the cache's lifetime); evicted slots are zeroed so
+// their key strings are released immediately, and the queue is compacted
+// in place once the dead prefix passes half its length, bounding the
+// backing array at ~2× cap under any churn pattern.
 func (m *Memory) put(k Key, e *Entry) {
 	if _, exists := m.entries[k]; !exists {
-		for len(m.entries) >= m.cap && len(m.order) > 0 {
-			victim := m.order[0]
-			m.order = m.order[1:]
+		for len(m.entries) >= m.cap && m.head < len(m.order) {
+			victim := m.order[m.head]
+			m.order[m.head] = Key{}
+			m.head++
 			if _, ok := m.entries[victim]; ok {
 				delete(m.entries, victim)
 				m.stats.Evictions++
 			}
+		}
+		if m.head > len(m.order)/2 {
+			n := copy(m.order, m.order[m.head:])
+			tail := m.order[n:]
+			for i := range tail {
+				tail[i] = Key{}
+			}
+			m.order = m.order[:n]
+			m.head = 0
 		}
 		m.order = append(m.order, k)
 	}

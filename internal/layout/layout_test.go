@@ -115,6 +115,53 @@ func TestMemoryEviction(t *testing.T) {
 	}
 }
 
+// TestMemoryEvictionChurn: sustained churn far past capacity keeps the
+// eviction queue bounded (the dead prefix is compacted, not re-sliced,
+// so evicted keys are not pinned in the backing array) while FIFO
+// semantics stay correct throughout.
+func TestMemoryEvictionChurn(t *testing.T) {
+	const capEntries = 8
+	const rounds = 10_000
+	m := NewMemory(capEntries, nil)
+	for i := 1; i <= rounds; i++ {
+		m.Put(key(i), &Entry{})
+		if got := len(m.entries); got > capEntries {
+			t.Fatalf("round %d: %d entries, cap %d", i, got, capEntries)
+		}
+		// The live window is always the most recent capEntries keys.
+		if _, ok := m.Get(key(i)); !ok {
+			t.Fatalf("round %d: just-inserted key missing", i)
+		}
+		if i > capEntries {
+			if _, ok := m.Get(key(i - capEntries)); ok {
+				t.Fatalf("round %d: key %d should have been evicted", i, i-capEntries)
+			}
+		}
+	}
+	// Bounded queue: compaction keeps order near cap (≤ 2×cap+1 by the
+	// half-dead compaction rule), instead of growing with total churn.
+	m.mu.Lock()
+	qlen, qcap, head := len(m.order), cap(m.order), m.head
+	m.mu.Unlock()
+	if qlen-head != capEntries {
+		t.Errorf("live queue window = %d, want %d", qlen-head, capEntries)
+	}
+	if qcap > 4*capEntries {
+		t.Errorf("order backing array grew to %d after %d churns (cap %d); evicted keys are being pinned", qcap, rounds, capEntries)
+	}
+	st := m.Stats()
+	if want := uint64(rounds - capEntries); st.Evictions != want {
+		t.Errorf("evictions = %d, want %d", st.Evictions, want)
+	}
+	// Re-inserting a live key must not duplicate it in the queue or
+	// evict anything.
+	before := st.Evictions
+	m.Put(key(rounds), &Entry{})
+	if got := m.Stats().Evictions; got != before {
+		t.Errorf("re-insert of live key evicted %d entries", got-before)
+	}
+}
+
 // plainCache is the injectable fake shape: Get/Put/Stats only, no
 // single-flight. Do must degrade to check-compute-store against it.
 type plainCache struct {

@@ -47,6 +47,16 @@ type basicBlock struct {
 	valid     bool
 	succFall  *basicBlock
 	succTaken *basicBlock
+
+	// Fixed-bin profiling counters for superblock formation (super.go):
+	// fields on the block itself, binstat-style, so the hot path pays a
+	// plain increment and never a map lookup. heat counts dispatches;
+	// takenCnt/fallCnt profile the terminator's edge when it is a JCC.
+	// super caches the trace headed at this block, if one was formed.
+	heat     uint32
+	takenCnt uint32
+	fallCnt  uint32
+	super    *superblock
 }
 
 // blockAt returns the (valid) block starting at pc, building it on miss.
@@ -109,10 +119,24 @@ func (p *Process) chain(slot **basicBlock, target uint64) *basicBlock {
 // runQuantum executes up to budget instructions on t through the block
 // cache and returns how many completed — the same count the legacy
 // per-Step quantum loop reported (HALT, faults, and halting syscalls are
-// not counted).
+// not counted). Hot blocks are promoted to the superblock trace engine
+// (super.go): once a block's heat crosses the formation threshold a
+// trace is spliced from the profiled path and dispatched here instead.
 func (p *Process) runQuantum(t *Thread, budget int) int {
 	total := 0
 	var blk *basicBlock
+	if sb := t.resumeSB; sb != nil {
+		// The previous quantum ran dry mid-trace. Re-enter at the saved
+		// op if everything still lines up (the trace may have been
+		// invalidated, or a hook may have moved the PC, in between).
+		t.resumeSB = nil
+		if p.supersEnabled && sb.valid && !t.Halted && budget > 0 &&
+			t.resumeIdx < len(sb.ops) && sb.ops[t.resumeIdx].pc == t.PC {
+			n := p.execSuper(t, sb, budget, t.resumeIdx)
+			total += n
+			p.superInsts += uint64(n)
+		}
+	}
 	for total < budget && !t.Halted {
 		if blk == nil || !blk.valid || blk.start != t.PC {
 			var err error
@@ -120,6 +144,25 @@ func (p *Process) runQuantum(t *Thread, budget int) int {
 			if err != nil {
 				p.faultThread(t, err)
 				return total
+			}
+		}
+		if p.supersEnabled {
+			if sb := blk.super; sb != nil {
+				if sb.valid {
+					n := p.execSuper(t, sb, budget-total, 0)
+					total += n
+					p.superInsts += uint64(n)
+					blk = nil
+					continue
+				}
+				blk.super = nil
+			} else {
+				blk.heat++
+				if blk.heat >= superHotThreshold {
+					if p.tryFormSuper(blk) != nil {
+						continue // re-dispatch: blk.super is now set
+					}
+				}
 			}
 		}
 		n, next := p.execBlock(t, blk, budget-total)
@@ -261,6 +304,9 @@ func (p *Process) execBlock(t *Thread, blk *basicBlock, budget int) (int, *basic
 			target := e.next
 			if taken {
 				target = uint64(int64(e.next) + in.Imm)
+				blk.takenCnt++
+			} else {
+				blk.fallCnt++
 			}
 			c.Retire(false)
 			c.Branch(e.pc, target, taken, cpu.BrCond, 0)

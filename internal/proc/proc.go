@@ -68,6 +68,13 @@ type Options struct {
 	// default nil keeps the deterministic round-robin; chaos tests and
 	// the record/replay layer inject perturbed or journal-fed sources.
 	SchedQuantum func(tid, proposed int) int
+
+	// DisableSuperblocks turns off the superblock trace engine
+	// (super.go), pinning execution to the basic-block cache. Timing is
+	// identical either way (the trace engine is cycle-exact); the switch
+	// exists for benchmarking the engines against each other and for
+	// bisecting engine bugs.
+	DisableSuperblocks bool
 }
 
 // DBI cost model (cycles), roughly Pin-like: direct branches are chained
@@ -130,6 +137,15 @@ type Process struct {
 	loCodePg uint64
 	hiCodePg uint64
 
+	// Superblock trace cache (super.go). superPg indexes every trace by
+	// each constituent code page — traces span pages, so one store can
+	// invalidate a trace registered on several pages.
+	superPg       map[uint64][]*superblock
+	supersEnabled bool
+	superFormed   uint64
+	superInval    uint64
+	superInsts    uint64
+
 	// SampleHook, if set, runs after every scheduler quantum with the
 	// thread that just ran; internal/perf uses it to poll LBR sample
 	// deadlines. Prefer AddSampleHook, which composes: this field is kept
@@ -165,8 +181,10 @@ func Load(bin *obj.Binary, opts Options) (*Process, error) {
 		dcache:     make(map[uint64]*decodePage),
 		blocks:     make(map[uint64]*basicBlock),
 		blockPg:    make(map[uint64][]*basicBlock),
+		superPg:    make(map[uint64][]*superblock),
 		loCodePg:   ^uint64(0),
 	}
+	p.supersEnabled = !opts.DisableSuperblocks
 	for _, s := range bin.Sections {
 		writeSparse(p.Mem, s.Addr, s.Data)
 	}
@@ -239,7 +257,7 @@ func (p *Process) invalidate(addr uint64, n int) {
 	if last < p.loCodePg || first > p.hiCodePg {
 		return
 	}
-	if last-first+1 > uint64(len(p.dcache))+uint64(len(p.blockPg)) {
+	if last-first+1 > uint64(len(p.dcache))+uint64(len(p.blockPg))+uint64(len(p.superPg)) {
 		for pg := range p.dcache {
 			if pg >= first && pg <= last {
 				delete(p.dcache, pg)
@@ -250,10 +268,16 @@ func (p *Process) invalidate(addr uint64, n int) {
 				p.dropBlocks(pg)
 			}
 		}
+		for pg := range p.superPg {
+			if pg >= first && pg <= last {
+				p.dropSupers(pg)
+			}
+		}
 	} else {
 		for pg := first; pg <= last; pg++ {
 			delete(p.dcache, pg)
 			p.dropBlocks(pg)
+			p.dropSupers(pg)
 		}
 	}
 	p.lastPage = nil
@@ -273,6 +297,27 @@ func (p *Process) dropBlocks(pg uint64) {
 		delete(p.blocks, b.start)
 	}
 	delete(p.blockPg, pg)
+}
+
+// dropSupers invalidates every superblock with a constituent op on the
+// given page. Traces span pages, so a trace invalidated here may still
+// sit (now invalid) in other pages' lists; entries are skipped on later
+// drops and the head block's cached pointer is cleared lazily at
+// dispatch. The executor checks sb.valid after every instruction that
+// can store, so a trace overwriting any of its own pages stops at the
+// next instruction boundary.
+func (p *Process) dropSupers(pg uint64) {
+	list, ok := p.superPg[pg]
+	if !ok {
+		return
+	}
+	for _, sb := range list {
+		if sb.valid {
+			sb.valid = false
+			p.superInval++
+		}
+	}
+	delete(p.superPg, pg)
 }
 
 // noteCodePage widens the decoded-state page bounds used by invalidate's

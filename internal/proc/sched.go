@@ -19,7 +19,11 @@ func (p *Process) quantumFor(t *Thread) int {
 
 // RunUntilHalt runs until every thread halts, the process faults or is
 // paused, or maxInst instructions retire in total. It returns the number
-// of instructions executed by this call.
+// of instructions executed by this call, never more than maxInst: each
+// pick's budget is clamped to the remaining allowance (after the
+// SchedQuantum hook has seen the unclamped proposal, so recorded
+// scheduling journals are unaffected) and the cap is checked between
+// threads, not only between full rounds.
 func (p *Process) RunUntilHalt(maxInst uint64) uint64 {
 	var executed uint64
 	for !p.paused && p.fault == nil {
@@ -28,8 +32,18 @@ func (p *Process) RunUntilHalt(maxInst uint64) uint64 {
 			if t.Halted {
 				continue
 			}
+			budget := p.quantumFor(t)
+			if maxInst > 0 {
+				rem := maxInst - executed
+				if rem == 0 {
+					return executed
+				}
+				if uint64(budget) > rem {
+					budget = int(rem)
+				}
+			}
 			ran = true
-			executed += uint64(p.runQuantum(t, p.quantumFor(t)))
+			executed += uint64(p.runQuantum(t, budget))
 			p.sample(t)
 		}
 		if !ran || (maxInst > 0 && executed >= maxInst) {

@@ -22,20 +22,29 @@ type Thread struct {
 	StackHi uint64
 
 	proc *Process
+
+	// Trace-resume state: set when a quantum runs dry mid-superblock so
+	// the next quantum re-enters the trace at the exact op instead of
+	// re-dispatching through the block map. Consumed (and re-validated)
+	// by runQuantum.
+	resumeSB  *superblock
+	resumeIdx int
 }
 
 // Reg reads a register (RZ reads zero).
 func (t *Thread) Reg(i uint8) uint64 {
-	if i == isa.RZ {
-		return 0
-	}
-	return t.Regs[i]
+	// No RZ branch: Regs[RZ] starts at zero and every write goes through
+	// SetReg, which discards RZ stores — so the slot holds zero forever
+	// and a plain read is correct on the hottest path in the simulator.
+	// The mask is a no-op (decode rejects register numbers >= NumRegs)
+	// that elides the bounds check.
+	return t.Regs[i&(isa.NumRegs-1)]
 }
 
 // SetReg writes a register (writes to RZ are discarded).
 func (t *Thread) SetReg(i uint8, v uint64) {
 	if i != isa.RZ {
-		t.Regs[i] = v
+		t.Regs[i&(isa.NumRegs-1)] = v // no-op mask; see Reg
 	}
 }
 

@@ -1,14 +1,15 @@
 #!/usr/bin/env sh
 # Benchmark runner, two sections:
 #
-# 1. Interpreter throughput: runs BenchmarkStep for both execution
-#    engines and writes BENCH_proc.json with the block-cache engine's
-#    simulated-instructions-per-second next to the legacy
-#    per-instruction baseline measured in the same run. The benchmark is
-#    invoked COUNT separate times — each invocation measures both
-#    engines back to back, so the pair shares machine-noise conditions —
-#    and the best run per engine is kept: wall-clock noise on shared
-#    machines only ever slows a run down. See docs/perf.md.
+# 1. Interpreter throughput: runs BenchmarkStep for all three execution
+#    tiers — the superblock trace engine, the basic-block cache it sits
+#    on, and the legacy per-instruction baseline — and writes
+#    BENCH_proc.json with each tier's simulated-instructions-per-second
+#    plus the tier-over-tier speedups, all measured in the same run. The
+#    benchmark is invoked COUNT separate times — each invocation
+#    measures the tiers back to back, so they share machine-noise
+#    conditions — and the best run per tier is kept: wall-clock noise on
+#    shared machines only ever slows a run down. See docs/perf.md.
 #
 # 2. Fleet wave: drives FLEET_SERVICES (default 1000) mixed-workload
 #    replicas through one sharded optimization wave under the race
@@ -38,15 +39,19 @@ $run"
 done
 
 # Benchmark lines end with: <ns/op> ns/op <inst/s> inst/s
+super=$(echo "$raw" | awk '/^BenchmarkStep\/super/  {if ($(NF-1)+0 > best) best = $(NF-1)+0} END {print best}')
 block=$(echo "$raw" | awk '/^BenchmarkStep\/block/  {if ($(NF-1)+0 > best) best = $(NF-1)+0} END {print best}')
 legacy=$(echo "$raw" | awk '/^BenchmarkStep\/legacy/ {if ($(NF-1)+0 > best) best = $(NF-1)+0} END {print best}')
 
-if [ -z "$block" ] || [ -z "$legacy" ] || [ "$block" = 0 ] || [ "$legacy" = 0 ]; then
+if [ -z "$super" ] || [ -z "$block" ] || [ -z "$legacy" ] ||
+    [ "$super" = 0 ] || [ "$block" = 0 ] || [ "$legacy" = 0 ]; then
     echo "bench.sh: failed to parse benchmark output" >&2
     exit 1
 fi
 
 speedup=$(awk "BEGIN {printf \"%.2f\", $block / $legacy}")
+super_vs_block=$(awk "BEGIN {printf \"%.2f\", $super / $block}")
+super_vs_legacy=$(awk "BEGIN {printf \"%.2f\", $super / $legacy}")
 
 cat > "$OUT" <<EOF
 {
@@ -55,7 +60,10 @@ cat > "$OUT" <<EOF
   "count": $COUNT,
   "baseline_legacy_ips": $legacy,
   "block_engine_ips": $block,
-  "speedup": $speedup
+  "superblock_ips": $super,
+  "speedup": $speedup,
+  "superblock_speedup_vs_block": $super_vs_block,
+  "superblock_speedup_vs_legacy": $super_vs_legacy
 }
 EOF
 

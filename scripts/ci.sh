@@ -87,9 +87,11 @@ grep -q 'replay OK' "$tmpdir/replay.log" ||
     { cat "$tmpdir/replay.log"; echo "replay did not verify"; exit 1; }
 echo "record/replay smoke OK ($(wc -l < "$tmpdir/session.jsonl") events)"
 
-# The block-cache execution engine must stay cycle-exact with the Step
-# reference interpreter (see docs/perf.md): run the golden equivalence
-# gate explicitly so an engine regression names itself in the CI log.
+# Both fast execution tiers — the superblock trace engine and the
+# block cache under it — must stay cycle-exact with the Step reference
+# interpreter, and the superblock run must actually form and execute
+# traces (see docs/perf.md): run the golden equivalence gate explicitly
+# so an engine regression names itself in the CI log.
 echo "== go test -run TestCycleExactEngineEquivalence ./internal/diffcheck"
 go test -run TestCycleExactEngineEquivalence ./internal/diffcheck
 
@@ -97,6 +99,23 @@ go test -run TestCycleExactEngineEquivalence ./internal/diffcheck
 # broken benchmark harness before scripts/bench.sh is needed for real.
 echo "== go test -bench BenchmarkStep -benchtime 1x"
 go test -run '^$' -bench BenchmarkStep -benchtime 1x .
+
+# Superblock perf gate: the trace engine must not be slower than the
+# block cache it is built on. Best of 2 one-second runs per tier, with a
+# 0.9 factor so shared-machine noise (±20% run to run) cannot flake the
+# gate while a real regression — traces falling back to per-op paths
+# everywhere — still fails it.
+echo "== superblock vs block bench smoke"
+smoke=$(go test -run '^$' -bench 'BenchmarkStep/(super|block)' -benchtime 1s -count 2 .)
+echo "$smoke"
+echo "$smoke" | awk '
+    /^BenchmarkStep\/super/ {if ($(NF-1)+0 > s) s = $(NF-1)+0}
+    /^BenchmarkStep\/block/ {if ($(NF-1)+0 > b) b = $(NF-1)+0}
+    END {
+        if (s == 0 || b == 0) { print "bench smoke: missing tier output"; exit 1 }
+        printf "super %.0f inst/s vs block %.0f inst/s (%.2fx)\n", s, b, s / b
+        if (s < 0.9 * b) { print "superblock engine slower than block engine"; exit 1 }
+    }'
 
 # Control-plane smoke (see docs/observability.md): boot the real fleetd
 # with an ephemeral-port HTTP control plane and a minimal wave, scrape
