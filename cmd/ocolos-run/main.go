@@ -38,7 +38,7 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "sqldb", "sqldb | docdb | kvcache | rtlsim")
+	workload := flag.String("workload", "sqldb", "sqldb | docdb | kvcache | rtlsim | loopsim")
 	input := flag.String("input", "read_only", "workload input mix")
 	threads := flag.Int("threads", 0, "worker threads (0 = workload default)")
 	profileMS := flag.Float64("profile-ms", 5, "LBR profiling duration per round (simulated ms)")
@@ -251,6 +251,10 @@ func drive(cfg runConfig, sess *replay.Session) error {
 		fmt.Printf("  injected %d KiB, %d call sites + %d vtable slots patched, %d funcs on stack, GC freed %d KiB\n",
 			rs.BytesInjected/1024, rs.CallSitesPatched, rs.VTableSlotsPatched,
 			rs.FuncsOnStack, rs.BytesFreed/1024)
+		if rs.OSRFramesMapped > 0 || rs.OSRFallbacks > 0 {
+			fmt.Printf("  OSR: %d frames transferred in place, %d fell back to copies\n",
+				rs.OSRFramesMapped, rs.OSRFallbacks)
+		}
 		if err := checkpoint(sess, "round", ctl, r, t); err != nil {
 			return err
 		}

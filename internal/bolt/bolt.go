@@ -148,6 +148,7 @@ func Optimize(bin *obj.Binary, prof *Profile, opts Options) (*Result, error) {
 		BlockOrder: make(map[uint64][]int, len(hotOrder)),
 	}}
 	var hotFrags, coldFrags []*asm.Fragment
+	osrMap := make(map[uint64][]obj.OSRPoint, len(hotOrder))
 	for _, entry := range hotOrder {
 		cfg := cfgs[entry]
 		fp := prof.Funcs[entry]
@@ -162,10 +163,11 @@ func Optimize(bin *obj.Binary, prof *Profile, opts Options) (*Result, error) {
 		if !opts.NoSplit && !cfg.HasJumpTable {
 			hotBlocks, coldBlocks = SplitBlocks(cfg, order)
 		}
-		hf, cf, err := emitFunc(cfg, hotBlocks, coldBlocks, bin, !opts.NoPeephole)
+		hf, cf, pts, err := emitFunc(cfg, hotBlocks, coldBlocks, bin, !opts.NoPeephole)
 		if err != nil {
 			return nil, err
 		}
+		osrMap[entry] = pts
 		hotFrags = append(hotFrags, hf)
 		if cf != nil {
 			coldFrags = append(coldFrags, cf)
@@ -182,7 +184,7 @@ func Optimize(bin *obj.Binary, prof *Profile, opts Options) (*Result, error) {
 			continue
 		}
 		cfg := cfgs[fn.Addr]
-		hf, _, err := emitFunc(cfg, identityOrder(len(cfg.Blocks)), nil, bin, false)
+		hf, _, _, err := emitFunc(cfg, identityOrder(len(cfg.Blocks)), nil, bin, false)
 		if err != nil {
 			return nil, err
 		}
@@ -263,12 +265,18 @@ func Optimize(bin *obj.Binary, prof *Profile, opts Options) (*Result, error) {
 	// profiles taken while old instances still execute remain attributable:
 	// inherit the input's table, then add the ranges vacated this round.
 	out.AddrMap = make(map[uint64]uint64, len(hotOrder))
+	out.OSRMap = osrMap
 	out.OrgRanges = append(out.OrgRanges, bin.OrgRanges...)
 	for _, entry := range hotOrder {
 		fn := bin.FuncAt(entry)
 		nf := out.FuncByName(fn.Name)
 		if nf == nil {
 			return nil, fmt.Errorf("bolt: moved function %s lost during link", fn.Name)
+		}
+		for _, p := range osrMap[entry] {
+			if p.OldOff >= fn.Size+fn.ColdSize || p.NewOff >= nf.Size+nf.ColdSize {
+				return nil, fmt.Errorf("bolt: %s: OSR point %+v outside function", fn.Name, p)
+			}
 		}
 		out.AddrMap[entry] = nf.Addr
 		out.OrgRanges = append(out.OrgRanges, obj.OrgRange{

@@ -2,6 +2,7 @@ package bolt
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/asm"
 	"repro/internal/isa"
@@ -26,10 +27,18 @@ type blockPos struct {
 // Calls and FPTRs are rewritten to symbolic callee names so the linker
 // re-resolves them to the final function addresses; jump tables become
 // symbolic block references.
-func emitFunc(cfg *CFG, hotOrder, coldOrder []int, bin *obj.Binary, peephole bool) (*asm.Fragment, *asm.Fragment, error) {
+//
+// Alongside the fragments, emitFunc collects the function's OSR map: the
+// mappable points — entry, loop headers (backward-edge targets), CALL
+// sites, and the return points after them — as old→new unified offsets.
+// These are exactly the points where the live register/spill state is
+// identical in both layouts (reordering never touches instructions inside
+// a block, and deleted NOPs carry no state), so a parked frame can be
+// transferred between layouts there with no state reconstruction.
+func emitFunc(cfg *CFG, hotOrder, coldOrder []int, bin *obj.Binary, peephole bool) (*asm.Fragment, *asm.Fragment, []obj.OSRPoint, error) {
 	fn := cfg.Fn
 	if len(hotOrder) == 0 || hotOrder[0] != 0 {
-		return nil, nil, fmt.Errorf("bolt: %s: layout must start with the entry block", fn.Name)
+		return nil, nil, nil, fmt.Errorf("bolt: %s: layout must start with the entry block", fn.Name)
 	}
 
 	hotName := fn.Name
@@ -82,7 +91,7 @@ func emitFunc(cfg *CFG, hotOrder, coldOrder []int, bin *obj.Binary, peephole boo
 				}
 			case isa.JCC:
 				if b.FallTo < 0 {
-					return nil, nil, fmt.Errorf("bolt: %s: JCC without fallthrough", fn.Name)
+					return nil, nil, nil, fmt.Errorf("bolt: %s: JCC without fallthrough", fn.Name)
 				}
 				switch {
 				case b.FallTo == next:
@@ -107,16 +116,56 @@ func emitFunc(cfg *CFG, hotOrder, coldOrder []int, bin *obj.Binary, peephole boo
 
 	// Pass 2: block start indexes.
 	pos := make(map[int]blockPos)
+	var fragLen [2]int
 	for li, order := range layouts {
 		idx := 0
 		for _, bi := range order {
 			pos[bi] = blockPos{frag: names[li], index: idx}
 			idx += plans[bi].count
 		}
+		fragLen[li] = idx
 	}
 	ref := func(bi int) *asm.Ref {
 		p := pos[bi]
 		return &asm.Ref{Frag: p.frag, Index: p.index}
+	}
+	// newOff maps an emitted instruction index to its unified offset in the
+	// new layout (cold instructions continue past the hot fragment).
+	newOff := func(li, idx int) uint64 {
+		if li == 1 {
+			idx += fragLen[0]
+		}
+		return uint64(idx) * isa.InstBytes
+	}
+	blockNewOff := func(bi int) uint64 {
+		p := pos[bi]
+		if p.frag == coldName {
+			return newOff(1, p.index)
+		}
+		return newOff(0, p.index)
+	}
+
+	// OSR points: the entry, then every backward-edge target (loop
+	// header). CALL sites and their return points are added during pass 3,
+	// where the emitted index of each CALL is known.
+	osr := []obj.OSRPoint{{OldOff: 0, NewOff: blockNewOff(0), Kind: obj.OSREntry}}
+	for _, order := range layouts {
+		for _, bi := range order {
+			b := cfg.Blocks[bi]
+			tgts := b.JTTargets
+			if b.CondTarget >= 0 {
+				tgts = append([]int{b.CondTarget}, b.JTTargets...)
+			}
+			for _, t := range tgts {
+				if cfg.Blocks[t].Off <= b.Off {
+					osr = append(osr, obj.OSRPoint{
+						OldOff: uint64(cfg.Blocks[t].Off),
+						NewOff: blockNewOff(t),
+						Kind:   obj.OSRLoopHeader,
+					})
+				}
+			}
+		}
 	}
 
 	// Pass 3: emit.
@@ -147,12 +196,12 @@ func emitFunc(cfg *CFG, hotOrder, coldOrder []int, bin *obj.Binary, peephole boo
 				switch in.Op {
 				case isa.JMP:
 					if !isLast {
-						return nil, nil, fmt.Errorf("bolt: %s: JMP mid-block", fn.Name)
+						return nil, nil, nil, fmt.Errorf("bolt: %s: JMP mid-block", fn.Name)
 					}
 					fi.Target = ref(b.CondTarget)
 				case isa.JCC:
 					if !isLast {
-						return nil, nil, fmt.Errorf("bolt: %s: JCC mid-block", fn.Name)
+						return nil, nil, nil, fmt.Errorf("bolt: %s: JCC mid-block", fn.Name)
 					}
 					if p.invert {
 						fi.I.Cond = in.Cond.Negate()
@@ -164,19 +213,28 @@ func emitFunc(cfg *CFG, hotOrder, coldOrder []int, bin *obj.Binary, peephole boo
 					calleeAddr := uint64(int64(origPC) + isa.InstBytes + in.Imm)
 					callee := bin.FuncAt(calleeAddr)
 					if callee == nil {
-						return nil, nil, fmt.Errorf("bolt: %s: call at %#x targets non-entry %#x", fn.Name, origPC, calleeAddr)
+						return nil, nil, nil, fmt.Errorf("bolt: %s: call at %#x targets non-entry %#x", fn.Name, origPC, calleeAddr)
 					}
 					fi.Callee = callee.Name
+					// A CALL always has a following emitted instruction in
+					// its fragment: its block either falls through to the
+					// physically next block or gains a fixup JMP, so the
+					// return point after the CALL is a valid OSR target.
+					callIdx := len(frag.Insts)
+					callOld := uint64(b.Off) + uint64(j)*isa.InstBytes
+					osr = append(osr,
+						obj.OSRPoint{OldOff: callOld, NewOff: newOff(li, callIdx), Kind: obj.OSRCallSite},
+						obj.OSRPoint{OldOff: callOld + isa.InstBytes, NewOff: newOff(li, callIdx+1), Kind: obj.OSRRetPoint})
 				case isa.FPTR:
 					callee := bin.FuncAt(uint64(in.Imm))
 					if callee == nil {
-						return nil, nil, fmt.Errorf("bolt: %s: FPTR at %#x targets non-entry %#x", fn.Name, origPC, uint64(in.Imm))
+						return nil, nil, nil, fmt.Errorf("bolt: %s: FPTR at %#x targets non-entry %#x", fn.Name, origPC, uint64(in.Imm))
 					}
 					fi.Callee = callee.Name
 				case isa.JTBL:
 					jt := jumpTableAt(bin, uint64(in.Imm))
 					if jt == nil {
-						return nil, nil, fmt.Errorf("bolt: %s: unknown jump table %#x", fn.Name, uint64(in.Imm))
+						return nil, nil, nil, fmt.Errorf("bolt: %s: unknown jump table %#x", fn.Name, uint64(in.Imm))
 					}
 					fi.JT = jt.Name
 				}
@@ -199,7 +257,7 @@ func emitFunc(cfg *CFG, hotOrder, coldOrder []int, bin *obj.Binary, peephole boo
 		for _, tgt := range jt.Targets {
 			bi := cfg.BlockAt(tgt - fn.Addr)
 			if bi < 0 {
-				return nil, nil, fmt.Errorf("bolt: %s: jump table %s target %#x unmapped", fn.Name, jt.Name, tgt)
+				return nil, nil, nil, fmt.Errorf("bolt: %s: jump table %s target %#x unmapped", fn.Name, jt.Name, tgt)
 			}
 			r := ref(bi)
 			t.Entries = append(t.Entries, *r)
@@ -207,7 +265,22 @@ func emitFunc(cfg *CFG, hotOrder, coldOrder []int, bin *obj.Binary, peephole boo
 		frags[0].JTs = append(frags[0].JTs, t)
 	}
 
-	return frags[0], frags[1], nil
+	// Deduplicate OSR points by old offset (a block start can be both a
+	// loop header and a call site; first insertion wins — all candidates
+	// for one offset are state-equivalent targets) and sort for binary
+	// search.
+	seen := make(map[uint64]bool, len(osr))
+	pts := osr[:0]
+	for _, p := range osr {
+		if seen[p.OldOff] {
+			continue
+		}
+		seen[p.OldOff] = true
+		pts = append(pts, p)
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].OldOff < pts[j].OldOff })
+
+	return frags[0], frags[1], pts, nil
 }
 
 func jumpTableAt(bin *obj.Binary, addr uint64) *obj.JumpTable {

@@ -1,0 +1,139 @@
+package bolt
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/obj"
+)
+
+// instAt decodes the instruction at a unified offset of fn in bin.
+func instAt(t *testing.T, bin *obj.Binary, fn *obj.Func, off uint64) isa.Inst {
+	t.Helper()
+	addr := fn.Addr + off
+	if off >= fn.Size {
+		addr = fn.ColdAddr + (off - fn.Size)
+	}
+	raw, err := bin.Bytes(addr, int(isa.InstBytes))
+	if err != nil {
+		t.Fatalf("%s+%#x: %v", fn.Name, off, err)
+	}
+	in, err := isa.Decode(raw)
+	if err != nil {
+		t.Fatalf("%s+%#x: %v", fn.Name, off, err)
+	}
+	return in
+}
+
+// calleeName resolves the CALL at (fn, off) to its target function name.
+func calleeName(t *testing.T, bin *obj.Binary, fn *obj.Func, off uint64) string {
+	t.Helper()
+	in := instAt(t, bin, fn, off)
+	if in.Op != isa.CALL {
+		t.Fatalf("%s+%#x: not a CALL: %v", fn.Name, off, in.Op)
+	}
+	pc := fn.Addr + off
+	if off >= fn.Size {
+		pc = fn.ColdAddr + (off - fn.Size)
+	}
+	tgt := bin.FuncAt(uint64(int64(pc) + isa.InstBytes + in.Imm))
+	if tgt == nil {
+		t.Fatalf("%s+%#x: CALL to non-entry", fn.Name, off)
+	}
+	return tgt.Name
+}
+
+// TestOSRMapPoints checks the structural contract of the exported OSR
+// map: every moved function gets the entry point, points are sorted and
+// in range, call/ret points decode to corresponding CALLs in both
+// layouts, and main's loop contributes a loop-header point.
+func TestOSRMapPoints(t *testing.T) {
+	bin, _ := buildToy(t, 30000)
+	prof := profileBinary(t, bin, 0.002)
+	res, err := Optimize(bin, prof, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := res.Binary
+	if len(ob.OSRMap) == 0 {
+		t.Fatal("optimized binary has no OSR map")
+	}
+
+	loopHeaders, retPoints := 0, 0
+	for entry, pts := range ob.OSRMap {
+		fn := bin.FuncAt(entry)
+		if fn == nil {
+			t.Fatalf("OSR map entry %#x not in input binary", entry)
+		}
+		nf := ob.FuncByName(fn.Name)
+		if nf == nil {
+			t.Fatalf("OSR-mapped function %s missing from output", fn.Name)
+		}
+		if len(pts) == 0 || pts[0] != (obj.OSRPoint{OldOff: 0, NewOff: 0, Kind: obj.OSREntry}) {
+			t.Fatalf("%s: first OSR point is not the entry: %+v", fn.Name, pts)
+		}
+		for i, p := range pts {
+			if i > 0 && pts[i-1].OldOff >= p.OldOff {
+				t.Fatalf("%s: OSR points not strictly sorted at %d: %+v", fn.Name, i, pts)
+			}
+			if p.OldOff%isa.InstBytes != 0 || p.NewOff%isa.InstBytes != 0 {
+				t.Fatalf("%s: unaligned OSR point %+v", fn.Name, p)
+			}
+			if p.OldOff >= fn.Size+fn.ColdSize || p.NewOff >= nf.Size+nf.ColdSize {
+				t.Fatalf("%s: OSR point out of range: %+v", fn.Name, p)
+			}
+			got, ok := ob.OSRPointAt(entry, p.OldOff)
+			if !ok || got != p {
+				t.Fatalf("%s: OSRPointAt(%#x) = %+v, %v; want %+v", fn.Name, p.OldOff, got, ok, p)
+			}
+			switch p.Kind {
+			case obj.OSRCallSite:
+				oldC := calleeName(t, bin, fn, p.OldOff)
+				newC := calleeName(t, ob, nf, p.NewOff)
+				if oldC != newC {
+					t.Errorf("%s+%#x: call site maps %s call to %s call", fn.Name, p.OldOff, oldC, newC)
+				}
+			case obj.OSRRetPoint:
+				calleeName(t, bin, fn, p.OldOff-isa.InstBytes)
+				calleeName(t, ob, nf, p.NewOff-isa.InstBytes)
+				retPoints++
+			case obj.OSRLoopHeader:
+				loopHeaders++
+			}
+		}
+	}
+	if loopHeaders == 0 {
+		t.Error("no loop-header OSR points despite main's loop")
+	}
+	if retPoints == 0 {
+		t.Error("no return-point OSR points despite calls in hot functions")
+	}
+
+	origMain := bin.FuncByName("main")
+	hasHeader := false
+	for _, p := range ob.OSRMap[origMain.Addr] {
+		if p.Kind == obj.OSRLoopHeader {
+			hasHeader = true
+		}
+	}
+	if !hasHeader {
+		t.Error("main's OSR map has no loop header for its while loop")
+	}
+
+	// The map survives Clone (the layout cache hands out clones).
+	cl := ob.Clone()
+	if len(cl.OSRMap) != len(ob.OSRMap) {
+		t.Fatalf("Clone dropped OSR map: %d != %d", len(cl.OSRMap), len(ob.OSRMap))
+	}
+	for entry, pts := range ob.OSRMap {
+		cpts := cl.OSRMap[entry]
+		if len(cpts) != len(pts) {
+			t.Fatalf("Clone OSR map differs at %#x", entry)
+		}
+		for i := range pts {
+			if cpts[i] != pts[i] {
+				t.Fatalf("Clone OSR point differs: %+v != %+v", cpts[i], pts[i])
+			}
+		}
+	}
+}

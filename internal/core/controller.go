@@ -119,6 +119,11 @@ type Options struct {
 	// own relocated tables.
 	AllowJumpTables bool
 
+	// NoOSR disables on-stack replacement of frames parked mid-function:
+	// every live frame of the outgoing version drains through copy-based
+	// migration (the pre-OSR behavior). Ablation and benchmark switch.
+	NoOSR bool
+
 	// ParallelPatch models parallelized pointer patching (§IV-D: "if
 	// OCOLOS updated v-tables in parallel with patching direct calls that
 	// should reduce the end-to-end replacement time"): the scattered-write
@@ -202,6 +207,13 @@ type Controller struct {
 	tramps    map[string]bool       // functions with a live C0 trampoline
 	jtables   map[uint64][]uint64   // live relocated jump tables by address
 
+	// osrFromC0 is the live OSR relation of the current layout: for every
+	// function currently moved off C0, the C0 unified offset → current-
+	// layout unified offset map of its mappable points, composed across
+	// rounds. It is what lets a frame migrate between *any* two layouts by
+	// pivoting through the immortal C0 image (fell-cold and Revert paths).
+	osrFromC0 map[string]map[uint64]uint64
+
 	tracer *trace.Tracer
 	troot  *trace.Span // root span stage spans parent under (may be nil)
 	tround *trace.Span // current round span, between StartRound and EndRound
@@ -242,6 +254,7 @@ func New(p *proc.Process, orig *obj.Binary, opts Options) (*Controller, error) {
 		fptrMap:   make(map[uint64]uint64),
 		tramps:    make(map[string]bool),
 		jtables:   make(map[uint64][]uint64),
+		osrFromC0: make(map[string]map[uint64]uint64),
 		tracer:    opts.Tracer,
 	}
 	for _, f := range orig.Funcs {
@@ -306,6 +319,20 @@ func (c *Controller) Version() int { return c.version }
 // CurrentBinary returns the binary of the running optimized version (nil
 // before the first replacement).
 func (c *Controller) CurrentBinary() *obj.Binary { return c.curBin }
+
+// Whereis resolves a code address against the controller's live code
+// map: the function name and code version (0 = the immortal C0 image)
+// of the span containing addr. Stack-live copies resolve to their
+// function's name under the version that made the copy. It answers the
+// observability question "which layout is this thread executing?"
+// without exposing the resolver itself.
+func (c *Controller) Whereis(addr uint64) (name string, version int, ok bool) {
+	s, ok := c.res.at(addr)
+	if !ok {
+		return "", 0, false
+	}
+	return s.name, s.version, true
+}
 
 // SetTraceRoot installs the span under which the controller's round and
 // stage spans nest — the fleet manager passes each service's root span

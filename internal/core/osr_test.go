@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bolt"
+	"repro/internal/isa"
+)
+
+// TestOSRCallBoundaryAcrossRevert parks a thread at the exact CALL/RET
+// boundary — PC sitting on a moved function's entry, return address still
+// hidden at [SP] (the hiddenRetAddr path) — then runs a Revert()-to-C0
+// round with OSR enabled. The thread's PC must be transferred in place to
+// the C0 entry (not relocated into a stack-live copy), the hidden return
+// slot must come back to a C0 address, and the run must still produce the
+// baseline checksum.
+func TestOSRCallBoundaryAcrossRevert(t *testing.T) {
+	bin, outAddr := genProgram(t, 47, 150000)
+	want := plainRun(t, bin, outAddr)
+
+	pr, c := newController(t, bin, Options{Bolt: bolt.Options{AllowReBolt: true}})
+	pr.RunFor(0.0002)
+	if pr.Halted() {
+		t.Fatal("program too short to optimize")
+	}
+	if _, err := c.OptimizeRound(0.0004); err != nil {
+		t.Fatal(err)
+	}
+
+	// Entries that moved off C0 this round: a patched CALL jumps straight
+	// to one of these, and the first instruction there is the moved ENTER.
+	moved := make(map[uint64]string)
+	for name, e := range c.curOf {
+		if e != c.c0Entry[name] {
+			moved[e] = name
+		}
+	}
+	if len(moved) == 0 {
+		t.Fatal("optimization round moved no function")
+	}
+
+	// Single-step until the thread pauses exactly on a moved entry. At
+	// that point the frame is not yet established: FP is the caller's and
+	// the return address is only at [SP].
+	th := pr.Threads[0]
+	var name string
+	for i := 0; ; i++ {
+		if n, ok := moved[th.PC]; ok {
+			name = n
+			break
+		}
+		if th.Halted || i > 5_000_000 {
+			t.Fatal("thread never paused at a moved entry")
+		}
+		pr.Step(th)
+	}
+	sp := th.Reg(isa.SP)
+	hiddenRA := pr.Mem.ReadWord(sp)
+
+	rs, err := c.Revert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.OSRFramesMapped < 1 {
+		t.Errorf("OSRFramesMapped = %d at entry boundary, want >= 1 (fallbacks %d)",
+			rs.OSRFramesMapped, rs.OSRFallbacks)
+	}
+	// The live PC was transferred in place to C0 — copy-based migration
+	// would instead have parked it in a stack-live copy window.
+	if th.PC != c.c0Entry[name] {
+		t.Errorf("thread PC %#x after revert, want C0 entry %#x of %s", th.PC, c.c0Entry[name], name)
+	}
+	// The hidden [SP] return address must point at valid code: either
+	// OSR-transferred back to the C0 image or left aimed at a live copy.
+	if got := pr.Mem.ReadWord(sp); got != hiddenRA {
+		if f, _, _ := c.orig.Lookup(got); f == nil {
+			t.Errorf("hidden return slot rewritten to %#x, outside the C0 image", got)
+		}
+	}
+
+	pr.RunUntilHalt(0)
+	if err := pr.Fault(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pr.Mem.ReadWord(outAddr); got != want {
+		t.Errorf("checksum after OSR revert %d != %d", got, want)
+	}
+
+	var mapped, fallbacks int
+	for _, rep := range c.Reports {
+		mapped += rep.OSRFramesMapped
+		fallbacks += rep.OSRFallbacks
+	}
+	if mapped < 1 {
+		t.Errorf("no OSR-mapped frames across the round sequence (fallbacks %d)", fallbacks)
+	}
+}
+
+// TestOSRDisabledFallsBackToCopies is the ablation twin: with NoOSR set
+// the same boundary pause must migrate through the copy mechanism — zero
+// frames mapped, semantics still intact.
+func TestOSRDisabledFallsBackToCopies(t *testing.T) {
+	bin, outAddr := genProgram(t, 47, 150000)
+	want := plainRun(t, bin, outAddr)
+
+	pr, c := newController(t, bin, Options{Bolt: bolt.Options{AllowReBolt: true}, NoOSR: true})
+	pr.RunFor(0.0002)
+	if _, err := c.OptimizeRound(0.0004); err != nil {
+		t.Fatal(err)
+	}
+	pr.RunFor(0.0003)
+	rs, err := c.Revert()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.OSRFramesMapped != 0 || rs.OSRFallbacks != 0 {
+		t.Errorf("NoOSR round counted OSR activity: mapped %d fallbacks %d",
+			rs.OSRFramesMapped, rs.OSRFallbacks)
+	}
+	pr.RunUntilHalt(0)
+	if err := pr.Fault(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pr.Mem.ReadWord(outAddr); got != want {
+		t.Errorf("checksum with OSR disabled %d != %d", got, want)
+	}
+}

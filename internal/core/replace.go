@@ -26,6 +26,8 @@ type ReplaceStats struct {
 	StackFuncsCopied   int
 	RetAddrsUpdated    int
 	ThreadPCsUpdated   int
+	OSRFramesMapped    int     // frames transferred in place between layouts
+	OSRFallbacks       int     // frames considered for OSR that degrade to copies
 	PauseSeconds       float64 // simulated stop-the-world time
 	HostSeconds        float64 // wall time of the controller's work
 }
@@ -86,11 +88,11 @@ func (c *Controller) replace(nb *obj.Binary) (*ReplaceStats, error) {
 	defer tr.Detach()
 	x := ptrace.Begin(tr)
 
-	stats, nr, newCur, dead, err := c.applyReplace(x, nb, newVersion)
+	stats, nr, newCur, dead, osr, err := c.applyReplace(x, nb, newVersion)
 	verifyFailed := false
 	if err == nil {
 		vsp := c.tracer.Start(sp, "verify")
-		verr := c.verifyResumeSafety(x, nr, newCur, dead)
+		verr := c.verifyResumeSafety(x, nr, newCur, dead, nb, osr)
 		vsp.End(verr)
 		if verr != nil {
 			err = verr
@@ -136,6 +138,7 @@ func (c *Controller) replace(nb *obj.Binary) (*ReplaceStats, error) {
 	c.res = *nr
 	c.curBin = nb
 	c.curOf = newCur
+	c.osrFromC0 = osr.fromC0
 	c.version = newVersion
 
 	// Charge the stop-the-world pause to the target. Parallel patching
@@ -144,7 +147,7 @@ func (c *Controller) replace(nb *obj.Binary) (*ReplaceStats, error) {
 	// the transaction machinery adds nothing to the pause model.
 	sites := stats.CallSitesPatched + stats.TrampolinesWritten
 	slots := stats.VTableSlotsPatched
-	frames := stats.RetAddrsUpdated + stats.ThreadPCsUpdated
+	frames := stats.RetAddrsUpdated + stats.ThreadPCsUpdated + stats.OSRFramesMapped
 	if c.opts.ParallelPatch {
 		sites = (sites + patchParallelism - 1) / patchParallelism
 		slots = (slots + patchParallelism - 1) / patchParallelism
@@ -167,6 +170,12 @@ func (c *Controller) replace(nb *obj.Binary) (*ReplaceStats, error) {
 		if nb == nil {
 			m.Counter("core_reverts_total").Inc()
 		}
+		if stats.OSRFramesMapped > 0 {
+			m.CounterVec("core_osr_frames_total", "outcome").With("mapped").Add(float64(stats.OSRFramesMapped))
+		}
+		if stats.OSRFallbacks > 0 {
+			m.CounterVec("core_osr_frames_total", "outcome").With("fallback").Add(float64(stats.OSRFallbacks))
+		}
 	}
 	if nb == nil {
 		sp.Event(trace.EvRevert, trace.Int("bytes_freed", int(stats.BytesFreed)))
@@ -175,6 +184,7 @@ func (c *Controller) replace(nb *obj.Binary) (*ReplaceStats, error) {
 		trace.Int("bytes_injected", int(stats.BytesInjected)),
 		trace.Int("vtable_slots", stats.VTableSlotsPatched),
 		trace.Int("call_sites", stats.CallSitesPatched),
+		trace.Int("osr_frames_mapped", stats.OSRFramesMapped),
 		trace.Float("pause_seconds", stats.PauseSeconds),
 	)
 	// Round boundary: a committed replacement (or revert) must produce the
@@ -212,10 +222,10 @@ func (c *Controller) wrapFaultHook(sp *trace.Span) func(op string, n int) error 
 // the new resolver, the new preferred-entry map, and the address ranges
 // garbage-collected this round (for the verifier's dead-pointer check).
 // It may mutate the controller's maps freely: the caller holds a snapshot.
-func (c *Controller) applyReplace(x *ptrace.Txn, nb *obj.Binary, newVersion int) (*ReplaceStats, *resolver, map[string]uint64, [][2]uint64, error) {
+func (c *Controller) applyReplace(x *ptrace.Txn, nb *obj.Binary, newVersion int) (*ReplaceStats, *resolver, map[string]uint64, [][2]uint64, *osrOutcome, error) {
 	stats := &ReplaceStats{Version: newVersion}
-	fail := func(err error) (*ReplaceStats, *resolver, map[string]uint64, [][2]uint64, error) {
-		return nil, nil, nil, nil, err
+	fail := func(err error) (*ReplaceStats, *resolver, map[string]uint64, [][2]uint64, *osrOutcome, error) {
+		return nil, nil, nil, nil, nil, err
 	}
 
 	inputBin := c.orig
@@ -297,10 +307,21 @@ func (c *Controller) applyReplace(x *ptrace.Txn, nb *obj.Binary, newVersion int)
 		}
 	}
 
+	// On-stack replacement: transfer frames parked at mappable points
+	// directly between layouts. Runs before liveness classification so an
+	// instance whose every frame was transferred needs no stack-live copy.
+	osr, osrMapped, err := c.applyOSR(x, nb, stacks, stats)
+	if err != nil {
+		return fail(err)
+	}
+
 	liveC0 := make(map[string]bool)
 	liveOldEntry := make(map[uint64]bool) // live instance entries, outgoing version
-	for _, frames := range stacks {
-		for _, fr := range frames {
+	for tid, frames := range stacks {
+		for fi, fr := range frames {
+			if osrMapped[[2]int{tid, fi}] {
+				continue // already transferred off the outgoing code
+			}
 			s, ok := c.res.at(fr.PC)
 			if !ok {
 				return fail(fmt.Errorf("core: stack address %#x in unknown code", fr.PC))
@@ -396,15 +417,15 @@ func (c *Controller) applyReplace(x *ptrace.Txn, nb *obj.Binary, newVersion int)
 		if err != nil {
 			return fail(err)
 		}
-		if pc, ok := relocate(regs.PC); ok {
+		if pc, ok := relocate(regs.PC); ok && !osrMapped[[2]int{tid, 0}] {
 			regs.PC = pc
 			if err := x.SetRegs(tid, regs); err != nil {
 				return fail(err)
 			}
 			stats.ThreadPCsUpdated++
 		}
-		for _, fr := range frames {
-			if fr.RetSlot == 0 {
+		for fi, fr := range frames {
+			if fr.RetSlot == 0 || osrMapped[[2]int{tid, fi}] {
 				continue
 			}
 			if ra, ok := relocate(fr.PC); ok {
@@ -571,7 +592,7 @@ func (c *Controller) applyReplace(x *ptrace.Txn, nb *obj.Binary, newVersion int)
 			cp.name, uint64(int64(cp.entry)+cp.delta), newVersion)
 	}
 	nr.sort()
-	return stats, nr, newCur, dead, nil
+	return stats, nr, newCur, dead, osr, nil
 }
 
 // hiddenRetAddr detects the two pause states whose return address the

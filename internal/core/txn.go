@@ -13,15 +13,16 @@ import (
 // where jump tables and fptrMap entries registered before a failed
 // injection permanently polluted the maps.
 type ctlSnapshot struct {
-	res     resolver
-	version int
-	curBin  *obj.Binary
-	curOf   map[string]uint64
-	patched map[uint64]string
-	fptrMap map[uint64]uint64
-	tramps  map[string]bool
-	jtables map[uint64][]uint64
-	reports int
+	res       resolver
+	version   int
+	curBin    *obj.Binary
+	curOf     map[string]uint64
+	patched   map[uint64]string
+	fptrMap   map[uint64]uint64
+	tramps    map[string]bool
+	jtables   map[uint64][]uint64
+	osrFromC0 map[string]map[uint64]uint64
+	reports   int
 }
 
 func copyMap[K comparable, V any](m map[K]V) map[K]V {
@@ -38,16 +39,21 @@ func (c *Controller) snapshot() ctlSnapshot {
 	for a, t := range c.jtables {
 		jt[a] = append([]uint64(nil), t...)
 	}
+	osr := make(map[string]map[uint64]uint64, len(c.osrFromC0))
+	for name, m := range c.osrFromC0 {
+		osr[name] = copyMap(m)
+	}
 	return ctlSnapshot{
-		res:     resolver{spans: append([]span(nil), c.res.spans...)},
-		version: c.version,
-		curBin:  c.curBin,
-		curOf:   copyMap(c.curOf),
-		patched: copyMap(c.patched),
-		fptrMap: copyMap(c.fptrMap),
-		tramps:  copyMap(c.tramps),
-		jtables: jt,
-		reports: len(c.Reports),
+		res:       resolver{spans: append([]span(nil), c.res.spans...)},
+		version:   c.version,
+		curBin:    c.curBin,
+		curOf:     copyMap(c.curOf),
+		patched:   copyMap(c.patched),
+		fptrMap:   copyMap(c.fptrMap),
+		tramps:    copyMap(c.tramps),
+		jtables:   jt,
+		osrFromC0: osr,
+		reports:   len(c.Reports),
 	}
 }
 
@@ -63,6 +69,7 @@ func (c *Controller) restore(s ctlSnapshot) {
 	c.fptrMap = s.fptrMap
 	c.tramps = s.tramps
 	c.jtables = s.jtables
+	c.osrFromC0 = s.osrFromC0
 	c.Reports = c.Reports[:s.reports]
 }
 
@@ -103,6 +110,15 @@ func (c *Controller) StateHash() uint64 {
 		word(addr)
 		for _, e := range c.jtables[addr] {
 			word(e)
+		}
+	}
+	for _, name := range sortedKeys(c.osrFromC0) {
+		h = hashString(h, name)
+		m := c.osrFromC0[name]
+		word(uint64(len(m)))
+		for _, k := range sortedKeys(m) {
+			word(k)
+			word(m[k])
 		}
 	}
 	return h

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/isa"
+	"repro/internal/obj"
 	"repro/internal/ptrace"
 	"repro/internal/unwind"
 )
@@ -21,14 +22,18 @@ import (
 //     code the new resolver knows;
 //   - no live pointer references the address ranges being garbage-
 //     collected this round;
-//   - every registered jump-table entry still points into a live span.
+//   - every registered jump-table entry still points into a live span;
+//   - every OSR-rewritten frame (see osr.go) holds exactly the new PC it
+//     was given, that PC decodes to a live instruction of the same
+//     function, and the offset arithmetic that justified the transfer
+//     re-derives from the OSR maps.
 //
 // Any violation aborts the round: the caller rolls the journal back while
 // the target is still paused, so a bug in the patching logic degrades to a
 // skipped round instead of a resumed process running through torn state.
 // All reads go through the tracee in deterministic (sorted) order, so the
 // fault sweep exercises verifier reads too.
-func (c *Controller) verifyResumeSafety(x *ptrace.Txn, nr *resolver, newCur map[string]uint64, dead [][2]uint64) error {
+func (c *Controller) verifyResumeSafety(x *ptrace.Txn, nr *resolver, newCur map[string]uint64, dead [][2]uint64, nb *obj.Binary, osr *osrOutcome) error {
 	inDead := func(addr uint64) bool {
 		for _, d := range dead {
 			if addr >= d[0] && addr < d[1] {
@@ -146,6 +151,14 @@ func (c *Controller) verifyResumeSafety(x *ptrace.Txn, nr *resolver, newCur map[
 		}
 	}
 
+	// Every OSR-rewritten frame landed where the decision said it would,
+	// on an address that decodes and that the OSR maps justify.
+	if osr != nil {
+		if err := c.verifyOSRRewrites(x, nr, nb, osr); err != nil {
+			return err
+		}
+	}
+
 	// Registered jump tables only reference live spans.
 	for _, addr := range sortedKeys(c.jtables) {
 		if inDead(addr) {
@@ -154,6 +167,84 @@ func (c *Controller) verifyResumeSafety(x *ptrace.Txn, nr *resolver, newCur map[
 		for j, e := range c.jtables[addr] {
 			if _, err := checkCode(fmt.Sprintf("jump table %#x entry %d", addr, j), e); err != nil {
 				return err
+			}
+		}
+	}
+	return nil
+}
+
+// verifyOSRRewrites re-derives every on-stack replacement performed this
+// round. For each rewrite it re-reads the rewritten location through the
+// transaction and checks the landing point against the OSR maps: a
+// forward transfer must match the incoming binary's registered mappable
+// point (pivoted through the live C0 relation when the frame sat on C0),
+// and a transfer onto C0 must invert through the live relation onto the
+// exact C0 address written. Note c.osrFromC0 still holds the *old*
+// relation here — the new one is only installed on commit — which is
+// precisely the relation the decisions were made against.
+func (c *Controller) verifyOSRRewrites(x *ptrace.Txn, nr *resolver, nb *obj.Binary, osr *osrOutcome) error {
+	for _, rw := range osr.rewrites {
+		var got uint64
+		if rw.slot == 0 {
+			regs, err := x.GetRegs(rw.tid)
+			if err != nil {
+				return err
+			}
+			got = regs.PC
+		} else {
+			v, err := x.PeekData(rw.slot)
+			if err != nil {
+				return err
+			}
+			got = v
+		}
+		if got != rw.newPC {
+			return fmt.Errorf("core: verify: OSR frame %d/%d holds %#x, want %#x", rw.tid, rw.frame, got, rw.newPC)
+		}
+		s, ok := nr.at(rw.newPC)
+		if !ok {
+			return fmt.Errorf("core: verify: OSR target %#x of thread %d frame %d is not in any live code span", rw.newPC, rw.tid, rw.frame)
+		}
+		if s.name != rw.name {
+			return fmt.Errorf("core: verify: OSR target %#x is in %s, want %s", rw.newPC, s.name, rw.name)
+		}
+		var buf [isa.InstBytes]byte
+		if err := x.ReadMem(rw.newPC, buf[:]); err != nil {
+			return err
+		}
+		if _, err := isa.Decode(buf[:]); err != nil {
+			return fmt.Errorf("core: verify: OSR target %#x does not decode: %v", rw.newPC, err)
+		}
+		if rw.toC0 {
+			if s.version != 0 {
+				return fmt.Errorf("core: verify: OSR transfer to C0 landed in version %d", s.version)
+			}
+			c0f := c.orig.FuncByName(rw.name)
+			if c0f == nil || rw.newOff >= c0f.Size || c0f.Addr+rw.newOff != rw.newPC {
+				return fmt.Errorf("core: verify: OSR transfer to C0 of %s: %#x is not offset %#x", rw.name, rw.newPC, rw.newOff)
+			}
+			if m := c.osrFromC0[rw.name]; m == nil || m[rw.newOff] != rw.oldOff {
+				return fmt.Errorf("core: verify: OSR transfer of %s to C0 offset %#x is not an equivalent point of offset %#x", rw.name, rw.newOff, rw.oldOff)
+			}
+			continue
+		}
+		if nb == nil {
+			return fmt.Errorf("core: verify: forward OSR rewrite of %s without an incoming binary", rw.name)
+		}
+		p, ok := nb.OSRPointAt(rw.entry, rw.viaOff)
+		if !ok || p.NewOff != rw.newOff {
+			return fmt.Errorf("core: verify: OSR point %#x of %s does not map to offset %#x", rw.viaOff, rw.name, rw.newOff)
+		}
+		nf := nb.FuncByName(rw.name)
+		if nf == nil || osrAddrAt(nf, rw.newOff) != rw.newPC {
+			return fmt.Errorf("core: verify: OSR target %#x is not offset %#x of the incoming %s", rw.newPC, rw.newOff, rw.name)
+		}
+		if s.version == 0 || s.entry != nf.Addr {
+			return fmt.Errorf("core: verify: OSR target %#x resolves to instance %#x v%d, want the incoming %s", rw.newPC, s.entry, s.version, rw.name)
+		}
+		if rw.oldOff != rw.viaOff {
+			if m := c.osrFromC0[rw.name]; m == nil || m[rw.oldOff] != rw.viaOff {
+				return fmt.Errorf("core: verify: OSR pivot of %s C0 offset %#x through %#x is not in the live relation", rw.name, rw.oldOff, rw.viaOff)
 			}
 		}
 	}

@@ -6,6 +6,7 @@
 package debug
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -47,12 +48,18 @@ func Backtrace(p *proc.Process, tid int, bins ...*obj.Binary) ([]string, error) 
 		}
 	}()
 	frames, err := unwind.Stack(tr, tid)
-	if err != nil {
+	if err != nil && !errors.Is(err, unwind.ErrTruncated) && !errors.Is(err, unwind.ErrCorrupt) {
 		return nil, err
 	}
-	out := make([]string, 0, len(frames))
+	out := make([]string, 0, len(frames)+1)
 	for i, fr := range frames {
 		out = append(out, fmt.Sprintf("#%d %s", i, Symbolize(fr.PC, bins...)))
+	}
+	if err != nil {
+		// A truncated or corrupt chain still yields the frames up to the
+		// problem — for a post-mortem view that partial stack is the
+		// interesting part, so annotate rather than fail.
+		out = append(out, fmt.Sprintf("#%d <%v>", len(frames), err))
 	}
 	return out, nil
 }

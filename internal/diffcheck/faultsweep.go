@@ -47,6 +47,11 @@ type FaultScenario struct {
 	// ProfileWindow is the simulated profiling duration per round.
 	ProfileWindow float64
 
+	// NoOSR disables on-stack replacement in the controller, forcing
+	// every parked frame through copy-based migration (the ablation the
+	// OSR benchmark compares against).
+	NoOSR bool
+
 	// MetaExtra is appended to a recorded run's session-meta event:
 	// callers record whatever identifies how the scenario was built
 	// (generator seed, workload target) so a shipped journal names its
@@ -94,6 +99,12 @@ type SweepRun struct {
 	// (the hook's per-attach counter, which is what the controller's
 	// rollback event records), -1 if no fault fired.
 	InjectedOp int
+
+	// OSRFramesMapped and OSRFallbacks total the controller's on-stack
+	// replacement outcomes across every round of the run (committed and
+	// rolled back alike report through ctl.Reports only on commit).
+	OSRFramesMapped int
+	OSRFallbacks    int
 
 	// RollbackDiffs lists every way a rollback failed to restore the
 	// pre-replace state exactly; empty on a correct transaction.
@@ -213,6 +224,11 @@ func (sc *FaultScenario) metaAttrs(faultAt int) []trace.Attr {
 		trace.Float("profile_window", sc.ProfileWindow),
 		trace.Int("max_inst", int(sc.MaxInst)),
 	}
+	if sc.NoOSR {
+		// Only recorded when set, so journals from before the OSR stage
+		// (and from default-configured runs) keep their meta shape.
+		attrs = append(attrs, trace.Bool("no_osr", true))
+	}
 	return append(attrs, sc.MetaExtra...)
 }
 
@@ -266,6 +282,7 @@ func (sc *FaultScenario) run(faultAt int, sess *replay.Session) (*SweepRun, erro
 				Perf:          perf.RecorderOptions{PeriodCycles: 2000},
 				Bolt:          bolt.Options{AllowReBolt: true},
 				NoChargePause: true,
+				NoOSR:         sc.NoOSR,
 				FaultHook:     hook,
 				Tracer:        sr.Tracer,
 				Service:       sc.Name,
@@ -286,6 +303,12 @@ func (sc *FaultScenario) run(faultAt int, sess *replay.Session) (*SweepRun, erro
 		return sr, err
 	}
 	sr.Trace = tr
+	if ctl != nil {
+		for _, rep := range ctl.Reports {
+			sr.OSRFramesMapped += rep.OSRFramesMapped
+			sr.OSRFallbacks += rep.OSRFallbacks
+		}
+	}
 	return sr, nil
 }
 

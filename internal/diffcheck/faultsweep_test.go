@@ -5,6 +5,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"strconv"
+	"strings"
 	"testing"
 
 	"repro/internal/asm"
@@ -104,7 +106,38 @@ func scenarioFromMeta(t *testing.T, meta trace.Attrs) (*FaultScenario, *Trace) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return sc, prepareScenario(t, sc)
+	if v, ok := meta.Get("no_osr"); ok {
+		b, _ := v.(bool)
+		sc.NoOSR = b
+	}
+	base := prepareScenario(t, sc)
+	applyMetaSchedule(sc, meta)
+	return sc, base
+}
+
+// applyMetaSchedule overrides the derived round schedule with the one the
+// journal's meta event records, so a replayed scenario fires its rounds
+// exactly where the recording did even when the recording used a
+// non-default schedule (the 3-round OSR sweep does).
+func applyMetaSchedule(sc *FaultScenario, meta trace.Attrs) {
+	if v, ok := meta.Get("switch_at"); ok {
+		if str, ok := v.(string); ok {
+			var vals []uint64
+			for _, f := range strings.Fields(strings.Trim(str, "[]")) {
+				if n, err := strconv.ParseUint(f, 10, 64); err == nil {
+					vals = append(vals, n)
+				}
+			}
+			if len(vals) > 0 {
+				sc.SwitchAt = vals
+			}
+		}
+	}
+	if v, ok := meta.Get("profile_window"); ok {
+		if w, ok := v.(float64); ok && w > 0 {
+			sc.ProfileWindow = w
+		}
+	}
 }
 
 // sweepIndices picks which fault indices to run: every one of n in full
@@ -212,6 +245,86 @@ func TestFaultSweepExhaustive(t *testing.T) {
 
 	for _, i := range sweepIndices(t, n, 25) {
 		checkSweepRun(t, sc, base, i)
+	}
+}
+
+// newLoopsimScenario builds the on-stack-replacement sweep scenario: the
+// loop-parked workload whose main function never returns, with three
+// continuous-optimization rounds so frames migrate forward (C0 → C1,
+// C1 → C2) while parked inside the hot loop.
+func newLoopsimScenario(t *testing.T) (*FaultScenario, *Trace) {
+	t.Helper()
+	tgt, err := TargetByName("loopsim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ScenarioFromTarget(tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := sc.Baseline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !base.Halted || base.Fault != nil {
+		t.Fatalf("baseline bad: halted=%v fault=%v", base.Halted, base.Fault)
+	}
+	sc.SwitchAt = []uint64{base.Insts / 5, 2 * base.Insts / 5, 3 * base.Insts / 5}
+	sc.ProfileWindow = base.Seconds / 24
+	return sc, base
+}
+
+// TestOSRFaultSweep is the robustness check for on-stack replacement:
+// every tracee operation of a three-round run over the loop-parked
+// workload — including every OSR frame rewrite and every verifier
+// re-read — is forced to fail in turn, and each injected fault must roll
+// the target and controller back bit-identically and still finish with
+// the never-optimized baseline's output. The fault-free reference must
+// actually map frames (a sweep that never performs OSR proves nothing).
+func TestOSRFaultSweep(t *testing.T) {
+	sc, base := newLoopsimScenario(t)
+
+	clean, err := sc.Run(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Committed != len(sc.SwitchAt) {
+		t.Fatalf("fault-free run committed %d/%d rounds", clean.Committed, len(sc.SwitchAt))
+	}
+	if diffs := Compare(base, clean.Trace); len(diffs) > 0 {
+		t.Fatalf("fault-free run diverged: %v", diffs)
+	}
+	if clean.OSRFramesMapped == 0 {
+		t.Fatalf("no frame was on-stack replaced (fallbacks=%d): the loop-parked scenario must exercise OSR",
+			clean.OSRFallbacks)
+	}
+	t.Logf("loopsim OSR scenario: %d ops, %d frames mapped, %d fallbacks",
+		clean.Ops, clean.OSRFramesMapped, clean.OSRFallbacks)
+
+	for _, i := range sweepIndices(t, clean.Ops, 20) {
+		checkSweepRun(t, sc, base, i)
+	}
+}
+
+// TestOSRAblationStillEquivalent pins the NoOSR switch: with OSR
+// disabled the same scenario must fall back to pure copy-based migration
+// — zero frames mapped — and still match the baseline.
+func TestOSRAblationStillEquivalent(t *testing.T) {
+	sc, base := newLoopsimScenario(t)
+	sc.NoOSR = true
+	clean, err := sc.Run(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Committed != len(sc.SwitchAt) {
+		t.Fatalf("NoOSR run committed %d/%d rounds", clean.Committed, len(sc.SwitchAt))
+	}
+	if clean.OSRFramesMapped != 0 || clean.OSRFallbacks != 0 {
+		t.Fatalf("NoOSR run still reported OSR activity: mapped=%d fallbacks=%d",
+			clean.OSRFramesMapped, clean.OSRFallbacks)
+	}
+	if diffs := Compare(base, clean.Trace); len(diffs) > 0 {
+		t.Fatalf("NoOSR run diverged from baseline: %v", diffs)
 	}
 }
 

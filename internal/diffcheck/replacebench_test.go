@@ -1,0 +1,165 @@
+package diffcheck
+
+import (
+	"encoding/json"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/bolt"
+	"repro/internal/core"
+	"repro/internal/perf"
+	"repro/internal/workloads/loopsim"
+	"repro/internal/workloads/wl"
+)
+
+// replaceBenchArm is one side of the OSR ablation in BENCH_replace.json.
+type replaceBenchArm struct {
+	PauseSeconds     float64 `json:"pause_seconds"`
+	BytesCopied      uint64  `json:"bytes_copied"`
+	StackFuncsCopied int     `json:"stack_funcs_copied"`
+	OSRFramesMapped  int     `json:"osr_frames_mapped"`
+	OSRFallbacks     int     `json:"osr_fallbacks"`
+	Throughput       float64 `json:"throughput"`
+	// C0MainResidency is the share of main's own post-round execution
+	// that still runs the original (C0) image. The serve loop never
+	// returns, so without OSR this stays 1.0 forever — the optimized
+	// layout of main never takes effect. OSR drives it to 0.
+	C0MainResidency float64 `json:"c0_main_residency"`
+}
+
+// replaceBenchDoc is the BENCH_replace.json schema: the cost of
+// migrating loop-parked frames, with and without on-stack replacement,
+// on the workload built to be OSR's worst case.
+type replaceBenchDoc struct {
+	Workload string          `json:"workload"`
+	Input    string          `json:"input"`
+	Scale    string          `json:"scale"`
+	Rounds   int             `json:"rounds"`
+	OSR      replaceBenchArm `json:"osr"`
+	NoOSR    replaceBenchArm `json:"no_osr"`
+}
+
+// TestReplaceBench is the replacement-cost benchmark behind
+// scripts/bench.sh: the loopsim service (whose main never returns, so
+// every round must migrate a parked frame) run through REPLACE_BENCH_ROUNDS
+// optimization rounds twice — once with OSR, once with core.Options.NoOSR —
+// and the per-arm pause time, copy traffic, and OSR outcomes written to
+// REPLACE_BENCH_OUT. Gated behind the env var; scale with
+// REPLACE_BENCH_SCALE=small|full (default full).
+func TestReplaceBench(t *testing.T) {
+	out := os.Getenv("REPLACE_BENCH_OUT")
+	if out == "" {
+		t.Skip("set REPLACE_BENCH_OUT=path to run the replacement benchmark")
+	}
+	rounds := 3
+	if v := os.Getenv("REPLACE_BENCH_ROUNDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("bad REPLACE_BENCH_ROUNDS %q", v)
+		}
+		rounds = n
+	}
+	scale, sc := "full", loopsim.Full()
+	if os.Getenv("REPLACE_BENCH_SCALE") == "small" {
+		scale, sc = "small", loopsim.Small()
+	}
+	const input = "steady"
+
+	arm := func(noOSR bool) replaceBenchArm {
+		w, err := loopsim.Build(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := w.NewDriver(input, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := w.Load(d, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctl, err := core.New(pr, w.Binary, core.Options{
+			NoOSR: noOSR,
+			Bolt:  bolt.Options{AllowReBolt: true},
+			Perf:  perf.RecorderOptions{PeriodCycles: 2000},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var a replaceBenchArm
+		pr.RunFor(0.0003) // warm up: park the serve loop mid-flight
+		for r := 0; r < rounds; r++ {
+			// Stagger the profile windows so the stop-the-world pause does
+			// not resonate with the workload's loop period and land every
+			// round at the same (possibly unmappable) loop offset.
+			rep, err := ctl.OptimizeRound(0.0005 + float64(r)*0.000137)
+			if err != nil {
+				t.Fatalf("round %d (noOSR=%v): %v", r, noOSR, err)
+			}
+			a.PauseSeconds += rep.PauseSeconds
+			if rs := rep.Replace; rs != nil {
+				a.BytesCopied += rs.BytesCopied
+				a.StackFuncsCopied += rs.StackFuncsCopied
+				a.OSRFramesMapped += rs.OSRFramesMapped
+				a.OSRFallbacks += rs.OSRFallbacks
+			}
+			pr.RunFor(0.0002)
+			if err := pr.Fault(); err != nil {
+				t.Fatalf("round %d (noOSR=%v): %v", r, noOSR, err)
+			}
+		}
+		a.Throughput = wl.Measure(pr, d, 0.0005)
+		if err := pr.Fault(); err != nil {
+			t.Fatalf("post-round (noOSR=%v): %v", noOSR, err)
+		}
+		// Where is the parked serve loop actually executing now? Sample
+		// the thread PC over a single-stepped window, and of the samples
+		// inside any image of main (the frame that can never drain by
+		// returning), count the share still on the original C0 image.
+		th := pr.Threads[0]
+		inC0, inMain := 0, 0
+		for i := 0; i < 4000 && !th.Halted; i++ {
+			if name, ver, ok := ctl.Whereis(th.PC); ok && name == "main" {
+				inMain++
+				if ver == 0 {
+					inC0++
+				}
+			}
+			pr.Step(th)
+		}
+		if inMain > 0 {
+			a.C0MainResidency = float64(inC0) / float64(inMain)
+		}
+		return a
+	}
+
+	doc := replaceBenchDoc{
+		Workload: "loopsim",
+		Input:    input,
+		Scale:    scale,
+		Rounds:   rounds,
+		OSR:      arm(false),
+		NoOSR:    arm(true),
+	}
+
+	// The acceptance bar for the workload this benchmark exists for:
+	// with OSR on, parked frames actually transfer; with it off, none do.
+	if doc.OSR.OSRFramesMapped == 0 {
+		t.Error("OSR arm mapped no frames on the loop-parked workload")
+	}
+	if doc.NoOSR.OSRFramesMapped != 0 || doc.NoOSR.OSRFallbacks != 0 {
+		t.Errorf("NoOSR arm counted OSR activity: %+v", doc.NoOSR)
+	}
+
+	buf, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("OSR: pause %.6fs, %d copied funcs, %d mapped / NoOSR: pause %.6fs, %d copied funcs",
+		doc.OSR.PauseSeconds, doc.OSR.StackFuncsCopied, doc.OSR.OSRFramesMapped,
+		doc.NoOSR.PauseSeconds, doc.NoOSR.StackFuncsCopied)
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/workloads/compilersim"
 	"repro/internal/workloads/docdb"
 	"repro/internal/workloads/kvcache"
+	"repro/internal/workloads/loopsim"
 	"repro/internal/workloads/rtlsim"
 	"repro/internal/workloads/sqldb"
 	"repro/internal/workloads/wl"
@@ -73,6 +74,12 @@ func Targets() []Target {
 			Input:    "dhrystone",
 			Requests: 400,
 			Build:    func() (*wl.Workload, error) { return rtlsim.Build(rtlsim.Small()) },
+		},
+		{
+			Name:     "loopsim",
+			Input:    "steady",
+			Requests: 150,
+			Build:    func() (*wl.Workload, error) { return loopsim.Build(loopsim.Small()) },
 		},
 		{
 			Name:  "compilersim",

@@ -20,6 +20,7 @@ import (
 	"repro/internal/workloads/compilersim"
 	"repro/internal/workloads/docdb"
 	"repro/internal/workloads/kvcache"
+	"repro/internal/workloads/loopsim"
 	"repro/internal/workloads/rtlsim"
 	"repro/internal/workloads/sqldb"
 	"repro/internal/workloads/wl"
@@ -97,6 +98,8 @@ func Workload(name string, quick bool) (*wl.Workload, error) {
 		w, err = kvcache.Build(kvcache.Full())
 	case "rtlsim":
 		w, err = rtlsim.Build(rtlsim.Full())
+	case "loopsim":
+		w, err = loopsim.Build(loopsim.Full())
 	case "compilersim":
 		w, err = compilersim.Build(compilersim.Full())
 	default:

@@ -145,6 +145,11 @@ type RoundResult struct {
 	Gain         float64 `json:"gain"`          // vs the previous round's throughput
 	PauseSeconds float64 `json:"pause_seconds"` // simulated stop-the-world time of the round
 	P95Latency   float64 `json:"p95_latency"`   // post-round p95 request latency, cycles
+	// OSRFramesMapped/OSRFallbacks report how the round migrated parked
+	// stack frames: transferred in place between layouts vs left to
+	// drain through a stack-live copy.
+	OSRFramesMapped int `json:"osr_frames_mapped,omitempty"`
+	OSRFallbacks    int `json:"osr_fallbacks,omitempty"`
 }
 
 // counter bumps an unlabeled fleet counter (the registry is a nil-safe
@@ -330,6 +335,9 @@ func (m *Manager) drive(s *Service) {
 			Throughput:   win.Throughput,
 			PauseSeconds: rs.PauseSeconds,
 			P95Latency:   win.P95,
+
+			OSRFramesMapped: rs.OSRFramesMapped,
+			OSRFallbacks:    rs.OSRFallbacks,
 		}
 		if base.Throughput > 0 {
 			res.Speedup = win.Throughput / base.Throughput

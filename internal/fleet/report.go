@@ -18,7 +18,13 @@ type ServiceReport struct {
 	Baseline     float64 // pre-optimization steady-state req/s
 	FinalSpeedup float64 // last round's speedup vs baseline (1.0 if none)
 	PauseSeconds float64 // total simulated stop-the-world time
-	Err          string  // last recorded stage error, "" if none
+
+	// OSRFramesMapped/OSRFallbacks total the on-stack-replacement
+	// outcomes across the service's rounds.
+	OSRFramesMapped int
+	OSRFallbacks    int
+
+	Err string // last recorded stage error, "" if none
 }
 
 // FleetReport aggregates one fleet pass, sorted by service name.
@@ -32,17 +38,19 @@ func (m *Manager) Report() *FleetReport {
 	var out []ServiceReport
 	for _, st := range m.Snapshot() {
 		out = append(out, ServiceReport{
-			Name:         st.Name,
-			State:        st.State,
-			Selected:     st.Selected,
-			FrontEnd:     st.FrontEnd,
-			Rounds:       st.Rounds,
-			Retries:      st.Retries,
-			Rollbacks:    st.Rollbacks,
-			Baseline:     st.Baseline,
-			FinalSpeedup: st.Speedup,
-			PauseSeconds: st.PauseSeconds,
-			Err:          st.LastErr,
+			Name:            st.Name,
+			State:           st.State,
+			Selected:        st.Selected,
+			FrontEnd:        st.FrontEnd,
+			Rounds:          st.Rounds,
+			Retries:         st.Retries,
+			Rollbacks:       st.Rollbacks,
+			Baseline:        st.Baseline,
+			FinalSpeedup:    st.Speedup,
+			PauseSeconds:    st.PauseSeconds,
+			OSRFramesMapped: st.OSRFramesMapped,
+			OSRFallbacks:    st.OSRFallbacks,
+			Err:             st.LastErr,
 		})
 	}
 	return &FleetReport{Services: out}
@@ -61,16 +69,16 @@ func (r *FleetReport) Speedups() map[string]float64 {
 // Write renders the per-service table cmd/fleetd and the fleet
 // experiment print.
 func (r *FleetReport) Write(w io.Writer) {
-	fmt.Fprintf(w, "%-24s %-10s %4s %7s %8s %9s %8s %7s\n",
-		"service", "state", "sel", "rounds", "speedup", "pause_ms", "retries", "FE%")
+	fmt.Fprintf(w, "%-24s %-10s %4s %7s %8s %9s %4s %8s %7s\n",
+		"service", "state", "sel", "rounds", "speedup", "pause_ms", "osr", "retries", "FE%")
 	for _, s := range r.Services {
 		sel := "-"
 		if s.Selected {
 			sel = "yes"
 		}
-		fmt.Fprintf(w, "%-24s %-10s %4s %7d %7.2fx %9.2f %8d %6.1f%%\n",
+		fmt.Fprintf(w, "%-24s %-10s %4s %7d %7.2fx %9.2f %4d %8d %6.1f%%\n",
 			s.Name, s.State, sel, len(s.Rounds), s.FinalSpeedup,
-			s.PauseSeconds*1e3, s.Retries, s.FrontEnd*100)
+			s.PauseSeconds*1e3, s.OSRFramesMapped, s.Retries, s.FrontEnd*100)
 		if s.Err != "" {
 			fmt.Fprintf(w, "%-24s   last error: %s\n", "", s.Err)
 		}

@@ -52,10 +52,15 @@ type ServiceStatus struct {
 	// round lands and after a revert).
 	Speedup float64 `json:"speedup"`
 	// PauseSeconds is the total simulated stop-the-world time.
-	PauseSeconds float64   `json:"pause_seconds"`
-	LastErr      string    `json:"last_error,omitempty"`
-	AddedAt      time.Time `json:"added_at"`
-	UpdatedAt    time.Time `json:"updated_at"`
+	PauseSeconds float64 `json:"pause_seconds"`
+	// OSRFramesMapped/OSRFallbacks total the on-stack-replacement
+	// outcomes across all rounds: frames transferred between layouts in
+	// place vs frames left to copy-based migration.
+	OSRFramesMapped int       `json:"osr_frames_mapped"`
+	OSRFallbacks    int       `json:"osr_fallbacks"`
+	LastErr         string    `json:"last_error,omitempty"`
+	AddedAt         time.Time `json:"added_at"`
+	UpdatedAt       time.Time `json:"updated_at"`
 }
 
 // Status snapshots one service under its lock.
@@ -80,6 +85,8 @@ func (s *Service) Status() ServiceStatus {
 	s.mu.Unlock()
 	for _, rr := range st.Rounds {
 		st.PauseSeconds += rr.PauseSeconds
+		st.OSRFramesMapped += rr.OSRFramesMapped
+		st.OSRFallbacks += rr.OSRFallbacks
 	}
 	if n := len(st.Rounds); n > 0 && st.State != Reverted {
 		st.Version = st.Rounds[n-1].Version

@@ -106,6 +106,12 @@ func (b *Binary) Clone() *Binary {
 			nb.AddrMap[k] = v
 		}
 	}
+	if b.OSRMap != nil {
+		nb.OSRMap = make(map[uint64][]OSRPoint, len(b.OSRMap))
+		for k, v := range b.OSRMap {
+			nb.OSRMap[k] = append([]OSRPoint(nil), v...)
+		}
+	}
 	nb.SortFuncs()
 	return nb
 }

@@ -92,6 +92,64 @@ func (b *Binary) OrgLookup(addr uint64) (*OrgRange, bool) {
 	return nil, false
 }
 
+// OSRKind classifies why a point inside a function is safe for on-stack
+// replacement. All kinds share the property that the live register/spill
+// state at the point is identical across layouts, so transferring a frame
+// needs no state reconstruction ("OSR à la carte").
+type OSRKind uint8
+
+const (
+	// OSREntry is the function entry (offset 0 in both layouts).
+	OSREntry OSRKind = iota
+	// OSRLoopHeader is the target of a backward edge: a loop header a
+	// parked thread re-reaches every iteration.
+	OSRLoopHeader
+	// OSRCallSite is a CALL instruction (a thread stopped exactly on it
+	// has not yet pushed the callee frame).
+	OSRCallSite
+	// OSRRetPoint is the instruction after a CALL: the return address a
+	// suspended caller frame holds while the callee runs.
+	OSRRetPoint
+)
+
+// String names the kind for journals and test failures.
+func (k OSRKind) String() string {
+	switch k {
+	case OSREntry:
+		return "entry"
+	case OSRLoopHeader:
+		return "loop_header"
+	case OSRCallSite:
+		return "call"
+	case OSRRetPoint:
+		return "ret_point"
+	}
+	return fmt.Sprintf("OSRKind(%d)", uint8(k))
+}
+
+// OSRPoint maps one mappable program point of a function from the input
+// layout to the optimized layout. Offsets are unified byte offsets from
+// the function entry: offsets below the hot size address the hot range,
+// larger offsets continue into the cold range (hotSize + coldOffset),
+// mirroring bolt's unified CFG addressing.
+type OSRPoint struct {
+	OldOff uint64
+	NewOff uint64
+	Kind   OSRKind
+}
+
+// OSRPointAt returns the OSR point for the given input-layout entry
+// address and unified old offset, if one exists. Points are sorted by
+// OldOff, so a binary search suffices.
+func (b *Binary) OSRPointAt(entry, oldOff uint64) (OSRPoint, bool) {
+	pts := b.OSRMap[entry]
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].OldOff >= oldOff })
+	if i < len(pts) && pts[i].OldOff == oldOff {
+		return pts[i], true
+	}
+	return OSRPoint{}, false
+}
+
 // VTable is a virtual-method table in the data section: Slots entries of
 // 8 bytes each, holding absolute function entry addresses.
 type VTable struct {
@@ -141,6 +199,14 @@ type Binary struct {
 	// samples taken in old code (which keeps executing in the live process
 	// under OCOLOS) to the right function, at function granularity.
 	OrgRanges []OrgRange
+
+	// OSRMap, present on optimized binaries, lists the mappable OSR
+	// points of each reordered function, keyed by the function's entry
+	// address in the *input* binary and sorted by OldOff. A frame parked
+	// mid-function in the old layout can be migrated in place iff its
+	// unified offset appears here; anything else falls back to copy-based
+	// migration.
+	OSRMap map[uint64][]OSRPoint
 
 	byName map[string]*Func // lazily built
 }

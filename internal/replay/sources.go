@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -168,6 +169,25 @@ func (s *Session) CacheEvent(key, outcome string) error {
 	}
 	_, err := s.step(trace.Event{Type: trace.EvCacheDecision, Stage: "layout.cache",
 		Attrs: trace.Attrs{trace.String("key", key), trace.String("outcome", outcome)}}, nil)
+	return err
+}
+
+// OSREvent journals one on-stack-replacement decision made while
+// migrating a live frame during code replacement. All attributes are
+// identity: a replayed round re-walks the same stacks against the same
+// layouts, so every OSR decision — which frame, from which PC, mapped
+// where (or fallen back) — must recur exactly; drift surfaces as a
+// DivergenceError before the divergent round can commit.
+func (s *Session) OSREvent(tid, frame int, oldPC uint64, outcome string, newPC uint64) error {
+	if !s.Active() {
+		return nil
+	}
+	_, err := s.step(trace.Event{Type: trace.EvOSRDecision, Stage: "replace.osr",
+		Attrs: trace.Attrs{
+			trace.Int("tid", tid), trace.Int("frame", frame),
+			trace.String("old_pc", fmt.Sprintf("%#x", oldPC)),
+			trace.String("outcome", outcome),
+			trace.String("new_pc", fmt.Sprintf("%#x", newPC))}}, nil)
 	return err
 }
 

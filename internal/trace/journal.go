@@ -81,6 +81,11 @@ const (
 	// a replayed wave recomputes the key and must reach the same
 	// decision, so cached waves replay bit-identically.
 	EvCacheDecision
+	// EvOSRDecision: one on-stack-replacement decision for a live frame
+	// during code replacement — mapped in place or fallen back to
+	// copy-based migration. Everything is identity: a replayed round
+	// re-walks the same stacks and must reach the same decisions.
+	EvOSRDecision
 )
 
 var eventTypeNames = [...]string{
@@ -104,6 +109,7 @@ var eventTypeNames = [...]string{
 	EvFaultDecision: "fault_decision",
 	EvCheckpoint:    "checkpoint",
 	EvCacheDecision: "cache_decision",
+	EvOSRDecision:   "osr_decision",
 }
 
 func (t EventType) String() string {

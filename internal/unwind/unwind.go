@@ -8,10 +8,23 @@
 package unwind
 
 import (
+	"errors"
+	"fmt"
+
 	"repro/internal/isa"
 	"repro/internal/obj"
 	"repro/internal/ptrace"
 )
+
+// ErrTruncated reports a walk that hit the maxFrames bound: the returned
+// frames are valid but the chain continues past them. A caller computing a
+// stack-live set MUST NOT treat the partial list as complete.
+var ErrTruncated = errors.New("unwind: stack deeper than frame bound")
+
+// ErrCorrupt reports a frame-pointer chain that stopped growing upward:
+// the returned frames up to the corruption are valid, everything beyond is
+// unknowable.
+var ErrCorrupt = errors.New("unwind: frame-pointer chain corrupt")
 
 // Frame is one stack frame.
 type Frame struct {
@@ -36,6 +49,13 @@ const maxFrames = 4096
 // thread's current PC; subsequent frames carry return addresses and the
 // stack slots they were read from (so a code-replacement pass can rewrite
 // them).
+//
+// A walk that cannot reach the outermost frame returns the frames it
+// found alongside a typed error — ErrTruncated when the chain exceeds the
+// frame bound, ErrCorrupt when a saved FP stops growing upward. Callers
+// that only inspect individual frames may accept the partial list;
+// callers deriving a complete stack-live set must treat either error as
+// fatal, because unseen frames can keep unseen functions live.
 func Stack(t Walker, tid int) ([]Frame, error) {
 	regs, err := t.GetRegs(tid)
 	if err != nil {
@@ -43,7 +63,10 @@ func Stack(t Walker, tid int) ([]Frame, error) {
 	}
 	frames := []Frame{{PC: regs.PC, FP: regs.GPR[isa.FP]}}
 	fp := regs.GPR[isa.FP]
-	for n := 0; fp != 0 && n < maxFrames; n++ {
+	for fp != 0 {
+		if len(frames) > maxFrames {
+			return frames, fmt.Errorf("unwind: thread %d: %d frames: %w", tid, len(frames), ErrTruncated)
+		}
 		savedFP, err := t.PeekData(fp)
 		if err != nil {
 			return nil, err
@@ -64,23 +87,27 @@ func Stack(t Walker, tid int) ([]Frame, error) {
 			break
 		}
 		frames = append(frames, Frame{PC: ra, RetSlot: retSlot, FP: savedFP})
-		if savedFP != 0 && savedFP <= fp {
-			break // chain must grow upward; stop on corruption
+		if savedFP <= fp {
+			// The chain must grow upward; a non-monotonic saved FP means
+			// the stack bytes are not a well-formed chain.
+			return frames, fmt.Errorf("unwind: thread %d: saved FP %#x <= FP %#x: %w", tid, savedFP, fp, ErrCorrupt)
 		}
 		fp = savedFP
 	}
 	return frames, nil
 }
 
-// AllStacks unwinds every thread.
+// AllStacks unwinds every thread. On a truncated or corrupt walk the
+// partial stacks collected so far (including the failing thread's) are
+// returned with the error.
 func AllStacks(t Walker) ([][]Frame, error) {
 	out := make([][]Frame, t.Threads())
 	for tid := 0; tid < t.Threads(); tid++ {
 		frames, err := Stack(t, tid)
-		if err != nil {
-			return nil, err
-		}
 		out[tid] = frames
+		if err != nil {
+			return out, err
+		}
 	}
 	return out, nil
 }

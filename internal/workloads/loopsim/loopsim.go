@@ -1,0 +1,189 @@
+// Package loopsim is the loop-parked workload: a service whose main
+// function contains the hot loop *itself* and never returns. Each
+// request is served by spinning a frame-local inner loop (accumulator
+// and trip count live in stack slots, reloaded around calls) that calls
+// a small mixing leaf every iteration, then reporting the folded result
+// and going straight back for the next request.
+//
+// The shape is deliberately the worst case for return-driven migration:
+// the frame of main is parked on every thread's stack for the entire
+// process lifetime, so a code replacement that waits for the function to
+// return waits forever — the optimized layout of main would never take
+// effect. It exists to exercise on-stack replacement (internal/core's
+// OSR stage), which transfers the parked frame between layouts at loop
+// headers and call boundaries while the process is paused. A second
+// worker thread (the default Threads: 2) keeps the request stream moving
+// in fleet runs; the diffcheck harness drives thread 0 alone.
+package loopsim
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/build"
+	"repro/internal/isa"
+	"repro/internal/workloads/wl"
+	"repro/internal/workloads/wlgen"
+)
+
+// Scale configures the generated service.
+type Scale struct {
+	MixBranches int // stimulus-dependent branches in the mixing leaf
+	MainBlocks  int // stimulus-dependent branch pairs in main's inner loop
+	ColdFuncs   int // never-executed tracing/debug code between hot funcs
+	ColdSize    int
+}
+
+// Full is the evaluation scale.
+func Full() Scale {
+	return Scale{MixBranches: 8, MainBlocks: 4, ColdFuncs: 60, ColdSize: 40}
+}
+
+// Small keeps tests fast.
+func Small() Scale {
+	return Scale{MixBranches: 4, MainBlocks: 2, ColdFuncs: 10, ColdSize: 16}
+}
+
+// stimSlot is the state word holding the current stimulus.
+const stimSlot = 0
+
+// Build assembles the workload.
+func Build(sc Scale) (*wl.Workload, error) {
+	p := build.NewProgram("loopsim")
+	p.SetNoJumpTables(true)
+	p.Global("state", 64)
+	cold := wlgen.EmitColdLib(p, "ltrace", sc.ColdFuncs, sc.ColdSize)
+
+	// Cold padding before the hot code, so the baseline layout spreads
+	// the hot path across the text section.
+	pre := p.Func("init_tables")
+	pre.Prologue(16)
+	pre.PadCode(24)
+	pre.Call(cold[0])
+	pre.EpilogueRet()
+
+	// mix: the hot leaf called once per inner-loop iteration. R1 holds
+	// the accumulator; the mixed value returns in R0. Which branch sides
+	// run depends entirely on the stimulus word.
+	f := p.Func("mix")
+	f.Prologue(16)
+	f.LoadGlobalAddr(isa.R6, "state")
+	f.Ld(isa.R7, isa.R6, stimSlot*8)
+	f.Mov(isa.R0, isa.R1)
+	for b := 0; b < sc.MixBranches; b++ {
+		bit := uint(b % 60)
+		f.ShrI(isa.R8, isa.R7, int64(bit))
+		f.AndI(isa.R8, isa.R8, 1)
+		f.CmpI(isa.R8, 0)
+		b := b
+		f.If(isa.EQ, func() {
+			f.MulI(isa.R0, isa.R0, int64(2*b+3))
+			f.AddI(isa.R0, isa.R0, int64(b+1))
+		}, func() {
+			f.XorI(isa.R0, isa.R0, int64(b*131+7))
+			f.ShrI(isa.R9, isa.R0, 5)
+			f.Add(isa.R0, isa.R0, isa.R9)
+			f.PadCode(2)
+		})
+		// Interleave a cold helper between branch clusters.
+		if b%2 == 1 {
+			g := p.Func(fmt.Sprintf("ldbg_mix_%d", b))
+			g.Prologue(16)
+			g.PadCode(20)
+			g.Call(cold[(b+1)%len(cold)])
+			g.EpilogueRet()
+		}
+	}
+	f.EpilogueRet()
+
+	// main: serve requests forever. The inner loop keeps its accumulator
+	// at [FP-8] and its remaining trip count at [FP-16]; both are
+	// reloaded after every call, so the frame slots — not registers — are
+	// the live state a mid-loop migration must preserve.
+	m := p.Func("main")
+	m.Prologue(32)
+	serve := m.Label("serve")
+	m.Sys(1) // SysRecv: R0 op, R1 stimulus/seed, R2 inner-loop trips
+	m.CmpI(isa.R0, -1)
+	m.If(isa.EQ, func() { m.Halt() }, nil)
+	m.LoadGlobalAddr(isa.R6, "state")
+	m.St(isa.R6, stimSlot*8, isa.R1)
+	m.St(isa.FP, -8, isa.R1)  // accumulator
+	m.St(isa.FP, -16, isa.R2) // remaining iterations
+	spin := m.Label("spin")
+	m.Ld(isa.R1, isa.FP, -8)
+	m.Call("mix")
+	m.Ld(isa.R6, isa.FP, -8) // reload: registers do not survive the call
+	m.Add(isa.R6, isa.R6, isa.R0)
+	for b := 0; b < sc.MainBlocks; b++ {
+		bit := uint((17 + 7*b) % 60)
+		m.LoadGlobalAddr(isa.R7, "state")
+		m.Ld(isa.R7, isa.R7, stimSlot*8)
+		m.ShrI(isa.R7, isa.R7, int64(bit))
+		m.AndI(isa.R7, isa.R7, 1)
+		m.CmpI(isa.R7, 0)
+		b := b
+		m.If(isa.EQ, func() {
+			m.AddI(isa.R6, isa.R6, int64(3*b+1))
+		}, func() {
+			m.XorI(isa.R6, isa.R6, int64(b*257+13))
+			m.PadCode(2)
+		})
+	}
+	m.St(isa.FP, -8, isa.R6)
+	m.Ld(isa.R7, isa.FP, -16)
+	m.AddI(isa.R7, isa.R7, -1)
+	m.St(isa.FP, -16, isa.R7)
+	m.CmpI(isa.R7, 0)
+	m.BranchIf(isa.NE, spin) // back edge: spin is an OSR loop header
+	m.Ld(isa.R0, isa.FP, -8)
+	m.Sys(2) // SysSend with the folded accumulator
+	m.Goto(serve)
+	p.SetEntry("main")
+
+	bin, err := p.Assemble(asm.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &wl.Workload{
+		Name:    "loopsim",
+		Binary:  bin,
+		Inputs:  Inputs(),
+		Threads: 2, // one parked server per core; the second keeps load flowing
+		NewDriver: func(input string, threads int) (*wl.Driver, error) {
+			gen, err := generator(input)
+			if err != nil {
+				return nil, err
+			}
+			return wl.NewDriver(gen, threads), nil
+		},
+	}, nil
+}
+
+// Inputs lists the stimulus mixes.
+func Inputs() []string { return []string{"steady", "bursty", "sweep"} }
+
+// trips is the inner-loop trip count per request: long enough that a
+// pause almost always lands with a frame parked inside the loop.
+const trips = 48
+
+func generator(input string) (wl.Generator, error) {
+	var base uint64
+	switch input {
+	case "steady":
+		base = 0x0000_00FF_0000_FFFF
+	case "bursty":
+		base = 0xFF00_FF00_0F0F_0F0F
+	case "sweep":
+		base = 0x1357_9BDF_0246_8ACE
+	default:
+		return nil, fmt.Errorf("loopsim: unknown input %q", input)
+	}
+	return func(tid int, seq uint64) wl.Request {
+		stim := base
+		if seq%32 == 31 {
+			stim ^= wl.SplitMix64(seq+uint64(tid)<<16) & 0xFFFF
+		}
+		return wl.Request{Op: 0, Arg1: stim, Arg2: trips}
+	}, nil
+}

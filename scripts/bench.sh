@@ -17,6 +17,14 @@
 #    invocations, and the layout-cache hit rate that keeps invocations
 #    far below the service count. See docs/fleet.md. Skip with
 #    SKIP_FLEET=1 (the interpreter section is the fast one).
+#
+# 3. Replacement cost: runs the loopsim service (whose serve loop never
+#    returns) through REPLACE_ROUNDS optimization rounds with on-stack
+#    replacement on and off, and writes BENCH_replace.json — per-arm
+#    pause time, stack-copy traffic, OSR frame outcomes, and the share
+#    of main's execution still parked on the original image (1.0 means
+#    the optimized layout never took effect). See docs/robustness.md.
+#    Skip with SKIP_REPLACE=1.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,6 +34,8 @@ COUNT="${COUNT:-8}"
 OUT="${OUT:-BENCH_proc.json}"
 FLEET_OUT="${FLEET_OUT:-BENCH_fleet.json}"
 FLEET_SERVICES="${FLEET_SERVICES:-1000}"
+REPLACE_OUT="${REPLACE_OUT:-BENCH_replace.json}"
+REPLACE_ROUNDS="${REPLACE_ROUNDS:-3}"
 
 raw=""
 i=1
@@ -76,4 +86,12 @@ if [ "${SKIP_FLEET:-0}" != 1 ]; then
         go test -race -run TestFleetWaveBench -count 1 -timeout 60m ./internal/fleet
     echo "== $FLEET_OUT"
     cat "$FLEET_OUT"
+fi
+
+if [ "${SKIP_REPLACE:-0}" != 1 ]; then
+    echo "== replacement benchmark: loopsim OSR ablation, $REPLACE_ROUNDS rounds"
+    REPLACE_BENCH_OUT="$REPLACE_OUT" REPLACE_BENCH_ROUNDS="$REPLACE_ROUNDS" \
+        go test -run TestReplaceBench -count 1 ./internal/diffcheck
+    echo "== $REPLACE_OUT"
+    cat "$REPLACE_OUT"
 fi

@@ -58,6 +58,23 @@ go test -short -run TestFaultSweep ./internal/diffcheck || { upload_journals; ex
 echo "== go test -race -run 'TestTraceeFault|TestSecondRoundQuarantine|TestMidWaveFaultIsolation' ./internal/fleet"
 go test -race -run 'TestTraceeFault|TestSecondRoundQuarantine|TestMidWaveFaultIsolation' ./internal/fleet || { upload_journals; exit 1; }
 
+# On-stack-replacement gates (see docs/robustness.md): the loop-parked
+# loopsim scenario must map frames between layouts, every injected fault
+# across its exhaustive sweep must roll back the OSR rewrites
+# bit-identically, and the NoOSR ablation must still converge to the
+# same baseline. A red run preserves its repro journals like the sweep
+# above.
+echo "== go test -race -run 'TestOSRFaultSweep|TestOSRAblationStillEquivalent' ./internal/diffcheck"
+go test -race -run 'TestOSRFaultSweep|TestOSRAblationStillEquivalent' ./internal/diffcheck || { upload_journals; exit 1; }
+
+# Replace-cost smoke: the small-scale OSR ablation benchmark must run
+# and report its OSR outcomes, so scripts/bench.sh works when needed.
+echo "== replace bench smoke: loopsim OSR ablation, small scale"
+REPLACE_BENCH_OUT="$tmpdir/BENCH_replace_smoke.json" REPLACE_BENCH_SCALE=small \
+    go test -run TestReplaceBench -count 1 ./internal/diffcheck || { upload_journals; exit 1; }
+grep -q '"osr_frames_mapped"' "$tmpdir/BENCH_replace_smoke.json" ||
+    { cat "$tmpdir/BENCH_replace_smoke.json"; echo "replace smoke wrote no OSR stats"; exit 1; }
+
 # Sharded-wave + layout-cache gates (see docs/fleet.md): the
 # single-flight cache and the sharded dispatcher are the fleet's two
 # concurrency hot spots, so both run explicitly under the race
