@@ -13,9 +13,16 @@
 // With -serve ADDR the wave runs in the background while an HTTP
 // control plane serves GET /metrics (Prometheus text), /services
 // (JSON fleet snapshot), /trace?service=X (span tree; &format=jsonl
-// for the event journal), /cache (layout-cache hit/miss stats), and
-// /healthz on ADDR until SIGINT/SIGTERM or, once the wave completes,
-// until shut down.
+// for the event journal), /cache (layout-cache hit/miss stats),
+// /profile (streaming-profile status; POST ingests external LBR
+// batches), and /healthz on ADDR until SIGINT/SIGTERM or, once the
+// wave completes, until shut down.
+//
+// With -drift each service gets a continuous GWP-style sampler feeding
+// a bounded profile store, and after the initial wave fleetd keeps
+// scanning Steady services for divergence between the live profile and
+// the profile their layout was built from (-drift-divergence), driving
+// re-optimization waves when a phase change lands (docs/profiling.md).
 //
 // The manager is sharded (-shards) so status reads never stall the
 // wave, and BOLTed layouts are shared across identical replicas
@@ -48,6 +55,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fleet"
+	"repro/internal/profile"
 	"repro/internal/replay"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -59,7 +67,7 @@ import (
 
 // fleetMeta is the journal meta header: the flag set that rebuilds the
 // recorded fleet bit-for-bit.
-func fleetMeta(full bool, replicas, rounds, shards int, revertBelow float64, noCache bool) []trace.Attr {
+func fleetMeta(full bool, replicas, rounds, shards int, revertBelow float64, noCache, drift bool, driftDiv float64) []trace.Attr {
 	return []trace.Attr{
 		trace.String("kind", "fleetd"),
 		trace.Bool("full", full),
@@ -68,6 +76,8 @@ func fleetMeta(full bool, replicas, rounds, shards int, revertBelow float64, noC
 		trace.Int("shards", shards),
 		trace.Int("revert_below_bits", int(math.Float64bits(revertBelow))),
 		trace.Bool("no_cache", noCache),
+		trace.Bool("drift", drift),
+		trace.Int("drift_divergence_bits", int(math.Float64bits(driftDiv))),
 	}
 }
 
@@ -82,6 +92,9 @@ func main() {
 		noCache     = flag.Bool("no-cache", false, "disable the content-addressed layout cache (every service runs its own BOLT)")
 		revertBelow = flag.Float64("revert-below", 1.0, "revert to C0 below this speedup (0 disables)")
 		serve       = flag.String("serve", "", "serve the HTTP control plane on this address (e.g. :8080) while the wave runs")
+		drift       = flag.Bool("drift", false, "stream profiles continuously and re-optimize Steady services whose live profile drifts from the layout's build profile")
+		driftDiv    = flag.Float64("drift-divergence", 0.35, "total-variation divergence that triggers a drift re-optimization (with -drift)")
+		driftEvery  = flag.Duration("drift-every", 250*time.Millisecond, "host-time interval between drift scans in serve mode (with -drift -serve)")
 		record      = flag.String("record", "", "write the wave's nondeterminism journal to FILE (JSONL)")
 		replayPath  = flag.String("replay", "", "re-execute a recorded wave from FILE (fleet flags are ignored)")
 	)
@@ -121,13 +134,19 @@ func main() {
 		if nc, ok := meta.Get("no_cache"); ok {
 			*noCache, _ = nc.(bool)
 		}
+		if d, ok := meta.Get("drift"); ok {
+			*drift, _ = d.(bool)
+		}
+		if db, ok := meta.Int("drift_divergence_bits"); ok {
+			*driftDiv = math.Float64frombits(uint64(db))
+		}
 		if sess, err = replay.NewReplayer(events); err != nil {
 			log.Fatal(err)
 		}
 	} else if *record != "" {
 		sess = replay.NewRecorder(0)
 	}
-	if err := sess.Meta(fleetMeta(*full, *replicas, *rounds, *shards, *revertBelow, *noCache)...); err != nil {
+	if err := sess.Meta(fleetMeta(*full, *replicas, *rounds, *shards, *revertBelow, *noCache, *drift, *driftDiv)...); err != nil {
 		log.Fatal(err)
 	}
 
@@ -161,24 +180,30 @@ func main() {
 	metrics := telemetry.NewRegistry()
 	tracer := trace.New(trace.Options{})
 	cfg := fleet.Config{
-		Workers:       *workers,
-		Shards:        *shards,
-		MaxPauses:     *maxPauses,
-		MaxRounds:     *rounds,
-		RevertBelow:   *revertBelow,
-		NoLayoutCache: *noCache,
-		Metrics:       metrics,
-		Tracer:        tracer,
-		Replay:        sess, // an active session forces a serial wave
+		Workers:   *workers,
+		Shards:    *shards,
+		MaxPauses: *maxPauses,
+		Robustness: fleet.RobustnessConfig{
+			MaxRounds:   *rounds,
+			RevertBelow: *revertBelow,
+		},
+		Cache:   fleet.CacheConfig{Disable: *noCache},
+		Metrics: metrics,
+		Tracer:  tracer,
+		Replay:  sess, // an active session forces a serial wave
+	}
+	if *drift {
+		cfg.Drift = fleet.DriftConfig{
+			Enabled: true,
+			Policy:  profile.ReoptPolicy{MinDivergence: *driftDiv},
+		}
 	}
 	if !*full {
 		// Small-scale services: sub-millisecond windows, gate skipped so
 		// every service exercises the lifecycle, and the (comparatively
 		// huge) pause cost kept off the measured timeline.
 		cfg.SkipGate = true
-		cfg.ProfileDur = 0.0008
-		cfg.Warm = 0.0003
-		cfg.Window = 0.0004
+		cfg.Timing = fleet.TimingConfig{ProfileDur: 0.0008, Warm: 0.0003, Window: 0.0004}
 	}
 	m, err := fleet.NewManager(cfg)
 	if err != nil {
@@ -208,12 +233,12 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			svc.Proc.RunFor(m.Config().Warm) // services have been up for a while
+			svc.Proc.RunFor(m.Config().Timing.Warm) // services have been up for a while
 		}
 	}
 
 	fmt.Printf("fleetd: %d services, %d workers, %d shard(s), %d max pause(s), %d round(s) max\n\n",
-		len(m.Services()), m.Config().Workers, m.Config().Shards, m.Config().MaxPauses, m.Config().MaxRounds)
+		len(m.Services()), m.Config().Workers, m.Config().Shards, m.Config().MaxPauses, m.Config().Robustness.MaxRounds)
 
 	var srv *http.Server
 	var served <-chan error
@@ -250,17 +275,57 @@ func main() {
 	metrics.WriteReport(os.Stdout)
 
 	if srv != nil {
-		fmt.Println("\nwave done; control plane still serving (SIGINT/SIGTERM to stop)")
-		select {
-		case sig := <-sigs:
-			fmt.Printf("fleetd: %v, shutting down\n", sig)
-		case err := <-served:
-			log.Fatalf("fleetd: control plane: %v", err)
+		if *drift && !sess.Active() {
+			// Drift watch: keep scanning the Steady fleet against incoming
+			// POST /profile pushes and re-optimize whatever drifted. Not run
+			// under record/replay — external pushes arrive over HTTP, which
+			// a journal replay cannot re-supply.
+			fmt.Printf("\nwave done; drift watch scanning every %v (SIGINT/SIGTERM to stop)\n", *driftEvery)
+			watchDrift(m, *driftEvery, sigs, served)
+		} else {
+			fmt.Println("\nwave done; control plane still serving (SIGINT/SIGTERM to stop)")
+			select {
+			case sig := <-sigs:
+				fmt.Printf("fleetd: %v, shutting down\n", sig)
+			case err := <-served:
+				log.Fatalf("fleetd: control plane: %v", err)
+			}
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Fatalf("fleetd: shutdown: %v", err)
+		}
+	}
+}
+
+// watchDrift is fleetd's steady-state loop: every tick it runs a drift
+// scan and, when any service's verdict fired, drives a re-optimization
+// wave over the triggered set. Returns on SIGINT/SIGTERM.
+func watchDrift(m *fleet.Manager, every time.Duration, sigs <-chan os.Signal, served <-chan error) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case sig := <-sigs:
+			fmt.Printf("fleetd: %v, shutting down\n", sig)
+			return
+		case err := <-served:
+			log.Fatalf("fleetd: control plane: %v", err)
+		case <-tick.C:
+			scan := m.Scan(fleet.ScanOptions{Drift: true})
+			triggered := 0
+			for _, r := range scan {
+				if r.Optimize {
+					triggered++
+				}
+			}
+			if triggered == 0 {
+				continue
+			}
+			fmt.Printf("fleetd: drift on %d service(s) (top score %.3f); re-optimizing\n",
+				triggered, scan[0].DriftScore)
+			m.Optimize(scan, fleet.WaveOptions{})
 		}
 	}
 }

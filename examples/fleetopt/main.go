@@ -40,11 +40,13 @@ func main() {
 
 	metrics := telemetry.NewRegistry()
 	m, err := fleet.NewManager(fleet.Config{
-		Workers:     2,
-		MaxPauses:   1,
-		MaxRounds:   1,
-		RevertBelow: 1.02,
-		Metrics:     metrics,
+		Workers:   2,
+		MaxPauses: 1,
+		Robustness: fleet.RobustnessConfig{
+			MaxRounds:   1,
+			RevertBelow: 1.02,
+		},
+		Metrics: metrics,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/replay"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// scriptClock is a deterministic replay.Clock: every Now() read advances
+// a scripted amount, so any code path that secretly calls time.Now()
+// instead of reading through the seam produces a visibly different
+// duration.
+type scriptClock struct {
+	at   time.Time
+	step time.Duration
+}
+
+func (c *scriptClock) Now() time.Time {
+	now := c.at
+	c.at = c.at.Add(c.step)
+	return now
+}
+
+func (c *scriptClock) Sleep(time.Duration) {}
+
+// TestProfileReadsInjectedClock is the regression test for Profile's
+// stage-latency window: it used to read bare time.Now(), bypassing
+// Options.Clock, so the profile stage's host latency was immune to the
+// replay layer's journaling clock. With the seam honored, a scripted
+// clock that advances 250 ms per read must make the one-read-apart
+// window exactly 250 ms.
+func TestProfileReadsInjectedClock(t *testing.T) {
+	bin, _ := genProgram(t, 71, 2_000_000)
+	reg := telemetry.NewRegistry()
+	sc := &scriptClock{at: time.Unix(1000, 0), step: 250 * time.Millisecond}
+	pr, c := newController(t, bin, Options{Metrics: reg, Clock: sc})
+	pr.RunFor(0.0003)
+
+	if raw := c.Profile(0.0004); len(raw.Samples) == 0 {
+		t.Fatal("no profile collected")
+	}
+	h := reg.HistogramVec("core_stage_seconds", "stage").With("profile")
+	if h.Count() != 1 {
+		t.Fatalf("profile stage observed %d times, want 1", h.Count())
+	}
+	// Profile reads the clock exactly twice (start and end of the
+	// window); a bare time.Now() would yield microseconds, not 0.25 s.
+	if got := h.Sum(); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("profile stage latency %v s, want exactly 0.25 (the scripted step)", got)
+	}
+}
+
+// TestProfileClockJournaled closes the loop with the replay layer: under
+// a recording session Profile's two clock reads land in the journal, and
+// a replay against a clock scripted to run 100x faster still observes
+// the recorded 250 ms window — the reads come from the journal, not the
+// replacement clock.
+func TestProfileClockJournaled(t *testing.T) {
+	record := func(sess *replay.Session, step time.Duration) float64 {
+		bin, _ := genProgram(t, 71, 2_000_000)
+		reg := telemetry.NewRegistry()
+		pr, c := newController(t, bin, Options{
+			Metrics: reg,
+			Clock:   &scriptClock{at: time.Unix(1000, 0), step: step},
+			Replay:  sess,
+		})
+		pr.RunFor(0.0003)
+		c.Profile(0.0004)
+		return reg.HistogramVec("core_stage_seconds", "stage").With("profile").Sum()
+	}
+
+	rec := replay.NewRecorder(0)
+	recorded := record(rec, 250*time.Millisecond)
+	if math.Abs(recorded-0.25) > 1e-9 {
+		t.Fatalf("recorded stage latency %v, want 0.25", recorded)
+	}
+	events := rec.Journal().Events()
+	reads := 0
+	for _, ev := range events {
+		if ev.Type == trace.EvClockRead {
+			reads++
+		}
+	}
+	if reads < 2 {
+		t.Fatalf("journal holds %d clock reads, want Profile's 2 (events: %d)", reads, len(events))
+	}
+
+	rp, err := replay.NewReplayer(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := record(rp, 25*time.Millisecond) // 10x faster host clock
+	if replayed != recorded {
+		t.Errorf("replayed stage latency %v, recorded %v: clock reads not fed from the journal", replayed, recorded)
+	}
+	if err := rp.Finish(); err != nil {
+		t.Errorf("replay diverged: %v", err)
+	}
+}

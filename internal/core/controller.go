@@ -33,6 +33,7 @@ import (
 	"repro/internal/obj"
 	"repro/internal/perf"
 	"repro/internal/proc"
+	"repro/internal/profile"
 	"repro/internal/replay"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
@@ -169,6 +170,13 @@ type Options struct {
 	// checkpoint. See internal/replay and docs/replay.md.
 	Replay *replay.Session
 
+	// Clock supplies the controller's host-time reads (stage-latency
+	// windows); nil means the host's real clock. When Replay is active
+	// the controller wraps it in the session's journaling clock, so
+	// wall-clock-dependent windows (Profile's start instant) land in the
+	// journal and replay identically instead of re-reading host time.
+	Clock replay.Clock
+
 	// LayoutCache, when non-nil, short-circuits BuildOptimized: the
 	// (binary, quantized profile, optimizer options) fingerprint is
 	// looked up first and only a miss runs perf2bolt + BOLT, with
@@ -218,6 +226,13 @@ type Controller struct {
 	troot  *trace.Span // root span stage spans parent under (may be nil)
 	tround *trace.Span // current round span, between StartRound and EndRound
 
+	// clock is Options.Clock (or the wall), session-wrapped when a
+	// replay session is active.
+	clock replay.Clock
+	// src, when attached, serves Profile from streamed windows instead
+	// of a one-shot pull (AttachProfileSource).
+	src profile.Source
+
 	// Reports accumulates one entry per replacement round.
 	Reports []ReplaceStats
 }
@@ -235,13 +250,20 @@ func New(p *proc.Process, orig *obj.Binary, opts Options) (*Controller, error) {
 		return nil, fmt.Errorf("core: target binary %s is already bolted", orig.Name)
 	}
 	opts.Pause.defaults()
+	if opts.Clock == nil {
+		opts.Clock = replay.Wall{}
+	}
 	if opts.Replay.Active() {
 		// Route the controller's nondeterminism through the session: fault
-		// decisions (journaled when firing, journal-fed on replay) and perf
+		// decisions (journaled when firing, journal-fed on replay), perf
 		// sampling deadlines (always journaled — they are what makes two
-		// profiles of the same window differ).
+		// profiles of the same window differ), and the clock behind the
+		// stage-latency windows (Profile's start instant used to be a bare
+		// time.Now() in the record path, so window timing replayed from
+		// host time instead of the journal).
 		opts.FaultHook = opts.Replay.FaultHook(opts.FaultHook)
 		opts.Perf.NextDeadline = opts.Replay.PerfDeadline(opts.Perf.DeadlineFunc())
+		opts.Clock = opts.Replay.Clock(opts.Clock)
 	}
 	c := &Controller{
 		p:         p,
@@ -256,6 +278,7 @@ func New(p *proc.Process, orig *obj.Binary, opts Options) (*Controller, error) {
 		jtables:   make(map[uint64][]uint64),
 		osrFromC0: make(map[string]map[uint64]uint64),
 		tracer:    opts.Tracer,
+		clock:     opts.Clock,
 	}
 	for _, f := range orig.Funcs {
 		c.c0Entry[f.Name] = f.Addr
@@ -388,14 +411,36 @@ func (c *Controller) ShouldOptimize(seconds float64) (bool, cpu.TopDown) {
 	return td.FrontEnd > 0.25 && td.Retiring < 0.5, td
 }
 
-// Profile records LBR samples from the running process for the given
-// simulated duration (step 1 of Figure 4a).
+// AttachProfileSource supersedes the pull-based Profile(seconds) shape:
+// with a source attached (the fleet wires each service's streaming
+// profile.Store here), Profile serves the source's trailing window
+// instead of running a one-shot perf.Record pull. Pass nil to detach
+// and return to pull profiling.
+func (c *Controller) AttachProfileSource(src profile.Source) { c.src = src }
+
+// ProfileSource returns the attached streaming source (nil when the
+// controller profiles by pulling).
+func (c *Controller) ProfileSource() profile.Source { return c.src }
+
+// Profile produces the round's LBR profile (step 1 of Figure 4a): the
+// trailing window of the attached streaming source when one is attached
+// and has samples, else a one-shot pull of the given simulated duration
+// (the pre-streaming behavior, and the fallback for a source whose
+// window is empty — e.g. immediately after a replacement epoch).
 func (c *Controller) Profile(seconds float64) *perf.RawProfile {
 	sp := c.startSpan("profile")
-	t0 := time.Now()
-	raw := perf.Record(c.p, seconds, c.opts.Perf)
-	c.observeStage("profile", time.Since(t0).Seconds())
-	sp.SetAttrs(raw.TraceAttrs()...)
+	t0 := c.clock.Now()
+	var raw *perf.RawProfile
+	streamed := false
+	if c.src != nil {
+		raw = c.src.Window(seconds)
+		streamed = len(raw.Samples) > 0
+	}
+	if !streamed {
+		raw = perf.Record(c.p, seconds, c.opts.Perf)
+	}
+	c.observeStage("profile", c.clock.Now().Sub(t0).Seconds())
+	sp.SetAttrs(append(raw.TraceAttrs(), trace.Bool("streamed", streamed))...)
 	sp.End(nil)
 	return raw
 }

@@ -267,6 +267,7 @@ var Registry = map[string]Runner{
 	"recover": Recover,
 	"stagger": Stagger,
 	"fleet":   FleetScale,
+	"phase":   Phase,
 }
 
 // Names returns the registered experiment names, sorted.

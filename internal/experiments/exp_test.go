@@ -10,7 +10,7 @@ import (
 
 func TestRegistryCoversDesignIndex(t *testing.T) {
 	// The per-experiment index in DESIGN.md promises these names.
-	want := []string{"fig1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "tab1", "tab2", "ablate", "dbi", "recover", "stagger", "fleet"}
+	want := []string{"fig1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "tab1", "tab2", "ablate", "dbi", "recover", "stagger", "fleet", "phase"}
 	for _, name := range want {
 		if Registry[name] == nil {
 			t.Errorf("experiment %q missing from registry", name)

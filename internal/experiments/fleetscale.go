@@ -46,21 +46,25 @@ func FleetScale(cfg Config) error {
 
 	metrics := telemetry.NewRegistry()
 	mc := fleet.Config{
-		Workers:     4,
-		MaxPauses:   1,
-		MaxRounds:   2,
-		RevertBelow: 1.0,
-		ProfileDur:  cfg.profileDur(),
-		Warm:        cfg.warm(),
-		Window:      cfg.window(),
-		Metrics:     metrics,
+		Workers:   4,
+		MaxPauses: 1,
+		Timing: fleet.TimingConfig{
+			ProfileDur: cfg.profileDur(),
+			Warm:       cfg.warm(),
+			Window:     cfg.window(),
+		},
+		Robustness: fleet.RobustnessConfig{
+			MaxRounds:   2,
+			RevertBelow: 1.0,
+		},
+		Metrics: metrics,
 	}
 	if cfg.Quick {
 		// Small-scale services sit below the TopDown gate and their
 		// windows are far smaller than a realistic pause, so quick mode
 		// forces the lifecycle and keeps the pause off the timeline.
 		mc.SkipGate = true
-		mc.ProfileDur, mc.Warm, mc.Window = 0.0008, 0.0003, 0.0004
+		mc.Timing = fleet.TimingConfig{ProfileDur: 0.0008, Warm: 0.0003, Window: 0.0004}
 	}
 	m, err := fleet.NewManager(mc)
 	if err != nil {
@@ -87,7 +91,7 @@ func FleetScale(cfg Config) error {
 			if err != nil {
 				return err
 			}
-			s.Proc.RunFor(m.Config().Warm)
+			s.Proc.RunFor(m.Config().Timing.Warm)
 		}
 	}
 

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/perf"
+	"repro/internal/profile"
+	"repro/internal/telemetry"
+	"repro/internal/workloads/kvcache"
+	"repro/internal/workloads/wl"
+)
+
+// PhasePoint is one measurement of the phase experiment's timeline.
+type PhasePoint struct {
+	Arm        string  // "drift" or "no_drift"
+	Turn       int     // phase index (0 = initial hot tenant)
+	Event      string  // "optimized", "stale", "reoptimized"
+	SimSeconds float64 // service simulated time at the measurement
+	Throughput float64 // req/s over the measurement window
+	DriftScore float64 // detector's divergence at the measurement
+	Reopts     int     // drift-triggered re-optimizations so far
+}
+
+// PhaseResult is the experiment outcome the test asserts on.
+type PhaseResult struct {
+	Points []PhasePoint
+	// Optimized is the post-initial-wave throughput of each arm — the
+	// level re-optimization is supposed to recover.
+	Optimized map[string]float64
+	// Recovered[turn] is the drift arm's throughput after re-optimizing
+	// for that turn's hot tenant.
+	Recovered map[int]float64
+	// Stale[turn] is the no-drift arm's throughput in the same phase,
+	// still serving on the initial layout.
+	Stale map[int]float64
+}
+
+// phaseTimings are the micro simulation windows the experiment runs at;
+// everything derives from the fleet timing block so the drift policy
+// and the measurements stay consistent.
+type phaseTimings struct {
+	timing fleet.TimingConfig
+	policy profile.ReoptPolicy
+	dwell  float64 // simulated serving time per phase before scanning
+}
+
+func phaseTunings(quick bool) phaseTimings {
+	t := phaseTimings{
+		timing: fleet.TimingConfig{ProfileDur: 0.0012, Warm: 0.0004, Window: 0.0006},
+		policy: profile.ReoptPolicy{
+			MinDivergence: 0.35,
+			MinDwell:      0.0005,
+			Cooldown:      0.001,
+		},
+		dwell: 0.004,
+	}
+	if !quick {
+		t.timing = fleet.TimingConfig{ProfileDur: 0.003, Warm: 0.001, Window: 0.0015}
+		t.dwell = 0.01
+	}
+	return t
+}
+
+// RunPhase drives the phase-shifting workload under both arms and
+// returns the timeline. The scenario: a multi-tenant cache is optimized
+// while tenant 0 is hot; the hot tenant then swaps (a phase turn), the
+// continuous profile diverges from the layout's build profile, and the
+// drift arm re-optimizes back to the optimized level while the no-drift
+// ablation keeps serving on the stale layout.
+func RunPhase(quick bool, turns, tenants int) (*PhaseResult, error) {
+	tun := phaseTunings(quick)
+	res := &PhaseResult{
+		Optimized: map[string]float64{},
+		Recovered: map[int]float64{},
+		Stale:     map[int]float64{},
+	}
+
+	for _, arm := range []string{"drift", "no_drift"} {
+		w, err := kvcache.Build(kvcache.MultiTenant(tenants))
+		if err != nil {
+			return nil, err
+		}
+		cfg := fleet.Config{
+			Workers:  1,
+			SkipGate: true, // the small cache sits below the TopDown gate
+			Timing:   tun.timing,
+			Metrics:  telemetry.NewRegistry(),
+		}
+		if arm == "drift" {
+			cfg.Drift = fleet.DriftConfig{
+				Enabled: true,
+				Policy:  tun.policy,
+				// Sample densely: micro windows need enough streamed edges
+				// for a stable divergence score.
+				Stream: perf.RecorderOptions{PeriodCycles: 8_000, OverheadCycles: 400},
+			}
+		}
+		m, err := fleet.NewManager(cfg)
+		if err != nil {
+			return nil, err
+		}
+		s, err := m.AddService(fleet.ServicePlan{
+			Name: "mt-kv", Workload: w, Input: "hot0", Threads: 2,
+			Core: core.Options{NoChargePause: true},
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.Proc.RunFor(tun.timing.Warm)
+		if _, err := m.Run(); err != nil {
+			return nil, err
+		}
+		if st := s.State(); st != fleet.Steady {
+			return nil, fmt.Errorf("phase: %s arm ended initial wave in %s", arm, st)
+		}
+		opt := wl.Measure(s.Proc, s.Driver, tun.timing.Window)
+		res.Optimized[arm] = opt
+		res.Points = append(res.Points, PhasePoint{
+			Arm: arm, Turn: 0, Event: "optimized",
+			SimSeconds: s.Proc.Seconds(), Throughput: opt, Reopts: s.Reopts(),
+		})
+
+		for turn := 1; turn <= turns; turn++ {
+			hot := turn % tenants
+			gen, err := kvcache.TenantGenerator(fmt.Sprintf("hot%d", hot), tenants)
+			if err != nil {
+				return nil, err
+			}
+			s.Driver.SetGenerator(gen)
+			// Serve the new phase on the old layout long enough for the
+			// continuous sampler to see the turn (and for dwell to pass).
+			s.Proc.RunFor(tun.dwell)
+			stale := wl.Measure(s.Proc, s.Driver, tun.timing.Window)
+			point := PhasePoint{
+				Arm: arm, Turn: turn, Event: "stale",
+				SimSeconds: s.Proc.Seconds(), Throughput: stale, Reopts: s.Reopts(),
+			}
+
+			if arm == "no_drift" {
+				res.Points = append(res.Points, point)
+				res.Stale[turn] = stale
+				continue
+			}
+
+			scan := m.Scan(fleet.ScanOptions{Drift: true})
+			if len(scan) > 0 {
+				point.DriftScore = scan[0].DriftScore
+			}
+			res.Points = append(res.Points, point)
+			if len(scan) == 0 || !scan[0].Optimize {
+				reason := "no scan results"
+				if len(scan) > 0 {
+					reason = scan[0].DriftReason
+				}
+				return nil, fmt.Errorf("phase: turn %d did not trigger (%s, score %.3f)",
+					turn, reason, point.DriftScore)
+			}
+			m.Optimize(scan, fleet.WaveOptions{})
+			if st := s.State(); st != fleet.Steady {
+				return nil, fmt.Errorf("phase: re-optimization wave for turn %d ended in %s", turn, st)
+			}
+			rec := wl.Measure(s.Proc, s.Driver, tun.timing.Window)
+			res.Recovered[turn] = rec
+			res.Points = append(res.Points, PhasePoint{
+				Arm: arm, Turn: turn, Event: "reoptimized",
+				SimSeconds: s.Proc.Seconds(), Throughput: rec,
+				DriftScore: s.Status().DriftScore,
+				Reopts:     s.Reopts(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Phase is the experiment runner: the §IV-C daily-pattern scenario made
+// concrete. A multi-tenant cache's hot tenant swaps mid-run; the drift
+// arm detects the divergence and re-optimizes back to the optimized
+// level, the no-drift ablation decays to stale-layout throughput.
+func Phase(cfg Config) error {
+	cfg.defaults()
+	turns, tenants := 2, 3
+	res, err := RunPhase(cfg.Quick, turns, tenants)
+	if err != nil {
+		return err
+	}
+
+	cfg.printf("Phase-shifting workload (§IV-C's daily pattern): %d-tenant cache, %d hot-tenant turns\n\n", tenants, turns)
+	cfg.printf("%-9s %5s %-12s %10s %12s %8s %7s\n",
+		"arm", "turn", "event", "sim (ms)", "req/s", "score", "reopts")
+	for _, pt := range res.Points {
+		cfg.printf("%-9s %5d %-12s %10.3f %12.0f %8.3f %7d\n",
+			pt.Arm, pt.Turn, pt.Event, pt.SimSeconds*1e3, pt.Throughput, pt.DriftScore, pt.Reopts)
+	}
+
+	opt := res.Optimized["drift"]
+	cfg.printf("\noptimized level: %.0f req/s\n", opt)
+	for turn := 1; turn <= turns; turn++ {
+		cfg.printf("turn %d: drift arm recovered to %5.1f%% of optimized; no-drift ablation at %5.1f%%\n",
+			turn, 100*res.Recovered[turn]/opt, 100*res.Stale[turn]/res.Optimized["no_drift"])
+	}
+
+	if cfg.CSVDir != "" {
+		if err := WritePhaseCSV(res, cfg.CSVDir+"/phase.csv"); err != nil {
+			return err
+		}
+		cfg.printf("wrote %s/phase.csv\n", cfg.CSVDir)
+	}
+	return nil
+}
+
+// WritePhaseCSV saves the phase timeline in a plot-ready form.
+func WritePhaseCSV(res *PhaseResult, path string) error {
+	return writeCSV(path, [][]string{{
+		"arm", "turn", "event", "sim_s", "throughput", "drift_score", "reopts",
+	}}, func(w *csv.Writer) error {
+		for _, pt := range res.Points {
+			if err := w.Write([]string{
+				pt.Arm,
+				fmt.Sprintf("%d", pt.Turn),
+				pt.Event,
+				fmt.Sprintf("%.6f", pt.SimSeconds),
+				fmt.Sprintf("%.2f", pt.Throughput),
+				fmt.Sprintf("%.4f", pt.DriftScore),
+				fmt.Sprintf("%d", pt.Reopts),
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}

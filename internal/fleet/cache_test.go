@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -23,14 +24,12 @@ func homogeneousFleet(t *testing.T, n int, cfg Config) (*Manager, []*Service) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.MaxRounds == 0 {
-		cfg.MaxRounds = 1
+	if cfg.Robustness.MaxRounds == 0 {
+		cfg.Robustness.MaxRounds = 1
 	}
 	cfg.SkipGate = true
-	cfg.ProfileDur = 0.0004
-	cfg.Warm = 0.00015
-	cfg.Window = 0.0002
-	cfg.RetryBackoff = time.Microsecond
+	cfg.Timing = TimingConfig{ProfileDur: 0.0004, Warm: 0.00015, Window: 0.0002}
+	cfg.Robustness.RetryBackoff = time.Microsecond
 	cfg.Sleep = func(time.Duration) {}
 	m, err := NewManager(cfg)
 	if err != nil {
@@ -118,10 +117,10 @@ func TestWaveNoCacheAblation(t *testing.T) {
 	}
 }
 
-// TestNoLayoutCacheConfig: Config.NoLayoutCache disables the cache
+// TestNoLayoutCacheConfig: Config.Cache.Disable disables the cache
 // fleet-wide and CacheStats reports it.
 func TestNoLayoutCacheConfig(t *testing.T) {
-	m, err := NewManager(Config{NoLayoutCache: true})
+	m, err := NewManager(Config{Cache: CacheConfig{Disable: true}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,26 +161,29 @@ func TestScanMinThroughputGate(t *testing.T) {
 	}
 }
 
-// TestDeprecatedScanShims pins the one-release compatibility shims:
-// ScanWindow and Service.Throughput must keep delegating to the
-// struct-options API until they are removed.
-func TestDeprecatedScanShims(t *testing.T) {
-	m, svcs := homogeneousFleet(t, 2, Config{})
-	old := m.ScanWindow(0.0004)
-	via := m.Scan(ScanOptions{Window: 0.0004})
-	if len(old) != len(via) || len(old) != 2 {
-		t.Fatalf("shim scan lost services: %d vs %d", len(old), len(via))
-	}
-	for i := range old {
-		if old[i].Service != via[i].Service {
-			t.Errorf("shim scan order diverged at %d", i)
+// TestDeprecatedShimsRemoved pins the deprecation schedule's end state:
+// the one-release compatibility shims (Manager.ScanWindow,
+// Service.Throughput) are gone, and the struct-options API is the only
+// surface. If someone reintroduces a shim, this fails until the
+// deprecation doc is revisited.
+func TestDeprecatedShimsRemoved(t *testing.T) {
+	for _, c := range []struct {
+		recv   reflect.Type
+		method string
+	}{
+		{reflect.TypeOf(&Manager{}), "ScanWindow"},
+		{reflect.TypeOf(&Service{}), "Throughput"},
+	} {
+		if _, ok := c.recv.MethodByName(c.method); ok {
+			t.Errorf("deprecated shim %s.%s still exists; it was scheduled for removal", c.recv, c.method)
 		}
 	}
-	s := svcs[0]
-	if tp := s.Throughput(0.0004); tp <= 0 {
-		t.Errorf("Throughput shim = %v, want > 0", tp)
+	// The replacement surface still works.
+	m, svcs := homogeneousFleet(t, 2, Config{})
+	if via := m.Scan(ScanOptions{Window: 0.0004}); len(via) != 2 {
+		t.Fatalf("Scan lost services: %d", len(via))
 	}
-	if tp := s.Measure(ScanOptions{Window: 0.0004}); tp <= 0 {
+	if tp := svcs[0].Measure(ScanOptions{Window: 0.0004}); tp <= 0 {
 		t.Errorf("Measure = %v, want > 0", tp)
 	}
 }
@@ -228,9 +230,10 @@ func TestInjectedCacheViaCoreOptions(t *testing.T) {
 	}
 	injected := layout.NewMemory(4, nil)
 	m, err := NewManager(Config{
-		LayoutCache: injected,
-		SkipGate:    true, MaxRounds: 1,
-		ProfileDur: 0.0004, Warm: 0.00015, Window: 0.0002,
+		Cache:      CacheConfig{Layout: injected},
+		SkipGate:   true,
+		Robustness: RobustnessConfig{MaxRounds: 1},
+		Timing:     TimingConfig{ProfileDur: 0.0004, Warm: 0.00015, Window: 0.0002},
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -40,18 +40,18 @@ func TestConcurrentFleet(t *testing.T) {
 	}
 	reg := telemetry.NewRegistry()
 	m, err := NewManager(Config{
-		Workers:      6,
-		MaxPauses:    2,
-		MaxRounds:    2,
-		ConvergeGain: -1, // run both rounds even if round 2 gains nothing
-		MaxRetries:   1,
-		RetryBackoff: time.Microsecond,
-		Sleep:        func(time.Duration) {},
-		SkipGate:     true, // small-scale workloads sit below the TopDown gate
-		ProfileDur:   0.0004,
-		Warm:         0.00015,
-		Window:       0.0002,
-		Metrics:      reg,
+		Workers:   6,
+		MaxPauses: 2,
+		Robustness: RobustnessConfig{
+			MaxRounds:    2,
+			ConvergeGain: -1, // run both rounds even if round 2 gains nothing
+			MaxRetries:   1,
+			RetryBackoff: time.Microsecond,
+		},
+		Sleep:    func(time.Duration) {},
+		SkipGate: true, // small-scale workloads sit below the TopDown gate
+		Timing:   TimingConfig{ProfileDur: 0.0004, Warm: 0.00015, Window: 0.0002},
+		Metrics:  reg,
 		FaultHook: func(s *Service, stage State) error {
 			if faultAt[s.Name] == stage && stage != Idle {
 				return boom

@@ -1,0 +1,381 @@
+package fleet
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/perf"
+	"repro/internal/profile"
+	"repro/internal/replay"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/workloads/kvcache"
+)
+
+// driftConfig is the micro-simulation fleet config the drift tests run
+// at: one worker, streaming ingestion on, and a hysteresis policy scaled
+// to the millisecond windows (the same shape the phase experiment uses).
+func driftConfig(reg *telemetry.Registry, sess *replay.Session) Config {
+	return Config{
+		Workers:  1,
+		SkipGate: true, // the small cache sits below the TopDown gate
+		Timing:   TimingConfig{ProfileDur: 0.0012, Warm: 0.0004, Window: 0.0006},
+		Drift: DriftConfig{
+			Enabled: true,
+			Policy:  profile.ReoptPolicy{MinDivergence: 0.35, MinDwell: 0.0005, Cooldown: 0.001},
+			Stream:  perf.RecorderOptions{PeriodCycles: 8_000, OverheadCycles: 400},
+		},
+		Metrics: reg,
+		Replay:  sess,
+	}
+}
+
+// addTenantService adds a warmed multi-tenant cache serving "hot0".
+func addTenantService(t *testing.T, m *Manager, name string, tenants int) *Service {
+	t.Helper()
+	w, err := kvcache.Build(kvcache.MultiTenant(tenants))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.AddService(ServicePlan{
+		Name: name, Workload: w, Input: "hot0", Threads: 2,
+		Core: core.Options{NoChargePause: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Proc.RunFor(0.0004)
+	return s
+}
+
+// turnPhase swaps the service's hot tenant and serves the new phase long
+// enough for the continuous sampler to see it and the dwell to pass.
+func turnPhase(t *testing.T, s *Service, hot, tenants int) {
+	t.Helper()
+	gen, err := kvcache.TenantGenerator(fmt.Sprintf("hot%d", hot), tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Driver.SetGenerator(gen)
+	s.Proc.RunFor(0.004)
+}
+
+// TestDriftReoptimizationEndToEnd is the tentpole's happy path: a
+// service optimized for one hot tenant has its traffic swap to another;
+// the drift scan scores the live streamed window against the layout's
+// build baseline, fires, and the re-optimization wave sends the Steady
+// service back around the lifecycle to a new layout.
+func TestDriftReoptimizationEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full drift wave in -short mode")
+	}
+	const tenants = 3
+	m, err := NewManager(driftConfig(telemetry.NewRegistry(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := addTenantService(t, m, "mt-kv", tenants)
+
+	// A drift scan before the service is Steady has nothing to judge.
+	if pre := m.Scan(ScanOptions{Drift: true}); len(pre) != 0 {
+		t.Fatalf("drift scan of an Idle service returned %d results", len(pre))
+	}
+
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.State(); st != Steady {
+		t.Fatalf("initial wave ended %s (err: %v)", st, s.Err())
+	}
+	v0 := s.Ctl.Version()
+	if v0 < 1 {
+		t.Fatalf("initial wave did not advance the layout (version %d)", v0)
+	}
+	if s.Reopts() != 0 {
+		t.Fatalf("fresh service already counts %d reopts", s.Reopts())
+	}
+
+	turnPhase(t, s, 1, tenants)
+	scan := m.Scan(ScanOptions{Drift: true})
+	if len(scan) != 1 {
+		t.Fatalf("drift scan returned %d results, want 1", len(scan))
+	}
+	r := scan[0]
+	if !r.Drift || !r.Optimize || r.DriftReason != profile.ReasonDrift {
+		t.Fatalf("phase turn did not trigger: %+v", r)
+	}
+	if r.DriftScore < m.Config().Drift.Policy.MinDivergence {
+		t.Fatalf("trigger score %.3f below the threshold", r.DriftScore)
+	}
+
+	m.Optimize(scan, WaveOptions{})
+	if st := s.State(); st != Steady {
+		t.Fatalf("re-optimization wave ended %s (err: %v)", st, s.Err())
+	}
+	if s.Reopts() != 1 {
+		t.Errorf("Reopts = %d, want 1", s.Reopts())
+	}
+	if v := s.Ctl.Version(); v <= v0 {
+		t.Errorf("re-optimization did not advance the layout: version %d (was %d)", v, v0)
+	}
+	if st := s.Status(); st.Reopts != 1 {
+		t.Errorf("status reports %d reopts, want 1", st.Reopts)
+	}
+
+	// Immediately after the wave the detector must not fire again: the
+	// baseline was rebased to the new layout's own live window and the
+	// cooldown clock just started.
+	if again := m.Scan(ScanOptions{Drift: true}); len(again) == 1 && again[0].Optimize {
+		t.Errorf("detector re-fired immediately after re-optimizing: %+v", again[0])
+	}
+}
+
+// TestDriftScanStationaryNoTrigger is the fleet-level half of the
+// hysteresis guarantee: a Steady service whose traffic mix does not
+// change keeps sampling run after run without ever being selected.
+func TestDriftScanStationaryNoTrigger(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full drift wave in -short mode")
+	}
+	const tenants = 3
+	m, err := NewManager(driftConfig(telemetry.NewRegistry(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := addTenantService(t, m, "mt-kv", tenants)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.State(); st != Steady {
+		t.Fatalf("initial wave ended %s (err: %v)", st, s.Err())
+	}
+	v0 := s.Ctl.Version()
+
+	for i := 0; i < 3; i++ {
+		s.Proc.RunFor(0.004) // same mix, fresh samples, dwell long past
+		scan := m.Scan(ScanOptions{Drift: true})
+		if len(scan) != 1 {
+			t.Fatalf("pass %d: drift scan returned %d results", i, len(scan))
+		}
+		r := scan[0]
+		if r.Optimize {
+			t.Fatalf("pass %d: stationary service selected (score %.3f, %s)",
+				i, r.DriftScore, r.DriftReason)
+		}
+		if r.DriftReason != profile.ReasonFingerprint && r.DriftReason != profile.ReasonBelow {
+			t.Errorf("pass %d: unexpected hold reason %q", i, r.DriftReason)
+		}
+		m.Optimize(scan, WaveOptions{})
+	}
+	if s.Reopts() != 0 || s.Ctl.Version() != v0 {
+		t.Errorf("stationary service moved: %d reopts, version %d (was %d)",
+			s.Reopts(), s.Ctl.Version(), v0)
+	}
+}
+
+func driftMeta(service string) []trace.Attr {
+	return []trace.Attr{
+		trace.String("kind", "fleet-drift"),
+		trace.String("service", service),
+	}
+}
+
+// runDriftWave drives one full drift scenario — initial wave, phase
+// turn, drift scan, re-optimization — under the session and returns the
+// service and the triggering scan verdict.
+func runDriftWave(t *testing.T, sess *replay.Session) (*Service, ScanResult) {
+	t.Helper()
+	const tenants = 3
+	m, err := NewManager(driftConfig(telemetry.NewRegistry(), sess))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := addTenantService(t, m, "mt-kv", tenants)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.State(); st != Steady {
+		t.Fatalf("initial wave ended %s (err: %v)", st, s.Err())
+	}
+	turnPhase(t, s, 1, tenants)
+	scan := m.Scan(ScanOptions{Drift: true})
+	if len(scan) != 1 || !scan[0].Optimize {
+		t.Fatalf("drift scan did not trigger: %+v", scan)
+	}
+	m.Optimize(scan, WaveOptions{})
+	if st := s.State(); st != Steady {
+		t.Fatalf("re-optimization ended %s (err: %v)", st, s.Err())
+	}
+	return s, scan[0]
+}
+
+// TestDriftWaveReplayRoundTrip records a complete drift-triggered
+// re-optimization — streaming deadlines, clock reads, the journaled
+// drift verdict, the second trip around the lifecycle — then re-executes
+// it from the serialized journal. The replayed wave must reach the same
+// version and re-opt count, reproduce the drift score bit-exactly, and
+// re-record a byte-identical journal.
+func TestDriftWaveReplayRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full drift waves in -short mode")
+	}
+	rec := replay.NewRecorder(0)
+	if err := rec.Meta(driftMeta("mt-kv")...); err != nil {
+		t.Fatal(err)
+	}
+	s, verdict := runDriftWave(t, rec)
+	if err := rec.Finish(); err != nil {
+		t.Fatalf("recording incomplete: %v", err)
+	}
+	var recorded bytes.Buffer
+	if err := rec.WriteJSONL(&recorded); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := replay.Load(bytes.NewReader(recorded.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := replay.NewReplayer(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Meta(driftMeta("mt-kv")...); err != nil {
+		t.Fatal(err)
+	}
+	s2, verdict2 := runDriftWave(t, sess)
+	if err := sess.Finish(); err != nil {
+		t.Fatalf("replay diverged: %v", err)
+	}
+
+	if verdict2.DriftScore != verdict.DriftScore {
+		t.Errorf("replayed drift score %v, recorded %v (must be bit-exact)",
+			verdict2.DriftScore, verdict.DriftScore)
+	}
+	if s2.Ctl.Version() != s.Ctl.Version() {
+		t.Errorf("replayed version %d, recorded %d", s2.Ctl.Version(), s.Ctl.Version())
+	}
+	if s2.Reopts() != s.Reopts() {
+		t.Errorf("replayed reopts %d, recorded %d", s2.Reopts(), s.Reopts())
+	}
+	var rerecorded bytes.Buffer
+	if err := sess.WriteJSONL(&rerecorded); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(recorded.Bytes(), rerecorded.Bytes()) {
+		t.Errorf("re-recorded journal is not byte-identical (%d vs %d bytes)",
+			recorded.Len(), rerecorded.Len())
+	}
+}
+
+// TestDriftShardBudget: when more services trigger than the per-shard
+// re-opt budget allows, the overflow is demoted — it stays Steady on its
+// current layout — and only the highest-scoring services run.
+func TestDriftShardBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two-service drift wave in -short mode")
+	}
+	const tenants = 2
+	cfg := driftConfig(telemetry.NewRegistry(), nil)
+	cfg.Shards = 1 // both services share the one budget domain
+	cfg.Drift.Policy.ShardBudget = 1
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := addTenantService(t, m, "kv-a", tenants)
+	b := addTenantService(t, m, "kv-b", tenants)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*Service{a, b} {
+		if st := s.State(); st != Steady {
+			t.Fatalf("%s ended the initial wave in %s (err: %v)", s.Name, st, s.Err())
+		}
+	}
+	va, vb := a.Ctl.Version(), b.Ctl.Version()
+
+	turnPhase(t, a, 1, tenants)
+	turnPhase(t, b, 1, tenants)
+	scan := m.Scan(ScanOptions{Drift: true})
+	if len(scan) != 2 || !scan[0].Optimize || !scan[1].Optimize {
+		t.Fatalf("both services should trigger: %+v", scan)
+	}
+
+	m.Optimize(scan, WaveOptions{})
+	ran, demoted := scan[0].Service, scan[1].Service
+	if ran.Reopts() != 1 {
+		t.Errorf("budgeted service %s ran %d reopts, want 1", ran.Name, ran.Reopts())
+	}
+	if demoted.Reopts() != 0 {
+		t.Errorf("over-budget service %s ran %d reopts, want 0", demoted.Name, demoted.Reopts())
+	}
+	if st := demoted.State(); st != Steady {
+		t.Errorf("demoted service left Steady: %s", st)
+	}
+	oldVersion := map[string]uint64{"kv-a": uint64(va), "kv-b": uint64(vb)}[demoted.Name]
+	if v := uint64(demoted.Ctl.Version()); v != oldVersion {
+		t.Errorf("demoted service's layout moved: version %d, want %d", v, oldVersion)
+	}
+}
+
+// TestProfileIngestionSentinels pins the API contract the control plane
+// maps to HTTP statuses: unknown service vs known-but-driftless service.
+func TestProfileIngestionSentinels(t *testing.T) {
+	m, err := NewManager(driftConfig(telemetry.NewRegistry(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addSQLService(t, m, "db", nil)
+
+	if err := m.IngestProfile("ghost", nil); !errors.Is(err, ErrUnknownService) {
+		t.Errorf("IngestProfile(ghost) = %v, want ErrUnknownService", err)
+	}
+	if _, err := m.ProfileStatus("ghost", 0); !errors.Is(err, ErrUnknownService) {
+		t.Errorf("ProfileStatus(ghost) = %v, want ErrUnknownService", err)
+	}
+
+	batch := []profile.TimedSample{
+		{At: 0.010, Records: []cpu.BranchRecord{{From: 0x100, To: 0x200}}},
+		{At: 0.011, Records: []cpu.BranchRecord{{From: 0x100, To: 0x200}, {From: 0x300, To: 0x400}}},
+	}
+	if err := m.IngestProfile("db", batch); err != nil {
+		t.Fatalf("IngestProfile(db) = %v", err)
+	}
+	st, err := m.ProfileStatus("db", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples < 2 || st.Records < 3 {
+		t.Errorf("ingested batch not reflected: %+v", st.StoreStats)
+	}
+	if len(st.TopEdges) == 0 {
+		t.Error("no top edges after ingestion")
+	}
+	if all := m.ProfileStatuses(5); len(all) != 1 || all[0].Service != "db" {
+		t.Errorf("ProfileStatuses = %+v, want one entry for db", all)
+	}
+
+	// A fleet without drift has no stores: 409-shaped errors, empty list.
+	flat, err := NewManager(Config{
+		SkipGate: true,
+		Timing:   TimingConfig{ProfileDur: 0.0004, Warm: 0.00015, Window: 0.0002},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addSQLService(t, flat, "db", nil)
+	if err := flat.IngestProfile("db", batch); !errors.Is(err, ErrNoProfileStore) {
+		t.Errorf("driftless IngestProfile = %v, want ErrNoProfileStore", err)
+	}
+	if _, err := flat.ProfileStatus("db", 0); !errors.Is(err, ErrNoProfileStore) {
+		t.Errorf("driftless ProfileStatus = %v, want ErrNoProfileStore", err)
+	}
+	if all := flat.ProfileStatuses(0); len(all) != 0 {
+		t.Errorf("driftless ProfileStatuses = %+v, want empty", all)
+	}
+}

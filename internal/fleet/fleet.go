@@ -40,16 +40,101 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/layout"
+	"repro/internal/perf"
 	"repro/internal/proc"
+	"repro/internal/profile"
 	"repro/internal/replay"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workloads/wl"
 )
 
+// TimingConfig groups the simulated-duration knobs of the lifecycle.
+type TimingConfig struct {
+	// ProfileDur is the simulated LBR profiling window per round
+	// (default 4 ms). With drift streaming enabled it is also the
+	// trailing store window a round's profile is served from.
+	ProfileDur float64
+	// Warm is the simulated settle time before each measurement
+	// (default 2 ms).
+	Warm float64
+	// Window is the simulated throughput-measurement window, also used
+	// by Scan's TopDown pass (default 3 ms).
+	Window float64
+}
+
+// RobustnessConfig groups the convergence, regression-guard, retry, and
+// quarantine knobs.
+type RobustnessConfig struct {
+	// MaxRounds caps optimization rounds per service per wave (default 2).
+	MaxRounds int
+	// ConvergeGain stops a service's loop once a round improves
+	// throughput over the previous round by less than this fraction
+	// (default 0.02, i.e. < 1.02x round-over-round gain → Steady).
+	// Negative means never converge early: always run MaxRounds.
+	ConvergeGain float64
+	// RevertBelow reverts a service to C0 when its cumulative speedup
+	// over baseline falls below this factor (0 = never revert on
+	// regression; §VI-C4's safety net).
+	RevertBelow float64
+	// MaxRetries is how many times a failed lifecycle stage is retried
+	// before the service gives up and reverts/fails (default 2).
+	MaxRetries int
+	// QuarantineAfter is the replace circuit-breaker threshold: after
+	// this many consecutive transactional rollbacks (Replace calls that
+	// failed and were undone) the service is pinned at its last good
+	// version in the Quarantined state instead of being reverted or
+	// failed. Default MaxRetries+1, i.e. one exhausted Replacing stage
+	// trips the breaker; Validate rejects explicit values at or below
+	// MaxRetries (the breaker would trip before a single stage's retry
+	// budget could run).
+	QuarantineAfter int
+	// RetryBackoff is the host-time backoff before the first retry; it
+	// doubles per attempt (default 5 ms).
+	RetryBackoff time.Duration
+}
+
+// CacheConfig groups the fleet-wide layout-cache knobs.
+type CacheConfig struct {
+	// Layout is the fleet-wide content-addressed cache of BOLT layouts
+	// shared by every controller the manager creates; identical binaries
+	// with statistically identical profiles reuse one BOLT run. Nil
+	// means the manager builds a layout.Memory wired into Metrics; set
+	// Disable to run without any cache.
+	Layout layout.Cache
+	// Disable turns the fleet layout cache off entirely: every service
+	// pays its own perf2bolt+BOLT pipeline (ablation baseline).
+	// Supplying Layout and Disable together fails Validate.
+	Disable bool
+}
+
+// DriftConfig groups the streaming-ingest and drift re-optimization
+// knobs. When Enabled, every added service gets a bounded profile.Store
+// fed by a continuous perf.Streamer, its controller serves optimization
+// rounds from the store's trailing window (AttachProfileSource), and
+// drift scans (Scan with ScanOptions.Drift) may send Steady services
+// back around the lifecycle when the live profile has diverged from the
+// one their layout was built from.
+type DriftConfig struct {
+	Enabled bool
+	// Policy is the re-optimization hysteresis (divergence threshold,
+	// dwell, cooldown, per-shard budget); zero fields take the
+	// profile.ReoptPolicy defaults.
+	Policy profile.ReoptPolicy
+	// Stream tunes the continuous sampler attached to each service
+	// (period, overhead); zero fields take the perf defaults.
+	Stream perf.RecorderOptions
+	// StoreCapacity bounds each service's sample ring (default 8192).
+	StoreCapacity int
+	// StoreHalfLife is the decay half-life of each store's rolling
+	// edge-weight view (default 10 ms simulated).
+	StoreHalfLife float64
+}
+
 // Config carries the manager's named knobs with validated defaults,
-// replacing the positional float soup the old OptimizeCandidates
-// signature grew.
+// grouped by concern (timing, robustness, caching, drift) now that the
+// flat field list outgrew a single struct. FlatConfig converts the old
+// shape for one release.
 type Config struct {
 	// Workers bounds how many services run their lifecycle concurrently
 	// (default 4). The budget is global: it is shared across all shard
@@ -66,55 +151,20 @@ type Config struct {
 	// fleet never serializes on a single manager mutex.
 	Shards int
 
-	// ProfileDur is the simulated LBR profiling window per round
-	// (default 4 ms).
-	ProfileDur float64
-	// Warm is the simulated settle time before each measurement
-	// (default 2 ms).
-	Warm float64
-	// Window is the simulated throughput-measurement window, also used
-	// by Scan's TopDown pass (default 3 ms).
-	Window float64
-
-	// MaxRounds caps optimization rounds per service (default 2).
-	MaxRounds int
-	// ConvergeGain stops a service's loop once a round improves
-	// throughput over the previous round by less than this fraction
-	// (default 0.02, i.e. < 1.02x round-over-round gain → Steady).
-	// Negative means never converge early: always run MaxRounds.
-	ConvergeGain float64
-	// RevertBelow reverts a service to C0 when its cumulative speedup
-	// over baseline falls below this factor (0 = never revert on
-	// regression; §VI-C4's safety net).
-	RevertBelow float64
-
-	// MaxRetries is how many times a failed lifecycle stage is retried
-	// before the service gives up and reverts/fails (default 2).
-	MaxRetries int
-	// QuarantineAfter is the replace circuit-breaker threshold: after
-	// this many consecutive transactional rollbacks (Replace calls that
-	// failed and were undone) the service is pinned at its last good
-	// version in the Quarantined state instead of being reverted or
-	// failed. Default MaxRetries+1, i.e. one exhausted Replacing stage
-	// trips the breaker.
-	QuarantineAfter int
-	// RetryBackoff is the host-time backoff before the first retry; it
-	// doubles per attempt (default 5 ms).
-	RetryBackoff time.Duration
+	// Timing groups the simulated profiling/settle/measure durations.
+	Timing TimingConfig
+	// Robustness groups convergence, regression, retry, and quarantine.
+	Robustness RobustnessConfig
+	// Cache groups the fleet-wide layout-cache knobs.
+	Cache CacheConfig
+	// Drift groups streaming profile ingestion and drift-triggered
+	// re-optimization.
+	Drift DriftConfig
 
 	// SkipGate optimizes every service regardless of the TopDown scan
 	// verdict (tests and force-rollouts).
 	SkipGate bool
 
-	// LayoutCache is the fleet-wide content-addressed cache of BOLT
-	// layouts shared by every controller the manager creates; identical
-	// binaries with statistically identical profiles reuse one BOLT run.
-	// Nil means the manager builds a layout.Memory wired into Metrics;
-	// set NoLayoutCache to run without any cache.
-	LayoutCache layout.Cache
-	// NoLayoutCache disables the fleet layout cache entirely: every
-	// service pays its own perf2bolt+BOLT pipeline (ablation baseline).
-	NoLayoutCache bool
 	// FlushBuffer bounds the async flusher that batches trace-journal
 	// and telemetry writes off the wave hot path (default 256 pending
 	// writes; the wave blocks, bounded, when it outruns the drain).
@@ -167,15 +217,52 @@ type Config struct {
 	Replay *replay.Session
 }
 
+// Validate rejects configurations that are internally contradictory —
+// not merely unset (zero fields default) but nonsensical in
+// combination. It runs on the explicit values, before defaulting.
+func (c Config) Validate() error {
+	if c.Workers < 0 || c.MaxPauses < 0 || c.Shards < 0 ||
+		c.Robustness.MaxRounds < 0 || c.Robustness.MaxRetries < 0 ||
+		c.Robustness.QuarantineAfter < 0 || c.Drift.StoreCapacity < 0 {
+		return fmt.Errorf("fleet: negative count in config: %+v", c)
+	}
+	if c.Timing.ProfileDur < 0 || c.Timing.Warm < 0 || c.Timing.Window < 0 ||
+		c.Robustness.RevertBelow < 0 || c.Robustness.RetryBackoff < 0 ||
+		c.Drift.StoreHalfLife < 0 {
+		return fmt.Errorf("fleet: negative duration/threshold in config: %+v", c)
+	}
+	if c.Cache.Disable && c.Cache.Layout != nil {
+		return fmt.Errorf("fleet: Cache.Disable set but a Cache.Layout was supplied — pick one")
+	}
+	if q := c.Robustness.QuarantineAfter; q > 0 {
+		r := c.Robustness.MaxRetries
+		if r == 0 {
+			r = 2 // the MaxRetries default
+		}
+		// The quarantine breaker counts consecutive replace rollbacks, and
+		// one Replacing stage already rolls back up to 1+MaxRetries times:
+		// a threshold inside a single stage's retry budget is dead config —
+		// the breaker trips on the first exhausted stage regardless, so the
+		// number expresses an intent the retry policy contradicts.
+		if q <= r {
+			return fmt.Errorf("fleet: QuarantineAfter=%d trips inside one stage's retry budget (MaxRetries=%d); use at least MaxRetries+1 or 0 for the default", q, r)
+		}
+	}
+	if d := c.Drift; d.Enabled {
+		if d.Policy.MinDivergence < 0 || d.Policy.MinDivergence > 1 {
+			return fmt.Errorf("fleet: Drift.Policy.MinDivergence=%v outside [0,1] (total-variation distance)", d.Policy.MinDivergence)
+		}
+		if d.Policy.MinDwell < 0 || d.Policy.Cooldown < 0 || d.Policy.Window < 0 {
+			return fmt.Errorf("fleet: negative drift hysteresis in config: %+v", d.Policy)
+		}
+	}
+	return nil
+}
+
 // withDefaults validates the config and fills unset fields.
 func (c Config) withDefaults() (Config, error) {
-	if c.Workers < 0 || c.MaxPauses < 0 || c.MaxRounds < 0 || c.MaxRetries < 0 ||
-		c.QuarantineAfter < 0 || c.Shards < 0 {
-		return c, fmt.Errorf("fleet: negative count in config: %+v", c)
-	}
-	if c.ProfileDur < 0 || c.Warm < 0 || c.Window < 0 || c.RevertBelow < 0 ||
-		c.RetryBackoff < 0 {
-		return c, fmt.Errorf("fleet: negative duration/threshold in config: %+v", c)
+	if err := c.Validate(); err != nil {
+		return c, err
 	}
 	if c.Workers == 0 {
 		c.Workers = 4
@@ -189,29 +276,35 @@ func (c Config) withDefaults() (Config, error) {
 	if c.FlushBuffer == 0 {
 		c.FlushBuffer = 256
 	}
-	if c.ProfileDur == 0 {
-		c.ProfileDur = 0.004
+	if c.Timing.ProfileDur == 0 {
+		c.Timing.ProfileDur = 0.004
 	}
-	if c.Warm == 0 {
-		c.Warm = 0.002
+	if c.Timing.Warm == 0 {
+		c.Timing.Warm = 0.002
 	}
-	if c.Window == 0 {
-		c.Window = 0.003
+	if c.Timing.Window == 0 {
+		c.Timing.Window = 0.003
 	}
-	if c.MaxRounds == 0 {
-		c.MaxRounds = 2
+	if c.Robustness.MaxRounds == 0 {
+		c.Robustness.MaxRounds = 2
 	}
-	if c.ConvergeGain == 0 {
-		c.ConvergeGain = 0.02
+	if c.Robustness.ConvergeGain == 0 {
+		c.Robustness.ConvergeGain = 0.02
 	}
-	if c.MaxRetries == 0 {
-		c.MaxRetries = 2
+	if c.Robustness.MaxRetries == 0 {
+		c.Robustness.MaxRetries = 2
 	}
-	if c.QuarantineAfter == 0 {
-		c.QuarantineAfter = c.MaxRetries + 1
+	if c.Robustness.QuarantineAfter == 0 {
+		c.Robustness.QuarantineAfter = c.Robustness.MaxRetries + 1
 	}
-	if c.RetryBackoff == 0 {
-		c.RetryBackoff = 5 * time.Millisecond
+	if c.Robustness.RetryBackoff == 0 {
+		c.Robustness.RetryBackoff = 5 * time.Millisecond
+	}
+	if c.Drift.Enabled {
+		c.Drift.Policy = c.Drift.Policy.WithDefaults()
+		if c.Drift.Policy.Window == 0 {
+			c.Drift.Policy.Window = c.Timing.ProfileDur
+		}
 	}
 	if c.Clock == nil {
 		c.Clock = replay.Wall{}
@@ -227,6 +320,69 @@ func (c Config) withDefaults() (Config, error) {
 		c.MaxPauses = 1
 	}
 	return c, nil
+}
+
+// FlatConfig is the pre-nesting Config shape, kept one release so
+// existing construction sites migrate on their own schedule. Convert
+// with Config(); new code should build the nested Config directly.
+type FlatConfig struct {
+	Workers         int
+	MaxPauses       int
+	Shards          int
+	ProfileDur      float64
+	Warm            float64
+	Window          float64
+	MaxRounds       int
+	ConvergeGain    float64
+	RevertBelow     float64
+	MaxRetries      int
+	QuarantineAfter int
+	RetryBackoff    time.Duration
+	SkipGate        bool
+	LayoutCache     layout.Cache
+	NoLayoutCache   bool
+	FlushBuffer     int
+	Metrics         *telemetry.Registry
+	Tracer          *trace.Tracer
+	FaultHook       func(s *Service, stage State) error
+	Sleep           func(time.Duration)
+	Clock           replay.Clock
+	JitterSeed      int64
+	Jitter          func() float64
+	Replay          *replay.Session
+}
+
+// Config regroups the flat fields into the nested shape.
+func (f FlatConfig) Config() Config {
+	return Config{
+		Workers:   f.Workers,
+		MaxPauses: f.MaxPauses,
+		Shards:    f.Shards,
+		Timing: TimingConfig{
+			ProfileDur: f.ProfileDur,
+			Warm:       f.Warm,
+			Window:     f.Window,
+		},
+		Robustness: RobustnessConfig{
+			MaxRounds:       f.MaxRounds,
+			ConvergeGain:    f.ConvergeGain,
+			RevertBelow:     f.RevertBelow,
+			MaxRetries:      f.MaxRetries,
+			QuarantineAfter: f.QuarantineAfter,
+			RetryBackoff:    f.RetryBackoff,
+		},
+		Cache:       CacheConfig{Layout: f.LayoutCache, Disable: f.NoLayoutCache},
+		SkipGate:    f.SkipGate,
+		FlushBuffer: f.FlushBuffer,
+		Metrics:     f.Metrics,
+		Tracer:      f.Tracer,
+		FaultHook:   f.FaultHook,
+		Sleep:       f.Sleep,
+		Clock:       f.Clock,
+		JitterSeed:  f.JitterSeed,
+		Jitter:      f.Jitter,
+		Replay:      f.Replay,
+	}
 }
 
 // backoffJitterFrac scales the jitter added to each retry backoff:
@@ -294,6 +450,16 @@ type Service struct {
 	clock     replay.Clock
 	addedAt   time.Time
 	updatedAt time.Time
+
+	// Streaming-ingest state, wired by AddService when Config.Drift is
+	// enabled: the bounded sample store the controller's profile windows
+	// are served from, the always-attached sampler feeding it, the drift
+	// tracker holding the layout's build-profile baseline, and how many
+	// times drift sent the service back around the loop.
+	store    *profile.Store
+	streamer *perf.Streamer
+	tracker  *profile.Tracker
+	reopts   int
 }
 
 // NewService loads a workload instance under a fresh controller.
@@ -369,12 +535,16 @@ func (s *Service) Measure(opts ScanOptions) float64 {
 	return wl.Measure(s.Proc, s.Driver, opts.Window)
 }
 
-// Throughput measures the service over a simulated window.
-//
-// Deprecated: use Measure with ScanOptions. This shim is pinned by
-// TestDeprecatedScanShims and kept for one release.
-func (s *Service) Throughput(window float64) float64 {
-	return s.Measure(ScanOptions{Window: window})
+// ProfileStore returns the service's streaming sample store (nil when
+// drift ingestion is disabled).
+func (s *Service) ProfileStore() *profile.Store { return s.store }
+
+// Reopts returns how many times drift detection sent the service back
+// around the optimization loop from Steady.
+func (s *Service) Reopts() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reopts
 }
 
 // State returns the service's current lifecycle state.
@@ -463,12 +633,9 @@ func NewManager(cfg Config) (*Manager, error) {
 	if jitter == nil {
 		jitter = seededJitter(cfg.JitterSeed)
 	}
-	cache := cfg.LayoutCache
-	if cache == nil && !cfg.NoLayoutCache {
+	cache := cfg.Cache.Layout
+	if cache == nil && !cfg.Cache.Disable {
 		cache = layout.NewMemory(0, cfg.Metrics)
-	}
-	if cfg.NoLayoutCache {
-		cache = nil
 	}
 	shards := make([]*mgrShard, cfg.Shards)
 	for i := range shards {
@@ -547,15 +714,34 @@ func (m *Manager) AddService(plan ServicePlan) (*Service, error) {
 	if plan.Core.LayoutCache == nil {
 		plan.Core.LayoutCache = m.cache
 	}
-	if m.cfg.MaxRounds > 1 {
-		// Continuous optimization re-optimizes an already-bolted binary,
-		// which the real BOLT refuses (§IV-C); the extension past that
-		// refusal is opt-in at the bolt layer.
+	if m.cfg.Robustness.MaxRounds > 1 || m.cfg.Drift.Enabled {
+		// Continuous optimization — and any drift-triggered re-entry —
+		// re-optimizes an already-bolted binary, which the real BOLT
+		// refuses (§IV-C); the extension past that refusal is opt-in at
+		// the bolt layer.
 		plan.Core.Bolt.AllowReBolt = true
 	}
 	s, err := NewService(plan)
 	if err != nil {
 		return nil, err
+	}
+	if m.cfg.Drift.Enabled {
+		s.store = profile.NewStore(profile.StoreOptions{
+			Service:  s.Name,
+			Capacity: m.cfg.Drift.StoreCapacity,
+			HalfLife: m.cfg.Drift.StoreHalfLife,
+			Replay:   m.cfg.Replay,
+		})
+		s.tracker = profile.NewTracker()
+		// The continuous sampler streams into the store for the life of
+		// the service; its sample timing goes through the same replay
+		// seam as one-shot profiling windows.
+		sopts := m.cfg.Drift.Stream
+		if m.cfg.Replay.Active() {
+			sopts.NextDeadline = m.cfg.Replay.PerfDeadline(sopts.DeadlineFunc())
+		}
+		s.streamer = perf.Stream(s.Proc, sopts, s.store.Ingest)
+		s.Ctl.AttachProfileSource(s.store)
 	}
 	m.Add(s)
 	return s, nil
@@ -600,6 +786,14 @@ type ScanResult struct {
 	// Throughput is the service's measured req/s over the scan window;
 	// only populated when ScanOptions.MinThroughput gating is on.
 	Throughput float64
+	// Drift marks a verdict produced by a drift scan (ScanOptions.Drift):
+	// Optimize then means "the live profile diverged from the layout's
+	// build profile and every hysteresis guard passed", DriftScore is the
+	// total-variation divergence, and DriftReason explains the verdict
+	// (profile.ReasonDrift on trigger).
+	Drift       bool
+	DriftScore  float64
+	DriftReason string
 }
 
 // ScanOptions configures a fleet scan. The zero value scans with the
@@ -607,13 +801,22 @@ type ScanResult struct {
 // Scan(ScanOptions{}) is the common fleet pass.
 type ScanOptions struct {
 	// Window is the simulated TopDown (and throughput) measurement
-	// window per service; 0 means Config.Window.
+	// window per service; 0 means Config.Timing.Window.
 	Window float64
 	// MinThroughput, when positive, additionally measures each service's
 	// current throughput over Window and withholds optimization from
 	// services below the floor: near-idle services don't repay a
 	// stop-the-world pause, whatever their TopDown shape says.
 	MinThroughput float64
+	// Drift switches the scan to drift mode: instead of TopDown-gating
+	// Idle services, the scan walks Steady services with streaming
+	// stores, scores each live window against its layout's build profile
+	// and selects the ones whose drift verdict fired. Requires
+	// Config.Drift.Enabled.
+	Drift bool
+	// ReoptPolicy overrides Config.Drift.Policy for this drift scan
+	// (nil = the configured policy).
+	ReoptPolicy *profile.ReoptPolicy
 }
 
 // Scan runs the first-stage TopDown check on every service (the
@@ -624,8 +827,11 @@ type ScanOptions struct {
 // held at a time while gathering the fleet, so a scan never stalls
 // another shard's in-flight replacements.
 func (m *Manager) Scan(opts ScanOptions) []ScanResult {
+	if opts.Drift {
+		return m.driftScan(opts)
+	}
 	if opts.Window == 0 {
-		opts.Window = m.cfg.Window
+		opts.Window = m.cfg.Timing.Window
 	}
 	services := m.Services()
 	out := make([]ScanResult, 0, len(services))
@@ -654,13 +860,68 @@ func (m *Manager) Scan(opts ScanOptions) []ScanResult {
 	return out
 }
 
-// ScanWindow is the old positional scan entry point.
-//
-// Deprecated: use Scan with ScanOptions, which also carries the
-// throughput floor. This shim is pinned by TestDeprecatedScanShims and
-// kept for one release.
-func (m *Manager) ScanWindow(window float64) []ScanResult {
-	return m.Scan(ScanOptions{Window: window})
+// driftScan is Scan's drift mode: every Steady service with a streaming
+// store has its live trailing window summarized and checked against the
+// profile its current layout was built from. Verdicts are journaled
+// through the replay session (EvDriftDecision) before being acted on —
+// the score is recomputed bit-exactly on replay from the replayed sample
+// stream, so a drift-triggered wave replays byte-identically. Order is
+// deterministic: divergence score descending, then name ascending.
+func (m *Manager) driftScan(opts ScanOptions) []ScanResult {
+	pol := m.cfg.Drift.Policy
+	if opts.ReoptPolicy != nil {
+		pol = opts.ReoptPolicy.WithDefaults()
+		if pol.Window == 0 {
+			pol.Window = m.cfg.Timing.ProfileDur
+		}
+	}
+	var out []ScanResult
+	for _, s := range m.Services() {
+		if s.State() != Steady || s.store == nil || s.tracker == nil {
+			continue
+		}
+		live := profile.Summarize(s.store.Window(pol.Window))
+		dec := s.tracker.Check(live, s.store.Now(), pol)
+		if dec.Reason == profile.ReasonNoBaseline && live.Total > 0 {
+			// The post-replace settle window was too short to baseline the
+			// layout (or the service went Steady unoptimized): adopt this
+			// scan's live window so the next scan has something to diverge
+			// from. Never a trigger by itself.
+			s.tracker.Rebase(live, s.store.Now())
+		}
+		if err := dec.Journal(m.cfg.Replay, s.Name); err != nil {
+			// The session diverged; the sticky error surfaces at the next
+			// checkpoint. Withhold the trigger so a diverged replay cannot
+			// launch a wave the recording never ran.
+			dec.Trigger = false
+		}
+		s.mu.Lock()
+		s.scanned = true
+		s.selected = dec.Trigger
+		td := s.topdown
+		s.mu.Unlock()
+		m.async(func() {
+			s.rootSpan().Event(trace.EvDriftDecision,
+				trace.Float("score", dec.Score),
+				trace.Bool("trigger", dec.Trigger),
+				trace.String("reason", dec.Reason))
+		})
+		out = append(out, ScanResult{
+			Service:     s,
+			TopDown:     td,
+			Optimize:    dec.Trigger,
+			Drift:       true,
+			DriftScore:  dec.Score,
+			DriftReason: dec.Reason,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].DriftScore != out[j].DriftScore {
+			return out[i].DriftScore > out[j].DriftScore
+		}
+		return out[i].Service.Name < out[j].Service.Name
+	})
+	return out
 }
 
 // Run is the whole fleet pass: scan every service, then drive each
@@ -698,6 +959,13 @@ type WaveOptions struct {
 	// service pays its own perf2bolt+BOLT pipeline (the redundant-work
 	// baseline the cache is measured against).
 	NoCache bool
+	// ReoptPolicy overrides Config.Drift.Policy for this wave's re-opt
+	// budget enforcement: when the scan carries drift verdicts, at most
+	// Policy.ShardBudget triggered services per shard are driven (ordered
+	// by divergence score) and the rest are demoted to "budget" — a
+	// fleet-wide phase turn must not become a fleet-wide pause storm.
+	// Nil means the configured policy.
+	ReoptPolicy *profile.ReoptPolicy
 }
 
 // Optimize drives every scan-selected service (every scanned service
@@ -711,6 +979,11 @@ type WaveOptions struct {
 // Optimize returns. It blocks until the whole wave reaches a terminal
 // state.
 func (m *Manager) Optimize(scan []ScanResult, wave WaveOptions) {
+	pol := m.cfg.Drift.Policy
+	if wave.ReoptPolicy != nil {
+		pol = wave.ReoptPolicy.WithDefaults()
+	}
+	budgetUsed := make(map[int]int)
 	var selected []*Service
 	for _, r := range scan {
 		s := r.Service
@@ -720,9 +993,38 @@ func (m *Manager) Optimize(scan []ScanResult, wave WaveOptions) {
 			sp.SetService(s.Name)
 			s.setRoot(sp)
 		}
+		if r.Drift {
+			// Drift verdicts re-enter Steady services; non-triggered ones
+			// simply stay Steady — there is nothing to transition. Triggered
+			// ones are driven up to the per-shard re-opt budget, in scan
+			// order (divergence score descending), and the overflow is
+			// demoted with a journaled "budget" verdict so record/replay
+			// agree on exactly which services ran.
+			if !r.Optimize {
+				continue
+			}
+			shard := m.shardIndex(s.Name)
+			if pol.ShardBudget >= 0 && budgetUsed[shard] >= pol.ShardBudget {
+				s.mu.Lock()
+				s.selected = false
+				s.mu.Unlock()
+				dec := profile.Decision{Score: r.DriftScore, Reason: profile.ReasonBudget}
+				dec.Journal(m.cfg.Replay, s.Name)
+				m.async(func() {
+					s.rootSpan().Event(trace.EvDriftDecision,
+						trace.Float("score", dec.Score),
+						trace.Bool("trigger", false),
+						trace.String("reason", dec.Reason))
+				})
+				continue
+			}
+			budgetUsed[shard]++
+			selected = append(selected, s)
+			continue
+		}
 		if r.Optimize || m.cfg.SkipGate {
 			selected = append(selected, s)
-		} else {
+		} else if s.State() == Idle {
 			// Not worth a round: the service stays on its current code.
 			s.transition(Steady)
 		}

@@ -3,7 +3,10 @@ package fleet
 import (
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/layout"
+	"repro/internal/profile"
 	"repro/internal/workloads/kvcache"
 	"repro/internal/workloads/sqldb"
 )
@@ -21,7 +24,7 @@ func TestFleetScanAndOptimize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewManager(Config{MaxRounds: 1})
+	m, err := NewManager(Config{Robustness: RobustnessConfig{MaxRounds: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +79,7 @@ func TestFleetRevertSafetyNet(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := NewManager(Config{MaxRounds: 1, RevertBelow: 99})
+	m, err := NewManager(Config{Robustness: RobustnessConfig{MaxRounds: 1, RevertBelow: 99}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +102,7 @@ func TestFleetRevertSafetyNet(t *testing.T) {
 	if rep.Baseline <= 0 {
 		t.Fatalf("no baseline recorded: %+v", rep)
 	}
-	if ratio := s.Throughput(0.003) / rep.Baseline; ratio < 0.85 || ratio > 1.15 {
+	if ratio := s.Measure(ScanOptions{Window: 0.003}) / rep.Baseline; ratio < 0.85 || ratio > 1.15 {
 		t.Errorf("reverted service at %.2fx of baseline; want ≈1.0", ratio)
 	}
 }
@@ -144,24 +147,36 @@ func TestConfigDefaultsAndValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cfg.Workers != 4 || cfg.MaxPauses != 1 || cfg.MaxRounds != 2 ||
-		cfg.MaxRetries != 2 || cfg.ConvergeGain != 0.02 {
+	if cfg.Workers != 4 || cfg.MaxPauses != 1 || cfg.Robustness.MaxRounds != 2 ||
+		cfg.Robustness.MaxRetries != 2 || cfg.Robustness.ConvergeGain != 0.02 {
 		t.Errorf("unexpected defaults: %+v", cfg)
 	}
-	if cfg.ProfileDur <= 0 || cfg.Warm <= 0 || cfg.Window <= 0 ||
-		cfg.RetryBackoff <= 0 || cfg.Clock == nil || cfg.JitterSeed == 0 {
+	if cfg.Timing.ProfileDur <= 0 || cfg.Timing.Warm <= 0 || cfg.Timing.Window <= 0 ||
+		cfg.Robustness.RetryBackoff <= 0 || cfg.Clock == nil || cfg.JitterSeed == 0 {
 		t.Errorf("unset durations/sources not defaulted: %+v", cfg)
 	}
 	for _, bad := range []Config{
 		{Workers: -1},
 		{MaxPauses: -2},
-		{MaxRounds: -1},
-		{MaxRetries: -3},
-		{ProfileDur: -0.1},
-		{Warm: -0.1},
-		{Window: -0.1},
-		{RevertBelow: -1},
-		{RetryBackoff: -1},
+		{Robustness: RobustnessConfig{MaxRounds: -1}},
+		{Robustness: RobustnessConfig{MaxRetries: -3}},
+		{Timing: TimingConfig{ProfileDur: -0.1}},
+		{Timing: TimingConfig{Warm: -0.1}},
+		{Timing: TimingConfig{Window: -0.1}},
+		{Robustness: RobustnessConfig{RevertBelow: -1}},
+		{Robustness: RobustnessConfig{RetryBackoff: -1}},
+		// Nonsense combos Validate must refuse, not silently resolve:
+		// an injected cache alongside "disable the cache", a quarantine
+		// bar the retry budget can never reach, and drift policies with
+		// out-of-range or negative hysteresis.
+		{Cache: CacheConfig{Layout: layout.NewMemory(1, nil), Disable: true}},
+		{Robustness: RobustnessConfig{MaxRetries: 3, QuarantineAfter: 2}},
+		{Drift: DriftConfig{Enabled: true, Policy: profile.ReoptPolicy{MinDivergence: 1.5}}},
+		{Drift: DriftConfig{Enabled: true, Policy: profile.ReoptPolicy{MinDivergence: -0.5}}},
+		{Drift: DriftConfig{Enabled: true, Policy: profile.ReoptPolicy{MinDwell: -1}}},
+		{Drift: DriftConfig{Enabled: true, Policy: profile.ReoptPolicy{Cooldown: -1}}},
+		{Drift: DriftConfig{StoreCapacity: -1}},
+		{Drift: DriftConfig{StoreHalfLife: -0.5}},
 	} {
 		if _, err := NewManager(bad); err == nil {
 			t.Errorf("config %+v accepted, want error", bad)
@@ -169,8 +184,47 @@ func TestConfigDefaultsAndValidation(t *testing.T) {
 	}
 	// Negative ConvergeGain is the documented "never converge early"
 	// sentinel, not an error.
-	if _, err := NewManager(Config{ConvergeGain: -1}); err != nil {
+	if _, err := NewManager(Config{Robustness: RobustnessConfig{ConvergeGain: -1}}); err != nil {
 		t.Errorf("negative ConvergeGain rejected: %v", err)
+	}
+	// Drift defaults flow from the timing block: the policy window tracks
+	// the profiling duration unless pinned.
+	dcfg, err := Config{Drift: DriftConfig{Enabled: true}}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dcfg.Drift.Policy.MinDivergence != 0.35 || dcfg.Drift.Policy.Window != dcfg.Timing.ProfileDur {
+		t.Errorf("drift defaults not filled: %+v", dcfg.Drift.Policy)
+	}
+}
+
+// TestFlatConfigCompat pins the one-release migration path: a FlatConfig
+// carrying the old flat fields converts to the identical nested Config.
+func TestFlatConfigCompat(t *testing.T) {
+	flat := FlatConfig{
+		Workers: 3, MaxPauses: 2, Shards: 5,
+		MaxRounds: 4, ConvergeGain: 0.05, RevertBelow: 1.01,
+		MaxRetries: 1, QuarantineAfter: 9, RetryBackoff: time.Millisecond,
+		ProfileDur: 0.001, Warm: 0.002, Window: 0.003,
+		NoLayoutCache: true, SkipGate: true, JitterSeed: 7,
+	}
+	cfg := flat.Config()
+	if cfg.Workers != 3 || cfg.MaxPauses != 2 || cfg.Shards != 5 || !cfg.SkipGate || cfg.JitterSeed != 7 {
+		t.Errorf("top-level fields lost: %+v", cfg)
+	}
+	if cfg.Timing != (TimingConfig{ProfileDur: 0.001, Warm: 0.002, Window: 0.003}) {
+		t.Errorf("timing fields lost: %+v", cfg.Timing)
+	}
+	want := RobustnessConfig{MaxRounds: 4, ConvergeGain: 0.05, RevertBelow: 1.01,
+		MaxRetries: 1, QuarantineAfter: 9, RetryBackoff: time.Millisecond}
+	if cfg.Robustness != want {
+		t.Errorf("robustness fields lost: %+v", cfg.Robustness)
+	}
+	if !cfg.Cache.Disable {
+		t.Errorf("NoLayoutCache not mapped: %+v", cfg.Cache)
+	}
+	if _, err := NewManager(cfg); err != nil {
+		t.Errorf("converted config rejected: %v", err)
 	}
 }
 

@@ -88,18 +88,18 @@ func TestFleetWaveBench(t *testing.T) {
 
 	reg := telemetry.NewRegistry()
 	m, err := NewManager(Config{
-		Workers:   workers,
-		Shards:    shards,
-		MaxRounds: 1,
-		SkipGate:  true,
+		Workers:  workers,
+		Shards:   shards,
+		SkipGate: true,
 		// Micro simulation windows: the benchmark measures orchestration
 		// and cache behavior, not simulated guest time.
-		ProfileDur:   0.0003,
-		Warm:         0.0001,
-		Window:       0.00015,
-		RetryBackoff: time.Microsecond,
-		Sleep:        func(time.Duration) {},
-		Metrics:      reg,
+		Timing: TimingConfig{ProfileDur: 0.0003, Warm: 0.0001, Window: 0.00015},
+		Robustness: RobustnessConfig{
+			MaxRounds:    1,
+			RetryBackoff: time.Microsecond,
+		},
+		Sleep:   func(time.Duration) {},
+		Metrics: reg,
 	})
 	if err != nil {
 		t.Fatal(err)

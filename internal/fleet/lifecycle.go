@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/perf"
+	"repro/internal/profile"
 	"repro/internal/trace"
 	"repro/internal/workloads/wl"
 )
@@ -24,8 +25,10 @@ const (
 	Replacing
 	// Measuring: settling and measuring the new steady state.
 	Measuring
-	// Steady: terminal — converged (or skipped by the scan gate) and
-	// serving on its best code version.
+	// Steady: resting — converged (or skipped by the scan gate) and
+	// serving on its best code version. Terminal for a wave, but not
+	// forever: a drift scan that finds the live profile has diverged
+	// from the layout's build profile re-enters the loop at Profiling.
 	Steady
 	// Reverted: terminal — restored to C0, either by the regression
 	// guard or as fault cleanup.
@@ -73,14 +76,15 @@ func (s State) Terminal() bool {
 
 // legalNext enumerates the lifecycle edges. Faults may jump any active
 // stage to Reverted/Failed; Measuring closes the round loop back to
-// Profiling.
+// Profiling; Steady → Profiling is the drift re-entry edge (guarded by
+// the profile.ReoptPolicy hysteresis, never taken spontaneously).
 var legalNext = map[State][]State{
 	Idle:        {Profiling, Steady},
 	Profiling:   {Building, Reverted, Failed},
 	Building:    {Replacing, Reverted, Failed},
 	Replacing:   {Measuring, Reverted, Failed, Quarantined},
 	Measuring:   {Profiling, Steady, Reverted, Failed},
-	Steady:      {},
+	Steady:      {Profiling},
 	Reverted:    {},
 	Failed:      {},
 	Quarantined: {},
@@ -196,7 +200,7 @@ func (m *Manager) attempt(s *Service, stage State, fn func() error) error {
 // recorded on the service, counted, and journaled; every backoff wait
 // is journaled with its duration.
 func (m *Manager) withRetry(s *Service, stage State, fn func() error) error {
-	backoff := m.cfg.RetryBackoff
+	backoff := m.cfg.Robustness.RetryBackoff
 	for att := 0; ; att++ {
 		err := m.attempt(s, stage, fn)
 		if err == nil {
@@ -206,7 +210,7 @@ func (m *Manager) withRetry(s *Service, stage State, fn func() error) error {
 		s.lastErr = fmt.Errorf("fleet: %s: %s: %w", s.Name, stage, err)
 		s.mu.Unlock()
 		m.stageCounter("fleet_stage_errors_total", stage)
-		if att >= m.cfg.MaxRetries {
+		if att >= m.cfg.Robustness.MaxRetries {
 			return err
 		}
 		s.mu.Lock()
@@ -234,11 +238,24 @@ func (m *Manager) withRetry(s *Service, stage State, fn func() error) error {
 // rounds until convergence, the round cap, a regression revert, or a
 // persistent fault. It always leaves the service in a terminal state.
 func (m *Manager) drive(s *Service) {
+	// A drift re-entry starts from Steady: count it, start the cooldown
+	// clock, and re-baseline below against the now-stale layout's
+	// throughput — the round's speedup then measures what re-converging
+	// recovered.
+	if s.State() == Steady {
+		s.mu.Lock()
+		s.reopts++
+		s.mu.Unlock()
+		if s.tracker != nil && s.store != nil {
+			s.tracker.MarkReopt(s.store.Now())
+		}
+	}
 	// Baseline steady state before any optimization.
-	s.Proc.RunFor(m.cfg.Warm)
-	base := wl.MeasureStats(s.Proc, s.Driver, m.cfg.Window)
+	s.Proc.RunFor(m.cfg.Timing.Warm)
+	base := wl.MeasureStats(s.Proc, s.Driver, m.cfg.Timing.Window)
 	s.mu.Lock()
 	s.baseline = base
+	prior := len(s.rounds)
 	s.mu.Unlock()
 
 	prev := base.Throughput
@@ -246,10 +263,10 @@ func (m *Manager) drive(s *Service) {
 		if s.transition(Profiling) != nil {
 			return
 		}
-		rsp := s.Ctl.StartRound(round)
+		rsp := s.Ctl.StartRound(prior + round)
 		var raw *perf.RawProfile
 		if err := m.withRetry(s, Profiling, func() error {
-			raw = s.Ctl.Profile(m.cfg.ProfileDur)
+			raw = s.Ctl.Profile(m.cfg.Timing.ProfileDur)
 			return nil
 		}); err != nil {
 			s.Ctl.EndRound(err)
@@ -295,6 +312,17 @@ func (m *Manager) drive(s *Service) {
 			s.rollbacks = 0
 			s.mu.Unlock()
 			rs = r
+			// A new layout is live: older streamed samples profiled code
+			// addresses that no longer exist, and that includes the profile
+			// the layout was just built from — its addresses are the *old*
+			// layout's. Drop both; the drift baseline is re-established from
+			// the post-replace stream once the service settles into Steady.
+			if s.store != nil {
+				s.store.Epoch()
+			}
+			if s.tracker != nil {
+				s.tracker.Clear()
+			}
 			return nil
 		}); err != nil {
 			s.Ctl.EndRound(err)
@@ -305,7 +333,7 @@ func (m *Manager) drive(s *Service) {
 			// tearing down a known-good version. Otherwise (the fault never
 			// reached Replace — e.g. an injected stage fault) fall back to
 			// revert-or-fail cleanup.
-			if s.Rollbacks() >= m.cfg.QuarantineAfter {
+			if s.Rollbacks() >= m.cfg.Robustness.QuarantineAfter {
 				m.quarantine(s)
 				return
 			}
@@ -320,8 +348,8 @@ func (m *Manager) drive(s *Service) {
 		msp := m.cfg.Tracer.Start(rsp, "measure")
 		var win wl.WindowStats
 		if err := m.withRetry(s, Measuring, func() error {
-			s.Proc.RunFor(m.cfg.Warm)
-			win = wl.MeasureStats(s.Proc, s.Driver, m.cfg.Window)
+			s.Proc.RunFor(m.cfg.Timing.Warm)
+			win = wl.MeasureStats(s.Proc, s.Driver, m.cfg.Timing.Window)
 			return s.Proc.Fault()
 		}); err != nil {
 			msp.End(err)
@@ -368,13 +396,23 @@ func (m *Manager) drive(s *Service) {
 		// Regression guard (§VI-C4): cumulative speedup below the bar
 		// means the optimized layout is hurting this service — go home
 		// to C0 and stop.
-		if m.cfg.RevertBelow > 0 && res.Speedup < m.cfg.RevertBelow {
+		if m.cfg.Robustness.RevertBelow > 0 && res.Speedup < m.cfg.Robustness.RevertBelow {
 			m.revert(s)
 			return
 		}
 		// Converged or out of budget: stay on the current version.
-		if round >= m.cfg.MaxRounds || res.Gain < 1+m.cfg.ConvergeGain {
+		if round >= m.cfg.Robustness.MaxRounds || res.Gain < 1+m.cfg.Robustness.ConvergeGain {
 			s.transition(Steady)
+			if s.tracker != nil && s.store != nil {
+				// The drift baseline is the landed layout's own live window:
+				// the same address space every future drift window streams
+				// from, so stationary serving scores near zero and a phase
+				// turn scores the real divergence. (An empty window — the
+				// settle period was too short for the sampler — leaves the
+				// tracker baseline-less; the next drift scan installs its
+				// live window instead.) Rebase also starts the dwell guard.
+				s.tracker.Rebase(profile.Summarize(s.store.Window(m.cfg.Drift.Policy.Window)), s.store.Now())
+			}
 			m.counter("fleet_steady_total")
 			return
 		}
@@ -398,6 +436,10 @@ func (m *Manager) revert(s *Service) {
 		return
 	}
 	s.transition(Reverted)
+	if s.tracker != nil {
+		// Back on C0: there is no built layout left to go stale.
+		s.tracker.Clear()
+	}
 	m.counter("fleet_reverts_total")
 }
 

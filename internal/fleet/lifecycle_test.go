@@ -30,6 +30,7 @@ func TestTransitionTable(t *testing.T) {
 		{Measuring, Steady}:      true,
 		{Measuring, Reverted}:    true,
 		{Measuring, Failed}:      true,
+		{Steady, Profiling}:      true, // drift-triggered re-optimization
 	}
 	for _, from := range all {
 		for _, to := range all {
@@ -64,9 +65,15 @@ func TestIllegalTransitionRecorded(t *testing.T) {
 	if s.Err() == nil {
 		t.Error("illegal transition not recorded on the service")
 	}
-	s2 := &Service{Name: "y", state: Steady}
+	// Steady is terminal for the wave but re-enterable by drift; the other
+	// terminal states stay closed.
+	s2 := &Service{Name: "y", state: Failed}
 	if err := s2.transition(Profiling); err == nil {
 		t.Error("terminal state accepted an exit edge")
+	}
+	s3 := &Service{Name: "z", state: Steady}
+	if err := s3.transition(Profiling); err != nil {
+		t.Errorf("Steady → Profiling (drift re-entry) rejected: %v", err)
 	}
 }
 
@@ -81,18 +88,18 @@ func faultFleet(t *testing.T, maxRounds int, hook func(s *Service, stage State) 
 	}
 	reg := telemetry.NewRegistry()
 	m, err := NewManager(Config{
-		Workers:      1,
-		MaxRounds:    maxRounds,
-		ConvergeGain: -1, // always run to the round cap
-		MaxRetries:   1,
-		RetryBackoff: time.Microsecond,
-		Sleep:        func(time.Duration) {},
-		SkipGate:     true,
-		ProfileDur:   0.0004,
-		Warm:         0.00015,
-		Window:       0.0002,
-		Metrics:      reg,
-		FaultHook:    hook,
+		Workers: 1,
+		Robustness: RobustnessConfig{
+			MaxRounds:    maxRounds,
+			ConvergeGain: -1, // always run to the round cap
+			MaxRetries:   1,
+			RetryBackoff: time.Microsecond,
+		},
+		Sleep:     func(time.Duration) {},
+		SkipGate:  true,
+		Timing:    TimingConfig{ProfileDur: 0.0004, Warm: 0.00015, Window: 0.0002},
+		Metrics:   reg,
+		FaultHook: hook,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -174,16 +181,16 @@ func TestRetryBackoffRecovers(t *testing.T) {
 		t.Fatal(err)
 	}
 	m, err := NewManager(Config{
-		Workers:      1,
-		MaxRounds:    1,
-		MaxRetries:   2,
-		RetryBackoff: 4 * time.Millisecond,
-		Sleep:        func(d time.Duration) { sleeps = append(sleeps, d) },
-		Jitter:       func() float64 { return 0 }, // pin: assert the pure doubling base
-		SkipGate:     true,
-		ProfileDur:   0.0004,
-		Warm:         0.00015,
-		Window:       0.0002,
+		Workers: 1,
+		Robustness: RobustnessConfig{
+			MaxRounds:    1,
+			MaxRetries:   2,
+			RetryBackoff: 4 * time.Millisecond,
+		},
+		Sleep:    func(d time.Duration) { sleeps = append(sleeps, d) },
+		Jitter:   func() float64 { return 0 }, // pin: assert the pure doubling base
+		SkipGate: true,
+		Timing:   TimingConfig{ProfileDur: 0.0004, Warm: 0.00015, Window: 0.0002},
 		FaultHook: func(s *Service, stage State) error {
 			if stage != Building {
 				return nil

@@ -1,0 +1,93 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/profile"
+)
+
+// Errors the profile ingestion API distinguishes so the control plane
+// can map them to HTTP statuses (404 vs 409).
+var (
+	// ErrUnknownService reports that no managed service has the name.
+	ErrUnknownService = errors.New("fleet: unknown service")
+	// ErrNoProfileStore reports that the service exists but the fleet
+	// runs with drift disabled, so there is no store to ingest into.
+	ErrNoProfileStore = errors.New("fleet: profile ingestion disabled (no drift store)")
+)
+
+// findService returns the managed service with the name, or nil.
+func (m *Manager) findService(name string) *Service {
+	sh := m.shards[m.shardIndex(name)]
+	for _, s := range sh.snapshot() {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// IngestProfile feeds an externally collected batch of timestamped LBR
+// samples (a fleet-wide profiling daemon's POST /profile body) into the
+// named service's streaming store. The batch is journaled before it
+// lands, so a recorded session that took external profile pushes
+// replays them deterministically.
+func (m *Manager) IngestProfile(name string, batch []profile.TimedSample) error {
+	s := m.findService(name)
+	if s == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownService, name)
+	}
+	if s.store == nil {
+		return fmt.Errorf("%w: %q", ErrNoProfileStore, name)
+	}
+	return s.store.IngestBatch(batch)
+}
+
+// ProfileStatus is one service's streaming-profile document: the
+// store's counters, the drift detector's latest score, and the
+// heaviest decayed edges — what an operator polls to see whether the
+// live profile still resembles the layout's build profile.
+type ProfileStatus struct {
+	profile.StoreStats
+	DriftScore float64              `json:"drift_score"`
+	TopEdges   []profile.EdgeWeight `json:"top_edges,omitempty"`
+}
+
+// profileStatusOf snapshots one service's store (which must be non-nil).
+func profileStatusOf(s *Service, topN int) ProfileStatus {
+	st := ProfileStatus{StoreStats: s.store.Stats()}
+	if s.tracker != nil {
+		st.DriftScore = s.tracker.LastScore()
+	}
+	st.TopEdges = profile.TopEdges(s.store.DecayedSummary(), topN)
+	return st
+}
+
+// ProfileStatus returns the named service's streaming-profile document.
+func (m *Manager) ProfileStatus(name string, topN int) (ProfileStatus, error) {
+	s := m.findService(name)
+	if s == nil {
+		return ProfileStatus{}, fmt.Errorf("%w: %q", ErrUnknownService, name)
+	}
+	if s.store == nil {
+		return ProfileStatus{}, fmt.Errorf("%w: %q", ErrNoProfileStore, name)
+	}
+	return profileStatusOf(s, topN), nil
+}
+
+// ProfileStatuses returns the documents for every service that has a
+// store, sorted by name (services without stores are skipped, so the
+// result is empty when drift is disabled).
+func (m *Manager) ProfileStatuses(topN int) []ProfileStatus {
+	out := []ProfileStatus{}
+	for _, s := range m.Services() {
+		if s.store == nil {
+			continue
+		}
+		out = append(out, profileStatusOf(s, topN))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Service < out[j].Service })
+	return out
+}

@@ -57,18 +57,18 @@ func recordQuarantine(t *testing.T, service string) *replay.Session {
 func quarantineManager(t *testing.T, workers int, reg *telemetry.Registry, sess *replay.Session) *Manager {
 	t.Helper()
 	m, err := NewManager(Config{
-		Workers:      workers,
-		MaxRounds:    2,
-		ConvergeGain: -1,
-		MaxRetries:   1,
-		RetryBackoff: time.Microsecond,
-		Sleep:        func(time.Duration) {},
-		SkipGate:     true,
-		ProfileDur:   0.0004,
-		Warm:         0.00015,
-		Window:       0.0002,
-		Metrics:      reg,
-		Replay:       sess,
+		Workers: workers,
+		Robustness: RobustnessConfig{
+			MaxRounds:    2,
+			ConvergeGain: -1,
+			MaxRetries:   1,
+			RetryBackoff: time.Microsecond,
+		},
+		Sleep:    func(time.Duration) {},
+		SkipGate: true,
+		Timing:   TimingConfig{ProfileDur: 0.0004, Warm: 0.00015, Window: 0.0002},
+		Metrics:  reg,
+		Replay:   sess,
 	})
 	if err != nil {
 		t.Fatal(err)

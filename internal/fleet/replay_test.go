@@ -98,16 +98,16 @@ func retrySchedule(t *testing.T, seed int64) []time.Duration {
 		t.Fatal(err)
 	}
 	m, err := NewManager(Config{
-		Workers:      1,
-		MaxRounds:    1,
-		MaxRetries:   2,
-		RetryBackoff: 4 * time.Millisecond,
-		JitterSeed:   seed,
-		Sleep:        func(d time.Duration) { sleeps = append(sleeps, d) },
-		SkipGate:     true,
-		ProfileDur:   0.0004,
-		Warm:         0.00015,
-		Window:       0.0002,
+		Workers: 1,
+		Robustness: RobustnessConfig{
+			MaxRounds:    1,
+			MaxRetries:   2,
+			RetryBackoff: 4 * time.Millisecond,
+		},
+		JitterSeed: seed,
+		Sleep:      func(d time.Duration) { sleeps = append(sleeps, d) },
+		SkipGate:   true,
+		Timing:     TimingConfig{ProfileDur: 0.0004, Warm: 0.00015, Window: 0.0002},
 		FaultHook: func(s *Service, stage State) error {
 			if stage != Building {
 				return nil

@@ -2,27 +2,32 @@ package fleet
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"repro/internal/layout"
+	"repro/internal/profile"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
 // ControlPlane is the fleet's live HTTP surface: Prometheus metrics,
-// the service snapshot, span trees / the event journal, and a health
-// probe. It is read-only — every endpoint answers GET only — and safe
-// to serve while an optimization wave is running: snapshots take
-// per-service locks, the registry and tracer are internally
-// synchronized.
+// the service snapshot, span trees / the event journal, streaming
+// profile ingestion, and a health probe. Every endpoint but /profile is
+// read-only, and all are safe to serve while an optimization wave is
+// running: snapshots take per-service locks, the registry, tracer, and
+// profile stores are internally synchronized.
 //
-//	GET /metrics             Prometheus text exposition (format 0.0.4)
-//	GET /services            JSON array of ServiceStatus
-//	GET /trace?service=X     span tree JSON ("" = all services)
-//	GET /trace?format=jsonl  event journal, one JSON event per line
-//	GET /cache               layout-cache stats (hits, misses, coalesced, hit rate)
-//	GET /healthz             "ok"
+//	GET  /metrics             Prometheus text exposition (format 0.0.4)
+//	GET  /services            JSON array of ServiceStatus
+//	GET  /trace?service=X     span tree JSON ("" = all services)
+//	GET  /trace?format=jsonl  event journal, one JSON event per line
+//	GET  /cache               layout-cache stats (hits, misses, coalesced, hit rate)
+//	GET  /profile?service=X   streaming-profile status ("" = all services; &top=N edges)
+//	POST /profile             ingest {"service": ..., "samples": [...]} LBR batches
+//	GET  /healthz             "ok"
 type ControlPlane struct {
 	m      *Manager
 	reg    *telemetry.Registry
@@ -43,6 +48,7 @@ func (cp *ControlPlane) Handler() http.Handler {
 	mux.HandleFunc("/services", cp.getOnly(cp.services))
 	mux.HandleFunc("/trace", cp.getOnly(cp.trace))
 	mux.HandleFunc("/cache", cp.getOnly(cp.cache))
+	mux.HandleFunc("/profile", cp.profile)
 	mux.HandleFunc("/healthz", cp.getOnly(cp.healthz))
 	return mux
 }
@@ -126,6 +132,94 @@ func (cp *ControlPlane) cache(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, doc)
+}
+
+// ProfilePush is the POST /profile request body: one batch of
+// timestamped LBR samples for one service.
+type ProfilePush struct {
+	Service string                `json:"service"`
+	Samples []profile.TimedSample `json:"samples"`
+}
+
+// profile serves the streaming-profile surface: GET returns store
+// status (one service or all), POST ingests an external sample batch.
+func (cp *ControlPlane) profile(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		cp.profileStatus(w, r)
+	case http.MethodPost:
+		cp.profileIngest(w, r)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (cp *ControlPlane) profileStatus(w http.ResponseWriter, r *http.Request) {
+	if cp.m == nil {
+		writeJSON(w, []ProfileStatus{})
+		return
+	}
+	top := 10
+	if v := r.URL.Query().Get("top"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("bad top %q", v), http.StatusBadRequest)
+			return
+		}
+		top = n
+	}
+	if name := r.URL.Query().Get("service"); name != "" {
+		st, err := cp.m.ProfileStatus(name, top)
+		if err != nil {
+			http.Error(w, err.Error(), profileErrStatus(err))
+			return
+		}
+		writeJSON(w, st)
+		return
+	}
+	writeJSON(w, cp.m.ProfileStatuses(top))
+}
+
+func (cp *ControlPlane) profileIngest(w http.ResponseWriter, r *http.Request) {
+	var push ProfilePush
+	if err := json.NewDecoder(r.Body).Decode(&push); err != nil {
+		http.Error(w, fmt.Sprintf("bad profile push: %v", err), http.StatusBadRequest)
+		return
+	}
+	if push.Service == "" {
+		http.Error(w, "profile push missing service", http.StatusBadRequest)
+		return
+	}
+	if cp.m == nil {
+		http.Error(w, ErrUnknownService.Error(), http.StatusNotFound)
+		return
+	}
+	if err := cp.m.IngestProfile(push.Service, push.Samples); err != nil {
+		http.Error(w, err.Error(), profileErrStatus(err))
+		return
+	}
+	records := 0
+	for _, ts := range push.Samples {
+		records += len(ts.Records)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]int{"samples": len(push.Samples), "records": records})
+}
+
+// profileErrStatus maps the manager's profile-API sentinels to HTTP:
+// an unknown service is 404, a service without a store is 409 (the
+// request is well-formed; the fleet's configuration conflicts with it).
+func profileErrStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownService):
+		return http.StatusNotFound
+	case errors.Is(err, ErrNoProfileStore):
+		return http.StatusConflict
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 func (cp *ControlPlane) healthz(w http.ResponseWriter, r *http.Request) {

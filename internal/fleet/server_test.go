@@ -23,8 +23,9 @@ func newTestPlane(t *testing.T) (http.Handler, *Manager, *trace.Tracer) {
 	tr := trace.New(trace.Options{})
 	reg := telemetry.NewRegistry()
 	m, err := NewManager(Config{
-		MaxRounds: 1, SkipGate: true, Tracer: tr, Metrics: reg,
-		ProfileDur: 0.0008, Warm: 0.0003, Window: 0.0004,
+		Robustness: RobustnessConfig{MaxRounds: 1},
+		SkipGate:   true, Tracer: tr, Metrics: reg,
+		Timing: TimingConfig{ProfileDur: 0.0008, Warm: 0.0003, Window: 0.0004},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -163,5 +164,134 @@ func TestControlPlaneEmptySources(t *testing.T) {
 	}
 	if rec := get(t, h, "/healthz"); rec.Code != http.StatusOK {
 		t.Errorf("nil healthz = %d", rec.Code)
+	}
+}
+
+// newDriftPlane stands up a drift-enabled fleet (streaming stores on)
+// behind the control plane; the service runs briefly so the continuous
+// sampler has streamed a few windows into its store.
+func newDriftPlane(t *testing.T) (http.Handler, *Manager) {
+	t.Helper()
+	m, err := NewManager(driftConfig(telemetry.NewRegistry(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addSQLService(t, m, "svc", nil)
+	return NewControlPlane(m, nil, nil).Handler(), m
+}
+
+func TestControlPlaneProfileGet(t *testing.T) {
+	h, _ := newDriftPlane(t)
+
+	// All services: a JSON array with one entry.
+	rec := get(t, h, "/profile")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /profile = %d", rec.Code)
+	}
+	var all []ProfileStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &all); err != nil {
+		t.Fatalf("profile list not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(all) != 1 || all[0].Service != "svc" || all[0].Samples == 0 {
+		t.Errorf("profile list = %+v, want one streaming svc entry", all)
+	}
+
+	// One service, edge list capped by top.
+	rec = get(t, h, "/profile?service=svc&top=1")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /profile?service=svc = %d: %s", rec.Code, rec.Body.String())
+	}
+	var one ProfileStatus
+	if err := json.Unmarshal(rec.Body.Bytes(), &one); err != nil {
+		t.Fatalf("profile doc not JSON: %v", err)
+	}
+	if one.Service != "svc" || len(one.TopEdges) > 1 {
+		t.Errorf("profile doc = %+v, want svc with at most 1 edge", one)
+	}
+
+	if rec = get(t, h, "/profile?top=x"); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad top = %d, want 400", rec.Code)
+	}
+	if rec = get(t, h, "/profile?service=nope"); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown service = %d, want 404", rec.Code)
+	}
+}
+
+func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, path, strings.NewReader(body)))
+	return rec
+}
+
+func TestControlPlaneProfilePost(t *testing.T) {
+	h, m := newDriftPlane(t)
+	before, err := m.ProfileStatus("svc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	push := `{"service": "svc", "samples": [
+		{"at": 0.010, "records": [{"from": 256, "to": 512}]},
+		{"at": 0.011, "records": [{"from": 256, "to": 512}, {"from": 768, "to": 1024}]}
+	]}`
+	rec := post(t, h, "/profile", push)
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("POST /profile = %d: %s", rec.Code, rec.Body.String())
+	}
+	var ack map[string]int
+	if err := json.Unmarshal(rec.Body.Bytes(), &ack); err != nil {
+		t.Fatalf("ack not JSON: %v", err)
+	}
+	if ack["samples"] != 2 || ack["records"] != 3 {
+		t.Errorf("ack = %v, want 2 samples / 3 records", ack)
+	}
+	after, err := m.ProfileStatus("svc", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Samples != before.Samples+2 || after.Records != before.Records+3 {
+		t.Errorf("store did not absorb the push: %+v -> %+v", before.StoreStats, after.StoreStats)
+	}
+
+	if rec = post(t, h, "/profile", `{"samples": []}`); rec.Code != http.StatusBadRequest {
+		t.Errorf("push without service = %d, want 400", rec.Code)
+	}
+	if rec = post(t, h, "/profile", `{not json`); rec.Code != http.StatusBadRequest {
+		t.Errorf("malformed push = %d, want 400", rec.Code)
+	}
+	if rec = post(t, h, "/profile", `{"service": "nope", "samples": []}`); rec.Code != http.StatusNotFound {
+		t.Errorf("push to unknown service = %d, want 404", rec.Code)
+	}
+
+	del := httptest.NewRecorder()
+	h.ServeHTTP(del, httptest.NewRequest(http.MethodDelete, "/profile", nil))
+	if del.Code != http.StatusMethodNotAllowed || del.Header().Get("Allow") != "GET, POST" {
+		t.Errorf("DELETE /profile = %d Allow=%q, want 405 with GET, POST", del.Code, del.Header().Get("Allow"))
+	}
+}
+
+// TestControlPlaneProfileDriftDisabled: the fleet exists but runs
+// without streaming stores — the well-formed requests conflict with the
+// configuration, which is a 409, not a 404.
+func TestControlPlaneProfileDriftDisabled(t *testing.T) {
+	h, _, _ := newTestPlane(t)
+	if rec := get(t, h, "/profile"); rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Errorf("driftless GET /profile = %d %q, want empty list", rec.Code, rec.Body.String())
+	}
+	if rec := get(t, h, "/profile?service=svc"); rec.Code != http.StatusConflict {
+		t.Errorf("driftless GET ?service = %d, want 409", rec.Code)
+	}
+	if rec := post(t, h, "/profile", `{"service": "svc", "samples": []}`); rec.Code != http.StatusConflict {
+		t.Errorf("driftless POST = %d, want 409", rec.Code)
+	}
+
+	// No manager at all: list is empty, a push has nowhere to land.
+	bare := NewControlPlane(nil, nil, nil).Handler()
+	if rec := get(t, bare, "/profile"); rec.Code != http.StatusOK || strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Errorf("nil-manager GET /profile = %d %q", rec.Code, rec.Body.String())
+	}
+	if rec := post(t, bare, "/profile", `{"service": "svc", "samples": []}`); rec.Code != http.StatusNotFound {
+		t.Errorf("nil-manager POST /profile = %d, want 404", rec.Code)
 	}
 }

@@ -56,11 +56,17 @@ type ServiceStatus struct {
 	// OSRFramesMapped/OSRFallbacks total the on-stack-replacement
 	// outcomes across all rounds: frames transferred between layouts in
 	// place vs frames left to copy-based migration.
-	OSRFramesMapped int       `json:"osr_frames_mapped"`
-	OSRFallbacks    int       `json:"osr_fallbacks"`
-	LastErr         string    `json:"last_error,omitempty"`
-	AddedAt         time.Time `json:"added_at"`
-	UpdatedAt       time.Time `json:"updated_at"`
+	OSRFramesMapped int `json:"osr_frames_mapped"`
+	OSRFallbacks    int `json:"osr_fallbacks"`
+	// DriftScore is the latest divergence the drift detector computed for
+	// this service (0 until the first drift scan after a layout lands).
+	DriftScore float64 `json:"drift_score"`
+	// Reopts counts drift-triggered re-optimizations: completed trips back
+	// around the loop from Steady.
+	Reopts    int       `json:"reopts"`
+	LastErr   string    `json:"last_error,omitempty"`
+	AddedAt   time.Time `json:"added_at"`
+	UpdatedAt time.Time `json:"updated_at"`
 }
 
 // Status snapshots one service under its lock.
@@ -76,6 +82,7 @@ func (s *Service) Status() ServiceStatus {
 		Rollbacks: s.rollbacks,
 		Baseline:  s.baseline.Throughput,
 		Speedup:   1,
+		Reopts:    s.reopts,
 		AddedAt:   s.addedAt,
 		UpdatedAt: s.updatedAt,
 	}
@@ -83,6 +90,9 @@ func (s *Service) Status() ServiceStatus {
 		st.LastErr = s.lastErr.Error()
 	}
 	s.mu.Unlock()
+	if s.tracker != nil {
+		st.DriftScore = s.tracker.LastScore()
+	}
 	for _, rr := range st.Rounds {
 		st.PauseSeconds += rr.PauseSeconds
 		st.OSRFramesMapped += rr.OSRFramesMapped

@@ -24,9 +24,10 @@ func TestSnapshotAndTraceAfterWave(t *testing.T) {
 	}
 	tr := trace.New(trace.Options{})
 	m, err := NewManager(Config{
-		MaxRounds: 1, SkipGate: true, Tracer: tr,
-		Metrics:    telemetry.NewRegistry(),
-		ProfileDur: 0.0008, Warm: 0.0003, Window: 0.0004,
+		Robustness: RobustnessConfig{MaxRounds: 1},
+		SkipGate:   true, Tracer: tr,
+		Metrics: telemetry.NewRegistry(),
+		Timing:  TimingConfig{ProfileDur: 0.0008, Warm: 0.0003, Window: 0.0004},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -159,9 +160,10 @@ func TestRetryAndBackoffEvents(t *testing.T) {
 	tr := trace.New(trace.Options{})
 	fails := 0
 	m, err := NewManager(Config{
-		MaxRounds: 1, SkipGate: true, Tracer: tr, MaxRetries: 2,
-		ProfileDur: 0.0008, Warm: 0.0003, Window: 0.0004,
-		Sleep: func(time.Duration) {},
+		Robustness: RobustnessConfig{MaxRounds: 1, MaxRetries: 2},
+		SkipGate:   true, Tracer: tr,
+		Timing: TimingConfig{ProfileDur: 0.0008, Warm: 0.0003, Window: 0.0004},
+		Sleep:  func(time.Duration) {},
 		FaultHook: func(s *Service, stage State) error {
 			if stage == Profiling && fails < 1 {
 				fails++

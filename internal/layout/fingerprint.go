@@ -115,6 +115,22 @@ func BinaryFingerprint(b *obj.Binary) string {
 // profile's hot *shape*, not its sampling noise.
 const dropBelowBucket = -8
 
+// EdgeCounts aggregates a raw LBR profile into per-edge record counts
+// plus the total record volume — the histogram both the fingerprint
+// below and the drift detector's divergence score (internal/profile)
+// are computed from, so the two always agree on what "the profile's
+// edges" are.
+func EdgeCounts(raw *perf.RawProfile) (counts map[cpu.BranchRecord]uint64, total uint64) {
+	counts = make(map[cpu.BranchRecord]uint64)
+	for _, s := range raw.Samples {
+		for _, r := range s.Records {
+			counts[r]++
+			total++
+		}
+	}
+	return counts, total
+}
+
 // ProfileFingerprint summarizes a raw LBR profile as a quantized,
 // normalized hot-branch histogram and hashes it. Two profiles of the
 // same code whose per-edge frequencies differ only by sampling jitter
@@ -123,14 +139,7 @@ const dropBelowBucket = -8
 // profiles with genuinely different hot paths (another input mix,
 // another phase of the workload) diverge.
 func ProfileFingerprint(raw *perf.RawProfile) string {
-	counts := make(map[cpu.BranchRecord]uint64)
-	var total uint64
-	for _, s := range raw.Samples {
-		for _, r := range s.Records {
-			counts[r]++
-			total++
-		}
-	}
+	counts, total := EdgeCounts(raw)
 	w := newFP()
 	if total == 0 {
 		w.u64(0)

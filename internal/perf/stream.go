@@ -1,0 +1,84 @@
+package perf
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/proc"
+)
+
+// Streamer is the continuous, GWP-style counterpart of Recorder: it
+// stays attached for the life of the service and forwards every drained
+// LBR snapshot to a sink (the fleet's per-service profile.Store) with
+// its simulated timestamp, instead of accumulating a one-shot
+// RawProfile. Sampling overhead is charged to the target exactly like
+// Recorder's — always-on profiling is a real tax (§VI's Figure 7 dip,
+// paid continuously at a lower rate), and charging it keeps drift and
+// no-drift measurement arms honest.
+//
+// Deadlines flow through the same RecorderOptions.NextDeadline seam, so
+// an active replay session journals streamed sample timing the same way
+// it journals one-shot profiling windows.
+type Streamer struct {
+	p        *proc.Process
+	opts     RecorderOptions
+	deadline func(tid int, cycles float64) float64
+	next     map[int]float64
+	sink     func(s Sample, at float64)
+	remove   func()
+}
+
+// Stream attaches a continuous sampler to the process, forwarding each
+// snapshot to sink with the process's simulated time of capture. Stop
+// detaches it.
+func Stream(p *proc.Process, opts RecorderOptions, sink func(s Sample, at float64)) *Streamer {
+	opts.defaults()
+	st := &Streamer{
+		p:        p,
+		opts:     opts,
+		deadline: opts.DeadlineFunc(),
+		next:     make(map[int]float64),
+		sink:     sink,
+	}
+	for _, t := range p.Threads {
+		st.arm(t)
+	}
+	st.remove = p.AddSampleHook(st.onQuantum)
+	return st
+}
+
+func (st *Streamer) arm(t *proc.Thread) {
+	t.Core.LBREnabled = true
+	st.next[t.ID] = st.deadline(t.ID, t.Core.Cycles())
+}
+
+func (st *Streamer) onQuantum(t *proc.Thread) {
+	c := t.Core
+	deadline, armed := st.next[t.ID]
+	if !armed {
+		st.arm(t)
+		return
+	}
+	// Re-assert capture: a one-shot Recorder that attached and stopped
+	// meanwhile (the window-empty fallback pull) disables LBR on its way
+	// out; a live streamer must keep the ring filling.
+	c.LBREnabled = true
+	if c.Cycles() < deadline {
+		return
+	}
+	// Drain, not read: see Recorder.onQuantum.
+	recs := c.LBRDrain()
+	if len(recs) > 0 {
+		st.sink(Sample{Records: recs}, st.p.Seconds())
+	}
+	c.AddStall(st.opts.OverheadCycles, cpu.BucketBackEnd)
+	st.next[t.ID] = st.deadline(t.ID, c.Cycles())
+}
+
+// Stop detaches the streamer. LBR capture stays enabled only if another
+// sampler re-enables it; the hook removal leaves chained hooks intact,
+// matching Recorder.Stop.
+func (st *Streamer) Stop() {
+	for _, t := range st.p.Threads {
+		t.Core.LBREnabled = false
+	}
+	st.remove()
+}

@@ -1,0 +1,203 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/perf"
+	"repro/internal/replay"
+	"repro/internal/trace"
+	"repro/internal/workloads/wl"
+)
+
+// basePolicy keeps the hysteresis explicit in every test.
+var basePolicy = ReoptPolicy{MinDivergence: 0.35, MinDwell: 0.002, Cooldown: 0.004}
+
+// syntheticSummary builds a deterministic 20-edge profile whose weights
+// span two orders of magnitude (a realistic hot/warm/cold mix).
+func syntheticSummary(scale func(i int) float64) Summary {
+	edges := map[cpu.BranchRecord]int{}
+	for i := 0; i < 20; i++ {
+		w := 1000.0 / float64(i+1) // Zipf-ish
+		if scale != nil {
+			w *= scale(i)
+		}
+		edges[edge(uint64(0x1000+i*16), uint64(0x2000+i*16))] = int(w) + 1
+	}
+	return Summarize(rawFrom(edges))
+}
+
+func TestTrackerReasonPaths(t *testing.T) {
+	tr := NewTracker()
+	live := syntheticSummary(nil)
+
+	// No baseline yet: never fires.
+	if d := tr.Check(live, 1.0, basePolicy); d.Trigger || d.Reason != ReasonNoBaseline {
+		t.Fatalf("no-baseline check = %+v", d)
+	}
+
+	tr.Rebase(syntheticSummary(nil), 0)
+	// Empty live window: nothing to judge.
+	if d := tr.Check(Summary{}, 1.0, basePolicy); d.Trigger || d.Reason != ReasonNoSamples {
+		t.Fatalf("no-samples check = %+v", d)
+	}
+	// Identical profile: the fingerprints collide, structurally quiet.
+	if d := tr.Check(live, 1.0, basePolicy); d.Trigger || d.Reason != ReasonFingerprint {
+		t.Fatalf("identical-profile check = %+v", d)
+	}
+
+	// A mild reshuffle: fingerprint moves but TV stays under the bar.
+	mild := syntheticSummary(func(i int) float64 {
+		if i < 2 {
+			return 1.6 // boost the two hottest edges
+		}
+		return 1
+	})
+	d := tr.Check(mild, 1.0, basePolicy)
+	if d.Trigger || d.Score >= basePolicy.MinDivergence {
+		t.Fatalf("mild reshuffle fired: %+v", d)
+	}
+	if d.Reason != ReasonBelow && d.Reason != ReasonFingerprint {
+		t.Fatalf("mild reshuffle reason %q", d.Reason)
+	}
+	if tr.LastScore() != d.Score {
+		t.Errorf("LastScore %v != decision score %v", tr.LastScore(), d.Score)
+	}
+
+	// A disjoint hot set before the dwell has passed: held by dwell.
+	swapped := Summarize(rawFrom(map[cpu.BranchRecord]int{
+		edge(0x9000, 0x9100): 5, edge(0x9200, 0x9300): 5,
+	}))
+	if d := tr.Check(swapped, 0.001, basePolicy); d.Trigger || d.Reason != ReasonDwell {
+		t.Fatalf("pre-dwell swap = %+v", d)
+	}
+	// After the dwell: fires.
+	if d := tr.Check(swapped, 0.01, basePolicy); !d.Trigger || d.Reason != ReasonDrift {
+		t.Fatalf("post-dwell swap = %+v", d)
+	}
+	if d := tr.Check(swapped, 0.01, basePolicy); math.Abs(d.Score-1) > 1e-9 || tr.LastScore() != d.Score {
+		t.Fatalf("disjoint swap score %v (last %v), want ~1", d.Score, tr.LastScore())
+	}
+
+	// Cooldown: a re-optimization just fired; the next swap must wait.
+	tr.MarkReopt(0.01)
+	if d := tr.Check(swapped, 0.012, basePolicy); d.Trigger || d.Reason != ReasonCooldown {
+		t.Fatalf("in-cooldown swap = %+v", d)
+	}
+	if d := tr.Check(swapped, 0.02, basePolicy); !d.Trigger {
+		t.Fatalf("post-cooldown swap = %+v", d)
+	}
+
+	// Clear drops the baseline (service reverted to C0).
+	tr.Clear()
+	if d := tr.Check(swapped, 1.0, basePolicy); d.Reason != ReasonNoBaseline {
+		t.Fatalf("post-clear check = %+v", d)
+	}
+}
+
+// TestStationaryNoiseNeverTriggers is the hysteresis guarantee the drift
+// detector is built around: per-edge sampling noise up to ±40% on a
+// stationary workload must never fire a re-optimization, whatever the
+// noise seed — either the quantized fingerprints still collide or the
+// total-variation score stays under the threshold.
+func TestStationaryNoiseNeverTriggers(t *testing.T) {
+	baseline := syntheticSummary(nil)
+	for _, tc := range []struct {
+		name string
+		seed uint64
+	}{
+		{"seed1", 0x9E3779B97F4A7C15},
+		{"seed2", 0xBF58476D1CE4E5B9},
+		{"seed3", 0x94D049BB133111EB},
+		{"seed4", 0x2545F4914F6CDD1D},
+		{"seed5", 0xD6E8FEB86659FD93},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := NewTracker()
+			tr.Rebase(baseline, 0)
+			noisy := syntheticSummary(func(i int) float64 {
+				r := wl.SplitMix64(tc.seed ^ uint64(i))
+				return 0.6 + 0.8*float64(r%1000)/1000 // uniform in [0.6, 1.4)
+			})
+			// Far past dwell and cooldown: only score/fingerprint guard.
+			d := tr.Check(noisy, 10.0, basePolicy)
+			if d.Trigger {
+				t.Fatalf("stationary ±40%% noise fired: %+v", d)
+			}
+		})
+	}
+}
+
+// TestHotSwapAlwaysTriggers is the complementary guarantee: a real
+// hot-set swap fires as soon as the dwell bound passes, for any tenant
+// pairing.
+func TestHotSwapAlwaysTriggers(t *testing.T) {
+	for shift := 1; shift <= 5; shift++ {
+		tr := NewTracker()
+		tr.Rebase(syntheticSummary(nil), 0)
+		swapped := Summarize(rawFrom(map[cpu.BranchRecord]int{
+			edge(uint64(0x10000*shift), uint64(0x10000*shift+64)):      7,
+			edge(uint64(0x10000*shift+128), uint64(0x10000*shift+192)): 3,
+		}))
+		// Still dwelling: held, not fired.
+		if d := tr.Check(swapped, basePolicy.MinDwell/2, basePolicy); d.Trigger {
+			t.Fatalf("shift %d fired before dwell: %+v", shift, d)
+		}
+		// First check past the dwell bound: must fire.
+		d := tr.Check(swapped, basePolicy.MinDwell, basePolicy)
+		if !d.Trigger || d.Reason != ReasonDrift {
+			t.Fatalf("shift %d did not fire at dwell bound: %+v", shift, d)
+		}
+		if d.Score < basePolicy.MinDivergence {
+			t.Fatalf("shift %d swap scored %v", shift, d.Score)
+		}
+	}
+}
+
+func TestDecisionJournalRoundTrip(t *testing.T) {
+	rec := replay.NewRecorder(0)
+	d := Decision{Score: 0.875, Trigger: true, Reason: ReasonDrift}
+	if err := d.Journal(rec, "svc"); err != nil {
+		t.Fatal(err)
+	}
+	events := rec.Journal().Events()
+	if len(events) != 1 || events[0].Type != trace.EvDriftDecision {
+		t.Fatalf("journal = %+v", events)
+	}
+	rp, err := replay.NewReplayer(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Journal(rp, "svc"); err != nil {
+		t.Fatalf("identical decision diverged: %v", err)
+	}
+	rp2, _ := replay.NewReplayer(events)
+	other := Decision{Score: 0.874, Trigger: true, Reason: ReasonDrift}
+	if err := other.Journal(rp2, "svc"); err == nil {
+		t.Fatal("bit-different score replayed without divergence")
+	}
+}
+
+// The policy window falls back to sensible defaults.
+func TestPolicyDefaults(t *testing.T) {
+	p := ReoptPolicy{}.WithDefaults()
+	if p.MinDivergence != 0.35 || p.MinDwell != 0.002 || p.Cooldown != 0.004 || p.ShardBudget != 4 {
+		t.Errorf("defaults = %+v", p)
+	}
+	keep := ReoptPolicy{MinDivergence: 0.5, MinDwell: 1, Cooldown: 2, ShardBudget: -1}.WithDefaults()
+	if keep.MinDivergence != 0.5 || keep.ShardBudget != -1 {
+		t.Errorf("explicit values overwritten: %+v", keep)
+	}
+}
+
+// Guard against the divergence metric silently changing what the store
+// serves: a summary of a store window equals summarizing the window.
+func TestSummaryOfStoreWindow(t *testing.T) {
+	s := NewStore(StoreOptions{Service: "svc"})
+	s.Ingest(perf.Sample{Records: []cpu.BranchRecord{edge(1, 2), edge(1, 2), edge(3, 4)}}, 0.001)
+	sum := Summarize(s.Window(1))
+	if sum.Total != 3 || math.Abs(sum.Edges[edge(1, 2)]-2.0/3) > 1e-12 {
+		t.Errorf("windowed summary = %+v", sum)
+	}
+}

@@ -1,0 +1,168 @@
+// Package profile is the streaming profile-ingestion subsystem: the
+// collector side of a production PGO pipeline (Google-Wide Profiling,
+// §V's "fleet-wide profiling infrastructure"). Instead of the fleet
+// pulling a fixed LBR window from each service when it decides to
+// optimize, services stream samples continuously — in-process through a
+// perf.Streamer, or externally through the control plane's
+// POST /profile — into a per-service bounded Store. Optimization rounds
+// then serve their profile from the store's recent window, and a drift
+// Tracker compares the live windowed profile against the profile the
+// current layout was built from, firing re-optimization through the
+// fleet lifecycle when the workload's hot set has genuinely moved.
+//
+// Divergence is scored as total-variation distance over normalized edge
+// weights, on the same per-edge histogram layout.ProfileFingerprint
+// quantizes (layout.EdgeCounts), so "the cache would have missed" and
+// "the drift detector sees movement" are judgments about the same
+// object. The fingerprint's quantization is deliberately coarse —
+// uniform sampling noise collides — and the Tracker inherits that: a
+// stationary-but-noisy profile never re-triggers, a hot-set swap does.
+package profile
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math"
+	"sort"
+
+	"repro/internal/cpu"
+	"repro/internal/layout"
+	"repro/internal/perf"
+)
+
+// Source serves profiling windows from a stream of samples. It is what
+// Controller.AttachProfileSource consumes: Window replaces the one-shot
+// perf.Record pull, and Now is the stream's own notion of time (the
+// maximum sample timestamp seen), which the drift tracker's dwell and
+// cooldown arithmetic runs on.
+type Source interface {
+	// Window returns the samples observed in the trailing window of the
+	// given simulated duration (bounded below by the last Epoch mark).
+	Window(seconds float64) *perf.RawProfile
+	// Now is the stream clock: the latest sample timestamp ingested.
+	Now() float64
+}
+
+// Summary is the drift detector's view of one profile: the normalized
+// per-edge weight distribution, the total record volume, and the
+// quantized layout fingerprint of the raw profile it came from.
+type Summary struct {
+	// Edges maps each branch edge to its share of the total record
+	// volume (weights sum to 1 when Total > 0).
+	Edges map[cpu.BranchRecord]float64
+	// Total is the raw record volume the weights were normalized from.
+	Total uint64
+	// FP is layout.ProfileFingerprint of the raw profile: equal
+	// fingerprints mean the layout cache would serve the same layout, so
+	// re-optimizing is pointless however the raw weights wiggle.
+	FP string
+}
+
+// Summarize reduces a raw profile to its drift summary.
+func Summarize(raw *perf.RawProfile) Summary {
+	counts, total := layout.EdgeCounts(raw)
+	s := Summary{
+		Edges: make(map[cpu.BranchRecord]float64, len(counts)),
+		Total: total,
+		FP:    layout.ProfileFingerprint(raw),
+	}
+	if total == 0 {
+		return s
+	}
+	for rec, c := range counts {
+		s.Edges[rec] = float64(c) / float64(total)
+	}
+	return s
+}
+
+// Divergence is the total-variation distance between two summaries'
+// edge-weight distributions: ½·Σ|p(e) − q(e)| over the union of edges,
+// in [0, 1]. 0 means identical shape; 1 means disjoint hot sets (a full
+// tenant swap). It is symmetric and insensitive to total volume, so a
+// thinner-but-identically-shaped profile scores 0.
+func Divergence(a, b Summary) float64 {
+	// The sum runs in sorted edge order, not map order: float addition
+	// is not associative, and the score is journaled bit-exactly — a
+	// replayed scan must reproduce the identical last ulp.
+	edges := make([]cpu.BranchRecord, 0, len(a.Edges)+len(b.Edges))
+	for rec := range a.Edges {
+		edges = append(edges, rec)
+	}
+	for rec := range b.Edges {
+		if _, seen := a.Edges[rec]; !seen {
+			edges = append(edges, rec)
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].To < edges[j].To
+	})
+	var d float64
+	for _, rec := range edges {
+		d += math.Abs(a.Edges[rec] - b.Edges[rec])
+	}
+	return d / 2
+}
+
+// TimedSample is one LBR snapshot with its stream timestamp (simulated
+// seconds) — the wire unit of both the in-process streamer and the
+// control plane's POST /profile batches.
+type TimedSample struct {
+	At      float64            `json:"at"`
+	Records []cpu.BranchRecord `json:"records"`
+}
+
+// BatchDigest content-addresses a batch of timed samples. It is the
+// identity attribute of the EvProfileIngest journal event: a replayed
+// session must see byte-identical external batches in the same order.
+func BatchDigest(batch []TimedSample) string {
+	h := sha256.New()
+	var scratch [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], v)
+		h.Write(scratch[:])
+	}
+	u64(uint64(len(batch)))
+	for _, ts := range batch {
+		u64(math.Float64bits(ts.At))
+		u64(uint64(len(ts.Records)))
+		for _, r := range ts.Records {
+			u64(r.From)
+			u64(r.To)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil)[:12])
+}
+
+// EdgeWeight is one normalized edge in a stats document, sorted hottest
+// first (ties broken by address so documents are deterministic).
+type EdgeWeight struct {
+	From   uint64  `json:"from"`
+	To     uint64  `json:"to"`
+	Weight float64 `json:"weight"`
+}
+
+// TopEdges renders a summary's hottest n edges for reporting surfaces
+// (GET /profile, experiment CSVs).
+func TopEdges(s Summary, n int) []EdgeWeight {
+	out := make([]EdgeWeight, 0, len(s.Edges))
+	for rec, w := range s.Edges {
+		out = append(out, EdgeWeight{From: rec.From, To: rec.To, Weight: w})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Weight != out[j].Weight {
+			return out[i].Weight > out[j].Weight
+		}
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}

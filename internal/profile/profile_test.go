@@ -1,0 +1,119 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/perf"
+)
+
+// rawFrom builds a one-sample raw profile with count copies of each edge.
+func rawFrom(edges map[cpu.BranchRecord]int) *perf.RawProfile {
+	var recs []cpu.BranchRecord
+	for rec, n := range edges {
+		for i := 0; i < n; i++ {
+			recs = append(recs, rec)
+		}
+	}
+	return &perf.RawProfile{Samples: []perf.Sample{{Records: recs}}, Seconds: 0.001}
+}
+
+func edge(from, to uint64) cpu.BranchRecord { return cpu.BranchRecord{From: from, To: to} }
+
+func TestSummarizeNormalizes(t *testing.T) {
+	raw := rawFrom(map[cpu.BranchRecord]int{
+		edge(0x100, 0x200): 3,
+		edge(0x300, 0x400): 1,
+	})
+	s := Summarize(raw)
+	if s.Total != 4 {
+		t.Fatalf("Total = %d, want 4", s.Total)
+	}
+	if w := s.Edges[edge(0x100, 0x200)]; math.Abs(w-0.75) > 1e-12 {
+		t.Errorf("hot edge weight %v, want 0.75", w)
+	}
+	var sum float64
+	for _, w := range s.Edges {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("weights sum to %v, want 1", sum)
+	}
+	if s.FP == "" {
+		t.Error("no fingerprint")
+	}
+	empty := Summarize(&perf.RawProfile{})
+	if empty.Total != 0 || len(empty.Edges) != 0 {
+		t.Errorf("empty profile summarized to %+v", empty)
+	}
+}
+
+func TestDivergenceBounds(t *testing.T) {
+	a := Summarize(rawFrom(map[cpu.BranchRecord]int{edge(1, 2): 2, edge(3, 4): 2}))
+	if d := Divergence(a, a); d != 0 {
+		t.Errorf("self divergence %v, want 0", d)
+	}
+	// Same shape at 10x the volume: total variation ignores volume.
+	thick := Summarize(rawFrom(map[cpu.BranchRecord]int{edge(1, 2): 20, edge(3, 4): 20}))
+	if d := Divergence(a, thick); d != 0 {
+		t.Errorf("volume-only divergence %v, want 0", d)
+	}
+	// Disjoint edge sets: a full hot-set swap.
+	b := Summarize(rawFrom(map[cpu.BranchRecord]int{edge(5, 6): 4}))
+	if d := Divergence(a, b); math.Abs(d-1) > 1e-12 {
+		t.Errorf("disjoint divergence %v, want 1", d)
+	}
+	if d1, d2 := Divergence(a, b), Divergence(b, a); d1 != d2 {
+		t.Errorf("asymmetric: %v vs %v", d1, d2)
+	}
+	// Half the mass moved: TV is exactly the moved share.
+	c := Summarize(rawFrom(map[cpu.BranchRecord]int{edge(1, 2): 2, edge(5, 6): 2}))
+	if d := Divergence(a, c); math.Abs(d-0.5) > 1e-12 {
+		t.Errorf("half-swap divergence %v, want 0.5", d)
+	}
+}
+
+func TestTopEdges(t *testing.T) {
+	s := Summarize(rawFrom(map[cpu.BranchRecord]int{
+		edge(0x30, 0x40): 1,
+		edge(0x10, 0x20): 6,
+		edge(0x50, 0x60): 1, // ties with 0x30: lower From wins
+		edge(0x70, 0x80): 2,
+	}))
+	top := TopEdges(s, 3)
+	if len(top) != 3 {
+		t.Fatalf("got %d edges, want 3", len(top))
+	}
+	if top[0].From != 0x10 || top[1].From != 0x70 || top[2].From != 0x30 {
+		t.Errorf("order %#x %#x %#x, want 0x10 0x70 0x30", top[0].From, top[1].From, top[2].From)
+	}
+	if got := TopEdges(s, 100); len(got) != 4 {
+		t.Errorf("unbounded n returned %d edges, want all 4", len(got))
+	}
+}
+
+func TestBatchDigestIdentity(t *testing.T) {
+	batch := []TimedSample{
+		{At: 0.001, Records: []cpu.BranchRecord{edge(1, 2), edge(3, 4)}},
+		{At: 0.002, Records: []cpu.BranchRecord{edge(5, 6)}},
+	}
+	same := []TimedSample{
+		{At: 0.001, Records: []cpu.BranchRecord{edge(1, 2), edge(3, 4)}},
+		{At: 0.002, Records: []cpu.BranchRecord{edge(5, 6)}},
+	}
+	if BatchDigest(batch) != BatchDigest(same) {
+		t.Error("identical batches digest differently")
+	}
+	reordered := []TimedSample{same[1], same[0]}
+	if BatchDigest(batch) == BatchDigest(reordered) {
+		t.Error("order not part of the digest")
+	}
+	shifted := []TimedSample{
+		{At: 0.009, Records: []cpu.BranchRecord{edge(1, 2), edge(3, 4)}},
+		{At: 0.002, Records: []cpu.BranchRecord{edge(5, 6)}},
+	}
+	if BatchDigest(batch) == BatchDigest(shifted) {
+		t.Error("timestamps not part of the digest")
+	}
+}

@@ -191,6 +191,44 @@ func (s *Session) OSREvent(tid, frame int, oldPC uint64, outcome string, newPC u
 	return err
 }
 
+// DriftEvent journals one drift-detector verdict for a service. All
+// attributes are identity: a replayed drift scan re-summarizes the same
+// (replayed) sample stream against the same baseline, so the divergence
+// score — journaled bit-exactly via Float64bits — the trigger flag, and
+// the reason must all recur; any drift in the drift detector surfaces as
+// a DivergenceError before the divergent wave can run.
+func (s *Session) DriftEvent(service string, scoreBits uint64, trigger bool, reason string) error {
+	if !s.Active() {
+		return nil
+	}
+	_, err := s.step(trace.Event{Type: trace.EvDriftDecision, Stage: "profile.drift",
+		Service: service,
+		Attrs: trace.Attrs{
+			trace.Int("score_bits", int(scoreBits)),
+			trace.Bool("trigger", trigger),
+			trace.String("reason", reason)}}, nil)
+	return err
+}
+
+// ProfileIngest journals one externally pushed profile batch (the
+// control plane's POST /profile) being absorbed into a service's sample
+// store. The batch shape and digest are identity: external pushes are
+// environment input, not derivable from the recorded execution, so a
+// journal containing them only replays against a harness that re-supplies
+// the same batches in the same order — anything else diverges loudly.
+func (s *Session) ProfileIngest(service string, samples, branches int, digest string) error {
+	if !s.Active() {
+		return nil
+	}
+	_, err := s.step(trace.Event{Type: trace.EvProfileIngest, Stage: "profile.ingest",
+		Service: service,
+		Attrs: trace.Attrs{
+			trace.Int("samples", samples),
+			trace.Int("branches", branches),
+			trace.String("digest", digest)}}, nil)
+	return err
+}
+
 // FaultHook wraps a tracee-level fault hook (core.Options.FaultHook).
 // Record mode journals each firing decision; replay mode reconstructs
 // the decisions from the journal alone — the inner hook (usually nil on

@@ -174,36 +174,6 @@ func NewRegistry() *Registry {
 	return &Registry{metrics: make(map[string]any)}
 }
 
-// Label renders a metric name with label pairs, e.g.
-// Label("fleet_rounds_total", "service", "sqldb") →
-// "fleet_rounds_total{service=sqldb}". Pairs are rendered in the order
-// given; pass them consistently to hit the same series.
-//
-// Deprecated: Label smashes labels into the flat metric name, which
-// defeats per-label aggregation and Prometheus exposition. Use the
-// structured vectors instead: Registry.CounterVec(name,
-// keys...).With(values...) (and the gauge/histogram equivalents). The
-// shim stays only so rendered series names remain readable and pinned by
-// test; no call site outside this package and its tests may use it.
-func Label(name string, kv ...string) string {
-	if len(kv) == 0 {
-		return name
-	}
-	var b strings.Builder
-	b.WriteString(name)
-	b.WriteByte('{')
-	for i := 0; i+1 < len(kv); i += 2 {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(kv[i])
-		b.WriteByte('=')
-		b.WriteString(kv[i+1])
-	}
-	b.WriteByte('}')
-	return b.String()
-}
-
 // lookup returns the metric under name, creating it with mk on first
 // use. Reusing a name with a different type panics: that is a
 // programming error, not an operational condition.
@@ -401,17 +371,29 @@ type Point struct {
 	Mean, P50, P95, Max float64
 }
 
-// Series renders the full series name, labels included — the flat string
-// the deprecated Label convention used to produce.
+// Series renders the full series name with labels inlined, e.g.
+// "fleet_rounds_total{service=sqldb,stage=replace}". Labels render in
+// the vector's declared key order. (This rendering was once a
+// standalone Label helper that call sites used to smash labels into
+// flat metric names; the structured vectors replaced it and the
+// rendering now exists only here, for report output.)
 func (p Point) Series() string {
 	if len(p.Labels) == 0 {
 		return p.Name
 	}
-	kv := make([]string, 0, len(p.Labels)*2)
-	for _, l := range p.Labels {
-		kv = append(kv, l.Key, l.Value)
+	var b strings.Builder
+	b.WriteString(p.Name)
+	b.WriteByte('{')
+	for i, l := range p.Labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
 	}
-	return Label(p.Name, kv...)
+	b.WriteByte('}')
+	return b.String()
 }
 
 // point builds one Point from a scalar metric.

@@ -122,20 +122,19 @@ func TestEmptyHistogram(t *testing.T) {
 	}
 }
 
-// TestLabel pins the deprecated shim's output: Point.Series and the
-// human-readable report still render series through it, so its format is
-// load-bearing even with no metric call sites left.
-func TestLabel(t *testing.T) {
-	if got := Label("x_total"); got != "x_total" {
+// TestSeriesRendering pins Point.Series, the one place series names are
+// rendered with inlined labels now that the deprecated Label helper is
+// gone. The format is load-bearing: the human-readable report keys on
+// it.
+func TestSeriesRendering(t *testing.T) {
+	if got := (Point{Name: "x_total"}).Series(); got != "x_total" {
 		t.Errorf("bare name mangled: %q", got)
 	}
-	got := Label("x_total", "service", "db", "stage", "replace")
-	if got != "x_total{service=db,stage=replace}" {
+	p := Point{Name: "x_total", Labels: []LabelPair{
+		{Key: "service", Value: "db"}, {Key: "stage", Value: "replace"},
+	}}
+	if got := p.Series(); got != "x_total{service=db,stage=replace}" {
 		t.Errorf("labeled name = %q", got)
-	}
-	// Odd trailing key is dropped, not rendered half-formed.
-	if got := Label("x", "k"); got != "x{}" {
-		t.Errorf("odd pair list = %q", got)
 	}
 }
 

@@ -86,6 +86,19 @@ const (
 	// copy-based migration. Everything is identity: a replayed round
 	// re-walks the same stacks and must reach the same decisions.
 	EvOSRDecision
+	// EvDriftDecision: one drift-detector verdict for a Steady service —
+	// the divergence score of the live windowed profile against the
+	// layout's build profile, whether re-optimization fired, and why not
+	// otherwise. Everything is identity: a replayed drift scan recomputes
+	// the score from the replayed sample stream and must reach the same
+	// verdict bit for bit.
+	EvDriftDecision
+	// EvProfileIngest: one externally pushed profile batch (the control
+	// plane's POST /profile) absorbed into a service's sample store. The
+	// batch digest is identity: replaying a journal that contains external
+	// ingests requires re-supplying the same batches, and anything else
+	// diverges loudly instead of silently replaying a different profile.
+	EvProfileIngest
 )
 
 var eventTypeNames = [...]string{
@@ -110,6 +123,8 @@ var eventTypeNames = [...]string{
 	EvCheckpoint:    "checkpoint",
 	EvCacheDecision: "cache_decision",
 	EvOSRDecision:   "osr_decision",
+	EvDriftDecision: "drift_decision",
+	EvProfileIngest: "profile_ingest",
 }
 
 func (t EventType) String() string {

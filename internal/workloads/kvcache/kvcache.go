@@ -28,6 +28,10 @@ type Scale struct {
 	Buckets   int64
 	ColdFuncs int
 	ColdSize  int
+	// Tenants > 1 builds the multi-tenant image (see MultiTenant): one
+	// protocol decoder and handler pair per tenant, muxed on the request's
+	// tenant id, with "hotK" inputs concentrating traffic on tenant K.
+	Tenants int
 }
 
 // Full approximates Memcached's footprint.
@@ -38,6 +42,9 @@ func Small() Scale { return Scale{Buckets: 1 << 10, ColdFuncs: 8, ColdSize: 12} 
 
 // Build assembles the workload.
 func Build(sc Scale) (*wl.Workload, error) {
+	if sc.Tenants > 1 {
+		return buildMultiTenant(sc)
+	}
 	p := build.NewProgram("kvcache")
 	p.SetNoJumpTables(true)
 

@@ -1,0 +1,190 @@
+package kvcache
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/build"
+	"repro/internal/isa"
+	"repro/internal/workloads/wl"
+	"repro/internal/workloads/wlgen"
+)
+
+// MultiTenant sizes a cache image hosting n symmetric tenants, each
+// with its own protocol decoder and handlers. The tenants are
+// code-identical by construction, so whichever tenant is hot, the
+// optimal layout delivers the same throughput — the property the drift
+// experiments lean on: after a hot-tenant swap, a re-optimized layout
+// should recover the pre-swap optimized throughput, not some
+// tenant-specific level.
+func MultiTenant(n int) Scale {
+	// The open-addressing table livelocks on misses once every slot is
+	// taken, so size it for ≤ 12.5% load at the generator's 1024 keys per
+	// tenant (the single-tenant build keeps the same headroom).
+	buckets := int64(1 << 13)
+	for buckets < int64(n)*tenantKeys*8 {
+		buckets <<= 1
+	}
+	return Scale{Buckets: buckets, ColdFuncs: 16, ColdSize: 16, Tenants: n}
+}
+
+// tenantKeys is the per-tenant key-space size of TenantGenerator.
+const tenantKeys = 1 << 10
+
+// TenantInputs lists the hot-tenant mixes of an n-tenant build: input
+// "hotK" concentrates 90% of traffic on tenant K and sprays the rest
+// uniformly. Swapping inputs is the phase turn.
+func TenantInputs(n int) []string {
+	inputs := make([]string, n)
+	for i := range inputs {
+		inputs[i] = fmt.Sprintf("hot%d", i)
+	}
+	return inputs
+}
+
+// buildMultiTenant assembles the n-tenant image: one shared hash table,
+// per-tenant decode chains and get/set handlers, and a serving loop
+// that muxes on the tenant id (Arg3) with chained branches — like the
+// single-tenant build, no v-tables, so layout is the whole game. Only
+// the hot tenant's decoder+handlers stay in the i-cache working set;
+// shifting the hot tenant moves the hot text wholesale, which is
+// exactly the profile drift the fleet's detector must catch.
+func buildMultiTenant(sc Scale) (*wl.Workload, error) {
+	p := build.NewProgram("mt-kvcache")
+	p.SetNoJumpTables(true)
+
+	wlgen.EmitColdLib(p, "kutil", sc.ColdFuncs, sc.ColdSize)
+	ht := wlgen.EmitHashTable(p, "kv", sc.Buckets)
+	p.Global("stats_hits", 8)
+	p.Global("stats_miss", 8)
+
+	prefixes := make([]string, sc.Tenants)
+	for i := range prefixes {
+		prefixes[i] = fmt.Sprintf("proto%d", i)
+	}
+	// Long decode chains with generous cold padding: each tenant's hot
+	// path is big enough that only one tenant's text fits the L1i at a
+	// time, so serving the wrong tenant on a stale layout measurably
+	// hurts — the signal the drift experiments measure.
+	chains := wlgen.EmitChains(p, prefixes, wlgen.ChainSpec{
+		Steps: 10, ColdPad: 16, HotWork: 6, Sequential: true,
+	})
+
+	gets := make([]string, sc.Tenants)
+	sets := make([]string, sc.Tenants)
+	for i := 0; i < sc.Tenants; i++ {
+		gets[i] = fmt.Sprintf("h_get_%d", i)
+		hGet := p.Func(gets[i])
+		hGet.Prologue(32)
+		hGet.St(isa.FP, -8, isa.R0)
+		hGet.MovI(isa.R1, 0)
+		hGet.Call(chains[i])
+		hGet.Ld(isa.R0, isa.FP, -8)
+		hGet.Call(ht.Get)
+		hGet.CmpI(isa.R0, 0)
+		hGet.If(isa.EQ, func() {
+			hGet.LoadGlobalAddr(isa.R6, "stats_miss")
+			hGet.Ld(isa.R7, isa.R6, 0)
+			hGet.AddI(isa.R7, isa.R7, 1)
+			hGet.St(isa.R6, 0, isa.R7)
+		}, func() {
+			hGet.LoadGlobalAddr(isa.R6, "stats_hits")
+			hGet.Ld(isa.R7, isa.R6, 0)
+			hGet.AddI(isa.R7, isa.R7, 1)
+			hGet.St(isa.R6, 0, isa.R7)
+		})
+		hGet.EpilogueRet()
+
+		sets[i] = fmt.Sprintf("h_set_%d", i)
+		hSet := p.Func(sets[i])
+		hSet.Prologue(32)
+		hSet.St(isa.FP, -8, isa.R0)
+		hSet.St(isa.FP, -16, isa.R1)
+		hSet.MovI(isa.R1, 0)
+		hSet.Call(chains[i])
+		hSet.Ld(isa.R0, isa.FP, -8)
+		hSet.Ld(isa.R1, isa.FP, -16)
+		hSet.Call(ht.Put)
+		hSet.MovI(isa.R0, 1)
+		hSet.EpilogueRet()
+	}
+
+	m := p.Func("main")
+	m.Prologue(32)
+	loop := m.Label("serve")
+	m.Sys(1) // SysRecv → R0 op, R1 key, R2 val, R3 tenant
+	m.CmpI(isa.R0, -1)
+	m.If(isa.EQ, func() { m.Halt() }, nil)
+	m.CmpI(isa.R0, int64(opGet))
+	m.If(isa.EQ, func() {
+		emitTenantMux(m, gets)
+	}, func() {
+		emitTenantMux(m, sets)
+	})
+	m.Sys(2) // SysSend
+	m.Goto(loop)
+	p.SetEntry("main")
+
+	bin, err := p.Assemble(asm.Options{})
+	if err != nil {
+		return nil, err
+	}
+	tenants := sc.Tenants
+	return &wl.Workload{
+		Name:    "mt-kvcache",
+		Binary:  bin,
+		Inputs:  TenantInputs(tenants),
+		Threads: 8,
+		NewDriver: func(input string, threads int) (*wl.Driver, error) {
+			gen, err := TenantGenerator(input, tenants)
+			if err != nil {
+				return nil, err
+			}
+			return wl.NewDriver(gen, threads), nil
+		},
+	}, nil
+}
+
+// emitTenantMux dispatches to the tenant's handler on R3 via a chain of
+// compare-and-branch (no indirect calls). The last tenant is the
+// fall-through so every id lands somewhere.
+func emitTenantMux(m *build.FuncBuilder, handlers []string) {
+	call := func(name string) {
+		m.Mov(isa.R0, isa.R1)
+		m.Mov(isa.R1, isa.R2)
+		m.Call(name)
+	}
+	var mux func(i int)
+	mux = func(i int) {
+		if i == len(handlers)-1 {
+			call(handlers[i])
+			return
+		}
+		m.CmpI(isa.R3, int64(i))
+		m.If(isa.EQ, func() { call(handlers[i]) }, func() { mux(i + 1) })
+	}
+	mux(0)
+}
+
+// TenantGenerator builds the "hotK" request mix for an n-tenant cache:
+// 90% of requests hit tenant K, the rest spread uniformly, with the
+// usual 10% set / 90% get split and per-tenant key spaces.
+func TenantGenerator(input string, tenants int) (wl.Generator, error) {
+	var hot int
+	if _, err := fmt.Sscanf(input, "hot%d", &hot); err != nil || hot < 0 || hot >= tenants {
+		return nil, fmt.Errorf("kvcache: unknown input %q for a %d-tenant cache", input, tenants)
+	}
+	return func(tid int, seq uint64) wl.Request {
+		r := wl.SplitMix64(uint64(tid)<<40 ^ seq ^ 0x7E47)
+		tenant := uint64(hot)
+		if int(r%100) < 10 {
+			tenant = (r / 100) % uint64(tenants)
+		}
+		op := uint64(opGet)
+		if int(r>>16%100) < 10 {
+			op = opSet
+		}
+		key := ((r>>8)&(tenantKeys-1)<<1 + 2) | tenant<<20
+		return wl.Request{Op: op, Arg1: key, Arg2: r >> 32, Arg3: tenant}
+	}, nil
+}

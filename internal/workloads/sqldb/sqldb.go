@@ -388,7 +388,8 @@ func Build(sc Scale) (*wl.Workload, error) {
 // Inputs lists the Sysbench-analog request mixes.
 func Inputs() []string {
 	return []string{"point_select", "read_only", "read_write", "write_only",
-		"insert", "delete", "update_index", "update_non_index"}
+		"insert", "delete", "update_index", "update_non_index",
+		"diurnal_day", "diurnal_night"}
 }
 
 // generator builds the request stream for an input mix.
@@ -415,6 +416,15 @@ func generator(input string, sc Scale) (wl.Generator, error) {
 		mix = []slice{{100, opUpdateIndex}}
 	case "update_non_index":
 		mix = []slice{{100, opUpdateNonIndex}}
+	case "diurnal_day":
+		// Daytime serving traffic: read-dominated, the mix a layout built in
+		// the morning sees all day (§IV-C's daily-pattern scenario).
+		mix = []slice{{85, opPointSelect}, {10, opRangeSelect}, {5, opAggregate}}
+	case "diurnal_night":
+		// Overnight batch window: the same service turns write-heavy (bulk
+		// loads, index maintenance), shifting the hot path off the read code
+		// the daytime layout was optimized for.
+		mix = []slice{{10, opPointSelect}, {35, opInsert}, {25, opUpdateIndex}, {20, opUpdateNonIndex}, {10, opDelete}}
 	default:
 		return nil, fmt.Errorf("sqldb: unknown input %q", input)
 	}

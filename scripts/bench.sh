@@ -25,6 +25,13 @@
 #    of main's execution still parked on the original image (1.0 means
 #    the optimized layout never took effect). See docs/robustness.md.
 #    Skip with SKIP_REPLACE=1.
+#
+# 4. Drift re-convergence: runs the phase-shifting multi-tenant cache
+#    through two hot-tenant turns with the drift detector on and off,
+#    and writes BENCH_drift.json — per-turn stale and recovered
+#    throughput, the detector's divergence score, and the simulated
+#    time each re-convergence took. See docs/profiling.md. Skip with
+#    SKIP_DRIFT=1.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -36,6 +43,7 @@ FLEET_OUT="${FLEET_OUT:-BENCH_fleet.json}"
 FLEET_SERVICES="${FLEET_SERVICES:-1000}"
 REPLACE_OUT="${REPLACE_OUT:-BENCH_replace.json}"
 REPLACE_ROUNDS="${REPLACE_ROUNDS:-3}"
+DRIFT_OUT="${DRIFT_OUT:-BENCH_drift.json}"
 
 raw=""
 i=1
@@ -94,4 +102,12 @@ if [ "${SKIP_REPLACE:-0}" != 1 ]; then
         go test -run TestReplaceBench -count 1 ./internal/diffcheck
     echo "== $REPLACE_OUT"
     cat "$REPLACE_OUT"
+fi
+
+if [ "${SKIP_DRIFT:-0}" != 1 ]; then
+    echo "== drift benchmark: phase-shifting mt-kvcache, drift vs no-drift ablation"
+    DRIFT_BENCH_OUT="$DRIFT_OUT" \
+        go test -run TestDriftBench -count 1 -timeout 30m ./internal/experiments
+    echo "== $DRIFT_OUT"
+    cat "$DRIFT_OUT"
 fi

@@ -159,4 +159,59 @@ kill -TERM "$fleetd_pid"
 wait "$fleetd_pid" || { cat "$tmpdir/log"; echo "fleetd did not exit cleanly"; exit 1; }
 echo "control plane smoke OK ($addr)"
 
+# Drift smoke (see docs/profiling.md): boot fleetd with streaming
+# profiles and the drift watch on, run the initial wave, then push an
+# external LBR batch through POST /profile whose hot set diverges from
+# the layout's build profile. The watch must score the divergence, fire
+# a re-optimization round, and surface it as a reopt count on
+# /services — the whole streamed-ingest → drift → re-opt path, over the
+# real HTTP control plane.
+echo "== fleetd drift smoke"
+"$tmpdir/fleetd" -serve 127.0.0.1:0 -drift -drift-every 100ms -replicas 1 -rounds 1 \
+    >"$tmpdir/driftlog" 2>&1 &
+drift_pid=$!
+for _ in $(seq 1 300); do
+    grep -q 'drift watch scanning' "$tmpdir/driftlog" && break
+    kill -0 "$drift_pid" 2>/dev/null || { cat "$tmpdir/driftlog"; echo "fleetd exited before the drift watch"; exit 1; }
+    sleep 0.1
+done
+grep -q 'drift watch scanning' "$tmpdir/driftlog" ||
+    { cat "$tmpdir/driftlog"; echo "drift watch never started"; exit 1; }
+addr=$(sed -n 's,.*serving control plane on http://,,p' "$tmpdir/driftlog")
+
+# The live store tells us a genuinely hot edge of the service's current
+# layout and the stream clock; concentrating the pushed profile on that
+# one edge moves most of the profile mass (high total-variation score)
+# while keeping every address resolvable by perf2bolt.
+svc_path='sqldb/read_only%230' # sqldb/read_only#0, URL-encoded
+doc=$(curl -sf "http://$addr/profile?service=$svc_path&top=5") ||
+    { cat "$tmpdir/driftlog"; echo "GET /profile failed"; exit 1; }
+from=$(echo "$doc" | sed -n 's/.*"from": \([0-9][0-9]*\).*/\1/p' | head -1)
+to=$(echo "$doc" | sed -n 's/.*"to": \([0-9][0-9]*\).*/\1/p' | head -1)
+now=$(echo "$doc" | sed -n 's/.*"now": \([0-9.e+-]*\),*/\1/p' | head -1)
+[ -n "$from" ] && [ -n "$to" ] && [ -n "$now" ] ||
+    { echo "$doc"; echo "could not parse /profile status"; exit 1; }
+body=$(awk -v f="$from" -v t="$to" -v n="$now" 'BEGIN {
+    printf "{\"service\": \"sqldb/read_only#0\", \"samples\": [{\"at\": %.6f, \"records\": [", n + 0.0025
+    for (i = 0; i < 64; i++) printf "%s{\"from\": %s, \"to\": %s}", (i ? "," : ""), f, t
+    printf "]}]}"
+}')
+curl -sf -X POST -H 'Content-Type: application/json' -d "$body" "http://$addr/profile" >/dev/null ||
+    { cat "$tmpdir/driftlog"; echo "POST /profile failed"; exit 1; }
+
+reopted=
+for _ in $(seq 1 300); do
+    if curl -sf "http://$addr/services" | grep -q '"reopts": [1-9]'; then
+        reopted=1
+        break
+    fi
+    kill -0 "$drift_pid" 2>/dev/null || { cat "$tmpdir/driftlog"; echo "fleetd died mid-drift-watch"; exit 1; }
+    sleep 0.1
+done
+[ -n "$reopted" ] ||
+    { cat "$tmpdir/driftlog"; curl -sf "http://$addr/services"; echo "drift push never produced a re-opt round"; exit 1; }
+kill -TERM "$drift_pid"
+wait "$drift_pid" || { cat "$tmpdir/driftlog"; echo "fleetd did not exit cleanly after the drift watch"; exit 1; }
+echo "drift smoke OK"
+
 echo "CI OK"
